@@ -1,0 +1,210 @@
+// Command sdfbench regenerates the tables and figures of the paper's
+// evaluation section:
+//
+//	sdfbench -experiment table1        # Table 1 + Fig. 25 on practical systems
+//	sdfbench -experiment fig27         # random-graph study (Fig. 27 a-f)
+//	sdfbench -experiment randomsort    # Sec. 10.1 random topological sorts
+//	sdfbench -experiment homogeneous   # Sec. 10.2 / Fig. 26
+//	sdfbench -experiment sdppo-vs-dppo # Sec. 10.1 looping ablation
+//	sdfbench -experiment satrec        # Sec. 11 comparisons
+//	sdfbench -experiment cddat         # Sec. 11.1.3 input buffering
+//	sdfbench -experiment dynamic       # Sec. 11.1.3 data-driven scheduling
+//	sdfbench -experiment merging       # Sec. 12 buffer-merging extension
+//	sdfbench -experiment tradeoff      # code-size vs buffer-memory frontier
+//	sdfbench -experiment exact         # heuristics vs exhaustive optimum
+//	sdfbench -experiment all
+//
+// -quick reduces population sizes for a fast smoke run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment to run")
+		quick   = flag.Bool("quick", false, "reduced population sizes")
+		seed    = flag.Int64("seed", 2000, "random seed for stochastic studies")
+		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	emit := func(name string, v interface{}, text func() string) {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]interface{}{"experiment": name, "results": v}); err != nil {
+				fmt.Fprintln(os.Stderr, "sdfbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(text())
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if !*jsonOut {
+			fmt.Printf("==== %s ====\n", name)
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdfbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.DefaultTable1()
+		if err != nil {
+			return err
+		}
+		emit("table1", rows, func() string {
+			return experiments.FormatTable1(rows) + "\n" + experiments.FormatFig25(rows)
+		})
+		return nil
+	})
+
+	run("fig27", func() error {
+		cfg := experiments.DefaultFig27Config()
+		cfg.Seed = *seed
+		if *quick {
+			cfg = experiments.Fig27Config{Sizes: []int{20, 50}, PerSize: 10, Seed: *seed}
+		}
+		pts, err := experiments.Fig27(cfg)
+		if err != nil {
+			return err
+		}
+		emit("fig27", pts, func() string { return experiments.FormatFig27(pts) })
+		return nil
+	})
+
+	run("randomsort", func() error {
+		small := 1000
+		large := 100
+		if *quick {
+			small, large = 50, 5
+		}
+		var results []experiments.RandomSortResult
+		for _, j := range []struct {
+			name   string
+			trials int
+		}{
+			{"satrec", small},
+			{"blockVox", small},
+			{"qmf12_5d", large},
+			{"qmf235_5d", large},
+		} {
+			g := mustSystem(j.name)
+			r, err := experiments.RandomSort(g, j.trials, *seed)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		emit("randomsort", results, func() string { return experiments.FormatRandomSort(results) })
+		return nil
+	})
+
+	run("homogeneous", func() error {
+		rows, err := experiments.Homogeneous([]int{2, 4, 8}, []int{4, 8, 16})
+		if err != nil {
+			return err
+		}
+		emit("homogeneous", rows, func() string { return experiments.FormatHomogeneous(rows) })
+		return nil
+	})
+
+	run("sdppo-vs-dppo", func() error {
+		rows, err := experiments.SdppoVsDppo(systems.Table1Systems())
+		if err != nil {
+			return err
+		}
+		emit("sdppo-vs-dppo", rows, func() string { return experiments.FormatSdppoVsDppo(rows) })
+		return nil
+	})
+
+	run("satrec", func() error {
+		cmp, err := experiments.Satrec()
+		if err != nil {
+			return err
+		}
+		emit("satrec", cmp, func() string { return experiments.FormatSatrec(cmp) })
+		return nil
+	})
+
+	run("cddat", func() error {
+		rows, err := experiments.CDDAT()
+		if err != nil {
+			return err
+		}
+		emit("cddat", rows, func() string { return experiments.FormatCDDAT(rows) })
+		return nil
+	})
+
+	run("dynamic", func() error {
+		rows, err := experiments.DynamicVsStatic(systems.Table1Systems())
+		if err != nil {
+			return err
+		}
+		emit("dynamic", rows, func() string { return experiments.FormatDynamic(rows) })
+		return nil
+	})
+
+	run("tradeoff", func() error {
+		rows, err := experiments.Tradeoff(systems.Table1Systems())
+		if err != nil {
+			return err
+		}
+		emit("tradeoff", rows, func() string { return experiments.FormatTradeoff(rows) })
+		return nil
+	})
+
+	run("exact", func() error {
+		n := 20
+		if *quick {
+			n = 6
+		}
+		rows, err := experiments.ExactStudy(
+			[]*sdf.Graph{systems.OverAddFFT(), systems.PAM4TransmitRecv()}, n, 100_000, *seed)
+		if err != nil {
+			return err
+		}
+		emit("exact", rows, func() string { return experiments.FormatExact(rows) })
+		return nil
+	})
+
+	run("merging", func() error {
+		rows, err := experiments.Merging(systems.Table1Systems())
+		if err != nil {
+			return err
+		}
+		emit("merging", rows, func() string { return experiments.FormatMerging(rows) })
+		return nil
+	})
+}
+
+func mustSystem(name string) *sdf.Graph {
+	for _, g := range systems.Table1Systems() {
+		if g.Name == name {
+			return g
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sdfbench: unknown system %q\n", name)
+	os.Exit(1)
+	return nil
+}

@@ -1,0 +1,222 @@
+// Command sdfc is the shared-memory SDF compiler driver: it reads an SDF
+// graph (from a .sdf file or a named built-in benchmark system), runs the
+// full scheduling/lifetime/allocation flow of Murthy & Bhattacharyya, prints
+// the resulting schedule and memory metrics, and optionally emits a C
+// implementation.
+//
+// Usage:
+//
+//	sdfc -system satrec
+//	sdfc -graph mygraph.sdf -strategy apgan -looping dppo
+//	sdfc -system cddat -emit-c out.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/lifetime"
+	"repro/internal/regularity"
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+	"repro/internal/systems"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "path to a .sdf graph file")
+		system    = flag.String("system", "", "built-in benchmark system name (see -list)")
+		list      = flag.Bool("list", false, "list built-in systems and exit")
+		strategy  = flag.String("strategy", "rpmc", "lexical order strategy: rpmc | apgan")
+		loopingF  = flag.String("looping", "sdppo", "loop hierarchy: sdppo | dppo | chain | flat")
+		allocF    = flag.String("alloc", "ffdur,ffstart", "comma-separated allocators: ffdur | ffstart | bfdur")
+		emitC     = flag.String("emit-c", "", "write generated C implementation to this file")
+		emitVHDL  = flag.String("emit-vhdl", "", "write generated behavioral VHDL to this file")
+		verify    = flag.Bool("verify", true, "run the token-level shared-memory simulator")
+		doMerge   = flag.Bool("merge", false, "apply the Sec. 12 buffer-merging extension")
+		chart     = flag.Bool("chart", false, "print the buffer lifetime chart and memory map")
+		dotOut    = flag.String("dot", "", "write the graph in Graphviz DOT form to this file")
+		quiet     = flag.Bool("q", false, "print only the final metrics line")
+	)
+	flag.Parse()
+
+	if *list {
+		names := builtinNames()
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	g, err := loadGraph(*graphFile, *system)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{Verify: *verify, Merging: *doMerge}
+	switch *strategy {
+	case "rpmc":
+		opts.Strategy = core.RPMC
+	case "apgan":
+		opts.Strategy = core.APGAN
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	switch *loopingF {
+	case "sdppo":
+		opts.Looping = core.SDPPOLoops
+	case "dppo":
+		opts.Looping = core.DPPOLoops
+	case "chain":
+		opts.Looping = core.ChainPreciseLoops
+	case "flat":
+		opts.Looping = core.FlatLoops
+	default:
+		fatal(fmt.Errorf("unknown looping %q", *loopingF))
+	}
+	for _, a := range strings.Split(*allocF, ",") {
+		switch strings.TrimSpace(a) {
+		case "ffdur":
+			opts.Allocators = append(opts.Allocators, alloc.FirstFitDuration)
+		case "ffstart":
+			opts.Allocators = append(opts.Allocators, alloc.FirstFitStart)
+		case "bfdur":
+			opts.Allocators = append(opts.Allocators, alloc.BestFitDuration)
+		case "":
+		default:
+			fatal(fmt.Errorf("unknown allocator %q", a))
+		}
+	}
+
+	res, err := core.CompileGeneral(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("graph      : %s (%d actors, %d edges)\n", g.Name, g.NumActors(), g.NumEdges())
+		fmt.Printf("order      : %s + %s\n", opts.Strategy, opts.Looping)
+		fmt.Printf("schedule   : %s\n", res.Schedule)
+		fmt.Printf("bmlb       : %d\n", res.Metrics.BMLB)
+		fmt.Printf("non-shared : %d  (bufmem of this schedule, EQ 1)\n", res.Metrics.NonSharedBufMem)
+		fmt.Printf("dp estimate: %d\n", res.Metrics.DPCost)
+		fmt.Printf("mco / mcp  : %d / %d\n", res.Metrics.MCO, res.Metrics.MCP)
+		for _, kv := range sortedTotalsList(res.Metrics.AllocTotals) {
+			fmt.Printf("alloc %-7s: %d\n", kv.name, kv.total)
+		}
+	}
+	if *chart {
+		fmt.Println("\nbuffer lifetimes (one column per schedule step):")
+		fmt.Print(lifetime.Chart(res.Intervals, res.Tree.TotalDur, 96))
+		fmt.Println("\nmemory map:")
+		for _, p := range res.Best.Placements {
+			fmt.Printf("  [%6d,%6d)  %s\n", p.Offset, p.Offset+p.Interval.Size, p.Interval.Name)
+		}
+	}
+	impr := 0.0
+	if res.Metrics.NonSharedBufMem > 0 {
+		impr = 100 * float64(res.Metrics.NonSharedBufMem-res.Metrics.SharedTotal) /
+			float64(res.Metrics.NonSharedBufMem)
+	}
+	fmt.Printf("shared memory: %d cells (%s), %.1f%% below non-shared\n",
+		res.Metrics.SharedTotal, res.BestBy, impr)
+	if *doMerge && res.Metrics.Merges > 0 {
+		fmt.Printf("with merging : %d cells (%d buffer pairs folded)\n",
+			res.Metrics.MergedTotal, res.Metrics.Merges)
+	}
+
+	if *emitC != "" {
+		src := codegen.GenerateC(res)
+		if err := os.WriteFile(*emitC, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *emitC, len(src))
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sdfio.WriteDOT(f, g); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *emitVHDL != "" {
+		src := codegen.GenerateVHDL(res)
+		if err := os.WriteFile(*emitVHDL, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *emitVHDL, len(src))
+	}
+}
+
+type kv struct {
+	name  string
+	total int64
+}
+
+func sortedTotalsList(m map[string]int64) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func loadGraph(file, system string) (*sdf.Graph, error) {
+	switch {
+	case file != "" && system != "":
+		return nil, fmt.Errorf("use -graph or -system, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return sdfio.Parse(f)
+	case system != "":
+		g, ok := builtins()[system]
+		if !ok {
+			return nil, fmt.Errorf("unknown system %q (try -list)", system)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -system NAME")
+	}
+}
+
+func builtins() map[string]*sdf.Graph {
+	m := map[string]*sdf.Graph{}
+	for _, g := range systems.Table1Systems() {
+		m[g.Name] = g
+	}
+	for _, g := range []*sdf.Graph{
+		systems.CDDAT(),
+		systems.Homogeneous(4, 4),
+		systems.EchoCanceller(),
+		regularity.FIR(8),
+	} {
+		m[g.Name] = g
+	}
+	return m
+}
+
+func builtinNames() []string {
+	var names []string
+	for n := range builtins() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdfc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command sdfgen emits SDF graphs in the textual .sdf format consumed by
+// sdfc: either one of the built-in benchmark systems or a random consistent
+// acyclic graph.
+//
+//	sdfgen -system qmf12_3d > fb.sdf
+//	sdfgen -random 50 -seed 7 > rand50.sdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+	"repro/internal/systems"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "", "built-in system name (see -list)")
+		list   = flag.Bool("list", false, "list built-in systems and exit")
+		random = flag.Int("random", 0, "generate a random graph with this many actors")
+		seed   = flag.Int64("seed", 1, "seed for -random")
+	)
+	flag.Parse()
+
+	all := map[string]*sdf.Graph{}
+	for _, g := range systems.Table1Systems() {
+		all[g.Name] = g
+	}
+	cd := systems.CDDAT()
+	all[cd.Name] = cd
+
+	if *list {
+		var names []string
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var g *sdf.Graph
+	switch {
+	case *system != "" && *random > 0:
+		fatal(fmt.Errorf("use -system or -random, not both"))
+	case *system != "":
+		var ok bool
+		g, ok = all[*system]
+		if !ok {
+			fatal(fmt.Errorf("unknown system %q (try -list)", *system))
+		}
+	case *random > 0:
+		g = randsdf.Graph(rand.New(rand.NewSource(*seed)), randsdf.Config{Actors: *random})
+	default:
+		fatal(fmt.Errorf("need -system NAME or -random N"))
+	}
+	if err := sdfio.Write(os.Stdout, g); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdfgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Shared Memory
+// Implementations of Synchronous Dataflow Specifications Using Lifetime
+// Analysis Techniques" (Murthy & Bhattacharyya, DATE 2000).
+//
+// The library compiles synchronous dataflow (SDF) graphs into shared-memory
+// software implementations: it schedules the graph as a nested single
+// appearance schedule (APGAN/RPMC ordering + DPPO/SDPPO loop nesting),
+// extracts periodic buffer lifetimes from the schedule tree, and packs the
+// buffers into one memory space with first-fit dynamic storage allocation —
+// halving buffer memory on the paper's benchmark suite relative to
+// per-edge buffers.
+//
+// Entry points:
+//
+//   - internal/core.Compile — the full Fig. 21 flow in one call.
+//   - internal/experiments  — regenerates every table and figure of the
+//     paper's evaluation.
+//   - cmd/sdfc, cmd/sdfbench, cmd/sdfgen — command-line drivers.
+//   - examples/ — five runnable walkthroughs.
+//
+// The benchmarks in bench_test.go regenerate each experiment under the Go
+// testing harness; see EXPERIMENTS.md for paper-vs-measured results.
+package repro

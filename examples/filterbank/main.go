@@ -1,0 +1,57 @@
+// Filterbank: sweep the paper's multirate filterbank family (Table 1) over
+// depth and rate-change ratios, comparing shared against non-shared buffer
+// memory for both ordering heuristics — the workload class where the paper
+// reports its largest gains (up to 83% on qmf12_5d).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+func main() {
+	fmt.Println("two-sided multirate filterbanks: shared vs non-shared buffer memory")
+	fmt.Printf("%-12s %6s | %10s %10s %7s\n", "system", "actors", "non-shared", "shared", "saved")
+	for _, ratio := range []systems.Ratio{systems.Ratio12, systems.Ratio23, systems.Ratio235} {
+		for depth := 1; depth <= 5; depth++ {
+			g := systems.TwoSidedFilterbank(depth, ratio)
+			nonShared, shared := best(g)
+			fmt.Printf("%-12s %6d | %10d %10d %6.1f%%\n",
+				g.Name, g.NumActors(), nonShared, shared,
+				100*float64(nonShared-shared)/float64(nonShared))
+		}
+	}
+
+	fmt.Println("\none-sided filterbank (Fig. 22):")
+	g := systems.OneSidedFilterbank(4, systems.Ratio23)
+	nonShared, shared := best(g)
+	fmt.Printf("%-12s %6d | non-shared %d, shared %d\n",
+		g.Name, g.NumActors(), nonShared, shared)
+}
+
+// best runs both ordering heuristics and returns the better non-shared
+// bufmem and the better verified shared allocation.
+func best(g *sdf.Graph) (nonShared, shared int64) {
+	nonShared, shared = -1, -1
+	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+		ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
+		if err != nil {
+			log.Fatalf("%s: %v", g.Name, err)
+		}
+		sh, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops, Verify: true})
+		if err != nil {
+			log.Fatalf("%s: %v", g.Name, err)
+		}
+		if nonShared < 0 || ns.Metrics.NonSharedBufMem < nonShared {
+			nonShared = ns.Metrics.NonSharedBufMem
+		}
+		if shared < 0 || sh.Metrics.SharedTotal < shared {
+			shared = sh.Metrics.SharedTotal
+		}
+	}
+	return nonShared, shared
+}

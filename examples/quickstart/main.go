@@ -1,0 +1,62 @@
+// Quickstart: build a small multirate SDF graph by hand, compile it with the
+// shared-memory synthesis flow, and inspect every intermediate artifact —
+// repetitions vector, lexical order, nested schedule, buffer lifetimes and
+// the final packed memory layout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lifetime"
+	"repro/internal/sdf"
+)
+
+func main() {
+	// A three-stage sample-rate converter: A produces 2 tokens per firing,
+	// B converts 1-in to 1-out... rates chosen to give q = (3A, 6B, 2C).
+	g := sdf.New("quickstart")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 0) // A -> B: produce 2, consume 1
+	g.AddEdge(b, c, 1, 3, 0) // B -> C: produce 1, consume 3
+
+	res, err := core.Compile(g, core.Options{
+		Strategy: core.RPMC,       // lexical order by recursive min-cut
+		Looping:  core.SDPPOLoops, // shared-model loop nesting
+		Verify:   true,            // token-level simulation of the result
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("repetitions vector:")
+	for _, actor := range g.Actors() {
+		fmt.Printf("  q(%s) = %d\n", actor.Name, res.Repetitions[actor.ID])
+	}
+
+	fmt.Printf("\nnested single appearance schedule: %s\n", res.Schedule)
+	fmt.Printf("schedule period: %d abstract time steps\n\n", res.Tree.TotalDur)
+
+	fmt.Println("buffer lifetimes (coarse-grained model):")
+	for _, iv := range res.Intervals {
+		fmt.Printf("  %-8s size=%d live [%d,%d) periods=%v\n",
+			iv.Name, iv.Size, iv.Start, iv.Start+iv.Dur, iv.Periods)
+	}
+
+	fmt.Println("\nlifetime chart (one column per schedule step):")
+	fmt.Print(lifetime.Chart(res.Intervals, res.Tree.TotalDur, 72))
+
+	fmt.Println("\nshared memory layout (first fit by duration):")
+	for _, p := range res.Best.Placements {
+		fmt.Printf("  cells [%3d,%3d) <- %s\n",
+			p.Offset, p.Offset+p.Interval.Size, p.Interval.Name)
+	}
+
+	fmt.Printf("\ntotal shared memory : %d cells\n", res.Metrics.SharedTotal)
+	fmt.Printf("non-shared (EQ 1)   : %d cells\n", res.Metrics.NonSharedBufMem)
+	fmt.Printf("BMLB lower bound    : %d cells\n", res.Metrics.BMLB)
+	fmt.Printf("verified by token-level simulation: yes\n")
+}

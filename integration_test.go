@@ -1,0 +1,113 @@
+package repro
+
+// Repository-wide integration tests: every benchmark system must compile
+// through the complete pipeline with token-level verification under every
+// ordering strategy, and the extension paths (merging, cyclic graphs,
+// runtime execution, code generation) must compose.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/regularity"
+	"repro/internal/runtime"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+func allSystems() []*sdf.Graph {
+	gs := systems.Table1Systems()
+	gs = append(gs, systems.CDDAT(), systems.Homogeneous(4, 6),
+		systems.EchoCanceller(), regularity.FIR(6))
+	return gs
+}
+
+func TestEverySystemCompilesVerified(t *testing.T) {
+	for _, g := range allSystems() {
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			res, err := core.CompileGeneral(g, core.Options{
+				Strategy: strat,
+				Verify:   true,
+			})
+			if err != nil {
+				t.Errorf("%s/%v: %v", g.Name, strat, err)
+				continue
+			}
+			if res.Metrics.SharedTotal <= 0 {
+				t.Errorf("%s/%v: empty allocation", g.Name, strat)
+			}
+			if res.Metrics.SharedTotal > res.Metrics.NonSharedBufMem {
+				t.Errorf("%s/%v: shared %d above non-shared %d",
+					g.Name, strat, res.Metrics.SharedTotal, res.Metrics.NonSharedBufMem)
+			}
+		}
+	}
+}
+
+func TestEverySystemGeneratesCode(t *testing.T) {
+	for _, g := range allSystems() {
+		res, err := core.CompileGeneral(g, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		c := codegen.GenerateC(res)
+		if !strings.Contains(c, "int main(void)") ||
+			strings.Count(c, "{") != strings.Count(c, "}") {
+			t.Errorf("%s: malformed C", g.Name)
+		}
+		v := codegen.GenerateVHDL(res)
+		if !strings.Contains(v, "end architecture behavioral;") {
+			t.Errorf("%s: malformed VHDL", g.Name)
+		}
+	}
+}
+
+func TestEverySystemExecutesInRuntime(t *testing.T) {
+	for _, g := range allSystems() {
+		res, err := core.CompileGeneral(g, core.Options{Verify: true})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		eng, err := runtime.New(res, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		for p := 0; p < 2; p++ {
+			if err := eng.RunPeriod(); err != nil {
+				t.Fatalf("%s period %d: %v", g.Name, p, err)
+				break
+			}
+		}
+	}
+}
+
+func TestMergingNeverRegressesAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation-aware merging over the full suite is slow")
+	}
+	for _, g := range allSystems() {
+		res, err := core.CompileGeneral(g, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		_ = res
+		// Merging is only defined on the acyclic (SAS) path.
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsAcyclic(q) {
+			continue
+		}
+		m, err := core.Compile(g, core.Options{Merging: true})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if m.Metrics.MergedTotal > m.Metrics.SharedTotal {
+			t.Errorf("%s: merging regressed %d -> %d",
+				g.Name, m.Metrics.SharedTotal, m.Metrics.MergedTotal)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package alloc implements dynamic storage allocation (DSA) of buffer
+// lifetimes into a single shared memory space (Sec. 9): the first-fit
+// heuristic of Fig. 19 over an enumerated instance, with the two enumeration
+// orders evaluated in the paper (by decreasing duration, "ffdur", and by
+// start time, "ffstart"), plus a best-fit variant used for ablation.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lifetime"
+)
+
+// Strategy selects the placement policy and enumeration order.
+type Strategy int
+
+const (
+	// FirstFitDuration enumerates intervals by decreasing lifetime span and
+	// places each at the lowest feasible address. The paper's best performer.
+	FirstFitDuration Strategy = iota
+	// FirstFitStart enumerates intervals by increasing start time.
+	FirstFitStart
+	// BestFitDuration places each interval (duration order) into the
+	// feasible gap wasting the least space; ablation only.
+	BestFitDuration
+)
+
+// String returns the paper's abbreviation for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case FirstFitDuration:
+		return "ffdur"
+	case FirstFitStart:
+		return "ffstart"
+	case BestFitDuration:
+		return "bfdur"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Placement is the allocation of one interval.
+type Placement struct {
+	Interval *lifetime.Interval
+	Offset   int64
+}
+
+// Allocation is the result of storage allocation: a placement per interval
+// and the total memory required.
+type Allocation struct {
+	Placements []Placement
+	Total      int64
+}
+
+// OffsetOf returns the assigned offset of the given interval.
+func (a *Allocation) OffsetOf(iv *lifetime.Interval) (int64, bool) {
+	for _, p := range a.Placements {
+		if p.Interval == iv {
+			return p.Offset, true
+		}
+	}
+	return 0, false
+}
+
+// memRange is a half-open occupied address range [Lo, Hi).
+type memRange struct{ lo, hi int64 }
+
+// Allocate packs the intervals into shared memory with the given strategy.
+// The input slice is not modified.
+func Allocate(intervals []*lifetime.Interval, strat Strategy) *Allocation {
+	order := append([]*lifetime.Interval(nil), intervals...)
+	switch strat {
+	case FirstFitStart:
+		lifetime.SortByStart(order)
+	case FirstFitDuration, BestFitDuration:
+		lifetime.SortByDuration(order)
+	}
+	w := lifetime.BuildWIG(order)
+	offsets := make([]int64, len(order))
+	placed := make([]bool, len(order))
+	var total int64
+	for i, iv := range order {
+		var busy []memRange
+		for _, j := range w.Adj[i] {
+			if placed[j] {
+				busy = append(busy, memRange{offsets[j], offsets[j] + order[j].Size})
+			}
+		}
+		sort.Slice(busy, func(x, y int) bool { return busy[x].lo < busy[y].lo })
+		var off int64
+		if strat == BestFitDuration {
+			off = bestFit(busy, iv.Size)
+		} else {
+			off = firstFit(busy, iv.Size)
+		}
+		offsets[i] = off
+		placed[i] = true
+		if off+iv.Size > total {
+			total = off + iv.Size
+		}
+	}
+	res := &Allocation{Total: total, Placements: make([]Placement, len(order))}
+	for i, iv := range order {
+		res.Placements[i] = Placement{Interval: iv, Offset: offsets[i]}
+	}
+	return res
+}
+
+// firstFit returns the lowest address where size cells fit between the
+// sorted busy ranges.
+func firstFit(busy []memRange, size int64) int64 {
+	var off int64
+	for _, r := range busy {
+		if off+size <= r.lo {
+			break
+		}
+		if r.hi > off {
+			off = r.hi
+		}
+	}
+	return off
+}
+
+// bestFit returns the offset of the smallest gap between busy ranges that
+// fits size, falling back to the end of the occupied space.
+func bestFit(busy []memRange, size int64) int64 {
+	var merged []memRange
+	for _, r := range busy {
+		if n := len(merged); n > 0 && r.lo <= merged[n-1].hi {
+			if r.hi > merged[n-1].hi {
+				merged[n-1].hi = r.hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	bestOff := int64(-1)
+	var bestWaste int64
+	var cur int64
+	for _, r := range merged {
+		if gap := r.lo - cur; gap >= size {
+			if waste := gap - size; bestOff < 0 || waste < bestWaste {
+				bestOff, bestWaste = cur, waste
+			}
+		}
+		if r.hi > cur {
+			cur = r.hi
+		}
+	}
+	if bestOff >= 0 {
+		return bestOff
+	}
+	return cur
+}
+
+// Verify checks that no two time-intersecting intervals overlap in memory.
+// It returns nil for a feasible allocation.
+func (a *Allocation) Verify() error {
+	for i := 0; i < len(a.Placements); i++ {
+		for j := i + 1; j < len(a.Placements); j++ {
+			pi, pj := a.Placements[i], a.Placements[j]
+			if !lifetime.Intersects(pi.Interval, pj.Interval) {
+				continue
+			}
+			if pi.Offset < pj.Offset+pj.Interval.Size && pj.Offset < pi.Offset+pi.Interval.Size {
+				return fmt.Errorf("alloc: %s @%d and %s @%d overlap in time and memory",
+					pi.Interval.Name, pi.Offset, pj.Interval.Name, pj.Offset)
+			}
+		}
+	}
+	for _, p := range a.Placements {
+		if p.Offset < 0 || p.Offset+p.Interval.Size > a.Total {
+			return fmt.Errorf("alloc: %s @%d exceeds total %d", p.Interval.Name, p.Offset, a.Total)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package apgan implements APGAN — acyclic pairwise grouping of adjacent
+// nodes (Bhattacharyya, Murthy, Lee [3]; Sec. 7 of the paper): a bottom-up
+// clustering heuristic that repeatedly merges the adjacent cluster pair with
+// the largest gcd of repetition counts, subject to not introducing a cycle in
+// the clustered graph. The resulting binary cluster hierarchy yields both a
+// lexical ordering (for DPPO/SDPPO post-optimization) and a nested single
+// appearance schedule.
+package apgan
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// Hierarchy is a node of the binary cluster hierarchy. Leaves are actors;
+// internal nodes are ordered pairs (Left before Right in the schedule).
+type Hierarchy struct {
+	Actor       sdf.ActorID // leaves only
+	Left, Right *Hierarchy
+	// Rep is the repetition count of the cluster: q(a) for leaves, the gcd
+	// of the children's reps for pairs.
+	Rep int64
+}
+
+// IsLeaf reports whether h is a single actor.
+func (h *Hierarchy) IsLeaf() bool { return h.Left == nil }
+
+// Result carries everything APGAN produces.
+type Result struct {
+	// Order is the lexical ordering induced by the hierarchy (in-order
+	// traversal), a topological sort of the precedence graph.
+	Order []sdf.ActorID
+	// Schedule is the nested single appearance schedule implied by the
+	// cluster hierarchy, with fully factored loop counts.
+	Schedule *sched.Schedule
+	// Root of the cluster hierarchy (nil only for empty graphs).
+	Root *Hierarchy
+}
+
+// ErrNotClusterable reports that clustering got stuck, which only happens on
+// graphs whose precedence relation is cyclic.
+var ErrNotClusterable = errors.New("apgan: graph not clusterable (cyclic precedence?)")
+
+// Run executes APGAN over the whole graph. Disconnected components are
+// clustered pairwise at rep gcd like everything else (the candidate scan
+// falls back to non-adjacent merges only between components, which cannot
+// create cycles).
+func Run(g *sdf.Graph, q sdf.Repetitions) (*Result, error) {
+	n := g.NumActors()
+	if n == 0 {
+		return &Result{Schedule: &sched.Schedule{Graph: g}}, nil
+	}
+	// clusterOf[a] = current cluster index of actor a; clusters[i] == nil
+	// once merged away.
+	clusterOf := make([]int, n)
+	clusters := make([]*Hierarchy, n)
+	for a := 0; a < n; a++ {
+		clusterOf[a] = a
+		clusters[a] = &Hierarchy{Actor: sdf.ActorID(a), Rep: q[a]}
+	}
+	alive := n
+
+	for alive > 1 {
+		pair, ok := pickPair(g, q, clusterOf, clusters)
+		if !ok {
+			return nil, ErrNotClusterable
+		}
+		l, r := clusters[pair.src], clusters[pair.dst]
+		merged := &Hierarchy{Left: l, Right: r, Rep: gcd64(l.Rep, r.Rep)}
+		clusters[pair.src] = merged
+		clusters[pair.dst] = nil
+		for a := range clusterOf {
+			if clusterOf[a] == pair.dst {
+				clusterOf[a] = pair.src
+			}
+		}
+		alive--
+	}
+	var root *Hierarchy
+	for _, c := range clusters {
+		if c != nil {
+			root = c
+			break
+		}
+	}
+	res := &Result{Root: root}
+	res.Order = appendOrder(nil, root)
+	res.Schedule = &sched.Schedule{Graph: g, Body: []*sched.Node{buildNode(root, q, 1)}}
+	return res, nil
+}
+
+type candidate struct {
+	src, dst int // cluster indices; src scheduled before dst
+	gcd      int64
+	tnse     int64
+	hasPrec  bool // some precedence edge runs src->dst
+}
+
+// pickPair selects the best legal merge: maximum gcd of reps, ties broken by
+// total tokens exchanged (descending) then cluster ids. Adjacent pairs are
+// preferred; if none is legal, a pair of clusters from different weakly
+// connected components (if any) is merged; failing that, the guaranteed-legal
+// edge whose sink is the earliest actor with any incoming precedence edge.
+func pickPair(g *sdf.Graph, q sdf.Repetitions, clusterOf []int, clusters []*Hierarchy) (candidate, bool) {
+	// Gather adjacent cluster pairs with aggregate stats.
+	type key struct{ a, b int }
+	agg := make(map[key]*candidate)
+	for _, e := range g.Edges() {
+		cs, cd := clusterOf[e.Src], clusterOf[e.Dst]
+		if cs == cd {
+			continue
+		}
+		prec := sdf.PrecedenceEdge(g, q, e.ID)
+		// One candidate per unordered pair; orientation follows precedence
+		// edges (delay-saturated edges may run backwards without forcing an
+		// order).
+		k := key{cs, cd}
+		if cd < cs {
+			k = key{cd, cs}
+		}
+		c := agg[k]
+		if c == nil {
+			c = &candidate{src: cs, dst: cd, gcd: gcd64(clusters[cs].Rep, clusters[cd].Rep)}
+			agg[k] = c
+		}
+		if prec {
+			if !c.hasPrec {
+				c.src, c.dst = cs, cd
+				c.hasPrec = true
+			}
+		}
+		c.tnse += sdf.TNSE(g, q, e.ID)
+	}
+	cands := make([]*candidate, 0, len(agg))
+	for _, c := range agg {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.gcd != b.gcd {
+			return a.gcd > b.gcd
+		}
+		if a.tnse != b.tnse {
+			return a.tnse > b.tnse
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.dst < b.dst
+	})
+	adj := clusterAdjacency(g, q, clusterOf)
+	for _, c := range cands {
+		if !introducesCycle(adj, c.src, c.dst) {
+			return *c, true
+		}
+	}
+	// No adjacent pair is legal. Merge across components if possible
+	// (cannot create a cycle).
+	comp := components(adj, clusterOf, clusters)
+	if len(comp) > 1 {
+		return candidate{src: comp[0], dst: comp[1]}, true
+	}
+	return candidate{}, false
+}
+
+// clusterAdjacency builds the precedence digraph between live clusters.
+func clusterAdjacency(g *sdf.Graph, q sdf.Repetitions, clusterOf []int) map[int]map[int]bool {
+	adj := make(map[int]map[int]bool)
+	for _, e := range g.Edges() {
+		if !sdf.PrecedenceEdge(g, q, e.ID) {
+			continue
+		}
+		cs, cd := clusterOf[e.Src], clusterOf[e.Dst]
+		if cs == cd {
+			continue
+		}
+		if adj[cs] == nil {
+			adj[cs] = make(map[int]bool)
+		}
+		adj[cs][cd] = true
+	}
+	return adj
+}
+
+// introducesCycle reports whether merging clusters a and b creates a cycle:
+// i.e. whether some path of length >= 2 connects them in either direction.
+func introducesCycle(adj map[int]map[int]bool, a, b int) bool {
+	return pathAvoidingDirect(adj, a, b) || pathAvoidingDirect(adj, b, a)
+}
+
+// pathAvoidingDirect reports whether dst is reachable from src without using
+// the direct src->dst edge.
+func pathAvoidingDirect(adj map[int]map[int]bool, src, dst int) bool {
+	seen := map[int]bool{src: true}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range adj[u] {
+			if u == src && v == dst {
+				continue // skip the direct edge (src is visited exactly once)
+			}
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// components returns one representative live cluster per weakly connected
+// component, in ascending id order.
+func components(adj map[int]map[int]bool, clusterOf []int, clusters []*Hierarchy) []int {
+	und := make(map[int][]int)
+	for u, m := range adj {
+		for v := range m {
+			und[u] = append(und[u], v)
+			und[v] = append(und[v], u)
+		}
+	}
+	seen := make(map[int]bool)
+	var reps []int
+	for id, c := range clusters {
+		if c == nil || seen[id] {
+			continue
+		}
+		reps = append(reps, id)
+		stack := []int{id}
+		seen[id] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range und[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	_ = clusterOf
+	return reps
+}
+
+func appendOrder(out []sdf.ActorID, h *Hierarchy) []sdf.ActorID {
+	if h == nil {
+		return out
+	}
+	if h.IsLeaf() {
+		return append(out, h.Actor)
+	}
+	out = appendOrder(out, h.Left)
+	return appendOrder(out, h.Right)
+}
+
+// buildNode turns the hierarchy into a nested schedule: a cluster with rep r
+// inside a context already iterating outer times becomes a loop of r/outer.
+func buildNode(h *Hierarchy, q sdf.Repetitions, outer int64) *sched.Node {
+	if h.IsLeaf() {
+		return sched.Leaf(q[h.Actor]/outer, h.Actor)
+	}
+	f := h.Rep / outer
+	return sched.Loop(f, buildNode(h.Left, q, h.Rep), buildNode(h.Right, q, h.Rep))
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

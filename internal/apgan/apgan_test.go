@@ -1,0 +1,283 @@
+package apgan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+func chainGraph(t testing.TB, rates [][2]int64) (*sdf.Graph, sdf.Repetitions) {
+	t.Helper()
+	g := sdf.New("chain")
+	n := len(rates) + 1
+	ids := make([]sdf.ActorID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddActor(string(rune('A' + i)))
+	}
+	for i, r := range rates {
+		g.AddEdge(ids[i], ids[i+1], r[0], r[1], 0)
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, q
+}
+
+func TestRunChainValidSchedule(t *testing.T) {
+	g, q := chainGraph(t, [][2]int64{{2, 1}, {1, 3}})
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(q); err != nil {
+		t.Fatalf("schedule %s invalid: %v", res.Schedule, err)
+	}
+	if !res.Schedule.IsSingleAppearance() {
+		t.Error("APGAN schedule is not SAS")
+	}
+	if len(res.Order) != 3 {
+		t.Fatalf("order = %v", res.Order)
+	}
+	// Order must be a topological sort.
+	order, err := g.TopologicalSort(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if res.Order[i] != order[i] {
+			t.Errorf("order = %v, want topological %v", res.Order, order)
+			break
+		}
+	}
+}
+
+// TestMaxGCDFirst verifies the clustering priority: adjacent pair with
+// highest repetition gcd is merged first, nesting it innermost.
+func TestMaxGCDFirst(t *testing.T) {
+	// A -(1,2)-> B -(6,1)-> C: q = (2, 1, 6). gcd(A,B) = 1, gcd(B,C) = 1...
+	// Use q designed so one pair has clearly larger gcd:
+	// A -(4,1)-> B -(1,2)-> C gives q = (1, 4, 2): gcd(A,B) = 1, gcd(B,C)=2.
+	g := sdf.New("gcd")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 4, 1, 0)
+	g.AddEdge(b, c, 1, 2, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[a] != 1 || q[b] != 4 || q[c] != 2 {
+		t.Fatalf("q = %v", q)
+	}
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (B,C) with gcd 2 merges first, so the root pairs A with (BC).
+	if res.Root.IsLeaf() || !res.Root.Left.IsLeaf() || res.Root.Left.Actor != a {
+		t.Errorf("hierarchy root should be (A, (B C)); schedule %s", res.Schedule)
+	}
+	inner := res.Root.Right
+	if inner.IsLeaf() || inner.Left.Actor != b || inner.Right.Actor != c {
+		t.Errorf("inner cluster should be (B C); schedule %s", res.Schedule)
+	}
+	if inner.Rep != 2 {
+		t.Errorf("inner rep = %d, want 2", inner.Rep)
+	}
+	// Schedule: A (2 (2B) C).
+	if got := res.Schedule.String(); got != "(A(2(2B)C))" {
+		t.Errorf("schedule = %q, want (A(2(2B)C))", got)
+	}
+}
+
+// TestCycleAvoidance: clustering B with C first would put a path through D
+// into a cycle; APGAN must detect and avoid it.
+func TestCycleAvoidance(t *testing.T) {
+	// Diamond: A -> B -> D, A -> C -> D, all rates chosen so B,D have a big
+	// gcd but B-D clustering via edge B->D is tested against path B->?->D.
+	// Use: A->B(1,1), B->D(1,1), A->C(1,1), C->D(1,1): q all 1. Any merge is
+	// gcd 1; ensure result is still a valid SAS (cycle checks must fire for
+	// some candidate orders).
+	g := sdf.New("diamond")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, d, 1, 1, 0)
+	g.AddEdge(a, c, 1, 1, 0)
+	g.AddEdge(c, d, 1, 1, 0)
+	q, _ := g.Repetitions()
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(q); err != nil {
+		t.Fatalf("schedule %s invalid: %v", res.Schedule, err)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := sdf.New("two")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 2, 3, 0)
+	g.AddEdge(c, d, 1, 1, 0)
+	q, _ := g.Repetitions()
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(q); err != nil {
+		t.Fatalf("schedule %s invalid: %v", res.Schedule, err)
+	}
+	if len(res.Order) != 4 {
+		t.Errorf("order = %v", res.Order)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	g := sdf.New("empty")
+	q := sdf.Repetitions{}
+	if _, err := Run(g, q); err != nil {
+		t.Errorf("empty graph: %v", err)
+	}
+	g2 := sdf.New("one")
+	g2.AddActor("A")
+	q2, _ := g2.Repetitions()
+	res, err := Run(g2, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.String() != "A" {
+		t.Errorf("schedule = %q", res.Schedule)
+	}
+}
+
+func TestRandomGraphsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g, q := randomDAG(t, rng, 8)
+		res, err := Run(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Schedule.Validate(q); err != nil {
+			t.Fatalf("trial %d: schedule %s invalid: %v", trial, res.Schedule, err)
+		}
+		flat := sched.FlatSAS(g, q, res.Order)
+		if err := flat.Validate(q); err != nil {
+			t.Fatalf("trial %d: lexical order %v not a valid topological order: %v",
+				trial, res.Order, err)
+		}
+	}
+}
+
+// randomDAG builds a consistent random acyclic graph by choosing a target
+// repetitions vector first.
+func randomDAG(t testing.TB, rng *rand.Rand, n int) (*sdf.Graph, sdf.Repetitions) {
+	t.Helper()
+	g := sdf.New("rand")
+	reps := make([]int64, n)
+	for i := 0; i < n; i++ {
+		g.AddActor(string(rune('A' + i)))
+		reps[i] = []int64{1, 2, 3, 4, 6, 8}[rng.Intn(6)]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				gg := gcd64(reps[i], reps[j])
+				g.AddEdge(sdf.ActorID(i), sdf.ActorID(j), reps[j]/gg, reps[i]/gg, 0)
+			}
+		}
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("random graph inconsistent: %v", err)
+	}
+	return g, q
+}
+
+func TestDelayEdgeReversedDoesNotBreakOrder(t *testing.T) {
+	// B -> A carries enough delay to be non-precedence; A -> B is the real
+	// direction. APGAN must schedule A before B.
+	g := sdf.New("back")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 1) // del = TNSE = 1: not a precedence edge
+	q, _ := g.Repetitions()
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order[0] != a || res.Order[1] != b {
+		t.Errorf("order = %v, want [A B]", res.Order)
+	}
+	if err := res.Schedule.Validate(q); err != nil {
+		t.Errorf("schedule %s invalid: %v", res.Schedule, err)
+	}
+}
+
+// TestSatrecScheduleStructure checks that APGAN on the satellite receiver
+// produces the loop structure the paper quotes in Sec. 11.1.3:
+// (24(11(4A)B)CGHI(11(4D)E)FKLM 10(NSJTUP))(QRV 240W) — in particular the
+// nested (11(4A)B) and (11(4D)E) front-end loops, the 10(...) matched
+// filter loop and the (240W) back end.
+func TestSatrecScheduleStructure(t *testing.T) {
+	g := systems.SatelliteReceiver()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(q); err != nil {
+		t.Fatalf("schedule %s invalid: %v", res.Schedule, err)
+	}
+	text := res.Schedule.String()
+	for _, want := range []string{"(11(4A)B)", "(11(4D)E)", "(240W)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("APGAN schedule %q missing the paper's %q structure", text, want)
+		}
+	}
+	if !strings.Contains(text, "(24") {
+		t.Errorf("APGAN schedule %q missing the 24x front-end loop", text)
+	}
+}
+
+// TestAPGANOptimalOnUniformFilterbanks tests the provable-optimality claim
+// quoted in Sec. 7: "for a broad subclass of SDF systems, APGAN has been
+// shown to construct SAS that provably minimize the non-shared buffer memory
+// metric over all SAS". The 1/2-1/2 filterbanks fall in that subclass; the
+// APGAN schedule post-optimized with DPPO must hit the BMLB exactly.
+func TestAPGANOptimalOnUniformFilterbanks(t *testing.T) {
+	for depth := 1; depth <= 4; depth++ {
+		g := systems.TwoSidedFilterbank(depth, systems.Ratio12)
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := res.Schedule.BufMem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bm != g.BMLB() {
+			t.Errorf("qmf12_%dd: APGAN bufmem %d != BMLB %d", depth, bm, g.BMLB())
+		}
+	}
+}

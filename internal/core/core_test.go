@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+func compileOK(t *testing.T, g *sdf.Graph, opts Options) *Result {
+	t.Helper()
+	opts.Verify = true
+	res, err := Compile(g, opts)
+	if err != nil {
+		t.Fatalf("Compile(%s, %v/%v): %v", g.Name, opts.Strategy, opts.Looping, err)
+	}
+	return res
+}
+
+func TestCompileChainDefaults(t *testing.T) {
+	g := sdf.New("chain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 0)
+	g.AddEdge(b, c, 1, 3, 0)
+	res := compileOK(t, g, Options{})
+	if res.Best == nil || res.Best.Total <= 0 {
+		t.Fatal("no allocation produced")
+	}
+	// Shared can never beat the optimistic clique bound and never exceed the
+	// non-shared cost of the same schedule.
+	if res.Best.Total < res.Metrics.MCO {
+		t.Errorf("shared %d below mco %d", res.Best.Total, res.Metrics.MCO)
+	}
+	if res.Best.Total > res.Metrics.NonSharedBufMem {
+		t.Errorf("shared %d exceeds non-shared %d", res.Best.Total, res.Metrics.NonSharedBufMem)
+	}
+	if res.Metrics.MCO > res.Metrics.MCP {
+		t.Errorf("mco %d > mcp %d", res.Metrics.MCO, res.Metrics.MCP)
+	}
+}
+
+func TestCompileAllStrategyLoopingCombos(t *testing.T) {
+	graphs := []*sdf.Graph{
+		systems.CDDAT(),
+		systems.SatelliteReceiver(),
+		systems.TwoSidedFilterbank(2, systems.Ratio23),
+		systems.OneSidedFilterbank(2, systems.Ratio12),
+		systems.Homogeneous(3, 3),
+		systems.Modem16QAM(),
+	}
+	for _, g := range graphs {
+		for _, strat := range []OrderStrategy{APGAN, RPMC} {
+			for _, la := range []LoopAlg{SDPPOLoops, DPPOLoops, ChainPreciseLoops, FlatLoops} {
+				res := compileOK(t, g, Options{Strategy: strat, Looping: la})
+				if !res.Schedule.IsSingleAppearance() {
+					t.Errorf("%s/%v/%v: not a SAS: %s", g.Name, strat, la, res.Schedule)
+				}
+				if res.Best.Total < res.Metrics.MCO {
+					t.Errorf("%s/%v/%v: alloc %d < mco %d",
+						g.Name, strat, la, res.Best.Total, res.Metrics.MCO)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileCustomOrder(t *testing.T) {
+	g := systems.CDDAT()
+	q, _ := g.Repetitions()
+	order, _ := g.TopologicalSort(q)
+	res := compileOK(t, g, Options{Strategy: CustomOrder, Order: order})
+	if len(res.Order) != g.NumActors() {
+		t.Error("order lost actors")
+	}
+	// Wrong-length custom order errors.
+	if _, err := Compile(g, Options{Strategy: CustomOrder, Order: order[:2]}); err == nil {
+		t.Error("short custom order accepted")
+	}
+}
+
+func TestCompileInconsistentGraph(t *testing.T) {
+	g := sdf.New("bad")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(a, c, 1, 1, 0)
+	g.AddEdge(b, c, 2, 1, 0)
+	if _, err := Compile(g, Options{}); err == nil {
+		t.Error("inconsistent graph compiled")
+	}
+}
+
+func TestHomogeneousSharingHeadline(t *testing.T) {
+	// Fig. 26 claim: shared allocation is M+1 for any M, N while non-shared
+	// needs M(N-1)+2M.
+	for _, mn := range [][2]int{{2, 3}, {4, 4}, {3, 6}} {
+		m, n := mn[0], mn[1]
+		g := systems.Homogeneous(m, n)
+		best := int64(-1)
+		for _, strat := range []OrderStrategy{APGAN, RPMC} {
+			res := compileOK(t, g, Options{Strategy: strat})
+			if best < 0 || res.Best.Total < best {
+				best = res.Best.Total
+			}
+		}
+		if want := int64(m + 1); best > want {
+			t.Errorf("Homogeneous(%d,%d): best shared = %d, want <= %d", m, n, best, want)
+		}
+		nonShared := int64(m*(n-1) + 2*m)
+		if best >= nonShared {
+			t.Errorf("Homogeneous(%d,%d): shared %d not better than non-shared %d",
+				m, n, best, nonShared)
+		}
+	}
+}
+
+func TestSatrecHeadline(t *testing.T) {
+	// The paper reports non-shared 1542 and shared 991 for satrec. Our
+	// reconstruction differs in absolute terms, but the shared allocation
+	// must be well below the non-shared bufmem (paper: ~36% less).
+	g := systems.SatelliteReceiver()
+	bestShared, bestNonShared := int64(-1), int64(-1)
+	for _, strat := range []OrderStrategy{APGAN, RPMC} {
+		shared := compileOK(t, g, Options{Strategy: strat, Looping: SDPPOLoops})
+		nonshared := compileOK(t, g, Options{Strategy: strat, Looping: DPPOLoops})
+		if bestShared < 0 || shared.Best.Total < bestShared {
+			bestShared = shared.Best.Total
+		}
+		if bestNonShared < 0 || nonshared.Metrics.NonSharedBufMem < bestNonShared {
+			bestNonShared = nonshared.Metrics.NonSharedBufMem
+		}
+	}
+	if bestShared >= bestNonShared {
+		t.Errorf("satrec: shared %d >= non-shared %d", bestShared, bestNonShared)
+	}
+	t.Logf("satrec: shared %d vs non-shared %d (paper: 991 vs 1542)", bestShared, bestNonShared)
+}
+
+func TestCompileRandomGraphsVerified(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 5 + rng.Intn(15)})
+		for _, strat := range []OrderStrategy{APGAN, RPMC} {
+			res := compileOK(t, g, Options{Strategy: strat, VerifyPeriods: 3})
+			for s, a := range res.Allocations {
+				if err := a.Verify(); err != nil {
+					t.Errorf("trial %d %v/%v: %v", trial, strat, s, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileWithAllAllocators(t *testing.T) {
+	g := systems.CDDAT()
+	res := compileOK(t, g, Options{
+		Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart, alloc.BestFitDuration},
+	})
+	if len(res.Allocations) != 3 {
+		t.Errorf("got %d allocations", len(res.Allocations))
+	}
+	for name, total := range res.Metrics.AllocTotals {
+		if total < res.Metrics.SharedTotal {
+			t.Errorf("allocator %s total %d below best %d", name, total, res.Metrics.SharedTotal)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if APGAN.String() != "APGAN" || RPMC.String() != "RPMC" || CustomOrder.String() != "custom" {
+		t.Error("OrderStrategy names")
+	}
+	if SDPPOLoops.String() != "sdppo" || DPPOLoops.String() != "dppo" ||
+		ChainPreciseLoops.String() != "chain-sdppo" || FlatLoops.String() != "flat" {
+		t.Error("LoopAlg names")
+	}
+}
+
+func TestCompileWithMerging(t *testing.T) {
+	g := systems.OverAddFFT()
+	res, err := Compile(g, Options{Merging: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MergedTotal > res.Metrics.SharedTotal {
+		t.Errorf("merging regressed: %d > %d", res.Metrics.MergedTotal, res.Metrics.SharedTotal)
+	}
+	if res.Metrics.Merges == 0 || res.Metrics.MergedTotal >= res.Metrics.SharedTotal {
+		t.Errorf("expected a profitable merge on the overlap-add FFT: merged %d, base %d, merges %d",
+			res.Metrics.MergedTotal, res.Metrics.SharedTotal, res.Metrics.Merges)
+	}
+	// Without the option, MergedTotal mirrors SharedTotal.
+	plain, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics.MergedTotal != plain.Metrics.SharedTotal || plain.Metrics.Merges != 0 {
+		t.Error("merging metrics set without the option")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// TestVectorTokensScaleSharing exercises the paper's remark that sharing
+// savings grow when vectors or matrices are exchanged instead of scalars:
+// scaling every edge of the homogeneous Fig. 26 graph to W-word tokens must
+// give exactly (M+1)*W shared cells versus (M(N-1)+2M)*W separate cells, and
+// the token-level simulator must still verify the packed image.
+func TestVectorTokensScaleSharing(t *testing.T) {
+	const m, n, w = 3, 4, 16
+	g := systems.Homogeneous(m, n)
+	for _, e := range g.Edges() {
+		g.SetWords(e.ID, w)
+	}
+	best := int64(-1)
+	for _, strat := range []OrderStrategy{RPMC, APGAN} {
+		res, err := Compile(g, Options{Strategy: strat, Verify: true, VerifyPeriods: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || res.Metrics.SharedTotal < best {
+			best = res.Metrics.SharedTotal
+		}
+		if res.Metrics.NonSharedBufMem != int64((m*(n-1)+2*m)*w) {
+			t.Errorf("non-shared = %d, want %d", res.Metrics.NonSharedBufMem, (m*(n-1)+2*m)*w)
+		}
+	}
+	if want := int64((m + 1) * w); best > want {
+		t.Errorf("vector shared = %d, want <= (M+1)*W = %d", best, want)
+	}
+}
+
+// TestVectorTokensChain: a multirate chain with a vector mid-edge; sizes and
+// bounds must scale by the per-edge word counts, verified end to end.
+func TestVectorTokensChain(t *testing.T) {
+	g := sdf.New("vec")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	e0 := g.AddEdge(a, b, 2, 1, 0)
+	e1 := g.AddEdge(b, c, 1, 3, 0)
+	g.SetWords(e0, 8) // A emits 8-word frames
+	res, err := Compile(g, Options{Verify: true, VerifyPeriods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals[e0].Size%8 != 0 {
+		t.Errorf("vector edge interval size %d not a multiple of 8", res.Intervals[e0].Size)
+	}
+	if res.Intervals[e1].Size >= 8 && res.Intervals[e1].Size%8 == 0 && res.Intervals[e1].Size > 6 {
+		t.Errorf("scalar edge unexpectedly scaled: %d", res.Intervals[e1].Size)
+	}
+	// BMLB scales: edge0 eta = 2 tokens * 8 words = 16, edge1 = 3.
+	if got := g.BMLB(); got != 16+3 {
+		t.Errorf("BMLB = %d, want 19", got)
+	}
+}
+
+// TestCloneAndSubgraphPreserveWords guards the metadata plumbing.
+func TestCloneAndSubgraphPreserveWords(t *testing.T) {
+	g := sdf.New("wv")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	e := g.AddEdge(a, b, 1, 1, 0)
+	g.SetWords(e, 4)
+	if g.Clone().Edge(e).Words != 4 {
+		t.Error("Clone dropped Words")
+	}
+	sub, _ := g.Subgraph([]sdf.ActorID{a, b})
+	if sub.Edge(0).Words != 4 {
+		t.Error("Subgraph dropped Words")
+	}
+}

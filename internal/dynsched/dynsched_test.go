@@ -1,0 +1,150 @@
+package dynsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+)
+
+func TestChainReachesAllSchedulesBound(t *testing.T) {
+	// For a chain-structured graph the greedy data-driven scheduler attains
+	// the per-edge minimum over all valid schedules: a + b - c + d mod c.
+	g := sdf.New("chain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 3, 0)
+	g.AddEdge(b, c, 3, 2, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.MinBufferAllSchedules(); res.BufMem != want {
+		t.Errorf("greedy bufmem = %d, want all-schedules minimum %d", res.BufMem, want)
+	}
+	// The bound is strictly below the BMLB (best SAS) here.
+	if res.BufMem >= g.BMLB() {
+		t.Errorf("greedy %d not below BMLB %d", res.BufMem, g.BMLB())
+	}
+}
+
+func TestScheduleIsValidPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 3 + rng.Intn(12)})
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Schedule(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Exactly q firings per actor.
+		count := make([]int64, g.NumActors())
+		for _, a := range res.Firings {
+			count[a]++
+		}
+		for a, c := range count {
+			if c != q[a] {
+				t.Fatalf("trial %d: actor %d fired %d times, want %d", trial, a, c, q[a])
+			}
+		}
+		// The run-length compressed schedule validates and has the same
+		// buffer profile.
+		s := res.AsSchedule(g)
+		if err := s.Validate(q); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bm, err := s.BufMem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bm != res.BufMem {
+			t.Errorf("trial %d: schedule bufmem %d != greedy %d", trial, bm, res.BufMem)
+		}
+	}
+}
+
+func TestGreedyNeverWorseThanAllSchedulesBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 3 + rng.Intn(10)})
+		q, _ := g.Repetitions()
+		res, err := Schedule(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BufMem < g.MinBufferAllSchedules() {
+			t.Errorf("trial %d: greedy %d below the theoretical minimum %d",
+				trial, res.BufMem, g.MinBufferAllSchedules())
+		}
+	}
+}
+
+func TestDelayOnlyCycle(t *testing.T) {
+	g := sdf.New("cyc")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 1)
+	q, _ := g.Repetitions()
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Firings) != 2 {
+		t.Errorf("firings = %v", res.Firings)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	g := sdf.New("dead")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 0) // no initial tokens: true deadlock
+	q := sdf.Repetitions{1, 1}
+	if _, err := Schedule(g, q); err == nil {
+		t.Error("deadlocked graph scheduled")
+	}
+}
+
+func TestScheduleLengthIsTotalFirings(t *testing.T) {
+	g := sdf.New("len")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 4, 0)
+	q, _ := g.Repetitions()
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Length != q.TotalFirings() {
+		t.Errorf("length %d != total firings %d", res.Length, q.TotalFirings())
+	}
+}
+
+func TestSinksPreferred(t *testing.T) {
+	// A -> B with enough delay that both are always fireable: B (the sink)
+	// must fire first whenever it can, keeping the buffer at its floor.
+	g := sdf.New("pref")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 3)
+	q := sdf.Repetitions{3, 3}
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy should never let the buffer grow beyond its initial 3.
+	if res.MaxTokens[0] != 3 {
+		t.Errorf("max tokens = %d, want 3 (sink-first policy)", res.MaxTokens[0])
+	}
+}

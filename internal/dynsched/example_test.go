@@ -1,0 +1,34 @@
+package dynsched_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dynsched"
+	"repro/internal/sdf"
+)
+
+// ExampleSchedule shows the demand-driven scheduler reaching the closed-form
+// per-edge minimum a + b - c on a rate-changing edge, below the BMLB of any
+// single appearance schedule.
+func ExampleSchedule() {
+	g := sdf.New("pair")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 2, 3, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dynsched.Schedule(g, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("greedy buffer:", res.BufMem)
+	fmt.Println("best-SAS bound (BMLB):", g.BMLB())
+	fmt.Println("schedule:", res.AsSchedule(g))
+	// Output:
+	// greedy buffer: 4
+	// best-SAS bound (BMLB): 6
+	// schedule: (2A)BAB
+}

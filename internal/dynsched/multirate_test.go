@@ -1,0 +1,83 @@
+package dynsched
+
+import (
+	"testing"
+
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// TestCDDATGreedyMatchesBound: the CD-DAT chain is chain-structured, so the
+// demand-driven scheduler must hit the all-schedules minimum exactly.
+func TestCDDATGreedyMatchesBound(t *testing.T) {
+	g := systems.CDDAT()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BufMem != g.MinBufferAllSchedules() {
+		t.Errorf("greedy %d, want bound %d", res.BufMem, g.MinBufferAllSchedules())
+	}
+	if res.Length != q.TotalFirings() {
+		t.Errorf("length %d, want %d", res.Length, q.TotalFirings())
+	}
+}
+
+// TestSatrecGreedyMatchesBound: satrec's diamond merges are handled too.
+func TestSatrecGreedyMatchesBound(t *testing.T) {
+	g := systems.SatelliteReceiver()
+	q, _ := g.Repetitions()
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BufMem != g.MinBufferAllSchedules() {
+		t.Errorf("greedy %d, want bound %d (demand-driven should be optimal here)",
+			res.BufMem, g.MinBufferAllSchedules())
+	}
+}
+
+// TestAsScheduleRunLength: alternating firings compress into maximal runs.
+func TestAsScheduleRunLength(t *testing.T) {
+	g := sdf.New("rle")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 2, 0)
+	q, _ := g.Repetitions() // q = (2, 1)
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.AsSchedule(g)
+	// Demand: B needs 2 tokens -> A A B. RLE: (2A) B = 2 blocks.
+	if len(s.Body) != 2 {
+		t.Errorf("RLE blocks = %d (%s), want 2", len(s.Body), s)
+	}
+	if s.Body[0].Count != 2 || s.Body[0].Actor != a {
+		t.Errorf("first block = %+v, want (2A)", s.Body[0])
+	}
+}
+
+// TestUpsamplerDemand: a 1->many expander must only fire when demanded.
+func TestUpsamplerDemand(t *testing.T) {
+	g := sdf.New("up")
+	src := g.AddActor("src")
+	up := g.AddActor("up")
+	snk := g.AddActor("snk")
+	g.AddEdge(src, up, 1, 1, 0)
+	g.AddEdge(up, snk, 4, 1, 0) // q = (1, 1, 4)
+	q, _ := g.Repetitions()
+	res, err := Schedule(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4 tokens appear at once (one up firing); max on up->snk is 4, the
+	// minimum possible: a + b - c = 4 + 1 - 1 = 4.
+	if res.MaxTokens[1] != 4 {
+		t.Errorf("max on expander edge = %d, want 4", res.MaxTokens[1])
+	}
+}

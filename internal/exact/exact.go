@@ -1,0 +1,129 @@
+// Package exact computes optimal single appearance schedules for small
+// graphs by exhausting the lexical-order space. The paper proves that
+// constructing buffer-optimal SASs is NP-complete under both buffer models
+// (Sec. 7), which is why APGAN and RPMC exist; this package provides the
+// exact baseline those heuristics are measured against: every topological
+// sort is enumerated (up to a cap) and the order-optimal dynamic program is
+// run on each.
+package exact
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/looping"
+	"repro/internal/schedtree"
+	"repro/internal/sdf"
+)
+
+// Result is the outcome of an exhaustive search.
+type Result struct {
+	// Best is the minimum objective over all enumerated orders.
+	Best int64
+	// Orders is the number of topological sorts evaluated.
+	Orders int
+	// Exhausted is true when every topological sort was enumerated (the
+	// optimum is exact); false when the cap stopped the search early.
+	Exhausted bool
+}
+
+// BestNonShared exhausts lexical orders and runs GDPPO on each: the exact
+// minimum of EQ 1 over all single appearance schedules (for delayless
+// graphs), up to maxOrders enumerated sorts (0 means unlimited).
+func BestNonShared(g *sdf.Graph, q sdf.Repetitions, maxOrders int) (Result, error) {
+	return search(g, q, maxOrders, func(order []sdf.ActorID) (int64, error) {
+		return looping.DPPO(g, q, order).Schedule.BufMem()
+	})
+}
+
+// BestShared exhausts lexical orders and, for each, runs SDPPO, extracts
+// lifetimes and takes the better first-fit allocation — the strongest
+// shared-memory result this framework can produce per order.
+func BestShared(g *sdf.Graph, q sdf.Repetitions, maxOrders int) (Result, error) {
+	return search(g, q, maxOrders, func(order []sdf.ActorID) (int64, error) {
+		s := looping.SDPPO(g, q, order).Schedule
+		tree, err := schedtree.FromSchedule(s)
+		if err != nil {
+			return 0, err
+		}
+		ivs, err := tree.Lifetimes(q)
+		if err != nil {
+			return 0, err
+		}
+		best := int64(-1)
+		for _, strat := range []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart} {
+			a := alloc.Allocate(ivs, strat)
+			if err := a.Verify(); err != nil {
+				return 0, err
+			}
+			if best < 0 || a.Total < best {
+				best = a.Total
+			}
+		}
+		return best, nil
+	})
+}
+
+func search(g *sdf.Graph, q sdf.Repetitions, maxOrders int,
+	objective func([]sdf.ActorID) (int64, error)) (Result, error) {
+	res := Result{Best: -1, Exhausted: true}
+
+	n := g.NumActors()
+	indeg := make([]int, n)
+	for _, e := range g.Edges() {
+		if e.Src != e.Dst && sdf.PrecedenceEdge(g, q, e.ID) {
+			indeg[e.Dst]++
+		}
+	}
+	used := make([]bool, n)
+	cur := make([]sdf.ActorID, 0, n)
+	var walkErr error
+	var rec func() bool // returns false to abort (cap or error)
+	rec = func() bool {
+		if len(cur) == n {
+			v, err := objective(cur)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			if res.Best < 0 || v < res.Best {
+				res.Best = v
+			}
+			res.Orders++
+			if maxOrders > 0 && res.Orders >= maxOrders {
+				res.Exhausted = false
+				return false
+			}
+			return true
+		}
+		for a := 0; a < n; a++ {
+			if used[a] || indeg[a] != 0 {
+				continue
+			}
+			used[a] = true
+			cur = append(cur, sdf.ActorID(a))
+			for _, eid := range g.Out(sdf.ActorID(a)) {
+				e := g.Edge(eid)
+				if e.Src != e.Dst && sdf.PrecedenceEdge(g, q, eid) {
+					indeg[e.Dst]--
+				}
+			}
+			ok := rec()
+			for _, eid := range g.Out(sdf.ActorID(a)) {
+				e := g.Edge(eid)
+				if e.Src != e.Dst && sdf.PrecedenceEdge(g, q, eid) {
+					indeg[e.Dst]++
+				}
+			}
+			cur = cur[:len(cur)-1]
+			used[a] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+	if walkErr != nil {
+		return res, walkErr
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apgan"
+	"repro/internal/looping"
+	"repro/internal/randsdf"
+	"repro/internal/rpmc"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+func TestChainHasSingleOrder(t *testing.T) {
+	g := systems.CDDAT()
+	q, _ := g.Repetitions()
+	res, err := BestNonShared(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Orders != 1 || !res.Exhausted {
+		t.Fatalf("chain enumerated %d orders (exhausted=%v), want exactly 1", res.Orders, res.Exhausted)
+	}
+	// With a single order, exact == DPPO on that order.
+	order, _ := g.TopologicalSort(q)
+	bm, _ := looping.DPPO(g, q, order).Schedule.BufMem()
+	if res.Best != bm {
+		t.Errorf("exact %d != DPPO %d", res.Best, bm)
+	}
+}
+
+func TestCapStopsEarly(t *testing.T) {
+	// Parallel chains: many topological sorts.
+	g := systems.Homogeneous(3, 3)
+	q, _ := g.Repetitions()
+	res, err := BestNonShared(g, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Orders != 5 || res.Exhausted {
+		t.Errorf("cap ignored: %d orders, exhausted=%v", res.Orders, res.Exhausted)
+	}
+}
+
+// TestHeuristicsNeverBeatExact: on exhaustively-searched graphs, the exact
+// optimum lower-bounds both heuristics' non-shared results.
+func TestHeuristicsNeverBeatExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 5 + rng.Intn(3)})
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := BestNonShared(g, q, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.Exhausted {
+			continue // unlucky dense order space; skip comparison
+		}
+		ar, err := apgan.Run(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abm, _ := looping.DPPO(g, q, ar.Order).Schedule.BufMem()
+		rOrder, err := rpmc.Order(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rbm, _ := looping.DPPO(g, q, rOrder).Schedule.BufMem()
+		if abm < ex.Best || rbm < ex.Best {
+			t.Errorf("trial %d: heuristic (%d/%d) beat the exact optimum %d",
+				trial, abm, rbm, ex.Best)
+		}
+		t.Logf("trial %d: exact %d over %d orders; APGAN %d, RPMC %d",
+			trial, ex.Best, ex.Orders, abm, rbm)
+	}
+}
+
+// TestSharedExactFeasible: the shared objective runs and lower-bounds
+// nothing in particular (first-fit is order-sensitive), but must produce a
+// positive verified total.
+func TestSharedExactFeasible(t *testing.T) {
+	g := systems.OverAddFFT()
+	q, _ := g.Repetitions()
+	res, err := BestShared(g, q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best <= 0 || res.Orders < 1 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+// TestExactRespectsPrecedence: enumerated orders are all valid (spot check
+// via a diamond whose sink must come last: 2 orders only).
+func TestExactRespectsPrecedence(t *testing.T) {
+	g := sdf.New("diamond")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(a, c, 1, 1, 0)
+	g.AddEdge(b, d, 1, 1, 0)
+	g.AddEdge(c, d, 1, 1, 0)
+	q, _ := g.Repetitions()
+	res, err := BestNonShared(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Orders != 2 {
+		t.Errorf("diamond has %d orders, want 2 (ABCD, ACBD)", res.Orders)
+	}
+}

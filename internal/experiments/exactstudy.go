@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/apgan"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/looping"
+	"repro/internal/randsdf"
+	"repro/internal/rpmc"
+	"repro/internal/sdf"
+)
+
+// ExactRow compares the heuristics against the exhaustively-computed optimum
+// on one graph. The SAS-construction problem is NP-complete (Sec. 7), so
+// this is only feasible for small order spaces; it quantifies directly how
+// much the polynomial heuristics give up.
+type ExactRow struct {
+	System string
+	Actors int
+	Orders int
+	// Non-shared bufmem (EQ 1): exact optimum over all SASs vs heuristics.
+	ExactNS, APGANNS, RPMCNS int64
+	// Shared first-fit allocation: best over all orders vs heuristics.
+	ExactSh, BestHeurSh int64
+}
+
+// ExactStudy runs the comparison on small random graphs plus any supplied
+// systems with tractable order spaces (orders capped at maxOrders; rows
+// whose space exceeds the cap are skipped).
+func ExactStudy(graphs []*sdf.Graph, randomN, maxOrders int, seed int64) ([]ExactRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	all := append([]*sdf.Graph{}, graphs...)
+	for i := 0; i < randomN; i++ {
+		all = append(all, randsdf.Graph(rng, randsdf.Config{Actors: 5 + rng.Intn(4)}))
+	}
+	var rows []ExactRow
+	for i, g := range all {
+		q, err := g.Repetitions()
+		if err != nil {
+			return nil, err
+		}
+		exNS, err := exact.BestNonShared(g, q, maxOrders)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exact %s: %w", g.Name, err)
+		}
+		if !exNS.Exhausted {
+			continue
+		}
+		exSh, err := exact.BestShared(g, q, maxOrders)
+		if err != nil {
+			return nil, err
+		}
+		row := ExactRow{System: fmt.Sprintf("%s#%d", g.Name, i), Actors: g.NumActors(),
+			Orders: exNS.Orders, ExactNS: exNS.Best, ExactSh: exSh.Best}
+		ar, err := apgan.Run(g, q)
+		if err != nil {
+			return nil, err
+		}
+		row.APGANNS, err = looping.DPPO(g, q, ar.Order).Schedule.BufMem()
+		if err != nil {
+			return nil, err
+		}
+		rOrder, err := rpmc.Order(g, q)
+		if err != nil {
+			return nil, err
+		}
+		row.RPMCNS, err = looping.DPPO(g, q, rOrder).Schedule.BufMem()
+		if err != nil {
+			return nil, err
+		}
+		row.BestHeurSh = -1
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			c, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
+			if err != nil {
+				return nil, err
+			}
+			if row.BestHeurSh < 0 || c.Metrics.SharedTotal < row.BestHeurSh {
+				row.BestHeurSh = c.Metrics.SharedTotal
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatExact renders the comparison.
+func FormatExact(rows []ExactRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %7s | %8s %8s %8s | %8s %8s\n",
+		"graph", "actors", "orders", "exactNS", "apganNS", "rpmcNS", "exactSh", "heurSh")
+	optimal := 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %6d %7d | %8d %8d %8d | %8d %8d\n",
+			r.System, r.Actors, r.Orders, r.ExactNS, r.APGANNS, r.RPMCNS, r.ExactSh, r.BestHeurSh)
+		if r.APGANNS == r.ExactNS || r.RPMCNS == r.ExactNS {
+			optimal++
+		}
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "a heuristic hit the exact non-shared optimum on %d/%d graphs\n",
+			optimal, len(rows))
+	}
+	return b.String()
+}

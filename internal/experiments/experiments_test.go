@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// smallSet is a cheap subset of the Table 1 systems for unit testing; the
+// full set runs in the benchmark harness.
+func smallSet() []*sdf.Graph {
+	return []*sdf.Graph{
+		systems.TwoSidedFilterbank(2, systems.Ratio23),
+		systems.SatelliteReceiver(),
+		systems.Modem16QAM(),
+		systems.OverAddFFT(),
+	}
+}
+
+func TestTable1SmallSystems(t *testing.T) {
+	rows, err := Table1(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BestShared() <= 0 || r.BestNonShared() <= 0 {
+			t.Errorf("%s: degenerate results %+v", r.System, r)
+		}
+		// The shared implementation can never need more memory than the
+		// non-shared one built from the same class of schedules.
+		if r.BestShared() > r.BestNonShared() {
+			t.Errorf("%s: shared %d > non-shared %d", r.System, r.BestShared(), r.BestNonShared())
+		}
+		// The non-shared cost respects the BMLB lower bound.
+		if r.BestNonShared() < r.BMLB {
+			t.Errorf("%s: non-shared %d below BMLB %d", r.System, r.BestNonShared(), r.BMLB)
+		}
+		if r.ImprovePct < 0 || r.ImprovePct >= 100 {
+			t.Errorf("%s: improvement %.1f%% out of range", r.System, r.ImprovePct)
+		}
+		// mco <= achieved allocation (per strategy).
+		if r.McoR > r.FfdurR && r.McoR > r.FfstartR {
+			t.Errorf("%s: mcoR %d above both allocations %d/%d", r.System, r.McoR, r.FfdurR, r.FfstartR)
+		}
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "satrec") || !strings.Contains(text, "impr%") {
+		t.Error("FormatTable1 output incomplete")
+	}
+	bars := FormatFig25(rows)
+	if !strings.Contains(bars, "%") {
+		t.Error("FormatFig25 output incomplete")
+	}
+	if vals := Fig25(rows); len(vals) != len(rows) {
+		t.Error("Fig25 series length mismatch")
+	}
+}
+
+func TestFig27SmallPopulation(t *testing.T) {
+	pts, err := Fig27(Fig27Config{Sizes: []int{12, 20}, PerSize: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Graphs != 6 {
+			t.Errorf("size %d: %d graphs", p.Size, p.Graphs)
+		}
+		if p.SharedImprovePct < 0 || p.SharedImprovePct > 100 {
+			t.Errorf("size %d: improvement %.1f%%", p.Size, p.SharedImprovePct)
+		}
+		if p.RPMCWinPct < 0 || p.RPMCWinPct > 100 {
+			t.Errorf("size %d: win rate %.1f%%", p.Size, p.RPMCWinPct)
+		}
+		// The allocation is never below the optimistic clique bound (the
+		// pessimistic bound can fall on either side of the allocation for
+		// individual graphs; only its average tends to sit above).
+		if p.AllocVsMcoPct < 0 {
+			t.Errorf("size %d: allocation below mco on average: %+v", p.Size, p)
+		}
+	}
+	if out := FormatFig27(pts); !strings.Contains(out, "(a)shr%") {
+		t.Error("FormatFig27 output incomplete")
+	}
+}
+
+func TestRandomSortStudy(t *testing.T) {
+	g := systems.SatelliteReceiver()
+	res, err := RandomSort(g, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heuristic <= 0 || res.BestRandom <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+	if res.TrialsToBeat != 0 && res.BestRandom >= res.Heuristic {
+		t.Errorf("inconsistent: beat at trial %d but best %d >= heuristic %d",
+			res.TrialsToBeat, res.BestRandom, res.Heuristic)
+	}
+	if out := FormatRandomSort([]RandomSortResult{res}); !strings.Contains(out, "satrec") {
+		t.Error("FormatRandomSort output incomplete")
+	}
+}
+
+func TestHomogeneousStudy(t *testing.T) {
+	rows, err := Homogeneous([]int{2, 3}, []int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Shared > r.Expected {
+			t.Errorf("M=%d N=%d: shared %d exceeds the paper's M+1=%d",
+				r.M, r.N, r.Shared, r.Expected)
+		}
+		if r.Shared >= r.NonShared {
+			t.Errorf("M=%d N=%d: no improvement over non-shared", r.M, r.N)
+		}
+	}
+	if out := FormatHomogeneous(rows); !strings.Contains(out, "non-shared") {
+		t.Error("FormatHomogeneous output incomplete")
+	}
+}
+
+func TestSdppoVsDppoStudy(t *testing.T) {
+	rows, err := SdppoVsDppo(smallSet()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AllocSdppo <= 0 || r.AllocDppo <= 0 {
+			t.Errorf("%s: degenerate %+v", r.System, r)
+		}
+	}
+	if out := FormatSdppoVsDppo(rows); !strings.Contains(out, "alloc(sdppo)") {
+		t.Error("FormatSdppoVsDppo output incomplete")
+	}
+}
+
+func TestSatrecStudy(t *testing.T) {
+	cmp, err := Satrec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Shared >= cmp.NonShared {
+		t.Errorf("shared %d >= non-shared %d", cmp.Shared, cmp.NonShared)
+	}
+	if cmp.PaperShared != 991 || cmp.PaperNonShared != 1542 {
+		t.Error("paper reference constants changed")
+	}
+	if out := FormatSatrec(cmp); !strings.Contains(out, "Ritz") {
+		t.Error("FormatSatrec output incomplete")
+	}
+}
+
+func TestCDDATStudy(t *testing.T) {
+	rows, err := CDDAT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	flat, nested := rows[0], rows[1]
+	// The paper's point: the nested buffer-optimal SAS needs far less input
+	// buffering than the flat SAS (11 vs 65 on the authors' timing model).
+	if nested.InputBuffer >= flat.InputBuffer {
+		t.Errorf("nested input buffer %d not below flat %d",
+			nested.InputBuffer, flat.InputBuffer)
+	}
+	if nested.BufMem >= flat.BufMem {
+		t.Errorf("nested bufmem %d not below flat %d", nested.BufMem, flat.BufMem)
+	}
+	if out := FormatCDDAT(rows); !strings.Contains(out, "147") {
+		t.Error("FormatCDDAT output incomplete")
+	}
+}
+
+func TestInputBufferingBounds(t *testing.T) {
+	g := systems.CDDAT()
+	q, _ := g.Repetitions()
+	src, _ := g.ActorByName("cd")
+	for _, r := range mustCDDATRows(t) {
+		if r.InputBuffer < 1 || r.InputBuffer > q[src.ID] {
+			t.Errorf("input buffer %d outside [1, %d]", r.InputBuffer, q[src.ID])
+		}
+	}
+}
+
+func mustCDDATRows(t *testing.T) []CDDATRow {
+	t.Helper()
+	rows, err := CDDAT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTradeoffFrontier(t *testing.T) {
+	rows, err := Tradeoff(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The SAS classes keep the same (minimal) appearance count; the
+		// greedy schedule's code explodes.
+		if r.GreedyCode < r.NestedCode {
+			t.Errorf("%s: greedy code %d below nested %d", r.System, r.GreedyCode, r.NestedCode)
+		}
+		// Buffers shrink monotonically along the frontier: flat >= nested >=
+		// shared, and greedy is the per-edge floor among them.
+		if r.NestedBuf > r.FlatBuf {
+			t.Errorf("%s: nested %d above flat %d", r.System, r.NestedBuf, r.FlatBuf)
+		}
+		if r.SharedBuf > r.NestedBuf {
+			t.Errorf("%s: shared %d above nested %d", r.System, r.SharedBuf, r.NestedBuf)
+		}
+		if r.GreedyBuf > r.FlatBuf {
+			t.Errorf("%s: greedy %d above flat %d", r.System, r.GreedyBuf, r.FlatBuf)
+		}
+	}
+	if out := FormatTradeoff(rows); !strings.Contains(out, "greedy.buf") {
+		t.Error("FormatTradeoff output incomplete")
+	}
+}
+
+func TestExactStudy(t *testing.T) {
+	rows, err := ExactStudy([]*sdf.Graph{systems.OverAddFFT()}, 4, 10_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no exhaustible graphs in the study")
+	}
+	for _, r := range rows {
+		if r.APGANNS < r.ExactNS || r.RPMCNS < r.ExactNS {
+			t.Errorf("%s: heuristic beat the exact optimum", r.System)
+		}
+		if r.ExactSh <= 0 || r.BestHeurSh <= 0 {
+			t.Errorf("%s: degenerate shared results %+v", r.System, r)
+		}
+	}
+	if out := FormatExact(rows); !strings.Contains(out, "exactNS") {
+		t.Error("FormatExact output incomplete")
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dynsched"
+	"repro/internal/sdf"
+)
+
+// DynamicRow reproduces the static-vs-dynamic comparison of Sec. 11.1.3 for
+// one system: the greedy data-driven scheduler reaches lower per-edge buffer
+// totals than any single appearance schedule, at the cost of a schedule as
+// long as the total firing count.
+type DynamicRow struct {
+	System string
+	// GreedyBufMem is the non-shared buffer total of the data-driven
+	// schedule; GreedyLength its firing count (dispatch/code cost).
+	GreedyBufMem, GreedyLength int64
+	// SASNonShared and SASShared are the best static SAS results.
+	SASNonShared, SASShared int64
+	// SASLength is the number of firing blocks in the nested SAS (its code
+	// cost under inline generation).
+	SASLength int64
+	// AllSchedulesBound is the theoretical per-edge minimum over all valid
+	// schedules (Sec. 11.1.3 closed form).
+	AllSchedulesBound int64
+}
+
+// DynamicVsStatic runs the comparison over the given systems.
+func DynamicVsStatic(graphs []*sdf.Graph) ([]DynamicRow, error) {
+	var rows []DynamicRow
+	for _, g := range graphs {
+		q, err := g.Repetitions()
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := dynsched.Schedule(g, q)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dynamic %s: %w", g.Name, err)
+		}
+		row := DynamicRow{
+			System:            g.Name,
+			GreedyBufMem:      greedy.BufMem,
+			GreedyLength:      greedy.Length,
+			AllSchedulesBound: g.MinBufferAllSchedules(),
+			SASNonShared:      -1,
+			SASShared:         -1,
+		}
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
+			if err != nil {
+				return nil, err
+			}
+			sh, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
+			if err != nil {
+				return nil, err
+			}
+			if row.SASNonShared < 0 || ns.Metrics.NonSharedBufMem < row.SASNonShared {
+				row.SASNonShared = ns.Metrics.NonSharedBufMem
+			}
+			if row.SASShared < 0 || sh.Metrics.SharedTotal < row.SASShared {
+				row.SASShared = sh.Metrics.SharedTotal
+			}
+		}
+		row.SASLength = int64(g.NumActors())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatDynamic renders the comparison.
+func FormatDynamic(rows []DynamicRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s | %8s %8s | %8s %8s %6s | %8s\n",
+		"system", "greedy", "length", "sas-ns", "sas-sh", "saslen", "bound")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s | %8d %8d | %8d %8d %6d | %8d\n",
+			r.System, r.GreedyBufMem, r.GreedyLength,
+			r.SASNonShared, r.SASShared, r.SASLength, r.AllSchedulesBound)
+	}
+	return b.String()
+}
+
+// MergeRow reports the additional effect of buffer merging (Sec. 12) on top
+// of lifetime-based sharing for one system.
+type MergeRow struct {
+	System string
+	// SharedBase is the best first-fit allocation without merging;
+	// SharedMerged the same with the greedy merge plan applied first.
+	SharedBase, SharedMerged int64
+	// Merges is the number of input/output pairs merged; PlanGain the total
+	// size reduction the plan predicts before allocation.
+	Merges   int
+	PlanGain int64
+}
+
+// Merging runs the buffer-merging ablation: all actors are assumed
+// ReadFirst (sample-operator semantics), the strongest legal setting. The
+// plan is allocation-aware (core.Options.Merging), so merging never
+// regresses.
+func Merging(graphs []*sdf.Graph) ([]MergeRow, error) {
+	var rows []MergeRow
+	for _, g := range graphs {
+		row := MergeRow{System: g.Name, SharedBase: -1, SharedMerged: -1}
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			res, err := core.Compile(g, core.Options{
+				Strategy: strat, Looping: core.SDPPOLoops, Merging: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: merging %s: %w", g.Name, err)
+			}
+			if row.SharedBase < 0 || res.Metrics.SharedTotal < row.SharedBase {
+				row.SharedBase = res.Metrics.SharedTotal
+			}
+			if row.SharedMerged < 0 || res.Metrics.MergedTotal < row.SharedMerged {
+				row.SharedMerged = res.Metrics.MergedTotal
+				row.Merges = res.Metrics.Merges
+				row.PlanGain = res.Metrics.SharedTotal - res.Metrics.MergedTotal
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatMerging renders the ablation.
+func FormatMerging(rows []MergeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s | %9s %11s %7s %9s %7s\n",
+		"system", "shared", "sh+merged", "merges", "plangain", "extra%")
+	for _, r := range rows {
+		extra := 0.0
+		if r.SharedBase > 0 {
+			extra = 100 * float64(r.SharedBase-r.SharedMerged) / float64(r.SharedBase)
+		}
+		fmt.Fprintf(&b, "%-12s | %9d %11d %7d %9d %6.1f%%\n",
+			r.System, r.SharedBase, r.SharedMerged, r.Merges, r.PlanGain, extra)
+	}
+	return b.String()
+}

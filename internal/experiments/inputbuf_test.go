@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// TestInputBufferingUniformSource: a source spread perfectly through the
+// schedule needs only ~1 token of input buffering.
+func TestInputBufferingUniformSource(t *testing.T) {
+	g := sdf.New("uni")
+	src := g.AddActor("S")
+	b := g.AddActor("B")
+	g.AddEdge(src, b, 1, 1, 0)
+	q := sdf.Repetitions{4, 4}
+	// Interleaved: S B S B S B S B — source fires every other slot.
+	s := sched.MustParse(g, "(4SB)")
+	got := InputBuffering(s, q, src)
+	if got != 1 {
+		t.Errorf("uniform source needs %d, want 1", got)
+	}
+}
+
+// TestInputBufferingBurstSource: all source firings at once leave the rest
+// of the period uncovered: the wrap gap spans nearly the whole period.
+func TestInputBufferingBurstSource(t *testing.T) {
+	g := sdf.New("burst")
+	src := g.AddActor("S")
+	b := g.AddActor("B")
+	g.AddEdge(src, b, 1, 1, 0)
+	q := sdf.Repetitions{4, 4}
+	s := sched.MustParse(g, "(4S)(4B)")
+	got := InputBuffering(s, q, src)
+	// Gap from last S (slot 0 of the S block... the S block is ONE leaf
+	// invocation = 1 slot here; blocks: (4S) slot 0, (4B) slot 1. Source
+	// covered half the 2-slot period: 4 arrivals over 2 slots -> gap 2 slots
+	// -> 4 tokens... the block model makes this coarse; the key property is
+	// burst >= uniform.
+	uniform := InputBuffering(sched.MustParse(g, "(4SB)"), q, src)
+	if got < uniform {
+		t.Errorf("burst schedule (%d) should need at least the uniform one (%d)", got, uniform)
+	}
+}
+
+// TestInputBufferingAbsentSource: an actor that never appears in the firing
+// sequence reports zero input buffering.
+func TestInputBufferingAbsentSource(t *testing.T) {
+	g := sdf.New("iso")
+	x := g.AddActor("X")
+	y := g.AddActor("Y")
+	_ = x
+	s := &sched.Schedule{Graph: g, Body: []*sched.Node{sched.Leaf(1, x)}}
+	if got := InputBuffering(s, sdf.Repetitions{1, 0}, y); got != 0 {
+		t.Errorf("absent actor input buffering = %d, want 0", got)
+	}
+}

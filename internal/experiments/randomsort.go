@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/sdf"
+)
+
+// RandomSortResult reproduces the Sec. 10.1 random-search study for one
+// system: how random topological sorts compare against the better of the
+// RPMC- and APGAN-based shared allocations.
+type RandomSortResult struct {
+	System     string
+	Trials     int
+	Heuristic  int64 // best of RPMC/APGAN shared allocation
+	BestRandom int64 // best shared allocation over all random sorts
+	// TrialsToBeat is the first trial index (1-based) whose allocation beat
+	// the heuristic result, or 0 if never.
+	TrialsToBeat int
+}
+
+// RandomSort runs the study on one graph with the given number of random
+// topological sorts.
+func RandomSort(g *sdf.Graph, trials int, seed int64) (RandomSortResult, error) {
+	res := RandomSortResult{System: g.Name, Trials: trials}
+	q, err := g.Repetitions()
+	if err != nil {
+		return res, err
+	}
+	res.Heuristic = -1
+	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+		c, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
+		if err != nil {
+			return res, err
+		}
+		if res.Heuristic < 0 || c.Best.Total < res.Heuristic {
+			res.Heuristic = c.Best.Total
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res.BestRandom = -1
+	for i := 1; i <= trials; i++ {
+		order, err := g.RandomTopologicalSort(q, rng)
+		if err != nil {
+			return res, err
+		}
+		c, err := core.Compile(g, core.Options{
+			Strategy: core.CustomOrder, Order: order, Looping: core.SDPPOLoops,
+			Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
+		})
+		if err != nil {
+			return res, err
+		}
+		if res.BestRandom < 0 || c.Best.Total < res.BestRandom {
+			res.BestRandom = c.Best.Total
+		}
+		if res.TrialsToBeat == 0 && c.Best.Total < res.Heuristic {
+			res.TrialsToBeat = i
+		}
+	}
+	return res, nil
+}
+
+// FormatRandomSort renders the study results.
+func FormatRandomSort(results []RandomSortResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %7s %10s %11s %13s\n",
+		"system", "trials", "heuristic", "bestRandom", "trialsToBeat")
+	for _, r := range results {
+		beat := "never"
+		if r.TrialsToBeat > 0 {
+			beat = fmt.Sprintf("%d", r.TrialsToBeat)
+		}
+		fmt.Fprintf(&b, "%-12s %7d %10d %11d %13s\n",
+			r.System, r.Trials, r.Heuristic, r.BestRandom, beat)
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// HomogeneousRow is one (M, N) point of the Sec. 10.2 study on the Fig. 26
+// graph class.
+type HomogeneousRow struct {
+	M, N int
+	// Shared is the best achieved shared allocation; the paper proves M+1 is
+	// attainable for every M, N.
+	Shared int64
+	// Expected is M+1; NonShared is the separate-buffer cost M(N-1)+2M.
+	Expected, NonShared int64
+}
+
+// Homogeneous runs the study over the given (M, N) grid.
+func Homogeneous(ms, ns []int) ([]HomogeneousRow, error) {
+	var rows []HomogeneousRow
+	for _, m := range ms {
+		for _, n := range ns {
+			g := systems.Homogeneous(m, n)
+			best := int64(-1)
+			for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+				c, err := core.Compile(g, core.Options{Strategy: strat, Verify: true})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: homogeneous %dx%d: %w", m, n, err)
+				}
+				if best < 0 || c.Best.Total < best {
+					best = c.Best.Total
+				}
+			}
+			rows = append(rows, HomogeneousRow{
+				M: m, N: n, Shared: best,
+				Expected:  int64(m + 1),
+				NonShared: int64(m*(n-1) + 2*m),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatHomogeneous renders the study.
+func FormatHomogeneous(rows []HomogeneousRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %4s | %7s %9s %10s\n", "M", "N", "shared", "paper M+1", "non-shared")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %4d | %7d %9d %10d\n", r.M, r.N, r.Shared, r.Expected, r.NonShared)
+	}
+	return b.String()
+}
+
+// SdppoVsDppoRow compares allocating the sdppo-optimized schedule against
+// allocating the dppo-optimized schedule (Sec. 10.1: "the maximum improvement
+// observed ... was about 8%").
+type SdppoVsDppoRow struct {
+	System                string
+	AllocSdppo, AllocDppo int64
+	ImprovePct            float64
+}
+
+// SdppoVsDppo runs the ablation over the given systems with both order
+// strategies, keeping the better result of each looping algorithm.
+func SdppoVsDppo(graphs []*sdf.Graph) ([]SdppoVsDppoRow, error) {
+	var rows []SdppoVsDppoRow
+	for _, g := range graphs {
+		row := SdppoVsDppoRow{System: g.Name, AllocSdppo: -1, AllocDppo: -1}
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			for _, la := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops} {
+				c, err := core.Compile(g, core.Options{
+					Strategy: strat, Looping: la,
+					Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: sdppo-vs-dppo %s: %w", g.Name, err)
+				}
+				if la == core.SDPPOLoops {
+					if row.AllocSdppo < 0 || c.Best.Total < row.AllocSdppo {
+						row.AllocSdppo = c.Best.Total
+					}
+				} else {
+					if row.AllocDppo < 0 || c.Best.Total < row.AllocDppo {
+						row.AllocDppo = c.Best.Total
+					}
+				}
+			}
+		}
+		if row.AllocDppo > 0 {
+			row.ImprovePct = 100 * float64(row.AllocDppo-row.AllocSdppo) / float64(row.AllocDppo)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSdppoVsDppo renders the ablation.
+func FormatSdppoVsDppo(rows []SdppoVsDppoRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %8s\n", "system", "alloc(sdppo)", "alloc(dppo)", "impr%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d %12d %7.1f%%\n", r.System, r.AllocSdppo, r.AllocDppo, r.ImprovePct)
+	}
+	return b.String()
+}
+
+// SatrecComparison reproduces the Sec. 11 comparison table on the satellite
+// receiver: our framework's numbers next to the figures the paper quotes for
+// Ritz et al.'s flat-SAS ILP approach and Goddard & Jeffay's EDF dynamic
+// scheduler.
+type SatrecComparison struct {
+	// Ours.
+	NonShared, Shared int64
+	// FlatShared is our measured shared allocation when the schedule is kept
+	// flat (Ritz et al. operate only on flat SASs, Sec. 11.1.2); the nested
+	// Shared result shows what their restriction costs.
+	FlatShared int64
+	// Paper-quoted reference points (on the authors' satrec instance).
+	PaperNonShared, PaperShared       int64
+	PaperRitz                         int64
+	PaperEDFNonShared, PaperEDFShared int64
+}
+
+// Satrec runs the comparison.
+func Satrec() (SatrecComparison, error) {
+	cmp := SatrecComparison{
+		PaperNonShared: 1542, PaperShared: 991,
+		PaperRitz:         2000, // "more than 2000 units"
+		PaperEDFNonShared: 1599, PaperEDFShared: 1101,
+	}
+	g := systems.SatelliteReceiver()
+	cmp.NonShared, cmp.Shared, cmp.FlatShared = -1, -1, -1
+	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+		ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
+		if err != nil {
+			return cmp, err
+		}
+		sh, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops, Verify: true})
+		if err != nil {
+			return cmp, err
+		}
+		fl, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.FlatLoops, Verify: true})
+		if err != nil {
+			return cmp, err
+		}
+		if cmp.NonShared < 0 || ns.Metrics.NonSharedBufMem < cmp.NonShared {
+			cmp.NonShared = ns.Metrics.NonSharedBufMem
+		}
+		if cmp.Shared < 0 || sh.Best.Total < cmp.Shared {
+			cmp.Shared = sh.Best.Total
+		}
+		if cmp.FlatShared < 0 || fl.Best.Total < cmp.FlatShared {
+			cmp.FlatShared = fl.Best.Total
+		}
+	}
+	return cmp, nil
+}
+
+// FormatSatrec renders the comparison.
+func FormatSatrec(c SatrecComparison) string {
+	var b strings.Builder
+	b.WriteString("satellite receiver (Sec. 11 comparisons)\n")
+	fmt.Fprintf(&b, "  this framework:   non-shared %d, shared %d (%.0f%% reduction)\n",
+		c.NonShared, c.Shared, 100*float64(c.NonShared-c.Shared)/float64(c.NonShared))
+	fmt.Fprintf(&b, "  flat SAS, shared (Ritz-class schedules): %d\n", c.FlatShared)
+	fmt.Fprintf(&b, "  paper (authors'): non-shared %d, shared %d\n", c.PaperNonShared, c.PaperShared)
+	fmt.Fprintf(&b, "  Ritz et al. flat-SAS ILP: > %d\n", c.PaperRitz)
+	fmt.Fprintf(&b, "  Goddard/Jeffay EDF: non-shared %d, shared approx %d\n",
+		c.PaperEDFNonShared, c.PaperEDFShared)
+	return b.String()
+}
+
+// InputBuffering estimates the graph-input buffering a real-time deployment
+// of the schedule needs (Sec. 11.1.3): with unit-time firings, input samples
+// arrive uniformly at q(src) per period while the source only drains them
+// when it fires. The buffer must absorb the arrivals of the longest cyclic
+// gap between consecutive source firings — a flat SAS fires the source in
+// one burst and then starves it for the rest of the period, while a nested
+// SAS spreads the firings out (the paper's 65-vs-11 CD-DAT observation).
+func InputBuffering(s *sched.Schedule, q sdf.Repetitions, src sdf.ActorID) int64 {
+	total := q.TotalFirings()
+	need := q[src]
+	var slots []int64
+	var t int64
+	s.ForEachFiring(func(a sdf.ActorID) bool {
+		if a == src {
+			slots = append(slots, t)
+		}
+		t++
+		return true
+	})
+	if len(slots) == 0 || total == 0 {
+		return 0
+	}
+	var maxGap int64
+	for i := 1; i < len(slots); i++ {
+		if g := slots[i] - slots[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	// Wrap-around gap into the next period.
+	if g := slots[0] + total - slots[len(slots)-1]; g > maxGap {
+		maxGap = g
+	}
+	// Arrivals during the worst gap, at need/total samples per slot.
+	buf := (maxGap*need + total - 1) / total
+	if buf < 1 {
+		buf = 1
+	}
+	return buf
+}
+
+// CDDATRow compares input buffering of the flat SAS against the nested
+// buffer-optimal SAS on the CD-to-DAT converter.
+type CDDATRow struct {
+	Schedule    string
+	InputBuffer int64
+	BufMem      int64
+}
+
+// CDDAT runs the comparison of Sec. 11.1.3 (paper: nested needs ~11 input
+// tokens, flat needs ~65, against a 147-sample period).
+func CDDAT() ([]CDDATRow, error) {
+	g := systems.CDDAT()
+	q, err := g.Repetitions()
+	if err != nil {
+		return nil, err
+	}
+	src, _ := g.ActorByName("cd")
+	var rows []CDDATRow
+	for _, la := range []core.LoopAlg{core.FlatLoops, core.DPPOLoops} {
+		c, err := core.Compile(g, core.Options{Strategy: core.APGAN, Looping: la})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CDDATRow{
+			Schedule:    fmt.Sprintf("%s: %s", la, c.Schedule),
+			InputBuffer: InputBuffering(c.Schedule, q, src.ID),
+			BufMem:      c.Metrics.NonSharedBufMem,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCDDAT renders the comparison.
+func FormatCDDAT(rows []CDDATRow) string {
+	var b strings.Builder
+	b.WriteString("CD-to-DAT input buffering (period = 147 input samples)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  inputBuf=%4d bufmem=%4d  %s\n", r.InputBuffer, r.BufMem, r.Schedule)
+	}
+	return b.String()
+}

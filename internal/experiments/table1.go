@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 10) plus the comparisons of Sec. 11: Table 1 and the
+// Fig. 25 improvement bars on the practical systems, the random-topological-
+// sort search study, the homogeneous-graph study of Fig. 26, the random-graph
+// charts of Fig. 27, the sdppo-vs-dppo ablation, and the CD-DAT input
+// buffering analysis.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// Table1Row reproduces one row of Table 1: all metrics for one practical
+// system under both RPMC- and APGAN-generated lexical orders.
+type Table1Row struct {
+	System string
+	Actors int
+	// RPMC columns.
+	DppoR, SdppoR, McoR, McpR, FfdurR, FfstartR int64
+	// Lower bound (non-shared, over all SASs).
+	BMLB int64
+	// APGAN columns.
+	DppoA, SdppoA, McoA, McpA, FfdurA, FfstartA int64
+	// ImprovePct is the paper's last column:
+	// (min(dppo) - min(ff*)) / min(dppo) * 100.
+	ImprovePct float64
+}
+
+// BestShared returns the smallest achieved shared allocation of the row.
+func (r Table1Row) BestShared() int64 {
+	return min64(min64(r.FfdurR, r.FfstartR), min64(r.FfdurA, r.FfstartA))
+}
+
+// BestNonShared returns the better of the two DPPO results.
+func (r Table1Row) BestNonShared() int64 { return min64(r.DppoR, r.DppoA) }
+
+// Table1 computes the full table for the given systems (use
+// systems.Table1Systems() for the paper's set).
+func Table1(graphs []*sdf.Graph) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(graphs))
+	for _, g := range graphs {
+		row, err := table1Row(g)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table1Row(g *sdf.Graph) (Table1Row, error) {
+	row := Table1Row{System: g.Name, Actors: g.NumActors(), BMLB: g.BMLB()}
+	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+		// Non-shared reference: DPPO looping, bufmem metric.
+		ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
+		if err != nil {
+			return row, err
+		}
+		// Shared implementation: SDPPO looping, both first-fit orders,
+		// verified end to end by the token simulator.
+		sh, err := core.Compile(g, core.Options{
+			Strategy:   strat,
+			Looping:    core.SDPPOLoops,
+			Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
+			Verify:     true,
+		})
+		if err != nil {
+			return row, err
+		}
+		dppo := ns.Metrics.NonSharedBufMem
+		sdppo := sh.Metrics.DPCost
+		ffdur := sh.Metrics.AllocTotals[alloc.FirstFitDuration.String()]
+		ffstart := sh.Metrics.AllocTotals[alloc.FirstFitStart.String()]
+		if strat == core.RPMC {
+			row.DppoR, row.SdppoR = dppo, sdppo
+			row.McoR, row.McpR = sh.Metrics.MCO, sh.Metrics.MCP
+			row.FfdurR, row.FfstartR = ffdur, ffstart
+		} else {
+			row.DppoA, row.SdppoA = dppo, sdppo
+			row.McoA, row.McpA = sh.Metrics.MCO, sh.Metrics.MCP
+			row.FfdurA, row.FfstartA = ffdur, ffstart
+		}
+	}
+	if ns := row.BestNonShared(); ns > 0 {
+		row.ImprovePct = 100 * float64(ns-row.BestShared()) / float64(ns)
+	}
+	return row, nil
+}
+
+// FormatTable1 renders the rows in the paper's column layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %5s | %6s %6s %5s %5s %6s %7s | %6s | %6s %6s %5s %5s %6s %7s | %6s\n",
+		"system", "n", "dppoR", "sdppoR", "mcoR", "mcpR", "ffdurR", "ffstrtR",
+		"bmlb", "dppoA", "sdppoA", "mcoA", "mcpA", "ffdurA", "ffstrtA", "impr%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5d | %6d %6d %5d %5d %6d %7d | %6d | %6d %6d %5d %5d %6d %7d | %5.1f%%\n",
+			r.System, r.Actors, r.DppoR, r.SdppoR, r.McoR, r.McpR, r.FfdurR, r.FfstartR,
+			r.BMLB, r.DppoA, r.SdppoA, r.McoA, r.McpA, r.FfdurA, r.FfstartA, r.ImprovePct)
+	}
+	return b.String()
+}
+
+// Fig25 returns the improvement-percentage series of the bar graph in
+// Fig. 25 (one value per practical system, same order as Table 1).
+func Fig25(rows []Table1Row) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r.ImprovePct
+	}
+	return out
+}
+
+// FormatFig25 renders the bar chart as ASCII (one bar per system).
+func FormatFig25(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Percentage improvement of shared over non-shared implementation\n")
+	for _, r := range rows {
+		n := int(r.ImprovePct / 2)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-12s %5.1f%% %s\n", r.System, r.ImprovePct, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// DefaultTable1 computes Table 1 on the paper's benchmark set.
+func DefaultTable1() ([]Table1Row, error) {
+	return Table1(systems.Table1Systems())
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dynsched"
+	"repro/internal/sdf"
+)
+
+// TradeoffRow quantifies the paper's central premise — code size is
+// prioritized over buffer memory (Sec. 4), and every schedule class buys one
+// at the expense of the other — for a single system:
+//
+//	flat SAS     : minimal loop nesting, worst buffers
+//	nested SAS   : same minimal appearance count, buffer-optimized nesting
+//	shared SAS   : nested + lifetime-shared memory (this paper)
+//	data-driven  : minimal buffers, schedule as long as the firing count
+type TradeoffRow struct {
+	System string
+	// Code sizes under the Sec. 3 metric (appearances + loops).
+	FlatCode, NestedCode, GreedyCode int64
+	// Buffer words: per-edge for flat/nested/greedy, shared for this paper.
+	FlatBuf, NestedBuf, SharedBuf, GreedyBuf int64
+}
+
+// Tradeoff computes the code-size/memory frontier for the given systems
+// (best of RPMC/APGAN per schedule class, loop overhead 1).
+func Tradeoff(graphs []*sdf.Graph) ([]TradeoffRow, error) {
+	var rows []TradeoffRow
+	for _, g := range graphs {
+		row := TradeoffRow{System: g.Name,
+			FlatBuf: -1, NestedBuf: -1, SharedBuf: -1}
+		q, err := g.Repetitions()
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			flat, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.FlatLoops})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: tradeoff %s: %w", g.Name, err)
+			}
+			nested, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
+			if err != nil {
+				return nil, err
+			}
+			shared, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
+			if err != nil {
+				return nil, err
+			}
+			if row.FlatBuf < 0 || flat.Metrics.NonSharedBufMem < row.FlatBuf {
+				row.FlatBuf = flat.Metrics.NonSharedBufMem
+				row.FlatCode = flat.Schedule.CodeSize(1)
+			}
+			if row.NestedBuf < 0 || nested.Metrics.NonSharedBufMem < row.NestedBuf {
+				row.NestedBuf = nested.Metrics.NonSharedBufMem
+				row.NestedCode = nested.Schedule.CodeSize(1)
+			}
+			if row.SharedBuf < 0 || shared.Metrics.SharedTotal < row.SharedBuf {
+				row.SharedBuf = shared.Metrics.SharedTotal
+			}
+		}
+		greedy, err := dynsched.Schedule(g, q)
+		if err != nil {
+			return nil, err
+		}
+		row.GreedyBuf = greedy.BufMem
+		row.GreedyCode = greedy.AsSchedule(g).CodeSize(1)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTradeoff renders the frontier.
+func FormatTradeoff(rows []TradeoffRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s | %9s %9s | %9s %9s | %9s | %10s %10s\n",
+		"system", "flat.code", "flat.buf", "nest.code", "nest.buf",
+		"shared", "greedy.code", "greedy.buf")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s | %9d %9d | %9d %9d | %9d | %10d %10d\n",
+			r.System, r.FlatCode, r.FlatBuf, r.NestedCode, r.NestedBuf,
+			r.SharedBuf, r.GreedyCode, r.GreedyBuf)
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package lifetime
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the lifetime profile of a set of intervals as an ASCII Gantt
+// chart over [0, total) schedule steps — the textual analogue of the paper's
+// Figs. 3, 5 and 17. Each row is one buffer; '#' marks live steps. Charts
+// wider than maxCols compress several steps per column (a column is live if
+// any step in it is).
+func Chart(intervals []*Interval, total int64, maxCols int) string {
+	if maxCols <= 0 {
+		maxCols = 64
+	}
+	step := int64(1)
+	for total/step > int64(maxCols) {
+		step++
+	}
+	cols := int((total + step - 1) / step)
+	nameW := 4
+	for _, iv := range intervals {
+		if len(iv.Name) > nameW {
+			nameW = len(iv.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  time 0..%d (%d steps/col)\n", nameW, "", total, step)
+	for _, iv := range intervals {
+		fmt.Fprintf(&b, "%*s  ", nameW, iv.Name)
+		for c := 0; c < cols; c++ {
+			live := false
+			for t := int64(c) * step; t < int64(c+1)*step && t < total; t++ {
+				if iv.LiveAt(t) {
+					live = true
+					break
+				}
+			}
+			if live {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintf(&b, "  [%d cells]\n", iv.Size)
+	}
+	return b.String()
+}
+
+// MemoryMap renders an allocation as rows of address ranges, one per
+// interval, sorted as given.
+func MemoryMap(placed []struct {
+	Name   string
+	Offset int64
+	Size   int64
+}, total int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared memory: %d cells\n", total)
+	for _, p := range placed {
+		fmt.Fprintf(&b, "  [%6d,%6d)  %s\n", p.Offset, p.Offset+p.Size, p.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package lifetime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersLiveness(t *testing.T) {
+	iv := &Interval{Name: "AB", Size: 2, Start: 1, Dur: 2}
+	out := Chart([]*Interval{iv}, 6, 80)
+	// Expect ".##..." on the AB row (live at steps 1 and 2 of 6).
+	if !strings.Contains(out, ".##...") {
+		t.Errorf("chart missing expected liveness row:\n%s", out)
+	}
+	if !strings.Contains(out, "[2 cells]") {
+		t.Errorf("chart missing size annotation:\n%s", out)
+	}
+}
+
+func TestChartPeriodic(t *testing.T) {
+	iv := paperInterval() // live [0,2) [4,6) [9,11) [13,15)
+	out := Chart([]*Interval{iv}, 18, 80)
+	if !strings.Contains(out, "##..##...##..##...") {
+		t.Errorf("periodic chart wrong:\n%s", out)
+	}
+}
+
+func TestChartCompression(t *testing.T) {
+	iv := &Interval{Name: "x", Size: 1, Start: 0, Dur: 100}
+	out := Chart([]*Interval{iv}, 1000, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("unexpected chart shape:\n%s", out)
+	}
+	// 1000 steps at 10 columns: 100 steps/col; first column live, rest dead.
+	if !strings.Contains(lines[1], "#.........") {
+		t.Errorf("compressed chart wrong:\n%s", out)
+	}
+}
+
+func TestMemoryMap(t *testing.T) {
+	out := MemoryMap([]struct {
+		Name   string
+		Offset int64
+		Size   int64
+	}{{"AB", 0, 4}, {"CD", 4, 2}}, 6)
+	if !strings.Contains(out, "shared memory: 6 cells") ||
+		!strings.Contains(out, "[     0,     4)  AB") {
+		t.Errorf("memory map wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package lifetime_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lifetime"
+)
+
+// ExampleInterval_LiveAt demonstrates the Fig. 17 periodic lifetime: a
+// buffer live over [0,2), [4,6), [9,11) and [13,15).
+func ExampleInterval_LiveAt() {
+	iv := &lifetime.Interval{
+		Name: "AB", Size: 1, Start: 0, Dur: 2,
+		Periods: []lifetime.Period{{A: 4, Count: 2}, {A: 9, Count: 2}},
+	}
+	for _, t := range []int64{0, 2, 4, 9, 12, 13} {
+		fmt.Printf("t=%d live=%v\n", t, iv.LiveAt(t))
+	}
+	// Output:
+	// t=0 live=true
+	// t=2 live=false
+	// t=4 live=true
+	// t=9 live=true
+	// t=12 live=false
+	// t=13 live=true
+}
+
+// ExampleChart renders the textual Gantt view of two interleaved buffers.
+func ExampleChart() {
+	ab := &lifetime.Interval{Name: "AB", Size: 1, Start: 0, Dur: 2,
+		Periods: []lifetime.Period{{A: 4, Count: 2}}}
+	cd := &lifetime.Interval{Name: "CD", Size: 1, Start: 2, Dur: 2,
+		Periods: []lifetime.Period{{A: 4, Count: 2}}}
+	chart := lifetime.Chart([]*lifetime.Interval{ab, cd}, 8, 80)
+	for _, line := range strings.Split(strings.TrimRight(chart, "\n"), "\n") {
+		fmt.Println(strings.TrimSpace(line))
+	}
+	// Output:
+	// time 0..8 (1 steps/col)
+	// AB  ##..##..  [1 cells]
+	// CD  ..##..##  [1 cells]
+}

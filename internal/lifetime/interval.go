@@ -1,0 +1,277 @@
+// Package lifetime implements periodic buffer-lifetime intervals and the
+// analyses the paper builds on them: the mixed-radix liveness test (Fig. 18),
+// next-occurrence stepping, pairwise intersection of periodic intervals, the
+// weighted intersection graph (Fig. 19), and the optimistic and pessimistic
+// maximum-clique-weight estimates of Sec. 9.1.
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Period is one periodicity component of a buffer lifetime: the enclosing
+// loop repeats Count times with a shift of A schedule steps per iteration
+// (A = dur(left(v)) + dur(right(v)) for tree node v, Count = loop(v)).
+type Period struct {
+	A     int64
+	Count int64
+}
+
+// Interval is the lifetime of one buffer. The buffer of Size memory cells is
+// live during the occurrences
+//
+//	[Start + sum_i p_i*A_i , Start + sum_i p_i*A_i + Dur)
+//
+// for every combination p_i in {0, ..., Count_i-1}. Periods must satisfy the
+// nesting property A_i*(Count_i-1) < A_{i+1} when sorted ascending, which
+// holds by construction for schedule trees and makes the greedy liveness
+// test exact.
+type Interval struct {
+	Name  string // diagnostic label, usually "src->dst"
+	Size  int64  // memory cells occupied while live
+	Start int64  // earliest start time (schedule steps)
+	Dur   int64  // length of each occurrence; > 0
+	// Periods sorted by ascending A. Empty for a non-periodic interval.
+	Periods []Period
+}
+
+// Validate checks structural invariants; analyses assume they hold.
+func (iv *Interval) Validate() error {
+	if iv.Size <= 0 {
+		return fmt.Errorf("lifetime: interval %s has size %d", iv.Name, iv.Size)
+	}
+	if iv.Dur <= 0 {
+		return fmt.Errorf("lifetime: interval %s has duration %d", iv.Name, iv.Dur)
+	}
+	if iv.Start < 0 {
+		return fmt.Errorf("lifetime: interval %s starts at %d", iv.Name, iv.Start)
+	}
+	prevSpan := iv.Dur
+	for i, p := range iv.Periods {
+		if p.A <= 0 || p.Count < 2 {
+			return fmt.Errorf("lifetime: interval %s period %d invalid (A=%d Count=%d)",
+				iv.Name, i, p.A, p.Count)
+		}
+		if p.A < prevSpan {
+			return fmt.Errorf("lifetime: interval %s period %d overlaps inner span (A=%d span=%d)",
+				iv.Name, i, p.A, prevSpan)
+		}
+		// A block of Count occurrences at this level spans at most A*Count
+		// steps, which must nest inside one shift of the next level.
+		prevSpan = p.A * p.Count
+	}
+	return nil
+}
+
+// Occurrences returns the number of live occurrences (product of counts).
+func (iv *Interval) Occurrences() int64 {
+	n := int64(1)
+	for _, p := range iv.Periods {
+		n *= p.Count
+	}
+	return n
+}
+
+// LastStart returns the start of the final occurrence.
+func (iv *Interval) LastStart() int64 {
+	s := iv.Start
+	for _, p := range iv.Periods {
+		s += p.A * (p.Count - 1)
+	}
+	return s
+}
+
+// End returns the exclusive end of the final occurrence; the envelope of the
+// interval is [Start, End).
+func (iv *Interval) End() int64 { return iv.LastStart() + iv.Dur }
+
+// LiveAt reports whether the buffer is live at time T (Fig. 18): it greedily
+// decomposes T-Start in the mixed radix defined by the periods, largest
+// first, and checks the remainder against Dur.
+func (iv *Interval) LiveAt(T int64) bool {
+	t := T - iv.Start
+	if t < 0 {
+		return false
+	}
+	for i := len(iv.Periods) - 1; i >= 0; i-- {
+		p := iv.Periods[i]
+		k := t / p.A
+		if k > p.Count-1 {
+			k = p.Count - 1
+		}
+		t -= k * p.A
+	}
+	return t < iv.Dur
+}
+
+// prevStart returns the start time of the occurrence with the largest start
+// <= T, and false if T precedes the first occurrence.
+func (iv *Interval) prevStart(T int64) (int64, bool) {
+	t := T - iv.Start
+	if t < 0 {
+		return 0, false
+	}
+	s := iv.Start
+	for i := len(iv.Periods) - 1; i >= 0; i-- {
+		p := iv.Periods[i]
+		k := t / p.A
+		if k > p.Count-1 {
+			k = p.Count - 1
+		}
+		t -= k * p.A
+		s += k * p.A
+	}
+	return s, true
+}
+
+// NextStart returns the start time of the first occurrence with start > T,
+// and false if none exists. It implements the mixed-radix increment of
+// Sec. 8.4.
+func (iv *Interval) NextStart(T int64) (int64, bool) {
+	if T < iv.Start {
+		return iv.Start, true
+	}
+	// Decompose to digits k_i (outermost last), then increment.
+	t := T - iv.Start
+	n := len(iv.Periods)
+	k := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		p := iv.Periods[i]
+		k[i] = t / p.A
+		if k[i] > p.Count-1 {
+			k[i] = p.Count - 1
+		}
+		t -= k[i] * p.A
+	}
+	// Increment the mixed-radix number (index 0 is least significant).
+	for i := 0; i < n; i++ {
+		if k[i] < iv.Periods[i].Count-1 {
+			k[i]++
+			for j := 0; j < i; j++ {
+				k[j] = 0
+			}
+			s := iv.Start
+			for x, p := range iv.Periods {
+				s += k[x] * p.A
+			}
+			if s > T {
+				return s, true
+			}
+			// s <= T can happen when the decomposition clamped digits; retry
+			// from the incremented position.
+			return iv.NextStart(s)
+		}
+	}
+	return 0, false
+}
+
+// overlapsWindow reports whether any occurrence of iv intersects the
+// half-open window [s, s+d).
+func (iv *Interval) overlapsWindow(s, d int64) bool {
+	if s+d <= iv.Start || s >= iv.End() {
+		return false
+	}
+	if prev, ok := iv.prevStart(s); ok && prev+iv.Dur > s {
+		return true
+	}
+	next, ok := iv.NextStart(s)
+	return ok && next < s+d
+}
+
+// maxEnumeration caps how many occurrences Intersects will enumerate before
+// falling back to a conservative (envelope-based) answer.
+const maxEnumeration = 1 << 16
+
+// Intersects reports whether two periodic intervals are ever live at the
+// same instant. It enumerates occurrences of the interval with fewer
+// occurrences and window-tests each against the other; if both intervals
+// have more than maxEnumeration occurrences it conservatively returns true
+// whenever the envelopes overlap.
+func Intersects(a, b *Interval) bool {
+	if a.Start >= b.End() || b.Start >= a.End() {
+		return false
+	}
+	if len(a.Periods) == 0 && len(b.Periods) == 0 {
+		return true // envelopes overlap and both are solid
+	}
+	if a.Occurrences() > b.Occurrences() {
+		a, b = b, a
+	}
+	if a.Occurrences() > maxEnumeration {
+		return true // conservative
+	}
+	hit := false
+	a.forEachOccurrence(func(s int64) bool {
+		if b.overlapsWindow(s, a.Dur) {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// forEachOccurrence calls fn with each occurrence start in increasing order;
+// fn returning false stops the walk.
+func (iv *Interval) forEachOccurrence(fn func(start int64) bool) {
+	n := len(iv.Periods)
+	k := make([]int64, n)
+	for {
+		s := iv.Start
+		for i, p := range iv.Periods {
+			s += k[i] * p.A
+		}
+		if !fn(s) {
+			return
+		}
+		i := 0
+		for ; i < n; i++ {
+			k[i]++
+			if k[i] < iv.Periods[i].Count {
+				break
+			}
+			k[i] = 0
+		}
+		if i == n {
+			return
+		}
+	}
+}
+
+// String renders the interval compactly for diagnostics.
+func (iv *Interval) String() string {
+	return fmt.Sprintf("%s[size=%d start=%d dur=%d periods=%v]",
+		iv.Name, iv.Size, iv.Start, iv.Dur, iv.Periods)
+}
+
+// SortByStart sorts intervals by ascending start time (ties: longer duration
+// first, then name for determinism).
+func SortByStart(ivs []*Interval) {
+	sort.SliceStable(ivs, func(i, j int) bool {
+		a, b := ivs[i], ivs[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		return a.Name < b.Name
+	})
+}
+
+// SortByDuration sorts intervals by descending total live span (envelope
+// length), the "ffdur" ordering; ties broken by start then name.
+func SortByDuration(ivs []*Interval) {
+	sort.SliceStable(ivs, func(i, j int) bool {
+		a, b := ivs[i], ivs[j]
+		da, db := a.End()-a.Start, b.End()-b.Start
+		if da != db {
+			return da > db
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Name < b.Name
+	})
+}

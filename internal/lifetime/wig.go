@@ -1,0 +1,72 @@
+package lifetime
+
+// WIG is the weighted intersection graph of an enumerated instance of buffer
+// lifetimes (Sec. 9.1): node i is intervals[i], weighted by its size, with an
+// edge between two nodes iff their lifetimes overlap in time.
+type WIG struct {
+	Intervals []*Interval
+	// Adj[i] lists the indices of intervals whose lifetimes intersect
+	// intervals[i], in ascending order.
+	Adj [][]int
+}
+
+// BuildWIG constructs the weighted intersection graph for the given
+// enumerated instance (order is preserved; the caller chooses the
+// enumeration). Pairwise tests are pruned by envelope disjointness.
+func BuildWIG(intervals []*Interval) *WIG {
+	n := len(intervals)
+	w := &WIG{Intervals: intervals, Adj: make([][]int, n)}
+	// Sweep candidates by envelope; O(n^2) worst case but cheap tests first.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Intersects(intervals[i], intervals[j]) {
+				w.Adj[i] = append(w.Adj[i], j)
+				w.Adj[j] = append(w.Adj[j], i)
+			}
+		}
+	}
+	return w
+}
+
+// MCWOptimistic returns the optimistic maximum-clique-weight estimate (mco):
+// the clique weight is evaluated only at the earliest start time of each
+// interval, using the exact periodic liveness test. The true MCW may occur at
+// a later periodic occurrence, so this can under-estimate.
+func MCWOptimistic(intervals []*Interval) int64 {
+	var best int64
+	for _, iv := range intervals {
+		t := iv.Start
+		var w int64
+		for _, other := range intervals {
+			if other.LiveAt(t) {
+				w += other.Size
+			}
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// MCWPessimistic returns the pessimistic estimate (mcp): periodicity is
+// ignored and every interval is treated as live over its whole envelope
+// [Start, End). The maximum overlap of solid intervals occurs at some
+// interval's start time, so evaluating the start times is exact for the
+// relaxed instance.
+func MCWPessimistic(intervals []*Interval) int64 {
+	var best int64
+	for _, iv := range intervals {
+		t := iv.Start
+		var w int64
+		for _, other := range intervals {
+			if other.Start <= t && t < other.End() {
+				w += other.Size
+			}
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}

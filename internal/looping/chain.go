@@ -1,0 +1,259 @@
+// Package looping implements the loop-hierarchy post-optimizations of the
+// paper: GDPPO, the dynamic programming post optimization for the non-shared
+// buffer model (EQ 2/3); SDPPO, the shared-model heuristic DP (EQ 5) with the
+// Sec. 5.1 factoring heuristic; and the precise chain-structured DP with
+// (left, cost, right) triples of Sec. 6.
+//
+// All three take an SDF graph, its repetitions vector and a lexical ordering
+// (a topological sort of the precedence graph) and return both a cost
+// estimate and a nested single appearance schedule realizing the chosen
+// parenthesization.
+package looping
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// chain precomputes everything the DPs need about a lexical ordering.
+type chain struct {
+	g     *sdf.Graph
+	q     sdf.Repetitions
+	order []sdf.ActorID
+	pos   []int // pos[actor] = index in order
+	// gcd[i][j] = gcd of q over order[i..j].
+	gcd [][]int64
+	// outAt[i] lists edges whose lexically-earlier endpoint is at position i;
+	// edges are stored with their position span (lo < hi).
+	spans []edgeSpan
+	byLo  [][]int // indices into spans by lo position
+	byHi  [][]int // indices into spans by hi position
+}
+
+type edgeSpan struct {
+	lo, hi int
+	tnse   int64
+	delay  int64
+}
+
+func newChain(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *chain {
+	n := len(order)
+	c := &chain{g: g, q: q, order: order, pos: make([]int, g.NumActors())}
+	for i, a := range order {
+		c.pos[a] = i
+	}
+	c.gcd = make([][]int64, n)
+	for i := 0; i < n; i++ {
+		c.gcd[i] = make([]int64, n)
+		g := int64(0)
+		for j := i; j < n; j++ {
+			g = gcd64(g, q[order[j]])
+			c.gcd[i][j] = g
+		}
+	}
+	c.byLo = make([][]int, n)
+	c.byHi = make([][]int, n)
+	for _, e := range g.Edges() {
+		lo, hi := c.pos[e.Src], c.pos[e.Dst]
+		if lo == hi {
+			continue // self loop: no split ever separates it
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		idx := len(c.spans)
+		c.spans = append(c.spans, edgeSpan{
+			lo: lo, hi: hi,
+			tnse:  sdf.TNSE(g, q, e.ID),
+			delay: e.Delay,
+		})
+		c.byLo[lo] = append(c.byLo[lo], idx)
+		c.byHi[hi] = append(c.byHi[hi], idx)
+	}
+	return c
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// crossing returns the summed TNSE and delay of edges crossing the split
+// between positions k and k+1 within the window [i..j], plus the number of
+// such edges. O(E); used only during schedule reconstruction.
+func (c *chain) crossing(i, j, k int) (tnse, delay int64, count int) {
+	for _, sp := range c.spans {
+		if sp.lo >= i && sp.hi <= j && sp.lo <= k && sp.hi > k {
+			tnse += sp.tnse
+			delay += sp.delay
+			count++
+		}
+	}
+	return
+}
+
+// forEachSplit visits every split position k in [i, j) of the window [i..j]
+// in ascending order, passing the split cost (EQ 3 extended with delays: sum
+// over crossing edges of TNSE(e)/gcd(i..j) + del(e)) and the number of
+// crossing edges. TNSE is always divisible by the gcd because the gcd
+// divides the producer's repetition count. The sweep is incremental, so a
+// full DP over all windows costs O(n^3 + n^2 * E/n) rather than O(n^3 * E).
+func (c *chain) forEachSplit(i, j int, fn func(k int, cost int64, count int)) {
+	g := c.gcd[i][j]
+	var tnse, delay int64
+	count := 0
+	for k := i; k < j; k++ {
+		for _, idx := range c.byLo[k] {
+			if sp := c.spans[idx]; sp.hi <= j {
+				tnse += sp.tnse
+				delay += sp.delay
+				count++
+			}
+		}
+		for _, idx := range c.byHi[k] {
+			if sp := c.spans[idx]; sp.lo >= i {
+				tnse -= sp.tnse
+				delay -= sp.delay
+				count--
+			}
+		}
+		fn(k, tnse/g+delay, count)
+	}
+}
+
+// buildSchedule reconstructs the nested SAS from a split table. split[i][j]
+// holds the chosen k for the window [i..j]. factorOf decides the loop factor
+// assigned to window [i..j] given the factor already applied outside it.
+func (c *chain) buildSchedule(split [][]int, factorOf func(i, j int, outer int64) int64) *sched.Schedule {
+	var build func(i, j int, outer int64) *sched.Node
+	build = func(i, j int, outer int64) *sched.Node {
+		if i == j {
+			return sched.Leaf(c.q[c.order[i]]/outer, c.order[i])
+		}
+		f := factorOf(i, j, outer)
+		k := split[i][j]
+		left := build(i, k, outer*f)
+		right := build(k+1, j, outer*f)
+		return sched.Loop(f, left, right)
+	}
+	root := build(0, len(c.order)-1, 1)
+	return &sched.Schedule{Graph: c.g, Body: []*sched.Node{root}}
+}
+
+// alwaysFactor gives window [i..j] its full gcd loop factor (Fact 1 says this
+// never hurts under the non-shared model).
+func (c *chain) alwaysFactor(i, j int, outer int64) int64 {
+	return c.gcd[i][j] / outer
+}
+
+// factorIfInternalEdges is the Sec. 5.1 heuristic: factor only when at least
+// one edge crosses the chosen split of the window — otherwise looping the two
+// halves together merely destroys lifetime disjointness.
+func (c *chain) factorIfInternalEdges(split [][]int) func(i, j int, outer int64) int64 {
+	return func(i, j int, outer int64) int64 {
+		if _, _, count := c.crossing(i, j, split[i][j]); count == 0 {
+			return 1
+		}
+		return c.gcd[i][j] / outer
+	}
+}
+
+// Result is the outcome of a loop-hierarchy optimization.
+type Result struct {
+	// Cost is the DP's objective value: total buffer memory (EQ 1) for the
+	// non-shared model, or the shared-overlay estimate (EQ 5 / Sec. 6) for
+	// the shared models.
+	Cost int64
+	// Schedule is the nested single appearance schedule realizing the
+	// optimal parenthesization for the given lexical order.
+	Schedule *sched.Schedule
+}
+
+// DPPO computes an order-optimal nested SAS under the non-shared buffer
+// model (EQ 2/3). The returned cost is the buffer memory requirement
+// bufmem(S) of the schedule for delayless graphs; with delays it is an upper
+// bound (delay tokens are charged on every crossing edge).
+func DPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
+	c := newChain(g, q, order)
+	n := len(order)
+	if n == 0 {
+		return &Result{Schedule: &sched.Schedule{Graph: g}}
+	}
+	b := make([][]int64, n)
+	split := make([][]int, n)
+	for i := range b {
+		b[i] = make([]int64, n)
+		split[i] = make([]int, n)
+	}
+	for span := 1; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best := int64(-1)
+			bestK := i
+			c.forEachSplit(i, j, func(k int, cost int64, _ int) {
+				v := b[i][k] + b[k+1][j] + cost
+				if best < 0 || v < best {
+					best, bestK = v, k
+				}
+			})
+			b[i][j] = best
+			split[i][j] = bestK
+		}
+	}
+	if n == 1 {
+		return &Result{Cost: 0, Schedule: sched.FlatSAS(g, q, order)}
+	}
+	return &Result{Cost: b[0][n-1], Schedule: c.buildSchedule(split, c.alwaysFactor)}
+}
+
+// SDPPO computes a nested SAS under the shared (coarse-grained) buffer model
+// using the heuristic DP of EQ 5: the two halves of a split are assumed to
+// overlay perfectly (max instead of sum) and the crossing buffers are charged
+// in full. Loop factors follow the Sec. 5.1 internal-edge heuristic.
+func SDPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
+	c := newChain(g, q, order)
+	n := len(order)
+	if n == 0 {
+		return &Result{Schedule: &sched.Schedule{Graph: g}}
+	}
+	if n == 1 {
+		return &Result{Cost: 0, Schedule: sched.FlatSAS(g, q, order)}
+	}
+	b := make([][]int64, n)
+	split := make([][]int, n)
+	for i := range b {
+		b[i] = make([]int64, n)
+		split[i] = make([]int, n)
+	}
+	for span := 1; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best := int64(-1)
+			bestK := i
+			c.forEachSplit(i, j, func(k int, cost int64, _ int) {
+				m := b[i][k]
+				if r := b[k+1][j]; r > m {
+					m = r
+				}
+				v := m + cost
+				if best < 0 || v < best {
+					best, bestK = v, k
+				}
+			})
+			b[i][j] = best
+			split[i][j] = bestK
+		}
+	}
+	return &Result{Cost: b[0][n-1], Schedule: c.buildSchedule(split, c.factorIfInternalEdges(split))}
+}
+
+// ErrNotChain reports that the precise DP was applied to a lexical ordering
+// under which the graph is not chain-structured.
+var ErrNotChain = fmt.Errorf("looping: graph is not chain-structured under this order")

@@ -1,0 +1,110 @@
+package looping
+
+import (
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+// TestChainSDPPOWithDelays: the precise DP accepts delay-carrying chain
+// edges and charges them on the crossing cost.
+func TestChainSDPPOWithDelays(t *testing.T) {
+	g := sdf.New("dchain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 1)
+	g.AddEdge(b, c, 1, 3, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChainSDPPO(g, q, []sdf.ActorID{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(q); err != nil {
+		t.Fatalf("schedule %s invalid: %v", res.Schedule, err)
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %d", res.Cost)
+	}
+}
+
+// TestDPPOSingleEdge: the smallest nontrivial chain.
+func TestDPPOSingleEdge(t *testing.T) {
+	g := sdf.New("pair")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 3, 2, 0)
+	q, _ := g.Repetitions() // (2, 3)
+	res := DPPO(g, q, []sdf.ActorID{a, b})
+	// One window, one split: cost = TNSE/gcd(2,3) = 6.
+	if res.Cost != 6 {
+		t.Errorf("cost = %d, want 6", res.Cost)
+	}
+	bm, _ := res.Schedule.BufMem()
+	if bm != 6 {
+		t.Errorf("bufmem = %d, want 6", bm)
+	}
+}
+
+// TestDPPOFactorsCommonDivisor: the fully-factored schedule divides crossing
+// buffers by the subchain gcd.
+func TestDPPOFactorsCommonDivisor(t *testing.T) {
+	g := sdf.New("fact")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	q := sdf.Repetitions{6, 6}
+	res := DPPO(g, q, []sdf.ActorID{a, b})
+	// gcd 6: schedule (6AB), buffer 1.
+	if res.Cost != 1 {
+		t.Errorf("cost = %d, want 1", res.Cost)
+	}
+	if got := res.Schedule.String(); got != "(6AB)" {
+		t.Errorf("schedule = %q, want (6AB)", got)
+	}
+}
+
+// TestParallelEdgesBothCharged: two edges between the same actors both
+// contribute to the split cost.
+func TestParallelEdgesBothCharged(t *testing.T) {
+	g := sdf.New("par")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 2, 2, 0)
+	g.AddEdge(a, b, 3, 3, 0)
+	q := sdf.Repetitions{1, 1}
+	res := DPPO(g, q, []sdf.ActorID{a, b})
+	if res.Cost != 5 {
+		t.Errorf("cost = %d, want 5 (2 + 3)", res.Cost)
+	}
+	bm, _ := res.Schedule.BufMem()
+	if bm != 5 {
+		t.Errorf("bufmem = %d, want 5", bm)
+	}
+}
+
+// TestSDPPOOverlayBeatsSum: with three independent pipelines feeding one
+// sink-side chain position, SDPPO's max-based accounting must be at most
+// DPPO's sum-based one.
+func TestSDPPOOverlayBeatsSum(t *testing.T) {
+	g := sdf.New("cmp")
+	var ids []sdf.ActorID
+	for _, n := range []string{"A", "B", "C", "D"} {
+		ids = append(ids, g.AddActor(n))
+	}
+	g.AddEdge(ids[0], ids[1], 4, 1, 0)
+	g.AddEdge(ids[1], ids[2], 1, 2, 0)
+	g.AddEdge(ids[2], ids[3], 1, 2, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := SDPPO(g, q, ids)
+	dp := DPPO(g, q, ids)
+	if sd.Cost > dp.Cost {
+		t.Errorf("sdppo estimate %d above dppo %d — overlay model should never charge more", sd.Cost, dp.Cost)
+	}
+}

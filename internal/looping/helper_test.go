@@ -1,0 +1,35 @@
+package looping
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/sched"
+	"repro/internal/schedtree"
+	"repro/internal/sdf"
+)
+
+// allocSchedule runs lifetimes + best first-fit on a schedule, returning the
+// total shared memory.
+func allocSchedule(t *testing.T, g *sdf.Graph, q sdf.Repetitions, s *sched.Schedule) int64 {
+	t.Helper()
+	tr, err := schedtree.FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := int64(-1)
+	for _, strat := range []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart} {
+		a := alloc.Allocate(ivs, strat)
+		if err := a.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || a.Total < best {
+			best = a.Total
+		}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+// Package merge implements buffer merging, the technique announced in
+// Sec. 12 of the paper as the dual of lifetime analysis: an actor that is
+// guaranteed to consume its inputs before producing its outputs (formalized
+// through the consume-before-produce, CBP, parameter) lets the output buffer
+// occupy the very cells its inputs just vacated. Lifetime analysis shares
+// buffers whose lives are disjoint in time; buffer merging overlaps an
+// input/output pair across a single actor even while both are live.
+//
+// The model here: each actor has a CBP policy. ReadFirst actors (sample-by-
+// sample operators such as gains, adders, FIR taps) finish consuming before
+// the first output token is written, so during their firing the input tokens
+// of that firing are already dead. Overlap actors (block transforms like an
+// in-place-unsafe FFT) keep inputs live until the firing completes.
+//
+// For a candidate (input edge, actor, output edge) triple the merged buffer
+// requirement is the maximum, over a schedule period, of the combined live
+// token count with the firing-granularity accounting above — never more than
+// the sum of the two separate buffers, and often much less.
+package merge
+
+import (
+	"sort"
+
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// Policy is an actor's consume-before-produce behaviour.
+type Policy int
+
+const (
+	// ReadFirst: every input token of a firing is consumed before any
+	// output token is produced (CBP = cons).
+	ReadFirst Policy = iota
+	// Overlap: outputs are produced while the firing's inputs are still
+	// live (CBP = 0); merging across this actor saves nothing.
+	Overlap
+)
+
+// Candidate is one potential merge of an input/output buffer pair across an
+// actor.
+type Candidate struct {
+	Actor   sdf.ActorID
+	In, Out sdf.EdgeID
+	// MaxIn/MaxOut are the separate per-edge maxima over the period;
+	// MaxJoint is the maximum of the combined live count under the CBP
+	// accounting. Gain = MaxIn + MaxOut - MaxJoint >= 0.
+	MaxIn, MaxOut, MaxJoint int64
+	Gain                    int64
+}
+
+// Candidates evaluates every (in, actor, out) triple of the graph under the
+// given schedule. policy(a) defaults to ReadFirst when nil.
+func Candidates(s *sched.Schedule, policy func(sdf.ActorID) Policy) []Candidate {
+	g := s.Graph
+	var out []Candidate
+	for _, actor := range g.Actors() {
+		if policy != nil && policy(actor.ID) == Overlap {
+			continue
+		}
+		for _, in := range g.In(actor.ID) {
+			for _, o := range g.Out(actor.ID) {
+				if g.Edge(in).Src == actor.ID || g.Edge(o).Dst == actor.ID {
+					continue // self loops cannot merge across themselves
+				}
+				c := evaluate(s, actor.ID, in, o)
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Gain != out[j].Gain {
+			return out[i].Gain > out[j].Gain
+		}
+		if out[i].In != out[j].In {
+			return out[i].In < out[j].In
+		}
+		return out[i].Out < out[j].Out
+	})
+	return out
+}
+
+// evaluate simulates one period at firing granularity, tracking only the two
+// edges of interest. Consumption is applied before production within each
+// firing — the ReadFirst semantics for the merge actor itself, and the same
+// assumption for any third actor that happens to touch both edges.
+func evaluate(s *sched.Schedule, actor sdf.ActorID, in, out sdf.EdgeID) Candidate {
+	g := s.Graph
+	ein, eout := g.Edge(in), g.Edge(out)
+	wIn, wOut := ein.Words, eout.Words
+	if wIn < 1 {
+		wIn = 1
+	}
+	if wOut < 1 {
+		wOut = 1
+	}
+	tin, tout := ein.Delay, eout.Delay
+	c := Candidate{Actor: actor, In: in, Out: out,
+		MaxIn: tin * wIn, MaxOut: tout * wOut, MaxJoint: tin*wIn + tout*wOut}
+	observe := func() {
+		if tin*wIn > c.MaxIn {
+			c.MaxIn = tin * wIn
+		}
+		if tout*wOut > c.MaxOut {
+			c.MaxOut = tout * wOut
+		}
+		if j := tin*wIn + tout*wOut; j > c.MaxJoint {
+			c.MaxJoint = j
+		}
+	}
+	s.ForEachFiring(func(a sdf.ActorID) bool {
+		// Consume first (for everyone: consumption frees space).
+		if ein.Dst == a {
+			tin -= ein.Cons
+		}
+		if eout.Dst == a {
+			tout -= eout.Cons
+		}
+		if ein.Src == a {
+			tin += ein.Prod
+		}
+		if eout.Src == a {
+			tout += eout.Prod
+		}
+		observe()
+		return true
+	})
+	c.Gain = c.MaxIn + c.MaxOut - c.MaxJoint
+	if c.Gain < 0 {
+		c.Gain = 0
+	}
+	return c
+}
+
+// Plan greedily selects a set of merges with positive gain such that every
+// edge participates in at most one merge.
+func Plan(candidates []Candidate) []Candidate {
+	used := map[sdf.EdgeID]bool{}
+	var plan []Candidate
+	for _, c := range candidates {
+		if c.Gain <= 0 || used[c.In] || used[c.Out] {
+			continue
+		}
+		used[c.In] = true
+		used[c.Out] = true
+		plan = append(plan, c)
+	}
+	return plan
+}
+
+// Apply folds a merge plan into a set of per-edge lifetime intervals
+// (indexed by edge ID): each merged pair becomes a single conservative
+// interval — live over the union envelope of the two originals, sized at the
+// joint maximum — and the originals are removed. The returned slice is a
+// fresh enumeration (no longer indexed by edge ID).
+func Apply(intervals []*lifetime.Interval, plan []Candidate) []*lifetime.Interval {
+	merged := make(map[sdf.EdgeID]bool)
+	var out []*lifetime.Interval
+	for _, p := range plan {
+		a, b := intervals[p.In], intervals[p.Out]
+		start := a.Start
+		if b.Start < start {
+			start = b.Start
+		}
+		end := a.End()
+		if b.End() > end {
+			end = b.End()
+		}
+		out = append(out, &lifetime.Interval{
+			Name:  a.Name + "+" + b.Name,
+			Size:  p.MaxJoint,
+			Start: start,
+			Dur:   end - start,
+		})
+		merged[p.In] = true
+		merged[p.Out] = true
+	}
+	for id, iv := range intervals {
+		if !merged[sdf.EdgeID(id)] {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package merge
+
+import (
+	"testing"
+
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// gainChain builds A -> F -> B with unit rates and q = (n, n, n): a
+// sample-by-sample pipeline where merging across F should leave the joint
+// requirement at max(in) + ... specifically with the flat schedule
+// (nA)(nF)(nB): in fills to n, drains as F fires while out fills — joint max
+// = n + 1? Let's compute in the tests against hand-derived values.
+func gainChain(t *testing.T, n int64) (*sdf.Graph, *sched.Schedule) {
+	t.Helper()
+	g := sdf.New("gain")
+	a := g.AddActor("A")
+	f := g.AddActor("F")
+	b := g.AddActor("B")
+	g.AddEdge(a, f, 1, 1, 0)
+	g.AddEdge(f, b, 1, 1, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, _ := g.TopologicalSort(q)
+	qn := make(sdf.Repetitions, len(q))
+	for i := range q {
+		qn[i] = q[i] * n
+	}
+	return g, sched.FlatSAS(g, qn, order)
+}
+
+func TestEvaluateFlatPipeline(t *testing.T) {
+	// Flat schedule (4A)(4F)(4B): the input buffer peaks at 4 just before F
+	// starts; each F firing consumes one input THEN produces one output, so
+	// the joint count stays at 4 throughout F's burst; B then drains.
+	// Separate buffers: 4 + 4 = 8. Merged: 4. Gain 4.
+	g, s := gainChain(t, 4)
+	f := g.MustActor("F")
+	c := evaluate(s, f, 0, 1)
+	if c.MaxIn != 4 || c.MaxOut != 4 {
+		t.Errorf("separate maxima = %d/%d, want 4/4", c.MaxIn, c.MaxOut)
+	}
+	if c.MaxJoint != 4 {
+		t.Errorf("joint max = %d, want 4", c.MaxJoint)
+	}
+	if c.Gain != 4 {
+		t.Errorf("gain = %d, want 4", c.Gain)
+	}
+}
+
+func TestCandidatesOrderingAndPolicy(t *testing.T) {
+	g, s := gainChain(t, 3)
+	f := g.MustActor("F")
+	cands := Candidates(s, nil)
+	if len(cands) != 1 {
+		t.Fatalf("%d candidates, want 1", len(cands))
+	}
+	if cands[0].Actor != f {
+		t.Errorf("candidate actor = %v", cands[0].Actor)
+	}
+	// Overlap policy suppresses the candidate.
+	none := Candidates(s, func(a sdf.ActorID) Policy {
+		if a == f {
+			return Overlap
+		}
+		return ReadFirst
+	})
+	if len(none) != 0 {
+		t.Errorf("Overlap actor still produced %d candidates", len(none))
+	}
+}
+
+func TestJointNeverExceedsSum(t *testing.T) {
+	// Property: MaxJoint <= MaxIn + MaxOut always, so Gain >= 0.
+	for _, n := range []int64{1, 2, 5, 9} {
+		_, s := gainChain(t, n)
+		for _, c := range Candidates(s, nil) {
+			if c.MaxJoint > c.MaxIn+c.MaxOut {
+				t.Errorf("n=%d: joint %d > %d+%d", n, c.MaxJoint, c.MaxIn, c.MaxOut)
+			}
+			if c.Gain < 0 {
+				t.Errorf("n=%d: negative gain", n)
+			}
+		}
+	}
+}
+
+func TestMultirateMerge(t *testing.T) {
+	// A -(2,3)-> F -(1,1)-> B: q = (3,2,2). Flat schedule (3A)(2F)(2B).
+	// in peaks at 6; each F firing: consume 3, produce 1.
+	// After F1: in 3, out 1 (joint 4); after F2: in 0, out 2. Initial joint
+	// peak is 6 (before F fires). Joint max = 6; separate = 6 + 2 = 8.
+	g := sdf.New("mr")
+	a := g.AddActor("A")
+	f := g.AddActor("F")
+	b := g.AddActor("B")
+	g.AddEdge(a, f, 2, 3, 0)
+	g.AddEdge(f, b, 1, 1, 0)
+	q, _ := g.Repetitions()
+	order, _ := g.TopologicalSort(q)
+	s := sched.FlatSAS(g, q, order)
+	c := evaluate(s, f, 0, 1)
+	if c.MaxIn != 6 || c.MaxOut != 2 || c.MaxJoint != 6 {
+		t.Errorf("got in/out/joint = %d/%d/%d, want 6/2/6", c.MaxIn, c.MaxOut, c.MaxJoint)
+	}
+	if c.Gain != 2 {
+		t.Errorf("gain = %d, want 2", c.Gain)
+	}
+}
+
+func TestPlanDisjointEdges(t *testing.T) {
+	// Chain A->F->G->B: candidates (A->F, F->G) across F and (F->G, G->B)
+	// across G share edge F->G; the plan must keep only one.
+	g := sdf.New("chain4")
+	a := g.AddActor("A")
+	f := g.AddActor("F")
+	h := g.AddActor("G")
+	b := g.AddActor("B")
+	g.AddEdge(a, f, 1, 1, 0)
+	g.AddEdge(f, h, 1, 1, 0)
+	g.AddEdge(h, b, 1, 1, 0)
+	q := sdf.Repetitions{4, 4, 4, 4}
+	order, _ := g.TopologicalSort(q)
+	s := sched.FlatSAS(g, q, order)
+	cands := Candidates(s, nil)
+	if len(cands) != 2 {
+		t.Fatalf("%d candidates, want 2", len(cands))
+	}
+	plan := Plan(cands)
+	if len(plan) != 1 {
+		t.Errorf("plan kept %d merges, want 1 (edge conflict)", len(plan))
+	}
+}
+
+func TestApplyFoldsIntervals(t *testing.T) {
+	ivIn := &lifetime.Interval{Name: "A->F", Size: 4, Start: 0, Dur: 8}
+	ivOut := &lifetime.Interval{Name: "F->B", Size: 4, Start: 4, Dur: 8}
+	other := &lifetime.Interval{Name: "X->Y", Size: 2, Start: 0, Dur: 2}
+	plan := []Candidate{{In: 0, Out: 1, MaxJoint: 5, Gain: 3}}
+	out := Apply([]*lifetime.Interval{ivIn, ivOut, other}, plan)
+	if len(out) != 2 {
+		t.Fatalf("%d intervals, want 2", len(out))
+	}
+	m := out[0]
+	if m.Size != 5 || m.Start != 0 || m.Dur != 12 {
+		t.Errorf("merged interval = %v, want size 5 span [0,12)", m)
+	}
+	if m.Name != "A->F+F->B" {
+		t.Errorf("name = %q", m.Name)
+	}
+	if out[1] != other {
+		t.Error("unmerged interval lost")
+	}
+}
+
+func TestSelfLoopExcluded(t *testing.T) {
+	g := sdf.New("self")
+	a := g.AddActor("A")
+	f := g.AddActor("F")
+	g.AddEdge(a, f, 1, 1, 0)
+	g.AddEdge(f, f, 1, 1, 1)
+	q := sdf.Repetitions{2, 2}
+	order := []sdf.ActorID{a, f}
+	s := sched.FlatSAS(g, q, order)
+	for _, c := range Candidates(s, nil) {
+		if c.In == c.Out {
+			t.Error("self-pair candidate emitted")
+		}
+		if g.Edge(c.In).Src == f && g.Edge(c.In).Dst == f {
+			t.Error("self loop used as merge input")
+		}
+	}
+}

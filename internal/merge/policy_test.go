@@ -1,0 +1,103 @@
+package merge
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// TestMultiPortActor: an actor with two inputs and two outputs yields four
+// candidates, one per (in, out) pair.
+func TestMultiPortActor(t *testing.T) {
+	g := sdf.New("multi")
+	x := g.AddActor("X")
+	y := g.AddActor("Y")
+	f := g.AddActor("F")
+	p := g.AddActor("P")
+	q := g.AddActor("Q")
+	g.AddEdge(x, f, 1, 1, 0)
+	g.AddEdge(y, f, 1, 1, 0)
+	g.AddEdge(f, p, 1, 1, 0)
+	g.AddEdge(f, q, 1, 1, 0)
+	reps := sdf.Repetitions{2, 2, 2, 2, 2}
+	order, err := g.TopologicalSort(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.FlatSAS(g, reps, order)
+	cands := Candidates(s, nil)
+	count := 0
+	for _, c := range cands {
+		if c.Actor == f {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("F yields %d candidates, want 4", count)
+	}
+	// Plan must not reuse any edge.
+	plan := Plan(cands)
+	seen := map[sdf.EdgeID]bool{}
+	for _, c := range plan {
+		if seen[c.In] || seen[c.Out] {
+			t.Fatalf("plan reuses an edge: %+v", plan)
+		}
+		seen[c.In] = true
+		seen[c.Out] = true
+	}
+}
+
+// TestPerActorPolicy: Overlap on one actor suppresses only its candidates.
+func TestPerActorPolicy(t *testing.T) {
+	g := sdf.New("pol")
+	a := g.AddActor("A")
+	f := g.AddActor("F")
+	h := g.AddActor("G")
+	b := g.AddActor("B")
+	g.AddEdge(a, f, 1, 1, 0)
+	g.AddEdge(f, h, 1, 1, 0)
+	g.AddEdge(h, b, 1, 1, 0)
+	reps := sdf.Repetitions{3, 3, 3, 3}
+	order, _ := g.TopologicalSort(reps)
+	s := sched.FlatSAS(g, reps, order)
+	cands := Candidates(s, func(id sdf.ActorID) Policy {
+		if id == f {
+			return Overlap
+		}
+		return ReadFirst
+	})
+	for _, c := range cands {
+		if c.Actor == f {
+			t.Errorf("Overlap actor F produced candidate %+v", c)
+		}
+	}
+	if len(cands) == 0 {
+		t.Error("ReadFirst actor G should still produce candidates")
+	}
+}
+
+// TestVectorEdgeWeighting: candidates on vector edges measure gains in
+// words, not tokens.
+func TestVectorEdgeWeighting(t *testing.T) {
+	g := sdf.New("vw")
+	a := g.AddActor("A")
+	f := g.AddActor("F")
+	b := g.AddActor("B")
+	in := g.AddEdge(a, f, 1, 1, 0)
+	out := g.AddEdge(f, b, 1, 1, 0)
+	g.SetWords(in, 10)
+	reps := sdf.Repetitions{4, 4, 4}
+	order, _ := g.TopologicalSort(reps)
+	s := sched.FlatSAS(g, reps, order)
+	c := evaluate(s, f, in, out)
+	if c.MaxIn != 40 { // 4 tokens * 10 words
+		t.Errorf("MaxIn = %d, want 40", c.MaxIn)
+	}
+	if c.MaxOut != 4 {
+		t.Errorf("MaxOut = %d, want 4", c.MaxOut)
+	}
+	if c.MaxJoint > c.MaxIn+c.MaxOut {
+		t.Errorf("joint %d exceeds sum", c.MaxJoint)
+	}
+}

@@ -1,0 +1,92 @@
+// Package randsdf generates random consistent acyclic SDF graphs for the
+// Sec. 10.3 experiments. Consistency is obtained by construction: a target
+// repetitions vector is drawn first and every edge's rates are derived from
+// it, so the balance equations hold by definition.
+package randsdf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sdf"
+)
+
+// Config controls graph generation.
+type Config struct {
+	// Actors is the number of actors (>= 1).
+	Actors int
+	// EdgeProb is the probability of an edge between each forward-ordered
+	// actor pair within the window; defaults to enough for (on average) ~1.5
+	// edges per actor when zero.
+	EdgeProb float64
+	// Window limits how far apart (in the generation order) connected actors
+	// may be; small windows yield chain-like graphs. 0 means Actors.
+	Window int
+	// Reps is the pool of repetition counts actors draw from; defaults to
+	// {1,2,3,4,6,8,12}.
+	Reps []int64
+}
+
+// Graph draws a random consistent acyclic SDF graph. Every generated graph
+// is weakly connected (a spanning chain of edges is forced), delayless, and
+// has rates bounded by max(Reps).
+func Graph(rng *rand.Rand, cfg Config) *sdf.Graph {
+	if cfg.Actors < 1 {
+		panic("randsdf: need at least one actor")
+	}
+	reps := cfg.Reps
+	if len(reps) == 0 {
+		reps = []int64{1, 2, 3, 4, 6, 8, 12}
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = cfg.Actors
+	}
+	prob := cfg.EdgeProb
+	if prob <= 0 {
+		prob = minF(1.0, 1.5/float64(window))
+	}
+	g := sdf.New(fmt.Sprintf("rand%d", cfg.Actors))
+	q := make([]int64, cfg.Actors)
+	for i := 0; i < cfg.Actors; i++ {
+		g.AddActor(fmt.Sprintf("a%d", i))
+		q[i] = reps[rng.Intn(len(reps))]
+	}
+	addEdge := func(i, j int) {
+		gg := gcd64(q[i], q[j])
+		// prod*q_i = cons*q_j  <=>  prod = q_j/g, cons = q_i/g.
+		g.AddEdge(sdf.ActorID(i), sdf.ActorID(j), q[j]/gg, q[i]/gg, 0)
+	}
+	// Random-parent tree for weak connectivity: unlike a spanning chain it
+	// leaves genuine topological-order freedom, which the ordering-strategy
+	// experiments (Sec. 10.1, Fig. 27 e/f) depend on.
+	for i := 1; i < cfg.Actors; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		addEdge(lo+rng.Intn(i-lo), i)
+	}
+	for i := 0; i < cfg.Actors; i++ {
+		for j := i + 1; j < cfg.Actors && j <= i+window; j++ {
+			if rng.Float64() < prob {
+				addEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

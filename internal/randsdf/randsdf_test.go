@@ -1,0 +1,90 @@
+package randsdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sdf"
+)
+
+func TestGraphConsistentByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := Graph(rng, Config{Actors: 2 + rng.Intn(30)})
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := g.TopologicalSort(q); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestGraphSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 5, 20, 100} {
+		g := Graph(rng, Config{Actors: n})
+		if g.NumActors() != n {
+			t.Errorf("asked %d actors, got %d", n, g.NumActors())
+		}
+		if n > 1 && g.NumEdges() < n-1 {
+			t.Errorf("graph with %d actors has only %d edges (not connected)", n, g.NumEdges())
+		}
+	}
+}
+
+func TestGraphDeterministicPerSeed(t *testing.T) {
+	a := Graph(rand.New(rand.NewSource(7)), Config{Actors: 12})
+	b := Graph(rand.New(rand.NewSource(7)), Config{Actors: 12})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea, eb := a.Edge(sdf.EdgeID(i)), b.Edge(sdf.EdgeID(i))
+		if ea != eb {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestGraphWindowLimitsSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Graph(rng, Config{Actors: 30, Window: 3, EdgeProb: 1})
+	for _, e := range g.Edges() {
+		if int(e.Dst)-int(e.Src) > 3 {
+			t.Errorf("edge %d spans %d..%d beyond window", e.ID, e.Src, e.Dst)
+		}
+	}
+}
+
+func TestGraphQuickProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		actors := 1 + int(n%40)
+		g := Graph(rand.New(rand.NewSource(seed)), Config{Actors: actors})
+		q, err := g.Repetitions()
+		if err != nil {
+			return false
+		}
+		// Balance must hold on every edge.
+		for _, e := range g.Edges() {
+			if e.Prod*q[e.Src] != e.Cons*q[e.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphPanicsOnZeroActors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero actors")
+		}
+	}()
+	Graph(rand.New(rand.NewSource(1)), Config{})
+}

@@ -1,0 +1,28 @@
+package regularity_test
+
+import (
+	"fmt"
+
+	"repro/internal/regularity"
+)
+
+// ExampleOptimalLooping compresses the paper's Sec. 12 MAC sequence.
+func ExampleOptimalLooping() {
+	seq := []string{"G", "G", "A", "G", "A", "G", "A"}
+	term := regularity.OptimalLooping(seq, 1)
+	fmt.Println(term, "size", term.Size(1))
+	// Output: G(3GA) size 4
+}
+
+// ExampleFIR expands the Fig. 29 higher-order Chain specification.
+func ExampleFIR() {
+	g := regularity.FIR(4)
+	fmt.Println(g.Name, g.NumActors(), "actors")
+	// Output: fir4 9 actors
+}
+
+// ExampleClassLabel strips instance numbering.
+func ExampleClassLabel() {
+	fmt.Println(regularity.ClassLabel("G12"), regularity.ClassLabel("add_3"))
+	// Output: G add
+}

@@ -1,0 +1,250 @@
+// Package regularity implements the Sec. 12 future-work machinery of the
+// paper: detecting regularity in fine-grained graphical specifications and
+// exploiting it for compact looped code.
+//
+// Two pieces:
+//
+//   - OptimalLooping — the dynamic programming algorithm (the paper's
+//     reference [2]) that organizes loops optimally over a given sequence of
+//     actor appearances: representing different instantiations of the same
+//     basic actor by one class label, it finds the minimum-code-size looped
+//     representation, e.g. G G A G A G A -> G (3 (G A)).
+//
+//   - Chain — the higher-order function of Fig. 29: it instantiates a
+//     parameterized block n times and connects the instances in series,
+//     which is how scalable fine-grained structures such as the Fig. 28 FIR
+//     filter are specified compactly.
+package regularity
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sdf"
+)
+
+// Term is a node of a looped label sequence: either a single label
+// (Body == nil) or a loop of Count over Body. Count >= 1.
+type Term struct {
+	Count int
+	Label string
+	Body  []*Term
+}
+
+// Size is the code-size metric: one unit per label appearance plus
+// loopOverhead units for every loop with Count > 1 (matching the inline
+// code-generation model where a loop costs its control instructions once).
+func (t *Term) Size(loopOverhead int) int {
+	s := 0
+	if t.Body == nil {
+		s = 1
+	} else {
+		for _, b := range t.Body {
+			s += b.Size(loopOverhead)
+		}
+	}
+	if t.Count > 1 {
+		s += loopOverhead
+	}
+	return s
+}
+
+// Expand returns the flat label sequence the term denotes.
+func (t *Term) Expand() []string {
+	var out []string
+	var one []string
+	if t.Body == nil {
+		one = []string{t.Label}
+	} else {
+		for _, b := range t.Body {
+			one = append(one, b.Expand()...)
+		}
+	}
+	for i := 0; i < t.Count; i++ {
+		out = append(out, one...)
+	}
+	return out
+}
+
+// String renders the term in the paper's schedule notation.
+func (t *Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t *Term) write(b *strings.Builder) {
+	if t.Body == nil {
+		if t.Count > 1 {
+			fmt.Fprintf(b, "(%d%s)", t.Count, t.Label)
+			return
+		}
+		b.WriteString(t.Label)
+		return
+	}
+	if t.Count > 1 {
+		fmt.Fprintf(b, "(%d", t.Count)
+	}
+	for _, x := range t.Body {
+		x.write(b)
+	}
+	if t.Count > 1 {
+		b.WriteString(")")
+	}
+}
+
+// seqTerm wraps a body list as a count-1 term, flattening nested singletons.
+func seqTerm(body []*Term) *Term {
+	if len(body) == 1 {
+		return body[0]
+	}
+	return &Term{Count: 1, Body: body}
+}
+
+// OptimalLooping finds a minimum-code-size looped representation of the
+// label sequence using O(n^3) dynamic programming: a window is either split
+// into two optimal halves or, when it is k >= 2 exact repetitions of its
+// leading period, wrapped in a loop around the optimal representation of
+// that period.
+func OptimalLooping(seq []string, loopOverhead int) *Term {
+	n := len(seq)
+	if n == 0 {
+		return &Term{Count: 1, Body: []*Term{}}
+	}
+	type cell struct {
+		size int
+		term *Term
+	}
+	dp := make([][]cell, n)
+	for i := range dp {
+		dp[i] = make([]cell, n)
+		dp[i][i] = cell{size: 1, term: &Term{Count: 1, Label: seq[i]}}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span-1 < n; i++ {
+			j := i + span - 1
+			best := cell{size: -1}
+			// Binary splits.
+			for k := i; k < j; k++ {
+				s := dp[i][k].size + dp[k+1][j].size
+				if best.size < 0 || s < best.size {
+					left, right := dp[i][k].term, dp[k+1][j].term
+					var body []*Term
+					body = append(body, flatten(left)...)
+					body = append(body, flatten(right)...)
+					best = cell{size: s, term: seqTerm(body)}
+				}
+			}
+			// Periodic wrap: seq[i..j] = count repetitions of period p.
+			for p := 1; p <= span/2; p++ {
+				if span%p != 0 {
+					continue
+				}
+				if !isPeriodic(seq, i, j, p) {
+					continue
+				}
+				inner := dp[i][i+p-1]
+				s := inner.size + loopOverhead
+				if s < best.size {
+					t := &Term{Count: span / p, Body: flatten(inner.term)}
+					if len(t.Body) == 1 && t.Body[0].Body == nil && t.Body[0].Count == 1 {
+						t = &Term{Count: span / p, Label: t.Body[0].Label}
+					}
+					best = cell{size: s, term: t}
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+	return dp[0][n-1].term
+}
+
+// flatten splices a count-1 sequence term into its parent's body.
+func flatten(t *Term) []*Term {
+	if t.Count == 1 && t.Body != nil {
+		return t.Body
+	}
+	return []*Term{t}
+}
+
+// isPeriodic reports whether seq[i..j] repeats with period p.
+func isPeriodic(seq []string, i, j, p int) bool {
+	for k := i + p; k <= j; k++ {
+		if seq[k] != seq[k-p] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassLabel maps an instance name such as "G12" or "add_3" to its actor
+// class by stripping a trailing run of digits (and a separating underscore).
+func ClassLabel(name string) string {
+	end := len(name)
+	for end > 0 && name[end-1] >= '0' && name[end-1] <= '9' {
+		end--
+	}
+	if end > 1 && name[end-1] == '_' {
+		end--
+	}
+	if end == 0 {
+		return name
+	}
+	return name[:end]
+}
+
+// CollapseLabels maps a sequence of instance names to class labels.
+func CollapseLabels(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = ClassLabel(n)
+	}
+	return out
+}
+
+// BlockBuilder instantiates one block of a higher-order Chain: it adds the
+// block's actors to the graph and returns the block's chain-input and
+// chain-output actors.
+type BlockBuilder func(g *sdf.Graph, index int) (in, out sdf.ActorID)
+
+// Chain is the higher-order function of Fig. 29: it instantiates n blocks
+// and connects out(i) -> in(i+1) with unit rates, returning the chain's
+// overall input and output actors.
+func Chain(g *sdf.Graph, n int, build BlockBuilder) (in, out sdf.ActorID) {
+	if n < 1 {
+		panic("regularity: Chain needs n >= 1")
+	}
+	first, prev := sdf.ActorID(-1), sdf.ActorID(-1)
+	for i := 0; i < n; i++ {
+		bi, bo := build(g, i)
+		if i == 0 {
+			first = bi
+		} else {
+			g.AddEdge(prev, bi, 1, 1, 0)
+		}
+		prev = bo
+	}
+	return first, prev
+}
+
+// FIR builds the Fig. 28 fine-grained FIR filter of the given length using
+// Chain over MAC blocks (a gain feeding an adder), plus a broadcast source
+// for the tapped input signal and a sink: x -> [G_i -> A_i] chain -> y.
+func FIR(taps int) *sdf.Graph {
+	g := sdf.New(fmt.Sprintf("fir%d", taps))
+	x := g.AddActor("x")
+	_, out := Chain(g, taps, func(g *sdf.Graph, i int) (sdf.ActorID, sdf.ActorID) {
+		gain := g.AddActor(fmt.Sprintf("G%d", i))
+		g.AddEdge(x, gain, 1, 1, 0)
+		if i == 0 {
+			// First block has no partial sum input; the gain is both ends.
+			return gain, gain
+		}
+		add := g.AddActor(fmt.Sprintf("A%d", i-1))
+		g.AddEdge(gain, add, 1, 1, 0)
+		return add, add
+	})
+	y := g.AddActor("y")
+	g.AddEdge(out, y, 1, 1, 0)
+	return g
+}

@@ -1,0 +1,184 @@
+package regularity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+func TestOptimalLoopingPaperExample(t *testing.T) {
+	// Sec. 12: schedule G0 G1 A0 G2 A1 ... Gn An-1 collapses to G n(G A).
+	seq := []string{"G", "G", "A", "G", "A", "G", "A"}
+	term := OptimalLooping(seq, 1)
+	got := term.String()
+	if got != "G(3GA)" {
+		t.Errorf("looped form = %q, want G(3GA)", got)
+	}
+	if term.Size(1) != 4 { // G + loop overhead + G + A
+		t.Errorf("size = %d, want 4", term.Size(1))
+	}
+}
+
+func TestOptimalLoopingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := []string{"a", "b", "c"}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(14)
+		seq := make([]string, n)
+		for i := range seq {
+			seq[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		term := OptimalLooping(seq, 1)
+		back := term.Expand()
+		if len(back) != len(seq) {
+			t.Fatalf("trial %d: expanded %d labels, want %d (%v -> %s)",
+				trial, len(back), len(seq), seq, term)
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				t.Fatalf("trial %d: expansion mismatch at %d: %v -> %s", trial, i, seq, term)
+			}
+		}
+		// Optimality sanity: never larger than the flat sequence.
+		if term.Size(1) > n {
+			t.Fatalf("trial %d: size %d exceeds flat %d", trial, term.Size(1), n)
+		}
+	}
+}
+
+func TestOptimalLoopingPureRepetition(t *testing.T) {
+	seq := []string{"a", "a", "a", "a", "a", "a"}
+	term := OptimalLooping(seq, 1)
+	if term.String() != "(6a)" {
+		t.Errorf("got %q, want (6a)", term)
+	}
+	if term.Size(1) != 2 {
+		t.Errorf("size = %d, want 2", term.Size(1))
+	}
+}
+
+func TestOptimalLoopingNestedRepetition(t *testing.T) {
+	// (ab ab ab) x3? Sequence abababab c abababab c -> (2((4(ab))c)).
+	base := []string{"a", "b", "a", "b", "a", "b", "a", "b", "c"}
+	var seq []string
+	seq = append(seq, base...)
+	seq = append(seq, base...)
+	term := OptimalLooping(seq, 1)
+	want := len(seq)
+	if got := len(term.Expand()); got != want {
+		t.Fatalf("expansion length %d, want %d", got, want)
+	}
+	// Optimal size: loop2 { loop4 {a b} c } = 2 + (2 + 2) + 1... a,b,c = 3
+	// labels + 2 loops * overhead 1 = 5.
+	if term.Size(1) != 5 {
+		t.Errorf("size = %d (%s), want 5", term.Size(1), term)
+	}
+}
+
+func TestOptimalLoopingHighOverheadPrefersFlat(t *testing.T) {
+	// With a huge loop overhead, looping aa is not worth it.
+	seq := []string{"a", "a"}
+	term := OptimalLooping(seq, 10)
+	if term.String() != "aa" {
+		t.Errorf("got %q, want flat aa", term)
+	}
+}
+
+func TestOptimalLoopingEmpty(t *testing.T) {
+	term := OptimalLooping(nil, 1)
+	if len(term.Expand()) != 0 {
+		t.Error("empty sequence should expand to nothing")
+	}
+}
+
+func TestClassLabel(t *testing.T) {
+	cases := map[string]string{
+		"G12":   "G",
+		"A0":    "A",
+		"add_3": "add",
+		"x":     "x",
+		"42":    "42", // pure digits keep their name
+		"t_in":  "t_in",
+	}
+	for in, want := range cases {
+		if got := ClassLabel(in); got != want {
+			t.Errorf("ClassLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFIRStructure(t *testing.T) {
+	g := FIR(4)
+	// Actors: x, G0..G3, A0..A2, y = 1 + 4 + 3 + 1 = 9.
+	if got := g.NumActors(); got != 9 {
+		t.Errorf("FIR(4) has %d actors, want 9", got)
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range q {
+		if v != 1 {
+			t.Errorf("q[%d] = %d, want 1 (homogeneous FIR)", i, v)
+		}
+	}
+	if _, err := g.TopologicalSort(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIRScheduleCompactsToMACLoop(t *testing.T) {
+	// Schedule the fine-grained FIR in its natural order, collapse instance
+	// labels, and verify that optimal looping recovers the compact
+	// x G (n-1)(G A) y structure of Sec. 12.
+	g := FIR(6)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopologicalSort(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.FlatSAS(g, q, order)
+	var names []string
+	s.ForEachFiring(func(a sdf.ActorID) bool {
+		names = append(names, g.Actor(a).Name)
+		return true
+	})
+	labels := CollapseLabels(names)
+	term := OptimalLooping(labels, 1)
+	if !strings.Contains(term.String(), "(5GA)") && !strings.Contains(term.String(), "(5AG)") {
+		t.Errorf("looped FIR schedule %q does not contain the MAC loop", term)
+	}
+	// Code size must be far below the flat 14-appearance schedule.
+	if term.Size(1) >= len(labels) {
+		t.Errorf("no compression: size %d vs flat %d", term.Size(1), len(labels))
+	}
+}
+
+func TestChainPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Chain(0) did not panic")
+		}
+	}()
+	FIR(0)
+}
+
+func TestCompiledFIRMemory(t *testing.T) {
+	// The homogeneous FIR also benefits from shared allocation.
+	g := FIR(8)
+	res, err := core.Compile(g, core.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.SharedTotal >= res.Metrics.NonSharedBufMem {
+		t.Errorf("FIR: shared %d >= non-shared %d",
+			res.Metrics.SharedTotal, res.Metrics.NonSharedBufMem)
+	}
+}

@@ -1,0 +1,153 @@
+package rpmc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+func TestOrderChain(t *testing.T) {
+	g := sdf.New("chain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 0)
+	g.AddEdge(b, c, 1, 3, 0)
+	q, _ := g.Repetitions()
+	order, err := Order(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != a || order[1] != b || order[2] != c {
+		t.Errorf("order = %v, want [A B C]", order)
+	}
+}
+
+func TestOrderIsTopological(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		g, q := randomDAG(t, rng, 3+rng.Intn(10))
+		order, err := Order(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(order) != g.NumActors() {
+			t.Fatalf("trial %d: order %v misses actors", trial, order)
+		}
+		flat := sched.FlatSAS(g, q, order)
+		if err := flat.Validate(q); err != nil {
+			t.Fatalf("trial %d: order %v is not a valid schedule order: %v", trial, order, err)
+		}
+	}
+}
+
+// TestCutPrefersCheapEdge: on a chain with one very cheap edge, the top cut
+// should cross it rather than an expensive one when balance permits.
+func TestCutPrefersCheapEdge(t *testing.T) {
+	// A -(10,10)-> B -(1,1)-> C -(10,10)-> D: all q = 1, crossing TNSE are
+	// 10, 1, 10. With balance bounds 1..3 on 4 nodes, cut at B|C (cost 1)
+	// must win; the resulting lexical order is still A B C D, but the
+	// recursion structure is what we verify via the cut function directly.
+	g := sdf.New("cheap")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 10, 10, 0)
+	g.AddEdge(b, c, 1, 1, 0)
+	g.AddEdge(c, d, 10, 10, 0)
+	q, _ := g.Repetitions()
+	p := &partitioner{g: g, q: q}
+	left, right, err := p.minLegalCut([]sdf.ActorID{a, b, c, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 || len(right) != 2 {
+		t.Fatalf("cut = %v | %v, want 2|2", left, right)
+	}
+	if left[0] != a || left[1] != b {
+		t.Errorf("left = %v, want [A B]", left)
+	}
+}
+
+func TestCutLegality(t *testing.T) {
+	// All cuts must keep precedence edges left-to-right even when a cheaper
+	// illegal cut exists.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		g, q := randomDAG(t, rng, 4+rng.Intn(8))
+		p := &partitioner{g: g, q: q}
+		all := make([]sdf.ActorID, g.NumActors())
+		for i := range all {
+			all[i] = sdf.ActorID(i)
+		}
+		left, right, err := p.minLegalCut(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inLeft := map[sdf.ActorID]bool{}
+		for _, a := range left {
+			inLeft[a] = true
+		}
+		for _, a := range right {
+			if inLeft[a] {
+				t.Fatalf("trial %d: actor %d on both sides", trial, a)
+			}
+		}
+		if len(left)+len(right) != g.NumActors() {
+			t.Fatalf("trial %d: cut loses actors", trial)
+		}
+		for _, e := range g.Edges() {
+			if sdf.PrecedenceEdge(g, q, e.ID) && !inLeft[e.Src] && inLeft[e.Dst] {
+				t.Fatalf("trial %d: precedence edge %d crosses right-to-left", trial, e.ID)
+			}
+		}
+	}
+}
+
+func TestSingleAndPair(t *testing.T) {
+	g := sdf.New("pair")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 3, 2, 0)
+	q, _ := g.Repetitions()
+	order, err := Order(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != a {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func randomDAG(t testing.TB, rng *rand.Rand, n int) (*sdf.Graph, sdf.Repetitions) {
+	t.Helper()
+	g := sdf.New("rand")
+	reps := make([]int64, n)
+	for i := 0; i < n; i++ {
+		g.AddActor(string(rune('A' + i)))
+		reps[i] = []int64{1, 2, 3, 4, 6, 8}[rng.Intn(6)]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				gg := gcd64(reps[i], reps[j])
+				g.AddEdge(sdf.ActorID(i), sdf.ActorID(j), reps[j]/gg, reps[i]/gg, 0)
+			}
+		}
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("random graph inconsistent: %v", err)
+	}
+	return g, q
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,173 @@
+// Package runtime executes a compiled SDF system on real data: actor
+// behaviour is supplied as Go functions, tokens are float64 samples, and all
+// buffering happens inside the single shared memory image produced by the
+// allocator — the software analogue of running the generated C on a DSP.
+//
+// Each edge buffer lives at its allocated offset with modulo addressing
+// (cursor arithmetic identical to the generated C), so executing a system
+// here exercises exactly the memory behaviour the paper's synthesis flow
+// commits to.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sdf"
+)
+
+// Fire is one actor's behaviour for a single firing: inputs holds the
+// consumed tokens per input edge (in g.In order, cns(e) values each); the
+// returned slice must hold prd(e) tokens per output edge (in g.Out order).
+type Fire func(inputs [][]float64) [][]float64
+
+// Engine executes a compiled result period by period.
+type Engine struct {
+	res   *core.Result
+	fires map[sdf.ActorID]Fire
+	mem   []float64
+	edges []edgeState
+}
+
+type edgeState struct {
+	offset, size int64
+	rd, wr       int64
+	count        int64
+}
+
+// New builds an engine for a verified compilation result. Actors without an
+// entry in fires get the default behaviour: every output token is the sum of
+// all consumed tokens (sources emit 0).
+func New(res *core.Result, fires map[sdf.ActorID]Fire) (*Engine, error) {
+	g := res.Graph
+	e := &Engine{
+		res:   res,
+		fires: fires,
+		mem:   make([]float64, res.Best.Total),
+		edges: make([]edgeState, g.NumEdges()),
+	}
+	for _, ed := range g.Edges() {
+		if ed.Words > 1 {
+			return nil, fmt.Errorf("runtime: edge %d uses %d-word tokens; the float64 engine supports scalar tokens only",
+				ed.ID, ed.Words)
+		}
+		iv := res.Intervals[ed.ID]
+		off, ok := res.Best.OffsetOf(iv)
+		if !ok {
+			return nil, fmt.Errorf("runtime: edge %d has no placement", ed.ID)
+		}
+		st := &e.edges[ed.ID]
+		st.offset, st.size = off, iv.Size
+		st.count = ed.Delay
+		// Initial tokens are zeros, occupying the first del cells.
+		st.wr = ed.Delay
+	}
+	return e, nil
+}
+
+// Mem exposes the shared memory image (for inspection; do not resize).
+func (e *Engine) Mem() []float64 { return e.mem }
+
+// TokensOn returns the tokens currently queued on an edge, oldest first.
+func (e *Engine) TokensOn(edge sdf.EdgeID) []float64 {
+	st := &e.edges[edge]
+	out := make([]float64, st.count)
+	for i := int64(0); i < st.count; i++ {
+		out[i] = e.mem[st.offset+(st.rd+i)%st.size]
+	}
+	return out
+}
+
+// Push appends tokens to an edge's queue (useful to seed non-zero initial
+// token values before the first period).
+func (e *Engine) Push(edge sdf.EdgeID, values ...float64) error {
+	st := &e.edges[edge]
+	if st.count+int64(len(values)) > st.size {
+		return fmt.Errorf("runtime: pushing %d tokens overflows edge %d (count %d, size %d)",
+			len(values), edge, st.count, st.size)
+	}
+	for _, v := range values {
+		e.mem[st.offset+st.wr%st.size] = v
+		st.wr++
+		st.count++
+	}
+	return nil
+}
+
+// RunPeriod executes one complete schedule period.
+func (e *Engine) RunPeriod() error {
+	g := e.res.Graph
+	var failure error
+	ok := e.res.Schedule.ForEachFiring(func(a sdf.ActorID) bool {
+		if err := e.fire(a); err != nil {
+			failure = fmt.Errorf("runtime: firing %s: %w", g.Actor(a).Name, err)
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return failure
+	}
+	return nil
+}
+
+func (e *Engine) fire(a sdf.ActorID) error {
+	g := e.res.Graph
+	ins := g.In(a)
+	outs := g.Out(a)
+	inputs := make([][]float64, len(ins))
+	for i, eid := range ins {
+		ed := g.Edge(eid)
+		st := &e.edges[eid]
+		if st.count < ed.Cons {
+			return fmt.Errorf("edge %d underflow: have %d, need %d", eid, st.count, ed.Cons)
+		}
+		vals := make([]float64, ed.Cons)
+		for k := int64(0); k < ed.Cons; k++ {
+			vals[k] = e.mem[st.offset+st.rd%st.size]
+			st.rd++
+		}
+		st.count -= ed.Cons
+		inputs[i] = vals
+	}
+	var outputs [][]float64
+	if f := e.fires[a]; f != nil {
+		outputs = f(inputs)
+		if len(outputs) != len(outs) {
+			return fmt.Errorf("actor returned %d output vectors, want %d", len(outputs), len(outs))
+		}
+	} else {
+		var sum float64
+		for _, vals := range inputs {
+			for _, v := range vals {
+				sum += v
+			}
+		}
+		outputs = make([][]float64, len(outs))
+		for i, eid := range outs {
+			vals := make([]float64, g.Edge(eid).Prod)
+			for k := range vals {
+				vals[k] = sum
+			}
+			outputs[i] = vals
+		}
+	}
+	for i, eid := range outs {
+		ed := g.Edge(eid)
+		st := &e.edges[eid]
+		if int64(len(outputs[i])) != ed.Prod {
+			return fmt.Errorf("actor produced %d tokens on edge %d, want %d",
+				len(outputs[i]), eid, ed.Prod)
+		}
+		if st.count+ed.Prod > st.size {
+			return fmt.Errorf("edge %d overflow: count %d + %d > capacity %d",
+				eid, st.count, ed.Prod, st.size)
+		}
+		for _, v := range outputs[i] {
+			e.mem[st.offset+st.wr%st.size] = v
+			st.wr++
+		}
+		st.count += ed.Prod
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regularity"
+	"repro/internal/sdf"
+)
+
+func compile(t *testing.T, g *sdf.Graph) *core.Result {
+	t.Helper()
+	res, err := core.CompileGeneral(g, core.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChainArithmetic drives a 1->2->(3:1) chain with explicit functions and
+// checks every produced value.
+func TestChainArithmetic(t *testing.T) {
+	g := sdf.New("arith")
+	src := g.AddActor("src")
+	dbl := g.AddActor("dbl")
+	sum := g.AddActor("sum")
+	e0 := g.AddEdge(src, dbl, 2, 1, 0) // src emits 2 per firing
+	e1 := g.AddEdge(dbl, sum, 1, 3, 0) // sum folds 3
+	res := compile(t, g)
+	q := res.Repetitions
+	if q[src] != 3 || q[dbl] != 6 || q[sum] != 2 {
+		t.Fatalf("q = %v", q)
+	}
+	n := 0.0
+	eng, err := New(res, map[sdf.ActorID]Fire{
+		src: func([][]float64) [][]float64 {
+			n += 2
+			return [][]float64{{n - 1, n}} // 1,2 then 3,4 then 5,6
+		},
+		dbl: func(in [][]float64) [][]float64 {
+			return [][]float64{{2 * in[0][0]}}
+		},
+		sum: func(in [][]float64) [][]float64 {
+			return nil // sink: no outputs
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track what sum consumes by wrapping: easier to inspect edge e1 before
+	// the sink drains... instead make sum record.
+	var seen []float64
+	eng.fires[sum] = func(in [][]float64) [][]float64 {
+		seen = append(seen, in[0]...)
+		return nil
+	}
+	if err := eng.RunPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6, 8, 10, 12}
+	if len(seen) != len(want) {
+		t.Fatalf("sink saw %v", seen)
+	}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("token %d = %v, want %v", i, seen[i], w)
+		}
+	}
+	_ = e0
+	_ = e1
+}
+
+// TestFIRWeightedSum executes the fine-grained Fig. 28 FIR on real samples:
+// with no tap delays the structure computes y[n] = x[n] * sum(h).
+func TestFIRWeightedSum(t *testing.T) {
+	const taps = 5
+	h := []float64{0.5, -1, 2, 0.25, 3}
+	g := regularity.FIR(taps)
+	res := compile(t, g)
+
+	sample := 0.0
+	fires := map[sdf.ActorID]Fire{}
+	x := g.MustActor("x")
+	fires[x] = func([][]float64) [][]float64 {
+		sample++
+		out := make([][]float64, len(g.Out(x)))
+		for i := range out {
+			out[i] = []float64{sample}
+		}
+		return out
+	}
+	for i := 0; i < taps; i++ {
+		hi := h[i]
+		gi := g.MustActor(gName(i))
+		fires[gi] = func(in [][]float64) [][]float64 {
+			out := make([][]float64, len(g.Out(gi)))
+			for k := range out {
+				out[k] = []float64{hi * in[0][0]}
+			}
+			return out
+		}
+	}
+	var got []float64
+	y := g.MustActor("y")
+	fires[y] = func(in [][]float64) [][]float64 {
+		got = append(got, in[0][0])
+		return nil
+	}
+	eng, err := New(res, fires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hsum float64
+	for _, v := range h {
+		hsum += v
+	}
+	for p := 0; p < 4; p++ {
+		if err := eng.RunPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("y saw %d samples, want 4", len(got))
+	}
+	for i, v := range got {
+		want := float64(i+1) * hsum
+		if math.Abs(v-want) > 1e-9 {
+			t.Errorf("y[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func gName(i int) string {
+	return string(rune('G')) + itoa(i)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestAccumulatorFeedback runs an IIR accumulator y[n] = x[n] + y[n-1] built
+// from a feedback loop, seeding the delay token with Push.
+func TestAccumulatorFeedback(t *testing.T) {
+	g := sdf.New("acc")
+	src := g.AddActor("src")
+	add := g.AddActor("add")
+	tap := g.AddActor("tap")
+	g.AddEdge(src, add, 1, 1, 0)
+	fb := g.AddEdge(tap, add, 1, 1, 1) // y[n-1], one initial token
+	g.AddEdge(add, tap, 1, 1, 0)
+	res := compile(t, g)
+
+	n := 0.0
+	var ys []float64
+	eng, err := New(res, map[sdf.ActorID]Fire{
+		src: func([][]float64) [][]float64 {
+			n++
+			return [][]float64{{n}}
+		},
+		add: func(in [][]float64) [][]float64 {
+			y := in[0][0] + in[1][0]
+			return [][]float64{{y}}
+		},
+		tap: func(in [][]float64) [][]float64 {
+			ys = append(ys, in[0][0])
+			return [][]float64{{in[0][0]}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the feedback token with 10 (overrides the zero initial value).
+	st := &eng.edges[fb]
+	eng.mem[st.offset] = 10
+	for p := 0; p < 5; p++ {
+		if err := eng.RunPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// y[n] = 10 + 1 + 2 + ... + n
+	want := 10.0
+	for i, y := range ys {
+		want += float64(i + 1)
+		if y != want {
+			t.Errorf("y[%d] = %v, want %v", i, y, want)
+		}
+	}
+}
+
+// TestArityChecks: wrong output shapes are rejected.
+func TestArityChecks(t *testing.T) {
+	g := sdf.New("bad")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 2, 1, 0)
+	res := compile(t, g)
+	eng, err := New(res, map[sdf.ActorID]Fire{
+		a: func([][]float64) [][]float64 {
+			return [][]float64{{1}} // should be 2 tokens
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunPeriod(); err == nil {
+		t.Error("short production accepted")
+	}
+
+	eng2, _ := New(res, map[sdf.ActorID]Fire{
+		a: func([][]float64) [][]float64 {
+			return nil // wrong vector count
+		},
+	})
+	if err := eng2.RunPeriod(); err == nil {
+		t.Error("missing output vector accepted")
+	}
+}
+
+// TestDefaultFireSums: with no functions, outputs carry the input sum.
+func TestDefaultFireSums(t *testing.T) {
+	g := sdf.New("dflt")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 1, 1, 0)
+	e := g.AddEdge(b, c, 1, 2, 0)
+	res := compile(t, g)
+	eng, err := New(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	_ = e
+	// Everything is zeros (source emits 0); the run completing with all
+	// counts back at initial state is the assertion.
+	for i, st := range eng.edges {
+		want := res.Graph.Edge(sdf.EdgeID(i)).Delay
+		if st.count != want {
+			t.Errorf("edge %d ends with %d tokens, want %d", i, st.count, want)
+		}
+	}
+}
+
+// TestPushOverflow: seeding beyond capacity is rejected.
+func TestPushOverflow(t *testing.T) {
+	g := sdf.New("push")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	e := g.AddEdge(a, b, 1, 1, 1)
+	res := compile(t, g)
+	eng, err := New(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := res.Intervals[e].Size
+	extra := make([]float64, cap) // already 1 delay token inside
+	if err := eng.Push(e, extra...); err == nil {
+		t.Error("overflowing Push accepted")
+	}
+	if got := eng.TokensOn(e); len(got) != 1 {
+		t.Errorf("TokensOn = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+// TestDeepNestingFirings: firing counts multiply through arbitrarily deep
+// loop nests.
+func TestDeepNestingFirings(t *testing.T) {
+	g := sdf.New("deep")
+	a := g.AddActor("A")
+	// ((2((3((4A)))))): counts 2*3*4 = 24.
+	s := MustParse(g, "(2(3(4A)))")
+	f := s.Firings()
+	if f[a] != 24 {
+		t.Errorf("A fires %d, want 24", f[a])
+	}
+	var steps int
+	s.ForEachFiring(func(sdf.ActorID) bool { steps++; return true })
+	if steps != 24 {
+		t.Errorf("expanded %d firings, want 24", steps)
+	}
+}
+
+// TestParseVeryDeep: the parser handles deep recursion gracefully.
+func TestParseVeryDeep(t *testing.T) {
+	g := sdf.New("d")
+	g.AddActor("A")
+	text := strings.Repeat("(2", 50) + "A" + strings.Repeat(")", 50)
+	s, err := Parse(g, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Firings()
+	want := int64(1) << 50
+	if f[0] != want {
+		t.Errorf("fires %d, want 2^50", f[0])
+	}
+}
+
+// TestSimulateSelfLoop: a self loop with sufficient delay executes; the
+// token count never rises above its initial value under consume-first
+// semantics... with simultaneous production the net is zero.
+func TestSimulateSelfLoop(t *testing.T) {
+	g := sdf.New("self")
+	a := g.AddActor("A")
+	g.AddEdge(a, a, 2, 2, 2)
+	q := sdf.Repetitions{3}
+	s := MustParse(g, "(3A)")
+	if err := s.Validate(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTokens[0] != 2 {
+		t.Errorf("self-loop peak %d, want 2", res.MaxTokens[0])
+	}
+}
+
+// TestSimulateSelfLoopUnderflow: insufficient self-loop delay deadlocks.
+func TestSimulateSelfLoopUnderflow(t *testing.T) {
+	g := sdf.New("selfbad")
+	a := g.AddActor("A")
+	g.AddEdge(a, a, 2, 2, 1)
+	s := MustParse(g, "A")
+	if _, err := s.Simulate(); err == nil {
+		t.Error("self loop with short delay executed")
+	}
+}
+
+// TestStringOmitsUnitCounts: rendering drops redundant 1s but keeps
+// structure.
+func TestStringOmitsUnitCounts(t *testing.T) {
+	g := sdf.New("fmt")
+	g.AddActor("A")
+	g.AddActor("B")
+	s := &Schedule{Graph: g, Body: []*Node{
+		Loop(1, Leaf(1, 0), Leaf(2, 1)),
+	}}
+	if got := s.String(); got != "(A(2B))" {
+		t.Errorf("String = %q, want (A(2B))", got)
+	}
+}
+
+// TestBufMemWeightsWords: EQ 1 scales by per-token footprints.
+func TestBufMemWeightsWords(t *testing.T) {
+	g := sdf.New("w")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	e := g.AddEdge(a, b, 2, 1, 0)
+	g.SetWords(e, 10)
+	q := sdf.Repetitions{1, 2}
+	s := MustParse(g, "A(2B)")
+	if err := s.Validate(q); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := s.BufMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm != 20 { // peak 2 tokens * 10 words
+		t.Errorf("BufMem = %d, want 20", bm)
+	}
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+// FuzzParse feeds arbitrary text to the schedule parser; it must never
+// panic, and whenever it succeeds the printed form must re-parse to the
+// same firing sequence.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(3A)(6B)(2C)",
+		"(3A(2B))(2C)",
+		"3A6B2C",
+		"((((A))))",
+		"(24(11(4A)B)C)",
+		"A B C",
+		"(2(3B)(5C))(7A)",
+		"(((",
+		"42",
+		"(0A)",
+		"A2B",
+	} {
+		f.Add(seed)
+	}
+	g := sdf.New("fuzz")
+	for _, n := range []string{"A", "B", "C"} {
+		g.AddActor(n)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(g, text)
+		if err != nil {
+			return
+		}
+		printed := s.String()
+		s2, err := Parse(g, printed)
+		if err != nil {
+			t.Fatalf("printed form %q (from %q) does not re-parse: %v", printed, text, err)
+		}
+		var f1, f2 []sdf.ActorID
+		ok1 := s.ForEachFiring(func(a sdf.ActorID) bool {
+			f1 = append(f1, a)
+			return len(f1) < 10000
+		})
+		ok2 := s2.ForEachFiring(func(a sdf.ActorID) bool {
+			f2 = append(f2, a)
+			return len(f2) < 10000
+		})
+		if ok1 != ok2 || len(f1) != len(f2) {
+			t.Fatalf("firing sequences diverge for %q -> %q", text, printed)
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				t.Fatalf("firing %d differs for %q -> %q", i, text, printed)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/sdf"
+)
+
+// Parse reads a looped schedule in the paper's notation, e.g.
+//
+//	(3A(2B))(2C)
+//	(24(11(4A)B)CGHI(11(4D)E)FKLM10(NSJTUP))(QRV240W)
+//
+// Actor names start with a letter and may contain letters, digits and
+// underscores; a number binds to the single following name or group as its
+// loop count. Whitespace is ignored.
+func Parse(g *sdf.Graph, text string) (*Schedule, error) {
+	p := &parser{g: g, in: text}
+	body, err := p.parseTerms(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("sched: trailing input at offset %d in %q", p.pos, text)
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("sched: empty schedule")
+	}
+	return &Schedule{Graph: g, Body: body}, nil
+}
+
+// MustParse is Parse panicking on error, for tests and static tables.
+func MustParse(g *sdf.Graph, text string) *Schedule {
+	s, err := Parse(g, text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	g   *sdf.Graph
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) parseTerms(inParen bool) ([]*Node, error) {
+	var terms []*Node
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			if inParen {
+				return nil, fmt.Errorf("sched: unterminated loop in %q", p.in)
+			}
+			return terms, nil
+		}
+		if p.in[p.pos] == ')' {
+			if !inParen {
+				return nil, fmt.Errorf("sched: unbalanced ')' at offset %d in %q", p.pos, p.in)
+			}
+			return terms, nil
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+}
+
+func (p *parser) parseTerm() (*Node, error) {
+	p.skipSpace()
+	c := p.in[p.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		count, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return nil, fmt.Errorf("sched: dangling count %d at end of %q", count, p.in)
+		}
+		inner, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return scaled(inner, count), nil
+	case c == '(':
+		p.pos++
+		p.skipSpace()
+		var count int64 = 1
+		if p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+			n, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			count = n
+		}
+		body, err := p.parseTerms(true)
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+			return nil, fmt.Errorf("sched: expected ')' at offset %d in %q", p.pos, p.in)
+		}
+		p.pos++
+		if len(body) == 0 {
+			return nil, fmt.Errorf("sched: empty loop body in %q", p.in)
+		}
+		if len(body) == 1 {
+			return scaled(body[0], count), nil
+		}
+		return Loop(count, body...), nil
+	case isNameStart(c):
+		name := p.parseName()
+		a, ok := p.g.ActorByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sched: unknown actor %q in %q", name, p.in)
+		}
+		return Leaf(1, a.ID), nil
+	default:
+		return nil, fmt.Errorf("sched: unexpected character %q at offset %d in %q", c, p.pos, p.in)
+	}
+}
+
+// scaled multiplies a term's count by n, merging rather than nesting when the
+// result is equivalent (n(1 S) == (n S)).
+func scaled(n64 *Node, count int64) *Node {
+	if count == 1 {
+		return n64
+	}
+	if n64.Count == 1 {
+		c := *n64
+		c.Count = count
+		return &c
+	}
+	return Loop(count, n64)
+}
+
+func (p *parser) parseNumber() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	v, err := strconv.ParseInt(p.in[start:p.pos], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sched: bad number %q: %v", p.in[start:p.pos], err)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("sched: loop count %d < 1", v)
+	}
+	return v, nil
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}
+
+func (p *parser) parseName() string {
+	start := p.pos
+	p.pos++
+	// Greedy multi-character names: extend while the next char is a name
+	// char AND the single-character prefix is not itself an actor while the
+	// extension would be unknown. Names are unambiguous because identifiers
+	// cannot start with a digit; we simply take the longest match that is a
+	// known actor, falling back to the full run.
+	for p.pos < len(p.in) && isNameChar(p.in[p.pos]) {
+		p.pos++
+	}
+	full := p.in[start:p.pos]
+	if _, ok := p.g.ActorByName(full); ok {
+		return full
+	}
+	// Single-letter actor sequences like "CGHI" are written without
+	// separators in the paper; split greedily into known actor names.
+	for end := p.pos - 1; end > start; end-- {
+		prefix := p.in[start:end]
+		if _, ok := p.g.ActorByName(prefix); ok {
+			p.pos = end
+			return prefix
+		}
+	}
+	return full
+}

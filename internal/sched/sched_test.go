@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+// fig2 builds the Fig. 2 graph: A -(2,1)-> B -(1,2)-> C? The paper gives four
+// schedules with non-shared costs 50, 40, 60, 50 for buffers; we instead use
+// the Sec. 4 running example (Fig. 1 rates) whose numbers are fully quoted:
+// A -(2,1)-> B -(1,3)-> C, q = (3,6,2),
+// S1 = (3A)(6B)(2C): max_tokens = 6+6, S2 = (3A(2B))(2C): 2+6 ... the paper
+// says max_tokens((A,B),S1)=7 with a unit delay on (A,B). We model that:
+// del(A,B)=1.
+func fig1(t testing.TB) (*sdf.Graph, sdf.Repetitions) {
+	t.Helper()
+	g := sdf.New("fig1")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 1)
+	g.AddEdge(b, c, 1, 3, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	return g, q
+}
+
+func TestRepetitionsFig1(t *testing.T) {
+	_, q := fig1(t)
+	if q[0] != 3 || q[1] != 6 || q[2] != 2 {
+		t.Fatalf("q = %v, want [3 6 2]", q)
+	}
+}
+
+func TestMaxTokensPaperValues(t *testing.T) {
+	g, q := fig1(t)
+	s1 := MustParse(g, "(3A)(6B)(2C)")
+	if err := s1.Validate(q); err != nil {
+		t.Fatalf("S1 invalid: %v", err)
+	}
+	r1, err := s1.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: max_tokens((A,B), S1) = 7 (6 produced + 1 delay), bufmem = 13.
+	if r1.MaxTokens[0] != 7 {
+		t.Errorf("max_tokens(AB, S1) = %d, want 7", r1.MaxTokens[0])
+	}
+	if r1.MaxTokens[1] != 6 {
+		t.Errorf("max_tokens(BC, S1) = %d, want 6", r1.MaxTokens[1])
+	}
+	if bm, _ := s1.BufMem(); bm != 13 {
+		t.Errorf("bufmem(S1) = %d, want 13", bm)
+	}
+
+	s2 := MustParse(g, "(3A(2B))(2C)")
+	if err := s2.Validate(q); err != nil {
+		t.Fatalf("S2 invalid: %v", err)
+	}
+	r2, err := s2.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: max_tokens((A,B), S2) = 3, bufmem(S2) = 9.
+	if r2.MaxTokens[0] != 3 {
+		t.Errorf("max_tokens(AB, S2) = %d, want 3", r2.MaxTokens[0])
+	}
+	if bm, _ := s2.BufMem(); bm != 9 {
+		t.Errorf("bufmem(S2) = %d, want 9", bm)
+	}
+}
+
+func TestFlatSAS(t *testing.T) {
+	g, q := fig1(t)
+	order, err := g.TopologicalSort(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FlatSAS(g, q, order)
+	if got := s.String(); got != "(3A)(6B)(2C)" {
+		t.Errorf("FlatSAS = %q", got)
+	}
+	if !s.IsSingleAppearance() {
+		t.Error("flat SAS should be single appearance")
+	}
+	if err := s.Validate(q); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	g, _ := fig1(t)
+	for _, text := range []string{
+		"(3A)(6B)(2C)",
+		"(3A(2B))(2C)",
+		"(3(A(2B)))(2C)",
+		"3A6B2C",
+		"(2(3B)(5C))(7A)", // lexorder example from Sec. 4 (counts arbitrary)
+	} {
+		s, err := Parse(g, text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", text, err)
+			continue
+		}
+		// Re-parse of the printed form must expand to the identical firing
+		// sequence.
+		printed := s.String()
+		s2, err := Parse(g, printed)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", printed, text, err)
+			continue
+		}
+		if !sameFirings(s, s2) {
+			t.Errorf("round trip changed firings: %q -> %q", text, printed)
+		}
+	}
+}
+
+func sameFirings(a, b *Schedule) bool {
+	var fa, fb []sdf.ActorID
+	a.ForEachFiring(func(x sdf.ActorID) bool { fa = append(fa, x); return true })
+	b.ForEachFiring(func(x sdf.ActorID) bool { fb = append(fb, x); return true })
+	if len(fa) != len(fb) {
+		return false
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseConcatenatedNames(t *testing.T) {
+	g := sdf.New("letters")
+	for _, n := range []string{"C", "G", "H", "I"} {
+		g.AddActor(n)
+	}
+	s, err := Parse(g, "CGHI")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	order := s.LexOrder()
+	if len(order) != 4 {
+		t.Fatalf("got %d actors, want 4", len(order))
+	}
+	want := []string{"C", "G", "H", "I"}
+	for i, a := range order {
+		if g.Actor(a).Name != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, g.Actor(a).Name, want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	g, _ := fig1(t)
+	for _, bad := range []string{"", "(", ")", "(3A", "3A)", "(3X)", "()", "3", "(0A)"} {
+		if _, err := Parse(g, bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseInlineCount(t *testing.T) {
+	g := sdf.New("sat")
+	for _, n := range []string{"N", "S", "J", "T", "U", "P", "W", "Q", "R", "V"} {
+		g.AddActor(n)
+	}
+	s, err := Parse(g, "(10(NSJTUP))(QRV240W)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := s.Firings()
+	w, _ := g.ActorByName("W")
+	n, _ := g.ActorByName("N")
+	q, _ := g.ActorByName("Q")
+	if f[w.ID] != 240 {
+		t.Errorf("W fires %d, want 240", f[w.ID])
+	}
+	if f[n.ID] != 10 {
+		t.Errorf("N fires %d, want 10", f[n.ID])
+	}
+	if f[q.ID] != 1 {
+		t.Errorf("Q fires %d, want 1", f[q.ID])
+	}
+}
+
+func TestValidateRejectsUnderflow(t *testing.T) {
+	g, q := fig1(t)
+	// C before B: B->C has no delay, so (2C) first underflows.
+	s := MustParse(g, "(2C)(3A)(6B)")
+	if err := s.Validate(q); err == nil {
+		t.Error("expected underflow error")
+	}
+}
+
+func TestValidateRejectsWrongFirings(t *testing.T) {
+	g, q := fig1(t)
+	s := MustParse(g, "(3A)(6B)") // C missing entirely; tokens left on BC
+	if err := s.Validate(q); err == nil {
+		t.Error("expected validation error for missing firings")
+	}
+}
+
+func TestAppearancesAndLexOrder(t *testing.T) {
+	g, _ := fig1(t)
+	s := MustParse(g, "(2(3B)(5C))(7A)")
+	app := s.Appearances()
+	for i, c := range app {
+		if c != 1 {
+			t.Errorf("appearances[%d] = %d", i, c)
+		}
+	}
+	order := s.LexOrder()
+	names := []string{"B", "C", "A"}
+	for i, a := range order {
+		if g.Actor(a).Name != names[i] {
+			t.Errorf("lexorder[%d] = %s, want %s", i, g.Actor(a).Name, names[i])
+		}
+	}
+	if !s.IsSingleAppearance() {
+		t.Error("should be SAS")
+	}
+	multi := MustParse(g, "A(2B)A(4B)(2C)A")
+	if multi.IsSingleAppearance() {
+		t.Error("multi-appearance schedule misclassified")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, _ := fig1(t)
+	s := MustParse(g, "(3A(2B))(2C)")
+	c := s.Body[0].Clone()
+	c.Children[1].Count = 99
+	if s.Body[0].Children[1].Count != 2 {
+		t.Error("Clone shares children")
+	}
+}
+
+func TestLeafLoopPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Leaf(0)", func() { Leaf(0, 0) })
+	mustPanic("Loop(0)", func() { Loop(0, Leaf(1, 0)) })
+	mustPanic("Loop empty", func() { Loop(2) })
+}
+
+func TestForEachFiringEarlyStop(t *testing.T) {
+	g, _ := fig1(t)
+	s := MustParse(g, "(3A)(6B)(2C)")
+	n := 0
+	s.ForEachFiring(func(sdf.ActorID) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Errorf("stopped after %d firings, want 4", n)
+	}
+}
+
+func TestCodeSize(t *testing.T) {
+	g, _ := fig1(t)
+	flat := MustParse(g, "(3A)(6B)(2C)")
+	// 3 appearances + 3 loops (counts 3, 6, 2).
+	if got := flat.CodeSize(1); got != 6 {
+		t.Errorf("flat code size = %d, want 6", got)
+	}
+	nested := MustParse(g, "(3A(2B))(2C)")
+	// 3 appearances + loops 3, 2, 2.
+	if got := nested.CodeSize(1); got != 6 {
+		t.Errorf("nested code size = %d, want 6", got)
+	}
+	multi := MustParse(g, "A(2B)A(4B)(2C)A")
+	// 6 appearances + 3 loops.
+	if got := multi.CodeSize(1); got != 9 {
+		t.Errorf("multi-appearance code size = %d, want 9", got)
+	}
+	if got := flat.CodeSize(0); got != 3 {
+		t.Errorf("zero-overhead code size = %d, want 3", got)
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// SimResult holds the outcome of simulating one period of a schedule.
+type SimResult struct {
+	// MaxTokens[e] is max_tokens(e, S): the maximum number of tokens queued
+	// on edge e at any instant during the period (including initial delays).
+	MaxTokens []int64
+	// FinalTokens[e] is the token count after the period; for a valid
+	// schedule it equals the edge's delay.
+	FinalTokens []int64
+	// Firings[a] is the number of times actor a fired.
+	Firings []int64
+}
+
+// Simulate executes one period of the schedule, tracking the token count of
+// every edge. It returns an error if any firing would consume tokens that are
+// not present (deadlock / invalid schedule).
+func (s *Schedule) Simulate() (*SimResult, error) {
+	g := s.Graph
+	tokens := make([]int64, g.NumEdges())
+	maxTok := make([]int64, g.NumEdges())
+	for _, e := range g.Edges() {
+		tokens[e.ID] = e.Delay
+		maxTok[e.ID] = e.Delay
+	}
+	firings := make([]int64, g.NumActors())
+	var failure error
+	ok := s.ForEachFiring(func(a sdf.ActorID) bool {
+		for _, eid := range g.In(a) {
+			e := g.Edge(eid)
+			if tokens[eid] < e.Cons {
+				failure = fmt.Errorf("sched: firing %s needs %d tokens on edge %d, has %d",
+					g.Actor(a).Name, e.Cons, eid, tokens[eid])
+				return false
+			}
+			tokens[eid] -= e.Cons
+		}
+		for _, eid := range g.Out(a) {
+			e := g.Edge(eid)
+			tokens[eid] += e.Prod
+			if tokens[eid] > maxTok[eid] {
+				maxTok[eid] = tokens[eid]
+			}
+		}
+		firings[a]++
+		return true
+	})
+	if !ok {
+		return nil, failure
+	}
+	return &SimResult{MaxTokens: maxTok, FinalTokens: tokens, Firings: firings}, nil
+}
+
+// Validate checks that the schedule is a valid periodic schedule for its
+// graph: every actor fires exactly q times, no firing underflows an edge, and
+// every edge returns to its initial token count.
+func (s *Schedule) Validate(q sdf.Repetitions) error {
+	res, err := s.Simulate()
+	if err != nil {
+		return err
+	}
+	for a := 0; a < s.Graph.NumActors(); a++ {
+		if res.Firings[a] != q[a] {
+			return fmt.Errorf("sched: actor %s fires %d times, want q=%d",
+				s.Graph.Actor(sdf.ActorID(a)).Name, res.Firings[a], q[a])
+		}
+	}
+	for _, e := range s.Graph.Edges() {
+		if res.FinalTokens[e.ID] != e.Delay {
+			return fmt.Errorf("sched: edge %d ends with %d tokens, want delay %d",
+				e.ID, res.FinalTokens[e.ID], e.Delay)
+		}
+	}
+	return nil
+}
+
+// BufMem returns the non-shared buffer memory requirement of the schedule
+// (EQ 1) in memory words: the sum over all edges of max_tokens(e, S) scaled
+// by the edge's per-token footprint. It returns an error if the schedule is
+// not executable.
+func (s *Schedule) BufMem() (int64, error) {
+	res, err := s.Simulate()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range s.Graph.Edges() {
+		total += res.MaxTokens[e.ID] * e.Words
+	}
+	return total, nil
+}

@@ -1,0 +1,90 @@
+package schedtree
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// TestCountedLeafInsideLoop: a counted firing block nested in an extra loop
+// keeps the paper's time model — each invocation of the BLOCK is one step.
+func TestCountedLeafInsideLoop(t *testing.T) {
+	g := sdf.New("cl")
+	g.AddActor("A")
+	// 3(2A): three invocations of the block (2A) -> 3 steps, 6 firings.
+	s := sched.MustParse(g, "(3(2A))")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalDur != 3 {
+		t.Errorf("TotalDur = %d, want 3", tr.TotalDur)
+	}
+	if f := s.Firings(); f[0] != 6 {
+		t.Errorf("fires %d, want 6", f[0])
+	}
+}
+
+// TestSingleActorTree: degenerate trees still annotate cleanly.
+func TestSingleActorTree(t *testing.T) {
+	g := sdf.New("one")
+	a := g.AddActor("A")
+	s := sched.MustParse(g, "(5A)")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalDur != 1 {
+		t.Errorf("TotalDur = %d, want 1 (one firing block)", tr.TotalDur)
+	}
+	leaf := tr.LeafOf[a]
+	if leaf == nil || leaf.Reps != 5 {
+		t.Fatalf("leaf = %+v", leaf)
+	}
+	q := sdf.Repetitions{5}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 0 {
+		t.Errorf("no edges -> no intervals, got %d", len(ivs))
+	}
+}
+
+// TestVectorEdgeLifetimeSize: interval sizes scale by token words.
+func TestVectorEdgeLifetimeSize(t *testing.T) {
+	g := sdf.New("v")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	e := g.AddEdge(a, b, 2, 3, 0)
+	g.SetWords(e, 5)
+	q, _ := g.Repetitions() // (3, 2)
+	s := sched.MustParse(g, "(3A)(2B)")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivs[0].Size != 30 { // TNSE 6 tokens * 5 words
+		t.Errorf("size = %d, want 30", ivs[0].Size)
+	}
+}
+
+// TestLifetimeMissingActor: schedules that omit an edge endpoint error out
+// rather than produce bogus intervals.
+func TestLifetimeMissingActor(t *testing.T) {
+	g := sdf.New("m")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	// A schedule that omits an actor is not single appearance over the
+	// graph, so tree construction refuses it up front.
+	s := &sched.Schedule{Graph: g, Body: []*sched.Node{sched.Leaf(1, a)}}
+	if _, err := FromSchedule(s); err == nil {
+		t.Error("schedule omitting an actor accepted")
+	}
+}

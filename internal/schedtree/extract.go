@@ -1,0 +1,177 @@
+package schedtree
+
+import (
+	"fmt"
+
+	"repro/internal/lifetime"
+	"repro/internal/sdf"
+)
+
+// Lifetimes extracts the buffer lifetime interval of every edge of the graph
+// under the coarse-grained shared buffer model of Sec. 5:
+//
+//   - A delayless edge (u,v) with u lexically before v holds TNSE(e) cells,
+//     becomes live at the first invocation of u's firing block and dies at
+//     the earliest instant all of the period's tokens have been consumed
+//     (Fig. 16), repeating periodically with the loops enclosing the least
+//     common ancestor of the two firing blocks (Sec. 8.4).
+//   - An edge with initial tokens is live from time zero; unless its token
+//     count provably returns to zero within the period we keep it live for
+//     the whole period, holding TNSE(e) + del(e) cells.
+//
+// The returned intervals are indexed by edge ID.
+func (t *Tree) Lifetimes(q sdf.Repetitions) ([]*lifetime.Interval, error) {
+	g := t.Graph
+	out := make([]*lifetime.Interval, g.NumEdges())
+	for _, e := range g.Edges() {
+		iv, err := t.edgeLifetime(q, e)
+		if err != nil {
+			return nil, err
+		}
+		out[e.ID] = iv
+	}
+	return out, nil
+}
+
+func (t *Tree) edgeLifetime(q sdf.Repetitions, e sdf.Edge) (*lifetime.Interval, error) {
+	g := t.Graph
+	name := g.Actor(e.Src).Name + "->" + g.Actor(e.Dst).Name
+
+	leafU := t.LeafOf[e.Src]
+	leafV := t.LeafOf[e.Dst]
+	if leafU == nil || leafV == nil {
+		return nil, fmt.Errorf("schedtree: edge %s has an actor missing from the schedule", name)
+	}
+	if e.Src == e.Dst {
+		// Self loop: live the whole period, sized at its exact simulated
+		// peak (the token count never exceeds del because consumption
+		// precedes production within a firing).
+		return &lifetime.Interval{
+			Name: name, Size: t.edgePeak(e.ID) * e.Words, Start: 0, Dur: t.TotalDur,
+		}, nil
+	}
+	lca := LCA(leafU, leafV)
+
+	// Initial tokens: live at time zero. The token count returns to del(e)
+	// at period end, never to zero when del > 0 with the consumer following
+	// the producer; treat conservatively as live for the entire period,
+	// sized at the exact simulated peak.
+	if e.Delay > 0 {
+		return &lifetime.Interval{
+			Name: name, Size: t.edgePeak(e.ID) * e.Words, Start: 0, Dur: t.TotalDur,
+		}, nil
+	}
+	// Under the coarse-grained model the buffer's array holds the tokens of
+	// one occurrence: everything the producer writes within a single
+	// iteration of the least common ancestor's body. Vector tokens scale by
+	// their per-token footprint.
+	size := e.Prod * occurrenceFirings(leafU, lca) * e.Words
+
+	wholePeriod := &lifetime.Interval{
+		Name: name, Size: size, Start: 0, Dur: t.TotalDur,
+	}
+	if lca.Right == nil {
+		return nil, fmt.Errorf("schedtree: degenerate LCA for edge %s", name)
+	}
+	uInLeft := contains(lca.Left, leafU)
+	vInRight := contains(lca.Right, leafV)
+	if !uInLeft || !vInRight {
+		// Consumer before producer without delay: invalid for a delayless
+		// edge, but may legitimately arise for edges removed from precedence
+		// by delays elsewhere. Be conservative.
+		return wholePeriod, nil
+	}
+
+	start := leafU.Start
+	stop := lca.Right.Stop
+	for tmp := leafV; tmp != lca.Right; tmp = tmp.Parent {
+		p := tmp.Parent
+		if p == nil {
+			return nil, fmt.Errorf("schedtree: leaf %s not under LCA right child", g.Actor(e.Dst).Name)
+		}
+		if p.Left == tmp && p.Right != nil {
+			stop -= p.Right.Dur
+		}
+	}
+	if stop <= start {
+		return nil, fmt.Errorf("schedtree: edge %s computed stop %d <= start %d", name, stop, start)
+	}
+
+	// Periodicity: every ancestor of the LCA (inclusive) with a loop factor
+	// greater than one repeats the lifetime with shift dur(left)+dur(right).
+	var periods []lifetime.Period
+	for n := lca; n != nil; n = n.Parent {
+		if n.Loop > 1 && !n.IsLeaf() {
+			periods = append(periods, lifetime.Period{A: n.Dur / n.Loop, Count: n.Loop})
+		}
+	}
+	iv := &lifetime.Interval{
+		Name: name, Size: size, Start: start, Dur: stop - start, Periods: periods,
+	}
+	if err := iv.Validate(); err != nil {
+		return nil, err
+	}
+	return iv, nil
+}
+
+func contains(root, leaf *Node) bool {
+	for n := leaf; n != nil; n = n.Parent {
+		if n == root {
+			return true
+		}
+	}
+	return false
+}
+
+// edgePeak returns the maximum token count edge e reaches during one period,
+// computed once for all edges by a block-level walk of the tree (within one
+// firing block an input count only falls and an output count only rises, so
+// block endpoints bound the peak; self loops never exceed their delay).
+func (t *Tree) edgePeak(e sdf.EdgeID) int64 {
+	if t.peaks == nil {
+		g := t.Graph
+		tokens := make([]int64, g.NumEdges())
+		peaks := make([]int64, g.NumEdges())
+		for _, ed := range g.Edges() {
+			tokens[ed.ID] = ed.Delay
+			peaks[ed.ID] = ed.Delay
+		}
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			for it := int64(0); it < n.Loop; it++ {
+				if !n.IsLeaf() {
+					walk(n.Left)
+					if n.Right != nil {
+						walk(n.Right)
+					}
+					continue
+				}
+				for _, eid := range g.In(n.Actor) {
+					tokens[eid] -= g.Edge(eid).Cons * n.Reps
+				}
+				for _, eid := range g.Out(n.Actor) {
+					tokens[eid] += g.Edge(eid).Prod * n.Reps
+					if tokens[eid] > peaks[eid] {
+						peaks[eid] = tokens[eid]
+					}
+				}
+			}
+		}
+		walk(t.Root)
+		t.peaks = peaks
+	}
+	return t.peaks[e]
+}
+
+// occurrenceFirings returns how many times the leaf's firing block executes
+// within a single iteration of the LCA's body: the leaf's residual count
+// times the loop factors of every node strictly between the leaf and the
+// LCA. (The LCA's own loop factor and those of its ancestors appear as
+// periodicity, not as buffer growth.)
+func occurrenceFirings(leaf, lca *Node) int64 {
+	f := leaf.Reps
+	for n := leaf.Parent; n != nil && n != lca; n = n.Parent {
+		f *= n.Loop
+	}
+	return f
+}

@@ -1,0 +1,264 @@
+package schedtree
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// TestPeriodicLifetimePaperShape reproduces the Fig. 17 shape: an edge (A,B)
+// whose firing blocks sit in the innermost position of two nested loops of
+// factor 2 has lifetime start 0, dur 2, shifts (4, 9) and counts (2, 2),
+// giving live intervals [0,2], [4,6], [9,11], [13,15].
+func TestPeriodicLifetimePaperShape(t *testing.T) {
+	g := sdf.New("fig17")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	for _, n := range []string{"c", "d", "e"} {
+		g.AddActor(n)
+	}
+	g.AddEdge(a, b, 1, 1, 0)
+	// 2(2(ABcd)e): binarization gives ((AB)(cd)) under the inner loop.
+	s := sched.MustParse(g, "(2(2(ABcd))e)")
+	_ = s
+	// Build the exact tree shape via schedule text whose binarization yields
+	// (2 ((2 ((A B)(c d))) e)).
+	s = sched.MustParse(g, "(2(2(ABcd))e)")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalDur != 18 {
+		t.Fatalf("TotalDur = %d, want 18", tr.TotalDur)
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ivs[0]
+	if iv.Start != 0 || iv.Dur != 2 {
+		t.Errorf("interval start/dur = %d/%d, want 0/2", iv.Start, iv.Dur)
+	}
+	if len(iv.Periods) != 2 || iv.Periods[0].A != 4 || iv.Periods[1].A != 9 ||
+		iv.Periods[0].Count != 2 || iv.Periods[1].Count != 2 {
+		t.Errorf("periods = %v, want [{4 2} {9 2}]", iv.Periods)
+	}
+	wantLive := map[int64]bool{}
+	for _, s := range []int64{0, 4, 9, 13} {
+		wantLive[s] = true
+		wantLive[s+1] = true
+	}
+	for tm := int64(0); tm < tr.TotalDur; tm++ {
+		if got := iv.LiveAt(tm); got != wantLive[tm] {
+			t.Errorf("LiveAt(%d) = %v, want %v", tm, got, wantLive[tm])
+		}
+	}
+}
+
+// referenceLiveness computes, by direct step-by-step execution of the
+// schedule under the coarse-grained model, whether each edge's buffer is
+// live at every schedule step. It is the oracle for Lifetimes.
+func referenceLiveness(t *testing.T, tr *Tree, s *sched.Schedule) [][]bool {
+	t.Helper()
+	g := s.Graph
+	nE := g.NumEdges()
+	live := make([][]bool, nE)
+	for i := range live {
+		live[i] = make([]bool, tr.TotalDur)
+	}
+	tokens := make([]int64, nE)
+	arrayLive := make([]bool, nE)
+	for _, e := range g.Edges() {
+		tokens[e.ID] = e.Delay
+		arrayLive[e.ID] = e.Delay > 0
+	}
+	step := int64(0)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for it := int64(0); it < n.Loop; it++ {
+			if n.IsLeaf() {
+				// One schedule step: Reps firings of the actor.
+				for _, e := range g.Edges() {
+					if e.Dst == n.Actor {
+						tokens[e.ID] -= e.Cons * n.Reps
+					}
+					if e.Src == n.Actor {
+						tokens[e.ID] += e.Prod * n.Reps
+						arrayLive[e.ID] = true
+					}
+				}
+				for eid := 0; eid < nE; eid++ {
+					if arrayLive[eid] {
+						live[eid][step] = true
+					}
+					if tokens[eid] <= 0 {
+						if tokens[eid] < 0 {
+							t.Fatalf("negative tokens on edge %d at step %d", eid, step)
+						}
+						arrayLive[eid] = false
+					}
+				}
+				step++
+				continue
+			}
+			walk(n.Left)
+			if n.Right != nil {
+				walk(n.Right)
+			}
+		}
+	}
+	walk(tr.Root)
+	if step != tr.TotalDur {
+		t.Fatalf("reference executed %d steps, tree says %d", step, tr.TotalDur)
+	}
+	return live
+}
+
+// checkAgainstReference asserts that extracted lifetimes exactly match the
+// reference for delayless edges and cover it for edges with delays.
+func checkAgainstReference(t *testing.T, g *sdf.Graph, text string) {
+	t.Helper()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.MustParse(g, text)
+	if err := s.Validate(q); err != nil {
+		t.Fatalf("schedule %q invalid: %v", text, err)
+	}
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceLiveness(t, tr, s)
+	for _, e := range g.Edges() {
+		iv := ivs[e.ID]
+		for tm := int64(0); tm < tr.TotalDur; tm++ {
+			got := iv.LiveAt(tm)
+			want := ref[e.ID][tm]
+			if e.Delay > 0 {
+				if want && !got {
+					t.Errorf("%s: edge %s (delay) live at %d in reference but not in interval",
+						text, iv.Name, tm)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: edge %s LiveAt(%d) = %v, reference %v",
+					text, iv.Name, tm, got, want)
+			}
+		}
+	}
+}
+
+func TestLifetimesMatchReferenceChain(t *testing.T) {
+	g := sdf.New("chain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 0)
+	g.AddEdge(b, c, 1, 3, 0)
+	for _, text := range []string{
+		"(3A)(6B)(2C)",
+		"(3A(2B))(2C)",
+		"(3(A(2B)))(2C)",
+	} {
+		checkAgainstReference(t, g, text)
+	}
+}
+
+func TestLifetimesMatchReferenceMultirate(t *testing.T) {
+	g := sdf.New("mr")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 3, 2, 0)
+	g.AddEdge(b, c, 2, 3, 0)
+	g.AddEdge(a, d, 1, 1, 0)
+	// q = (2, 3, 2, 2)
+	for _, text := range []string{
+		"(2A)(3B)(2C)(2D)",
+		"(2A(1D))(3B)(2C)",
+		"((2A)(2D))((3B)(2C))",
+	} {
+		checkAgainstReference(t, g, text)
+	}
+}
+
+func TestLifetimesWithDelay(t *testing.T) {
+	g := sdf.New("delay")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 2)
+	checkAgainstReference(t, g, "AB")
+	// Delay edge: whole period, size TNSE+delay = 3.
+	q, _ := g.Repetitions()
+	s := sched.MustParse(g, "AB")
+	tr, _ := FromSchedule(s)
+	ivs, _ := tr.Lifetimes(q)
+	if ivs[0].Size != 3 {
+		t.Errorf("size = %d, want 3", ivs[0].Size)
+	}
+	if ivs[0].Start != 0 || ivs[0].Dur != tr.TotalDur {
+		t.Errorf("delay edge not live whole period: %v", ivs[0])
+	}
+}
+
+func TestLifetimeSizes(t *testing.T) {
+	g := sdf.New("sz")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 2, 3, 0)
+	q, _ := g.Repetitions()
+	s := sched.MustParse(g, "(3A)(2B)")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivs[0].Size != 6 { // TNSE = 2*3
+		t.Errorf("size = %d, want 6", ivs[0].Size)
+	}
+}
+
+func TestAllIntervalsValidate(t *testing.T) {
+	g := sdf.New("v")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 4, 1, 0)
+	g.AddEdge(a, c, 2, 1, 0)
+	g.AddEdge(b, c, 1, 2, 0)
+	q, _ := g.Repetitions()
+	s := sched.MustParse(g, "(A(2(2B)C))")
+	if err := s.Validate(q); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := tr.Lifetimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range ivs {
+		if err := iv.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", iv, err)
+		}
+	}
+	checkAgainstReference(t, g, "(A(2(2B)C))")
+}

@@ -1,0 +1,137 @@
+package schedtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randsdf"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// randomSAS builds a random fully-factored R-schedule over a random
+// topological order: the recursion picks arbitrary split points and applies
+// the gcd loop factor at every level, so the lifetime machinery sees deep,
+// irregular loop nests.
+func randomSAS(rng *rand.Rand, g *sdf.Graph, q sdf.Repetitions) (*sched.Schedule, error) {
+	order, err := g.RandomTopologicalSort(q, rng)
+	if err != nil {
+		return nil, err
+	}
+	gcdTab := func(i, j int) int64 {
+		var v int64
+		for k := i; k <= j; k++ {
+			v = gcd(v, q[order[k]])
+		}
+		return v
+	}
+	var build func(i, j int, outer int64) *sched.Node
+	build = func(i, j int, outer int64) *sched.Node {
+		if i == j {
+			return sched.Leaf(q[order[i]]/outer, order[i])
+		}
+		f := gcdTab(i, j) / outer
+		k := i + rng.Intn(j-i)
+		return sched.Loop(f, build(i, k, outer*f), build(k+1, j, outer*f))
+	}
+	root := build(0, g.NumActors()-1, 1)
+	return &sched.Schedule{Graph: g, Body: []*sched.Node{root}}, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TestRandomSchedulesMatchReference is the central property test of the
+// lifetime machinery: for random consistent graphs under random nested
+// schedules, the extracted periodic intervals must agree exactly (step by
+// step) with direct execution under the coarse-grained model.
+func TestRandomSchedulesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 2 + rng.Intn(12)})
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := randomSAS(rng, g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(q); err != nil {
+			t.Fatalf("trial %d: random SAS %s invalid: %v", trial, s, err)
+		}
+		tr, err := FromSchedule(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ivs, err := tr.Lifetimes(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref := referenceLiveness(t, tr, s)
+		for _, e := range g.Edges() {
+			iv := ivs[e.ID]
+			if err := iv.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for tm := int64(0); tm < tr.TotalDur; tm++ {
+				got, want := iv.LiveAt(tm), ref[e.ID][tm]
+				if e.Delay > 0 {
+					if want && !got {
+						t.Fatalf("trial %d schedule %s: delay edge %s live at %d in reference only",
+							trial, s, iv.Name, tm)
+					}
+					continue
+				}
+				if got != want {
+					t.Fatalf("trial %d schedule %s: edge %s LiveAt(%d)=%v, reference %v",
+						trial, s, iv.Name, tm, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomSchedulesSizeMatchesPeak: the interval size must equal the peak
+// token count of the edge (coarse model: per-occurrence production + delay).
+func TestRandomSchedulesSizeMatchesPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 2 + rng.Intn(10)})
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := randomSAS(rng, g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := FromSchedule(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivs, err := tr.Lifetimes(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := s.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			// The coarse-model array can be no smaller than the true peak.
+			if ivs[e.ID].Size < sim.MaxTokens[e.ID] {
+				t.Errorf("trial %d schedule %s: edge %d interval size %d below real peak %d",
+					trial, s, e.ID, ivs[e.ID].Size, sim.MaxTokens[e.ID])
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package schedtree implements the binary schedule-tree representation of
+// R-schedules (Sec. 8 of the paper) and the polynomial-time lifetime
+// extraction algorithms that run on it: duration, start and stop times of
+// every loop nest (Figs. 13–15), the earliest stop time of a buffer interval
+// (Fig. 16), and the periodicity parameters of buffer lifetimes (Sec. 8.4).
+//
+// Time is abstract: one invocation of a leaf node (a firing block such as
+// "3B") is one schedule step, so the looped schedule 2(A 3B) takes 4 steps.
+package schedtree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// Node is a schedule-tree node. Internal nodes carry the loop factor of the
+// subschedule rooted there; leaves carry an actor with its residual loop
+// factor. Right may be nil for internal nodes wrapping a single subtree
+// (loop factors of 1 create such nodes when binarizing).
+type Node struct {
+	Loop  int64 // loop iterator value; >= 1; leaves always 1
+	Actor sdf.ActorID
+	Reps  int64 // residual firing count for leaves; 0 for internal nodes
+	Left  *Node
+	Right *Node
+
+	Parent *Node
+	// Dur is the duration of the subtree in schedule steps, including this
+	// node's own loop factor. Start and Stop delimit the node's first
+	// invocation: Stop = Start + Dur.
+	Dur, Start, Stop int64
+}
+
+// IsLeaf reports whether n is a firing block.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a fully annotated schedule tree for a single appearance schedule.
+type Tree struct {
+	Graph *sdf.Graph
+	Root  *Node
+	// LeafOf[a] is the unique leaf firing actor a (nil if the actor does not
+	// appear, which cannot happen for SAS over the whole graph).
+	LeafOf []*Node
+	// TotalDur is Root.Dur: the length of one schedule period in steps.
+	TotalDur int64
+
+	peaks []int64 // lazily computed per-edge peak token counts
+}
+
+// FromSchedule converts a looped schedule into a schedule tree, binarizing
+// loop bodies left-to-right, and computes Dur/Start/Stop for every node. The
+// schedule must be a single appearance schedule.
+func FromSchedule(s *sched.Schedule) (*Tree, error) {
+	if !s.IsSingleAppearance() {
+		return nil, fmt.Errorf("schedtree: schedule %q is not single appearance", s.String())
+	}
+	root := binarize(s.Body, 1)
+	t := &Tree{Graph: s.Graph, Root: root, LeafOf: make([]*Node, s.Graph.NumActors())}
+	annotateDur(root)
+	annotateStartStop(root, nil, 0)
+	collectLeaves(t, root)
+	t.TotalDur = root.Dur
+	return t, nil
+}
+
+// binarize turns a list of schedule terms into a binary tree node with the
+// given loop count.
+func binarize(body []*sched.Node, count int64) *Node {
+	if len(body) == 1 {
+		return convert(body[0], count)
+	}
+	mid := len(body) / 2
+	return &Node{
+		Loop:  count,
+		Left:  binarize(body[:mid], 1),
+		Right: binarize(body[mid:], 1),
+	}
+}
+
+// convert maps a sched.Node into a tree node, folding an extra outer count.
+func convert(n *sched.Node, outer int64) *Node {
+	if n.IsLeaf() {
+		if outer != 1 {
+			// A counted leaf inside an extra loop: keep the loop explicit so
+			// time steps match the paper's model (the outer loop re-invokes
+			// the leaf block).
+			return &Node{Loop: outer, Left: &Node{Loop: 1, Actor: n.Actor, Reps: n.Count}}
+		}
+		return &Node{Loop: 1, Actor: n.Actor, Reps: n.Count}
+	}
+	if len(n.Children) == 1 {
+		return convert(n.Children[0], outer*n.Count)
+	}
+	return binarize(n.Children, outer*n.Count)
+}
+
+func annotateDur(n *Node) {
+	if n.IsLeaf() {
+		n.Dur = 1
+		return
+	}
+	var body int64
+	annotateDur(n.Left)
+	body = n.Left.Dur
+	if n.Right != nil {
+		annotateDur(n.Right)
+		body += n.Right.Dur
+	}
+	n.Dur = n.Loop * body
+}
+
+func annotateStartStop(n *Node, parent *Node, start int64) {
+	n.Parent = parent
+	n.Start = start
+	n.Stop = start + n.Dur
+	if n.IsLeaf() {
+		return
+	}
+	annotateStartStop(n.Left, n, start)
+	if n.Right != nil {
+		annotateStartStop(n.Right, n, start+n.Left.Dur)
+	}
+}
+
+func collectLeaves(t *Tree, n *Node) {
+	if n.IsLeaf() {
+		t.LeafOf[n.Actor] = n
+		return
+	}
+	collectLeaves(t, n.Left)
+	if n.Right != nil {
+		collectLeaves(t, n.Right)
+	}
+}
+
+// LCA returns the lowest common ancestor ("least parent", Definition 2) of
+// two nodes.
+func LCA(a, b *Node) *Node {
+	depth := func(n *Node) int {
+		d := 0
+		for p := n; p != nil; p = p.Parent {
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// String renders the tree in schedule notation for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			if n.Reps == 1 {
+				b.WriteString(t.Graph.Actor(n.Actor).Name)
+			} else {
+				fmt.Fprintf(&b, "(%d%s)", n.Reps, t.Graph.Actor(n.Actor).Name)
+			}
+			return
+		}
+		b.WriteByte('(')
+		if n.Loop != 1 {
+			fmt.Fprintf(&b, "%d", n.Loop)
+		}
+		walk(n.Left)
+		if n.Right != nil {
+			walk(n.Right)
+		}
+		b.WriteByte(')')
+	}
+	walk(t.Root)
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package schedtree
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+func TestDurationPaperExample(t *testing.T) {
+	// "the looped schedule 2(A 3B) would be considered to take 4 time steps"
+	g := sdf.New("dur")
+	g.AddActor("A")
+	g.AddActor("B")
+	s := sched.MustParse(g, "(2(A(3B)))")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalDur != 4 {
+		t.Errorf("TotalDur = %d, want 4", tr.TotalDur)
+	}
+	a := tr.LeafOf[g.MustActor("A")]
+	b := tr.LeafOf[g.MustActor("B")]
+	if a.Start != 0 || a.Stop != 1 {
+		t.Errorf("A leaf [%d,%d), want [0,1)", a.Start, a.Stop)
+	}
+	// First invocation of 3B begins at time 1 and ends at 2 (the paper's
+	// "last invocation ... begins at time 3 and ends at time 4" refers to
+	// the second loop iteration; Start/Stop hold the first).
+	if b.Start != 1 || b.Stop != 2 {
+		t.Errorf("B leaf [%d,%d), want [1,2)", b.Start, b.Stop)
+	}
+}
+
+func TestDurStartStopNesting(t *testing.T) {
+	g := sdf.New("nest")
+	for _, n := range []string{"A", "B", "C"} {
+		g.AddActor(n)
+	}
+	// (3A(2B))(2C): root children [(3 A (2B)) , (2C)].
+	s := sched.MustParse(g, "(3A(2B))(2C)")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left loop: 3 iterations of (A (2B)) -> dur 6; right leaf (2C) dur 1.
+	if tr.TotalDur != 7 {
+		t.Errorf("TotalDur = %d, want 7", tr.TotalDur)
+	}
+	c := tr.LeafOf[g.MustActor("C")]
+	if c.Start != 6 || c.Stop != 7 {
+		t.Errorf("C leaf [%d,%d), want [6,7)", c.Start, c.Stop)
+	}
+	b := tr.LeafOf[g.MustActor("B")]
+	if b.Start != 1 || b.Stop != 2 {
+		t.Errorf("B leaf [%d,%d), want [1,2)", b.Start, b.Stop)
+	}
+}
+
+func TestRejectNonSAS(t *testing.T) {
+	g := sdf.New("multi")
+	g.AddActor("A")
+	s := sched.MustParse(g, "AA")
+	if _, err := FromSchedule(s); err == nil {
+		t.Error("expected error for non-SAS schedule")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	g := sdf.New("lca")
+	for _, n := range []string{"A", "B", "C", "D"} {
+		g.AddActor(n)
+	}
+	s := sched.MustParse(g, "((AB)(CD))")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.LeafOf[g.MustActor("A")]
+	b := tr.LeafOf[g.MustActor("B")]
+	d := tr.LeafOf[g.MustActor("D")]
+	if got := LCA(a, b); got != tr.Root.Left {
+		t.Error("LCA(A,B) should be the (AB) node")
+	}
+	if got := LCA(a, d); got != tr.Root {
+		t.Error("LCA(A,D) should be the root")
+	}
+	if got := LCA(a, a); got != a {
+		t.Error("LCA(A,A) should be the leaf itself")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := sdf.New("render")
+	for _, n := range []string{"A", "B", "C"} {
+		g.AddActor(n)
+	}
+	s := sched.MustParse(g, "(3A(2B))(2C)")
+	tr, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact parenthesization differs after binarization, but the firing
+	// semantics must survive a parse round trip.
+	s2, err := sched.Parse(g, tr.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", tr.String(), err)
+	}
+	f1, f2 := s.Firings(), s2.Firings()
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Errorf("firings differ after round trip: %v vs %v", f1, f2)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sdf
+
+// BMLBEdge returns the buffer memory lower bound for a single edge over all
+// valid single appearance schedules under the non-shared buffer model [3]:
+//
+//	eta = prd*cns/gcd(prd,cns)
+//	BMLB(e) = eta + d   if d < eta
+//	          d         otherwise
+//
+// where d = del(e).
+func BMLBEdge(e Edge) int64 {
+	eta := e.Prod / gcd64(e.Prod, e.Cons) * e.Cons
+	bound := e.Delay
+	if e.Delay < eta {
+		bound = eta + e.Delay
+	}
+	return bound * wordsOf(e)
+}
+
+// wordsOf returns the per-token footprint, treating unset (zero) as one
+// word so that hand-built Edge literals behave like AddEdge's default.
+func wordsOf(e Edge) int64 {
+	if e.Words < 1 {
+		return 1
+	}
+	return e.Words
+}
+
+// BMLB returns the buffer memory lower bound of the whole graph: the sum of
+// BMLBEdge over all edges. It is the "bmlb" column of Table 1.
+func (g *Graph) BMLB() int64 {
+	var total int64
+	for _, e := range g.edges {
+		total += BMLBEdge(e)
+	}
+	return total
+}
+
+// MinBufferEdge returns the minimum buffer size required on edge e over all
+// valid schedules (not just single appearance schedules), per the closed form
+// quoted in Sec. 11.1.3:
+//
+//	a + b - c + d mod c   if d < a + b - c
+//	d                     otherwise
+//
+// with a = prd(e), b = cns(e), c = gcd(a, b), d = del(e).
+func MinBufferEdge(e Edge) int64 {
+	a, b, d := e.Prod, e.Cons, e.Delay
+	c := gcd64(a, b)
+	bound := d
+	if d < a+b-c {
+		bound = a + b - c + d%c
+	}
+	return bound * wordsOf(e)
+}
+
+// MinBufferAllSchedules sums MinBufferEdge over all edges: a lower bound on
+// non-shared buffering over every valid schedule, used in the dynamic
+// scheduling comparison of Sec. 11.1.3.
+func (g *Graph) MinBufferAllSchedules() int64 {
+	var total int64
+	for _, e := range g.edges {
+		total += MinBufferEdge(e)
+	}
+	return total
+}

@@ -1,0 +1,209 @@
+// Package sdf implements the synchronous dataflow (SDF) graph substrate used
+// by the rest of the compiler framework: actors, edges with production and
+// consumption rates and initial tokens (delays), repetitions-vector
+// computation via the balance equations, consistency and deadlock checks, and
+// assorted graph utilities (topological sorts, TNSE, buffer lower bounds).
+//
+// The model follows Lee & Messerschmitt's SDF semantics as used by Murthy &
+// Bhattacharyya: each actor fires atomically, consuming cns(e) tokens from
+// every input edge e and producing prd(e) tokens on every output edge, with
+// all rates known at compile time.
+package sdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ActorID identifies an actor within one Graph. IDs are dense indices
+// assigned in insertion order, so they can be used directly as slice indices.
+type ActorID int
+
+// EdgeID identifies an edge within one Graph, dense in insertion order.
+type EdgeID int
+
+// Actor is a node of an SDF graph. The zero value is not useful; actors are
+// created through Graph.AddActor.
+type Actor struct {
+	ID   ActorID
+	Name string
+}
+
+// Edge is a directed SDF edge: a conceptual FIFO from Src to Dst. Prod tokens
+// are appended per firing of Src, Cons tokens removed per firing of Dst, and
+// Delay initial tokens are present before the first firing.
+//
+// Words is the memory footprint of one token in machine words (default 1):
+// vector or matrix tokens occupy Words cells each, which scales every buffer
+// sizing downstream — the paper notes sharing savings become "even more
+// dramatic" for such edges.
+type Edge struct {
+	ID    EdgeID
+	Src   ActorID
+	Dst   ActorID
+	Prod  int64 // tokens produced per firing of Src; > 0
+	Cons  int64 // tokens consumed per firing of Dst; > 0
+	Delay int64 // initial tokens; >= 0
+	Words int64 // memory words per token; >= 1
+}
+
+// Graph is a mutable SDF graph. Build it with AddActor/AddEdge; most analyses
+// require a consistent graph (see Repetitions).
+type Graph struct {
+	Name   string
+	actors []Actor
+	edges  []Edge
+	out    [][]EdgeID // outgoing edge IDs per actor
+	in     [][]EdgeID // incoming edge IDs per actor
+	byName map[string]ActorID
+}
+
+// New returns an empty SDF graph with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name, byName: make(map[string]ActorID)}
+}
+
+// AddActor inserts a new actor and returns its ID. Names must be unique and
+// non-empty; AddActor panics otherwise, since graph construction errors are
+// programming errors in every caller in this repository.
+func (g *Graph) AddActor(name string) ActorID {
+	if name == "" {
+		panic("sdf: empty actor name")
+	}
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("sdf: duplicate actor name %q", name))
+	}
+	id := ActorID(len(g.actors))
+	g.actors = append(g.actors, Actor{ID: id, Name: name})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byName[name] = id
+	return id
+}
+
+// AddEdge inserts a directed edge and returns its ID. It panics on invalid
+// rates or actor IDs, mirroring AddActor.
+func (g *Graph) AddEdge(src, dst ActorID, prod, cons, delay int64) EdgeID {
+	if int(src) >= len(g.actors) || int(dst) >= len(g.actors) || src < 0 || dst < 0 {
+		panic("sdf: AddEdge with unknown actor")
+	}
+	if prod <= 0 || cons <= 0 || delay < 0 {
+		panic(fmt.Sprintf("sdf: invalid edge parameters prod=%d cons=%d delay=%d", prod, cons, delay))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, Src: src, Dst: dst, Prod: prod, Cons: cons, Delay: delay, Words: 1})
+	g.out[src] = append(g.out[src], id)
+	g.in[dst] = append(g.in[dst], id)
+	return id
+}
+
+// SetWords sets the per-token memory footprint of an edge (vector tokens).
+// It panics on words < 1, mirroring AddEdge's contract.
+func (g *Graph) SetWords(e EdgeID, words int64) {
+	if words < 1 {
+		panic(fmt.Sprintf("sdf: invalid token size %d words", words))
+	}
+	g.edges[e].Words = words
+}
+
+// NumActors reports the number of actors.
+func (g *Graph) NumActors() int { return len(g.actors) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Actor returns the actor with the given ID.
+func (g *Graph) Actor(id ActorID) Actor { return g.actors[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Actors returns all actors in insertion order. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Actors() []Actor { return g.actors }
+
+// Edges returns all edges in insertion order. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Out returns the IDs of edges leaving a. The slice is shared.
+func (g *Graph) Out(a ActorID) []EdgeID { return g.out[a] }
+
+// In returns the IDs of edges entering a. The slice is shared.
+func (g *Graph) In(a ActorID) []EdgeID { return g.in[a] }
+
+// ActorByName returns the actor with the given name.
+func (g *Graph) ActorByName(name string) (Actor, bool) {
+	id, ok := g.byName[name]
+	if !ok {
+		return Actor{}, false
+	}
+	return g.actors[id], true
+}
+
+// MustActor returns the ID of the named actor, panicking if absent. It is a
+// convenience for tests and benchmark-system constructors.
+func (g *Graph) MustActor(name string) ActorID {
+	id, ok := g.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("sdf: no actor named %q", name))
+	}
+	return id
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, a := range g.actors {
+		c.AddActor(a.Name)
+	}
+	for _, e := range g.edges {
+		id := c.AddEdge(e.Src, e.Dst, e.Prod, e.Cons, e.Delay)
+		if e.Words > 1 {
+			c.SetWords(id, e.Words)
+		}
+	}
+	return c
+}
+
+// EdgesBetween returns the IDs of all edges from src to dst (there may be
+// several parallel edges).
+func (g *Graph) EdgesBetween(src, dst ActorID) []EdgeID {
+	var ids []EdgeID
+	for _, id := range g.out[src] {
+		if g.edges[id].Dst == dst {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Successors returns the distinct successor actors of a, in ascending order.
+func (g *Graph) Successors(a ActorID) []ActorID {
+	return g.neighbors(g.out[a], func(e Edge) ActorID { return e.Dst })
+}
+
+// Predecessors returns the distinct predecessor actors of a, ascending.
+func (g *Graph) Predecessors(a ActorID) []ActorID {
+	return g.neighbors(g.in[a], func(e Edge) ActorID { return e.Src })
+}
+
+func (g *Graph) neighbors(ids []EdgeID, pick func(Edge) ActorID) []ActorID {
+	seen := make(map[ActorID]bool, len(ids))
+	var out []ActorID
+	for _, id := range ids {
+		n := pick(g.edges[id])
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders a compact description, useful in test failures.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph %s: %d actors, %d edges", g.Name, len(g.actors), len(g.edges))
+	return s
+}

@@ -1,0 +1,377 @@
+package sdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig1 builds the Fig. 1 example: A --2,3,1D--> B --1,2--> C wait; the paper's
+// figure 1 is A -2-> B (D) -1-> ... we use the schedule facts quoted in Sec. 4:
+// q = (3A, 6B, 2C) with edges A-(2,1)->B and B-(1,3)->C.
+func fig1(t *testing.T) (*Graph, Repetitions) {
+	t.Helper()
+	g := New("fig1")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 0)
+	g.AddEdge(b, c, 1, 3, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	return g, q
+}
+
+func TestRepetitionsChain(t *testing.T) {
+	g, q := fig1(t)
+	want := []int64{3, 6, 2}
+	for i, w := range want {
+		if q[i] != w {
+			t.Errorf("q(%s) = %d, want %d", g.Actor(ActorID(i)).Name, q[i], w)
+		}
+	}
+}
+
+func TestRepetitionsMultirate(t *testing.T) {
+	// CD-DAT style chain with known repetitions (see DESIGN.md):
+	// edges (1,1),(2,3),(8,7),(10,7) => q = 147,147,98,112,160.
+	g := New("cddat")
+	ids := make([]ActorID, 5)
+	for i, n := range []string{"A", "B", "C", "D", "E"} {
+		ids[i] = g.AddActor(n)
+	}
+	g.AddEdge(ids[0], ids[1], 1, 1, 0)
+	g.AddEdge(ids[1], ids[2], 2, 3, 0)
+	g.AddEdge(ids[2], ids[3], 8, 7, 0)
+	g.AddEdge(ids[3], ids[4], 10, 7, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	want := []int64{147, 147, 98, 112, 160}
+	for i, w := range want {
+		if q[i] != w {
+			t.Errorf("q[%d] = %d, want %d", i, q[i], w)
+		}
+	}
+}
+
+func TestRepetitionsInconsistent(t *testing.T) {
+	// Diamond with mismatched rates: A->B->D and A->C->D where the two paths
+	// force incompatible firing ratios for D.
+	g := New("bad")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(a, c, 1, 1, 0)
+	g.AddEdge(b, d, 2, 1, 0)
+	g.AddEdge(c, d, 3, 1, 0)
+	if _, err := g.Repetitions(); err == nil {
+		t.Fatal("expected inconsistency error, got nil")
+	}
+	if g.Consistent() {
+		t.Error("Consistent() = true for inconsistent graph")
+	}
+}
+
+func TestRepetitionsDisconnected(t *testing.T) {
+	g := New("two")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C") // isolated
+	g.AddEdge(a, b, 3, 5, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	if q[a] != 5 || q[b] != 3 || q[c] != 1 {
+		t.Errorf("q = %v, want [5 3 1]", q)
+	}
+}
+
+func TestRepetitionsNormalized(t *testing.T) {
+	// Rates with a common factor must still give the minimal vector.
+	g := New("norm")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 4, 6, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	if q[a] != 3 || q[b] != 2 {
+		t.Errorf("q = %v, want [3 2]", q)
+	}
+}
+
+func TestTNSE(t *testing.T) {
+	g, q := fig1(t)
+	if got := TNSE(g, q, 0); got != 6 {
+		t.Errorf("TNSE(AB) = %d, want 6", got)
+	}
+	if got := TNSE(g, q, 1); got != 6 {
+		t.Errorf("TNSE(BC) = %d, want 6", got)
+	}
+}
+
+func TestBalanceHoldsOnTNSE(t *testing.T) {
+	g, q := fig1(t)
+	for _, e := range g.Edges() {
+		if e.Prod*q[e.Src] != e.Cons*q[e.Dst] {
+			t.Errorf("balance violated on edge %d", e.ID)
+		}
+	}
+}
+
+func TestTopologicalSort(t *testing.T) {
+	g, q := fig1(t)
+	order, err := g.TopologicalSort(q)
+	if err != nil {
+		t.Fatalf("TopologicalSort: %v", err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestTopologicalSortCycle(t *testing.T) {
+	g := New("cyc")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 0)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	if _, err := g.TopologicalSort(q); err == nil {
+		t.Fatal("expected ErrCyclic")
+	}
+	if g.IsAcyclic(q) {
+		t.Error("IsAcyclic = true on cycle")
+	}
+}
+
+func TestDelayBreaksPrecedence(t *testing.T) {
+	// A cycle where the back edge carries a full period of delay is
+	// schedulable: the back edge is not a precedence edge.
+	g := New("feedback")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 1)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatalf("Repetitions: %v", err)
+	}
+	order, err := g.TopologicalSort(q)
+	if err != nil {
+		t.Fatalf("TopologicalSort: %v", err)
+	}
+	if order[0] != a || order[1] != b {
+		t.Errorf("order = %v, want [A B]", order)
+	}
+}
+
+func TestRandomTopologicalSortValid(t *testing.T) {
+	g := New("diamond")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(a, c, 1, 1, 0)
+	g.AddEdge(b, d, 1, 1, 0)
+	g.AddEdge(c, d, 1, 1, 0)
+	q, _ := g.Repetitions()
+	rng := rand.New(rand.NewSource(7))
+	seenBC, seenCB := false, false
+	for i := 0; i < 50; i++ {
+		order, err := g.RandomTopologicalSort(q, rng)
+		if err != nil {
+			t.Fatalf("RandomTopologicalSort: %v", err)
+		}
+		pos := make(map[ActorID]int)
+		for i, x := range order {
+			pos[x] = i
+		}
+		if pos[a] != 0 || pos[d] != 3 {
+			t.Fatalf("invalid topological order %v", order)
+		}
+		if pos[b] < pos[c] {
+			seenBC = true
+		} else {
+			seenCB = true
+		}
+	}
+	if !seenBC || !seenCB {
+		t.Error("random topsort never varied tie-break order in 50 draws")
+	}
+}
+
+func TestAllTopologicalSorts(t *testing.T) {
+	g := New("par")
+	g.AddActor("A")
+	g.AddActor("B")
+	g.AddActor("C")
+	q := Repetitions{1, 1, 1}
+	all := g.AllTopologicalSorts(q, 0)
+	if len(all) != 6 {
+		t.Errorf("got %d topological sorts of 3 unconnected actors, want 6", len(all))
+	}
+	limited := g.AllTopologicalSorts(q, 4)
+	if len(limited) != 4 {
+		t.Errorf("limit ignored: got %d, want 4", len(limited))
+	}
+}
+
+func TestIsChain(t *testing.T) {
+	g, q := fig1(t)
+	order, _ := g.TopologicalSort(q)
+	if !g.IsChain(order) {
+		t.Error("fig1 should be a chain")
+	}
+	g2 := New("tri")
+	a := g2.AddActor("A")
+	b := g2.AddActor("B")
+	c := g2.AddActor("C")
+	g2.AddEdge(a, b, 1, 1, 0)
+	g2.AddEdge(a, c, 1, 1, 0)
+	g2.AddEdge(b, c, 1, 1, 0)
+	q2, _ := g2.Repetitions()
+	o2, _ := g2.TopologicalSort(q2)
+	if g2.IsChain(o2) {
+		t.Error("triangle is not a chain")
+	}
+}
+
+func TestBMLB(t *testing.T) {
+	// Edge (2,3), no delay: eta = 6, BMLB = 6.
+	e := Edge{Prod: 2, Cons: 3}
+	if got := BMLBEdge(e); got != 6 {
+		t.Errorf("BMLBEdge(2,3,0) = %d, want 6", got)
+	}
+	// With delay 2 < eta: 6+2 = 8.
+	e.Delay = 2
+	if got := BMLBEdge(e); got != 8 {
+		t.Errorf("BMLBEdge(2,3,2) = %d, want 8", got)
+	}
+	// Delay >= eta dominates.
+	e.Delay = 9
+	if got := BMLBEdge(e); got != 9 {
+		t.Errorf("BMLBEdge(2,3,9) = %d, want 9", got)
+	}
+}
+
+func TestMinBufferEdge(t *testing.T) {
+	// a=2, b=3, c=1, d=0: min over all schedules = a+b-c = 4 (< BMLB 6).
+	e := Edge{Prod: 2, Cons: 3}
+	if got := MinBufferEdge(e); got != 4 {
+		t.Errorf("MinBufferEdge(2,3,0) = %d, want 4", got)
+	}
+	// Large delay dominates.
+	e.Delay = 10
+	if got := MinBufferEdge(e); got != 10 {
+		t.Errorf("MinBufferEdge(2,3,10) = %d, want 10", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g, _ := fig1(t)
+	c := g.Clone()
+	c.AddActor("Z")
+	if g.NumActors() != 3 {
+		t.Error("Clone shares actor storage with original")
+	}
+	if c.NumActors() != 4 || c.NumEdges() != 2 {
+		t.Errorf("clone has %d actors %d edges", c.NumActors(), c.NumEdges())
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g, _ := fig1(t)
+	b := g.MustActor("B")
+	succ := g.Successors(b)
+	pred := g.Predecessors(b)
+	if len(succ) != 1 || g.Actor(succ[0]).Name != "C" {
+		t.Errorf("Successors(B) = %v", succ)
+	}
+	if len(pred) != 1 || g.Actor(pred[0]).Name != "A" {
+		t.Errorf("Predecessors(B) = %v", pred)
+	}
+}
+
+func TestEdgesBetween(t *testing.T) {
+	g := New("multi")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(a, b, 2, 2, 0)
+	if got := g.EdgesBetween(a, b); len(got) != 2 {
+		t.Errorf("EdgesBetween = %v, want 2 edges", got)
+	}
+	if got := g.EdgesBetween(b, a); len(got) != 0 {
+		t.Errorf("EdgesBetween(b,a) = %v, want none", got)
+	}
+}
+
+func TestAddActorPanics(t *testing.T) {
+	g := New("p")
+	g.AddActor("A")
+	for _, bad := range []string{"", "A"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddActor(%q) did not panic", bad)
+				}
+			}()
+			g.AddActor(bad)
+		}()
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New("p")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	cases := []struct{ p, c, d int64 }{{0, 1, 0}, {1, 0, 0}, {1, 1, -1}}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddEdge(%v) did not panic", tc)
+				}
+			}()
+			g.AddEdge(a, b, tc.p, tc.c, tc.d)
+		}()
+	}
+}
+
+func TestGCDHelpers(t *testing.T) {
+	if gcd64(12, 18) != 6 || gcd64(0, 5) != 5 || gcd64(7, 0) != 7 {
+		t.Error("gcd64 broken")
+	}
+	l, err := lcm64(4, 6)
+	if err != nil || l != 12 {
+		t.Errorf("lcm64(4,6) = %d, %v", l, err)
+	}
+	if _, err := mulCheck(1<<40, 1<<40); err == nil {
+		t.Error("mulCheck missed overflow")
+	}
+}
+
+func TestRepetitionsGCDOverActors(t *testing.T) {
+	q := Repetitions{6, 9, 15}
+	if got := q.GCD([]ActorID{0, 1, 2}); got != 3 {
+		t.Errorf("GCD = %d, want 3", got)
+	}
+	if got := q.GCD(nil); got != 0 {
+		t.Errorf("GCD(nil) = %d, want 0", got)
+	}
+	if q.TotalFirings() != 30 {
+		t.Errorf("TotalFirings = %d", q.TotalFirings())
+	}
+}

@@ -1,0 +1,195 @@
+package sdf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInconsistent reports that a graph has no valid repetitions vector, i.e.
+// the balance equations admit only the zero solution (sample-rate
+// inconsistency).
+var ErrInconsistent = errors.New("sdf: graph is sample-rate inconsistent")
+
+// ErrOverflow reports that an exact integer computation exceeded int64 range.
+var ErrOverflow = errors.New("sdf: arithmetic overflow computing repetitions")
+
+// Repetitions is a repetitions vector q: the minimum positive number of
+// firings of each actor in one schedule period, indexed by ActorID.
+type Repetitions []int64
+
+// Q returns q(a).
+func (q Repetitions) Q(a ActorID) int64 { return q[a] }
+
+// TotalFirings returns the total number of actor firings in one period.
+func (q Repetitions) TotalFirings() int64 {
+	var n int64
+	for _, v := range q {
+		n += v
+	}
+	return n
+}
+
+// GCD returns the greatest common divisor of q(a) over the given actors. It
+// returns 0 if actors is empty.
+func (q Repetitions) GCD(actors []ActorID) int64 {
+	var g int64
+	for _, a := range actors {
+		g = gcd64(g, q[a])
+	}
+	return g
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	g := gcd64(a, b)
+	q := a / g
+	if q != 0 && b > (1<<62)/q {
+		return 0, ErrOverflow
+	}
+	return q * b, nil
+}
+
+// mulCheck multiplies with overflow detection for non-negative operands.
+func mulCheck(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	r := a * b
+	if r/b != a || r < 0 {
+		return 0, ErrOverflow
+	}
+	return r, nil
+}
+
+// Repetitions computes the repetitions vector of g by solving the balance
+// equations prd(e)*q(src(e)) = cns(e)*q(snk(e)) exactly. Every connected
+// component is normalized independently and the whole vector is reduced so
+// that the component-wise gcd is 1 per component. An error is returned if the
+// graph is inconsistent or the exact arithmetic overflows int64.
+//
+// Actors with no edges get q = 1.
+func (g *Graph) Repetitions() (Repetitions, error) {
+	n := len(g.actors)
+	// Represent q(a) as num[a]/den[a] relative to the component root, then
+	// scale by the lcm of denominators.
+	num := make([]int64, n)
+	den := make([]int64, n)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+
+	// Undirected adjacency for component traversal.
+	type arc struct {
+		to   ActorID
+		prod int64 // tokens per firing of 'from'
+		cons int64 // tokens per firing of 'to'
+	}
+	adj := make([][]arc, n)
+	for _, e := range g.edges {
+		adj[e.Src] = append(adj[e.Src], arc{to: e.Dst, prod: e.Prod, cons: e.Cons})
+		adj[e.Dst] = append(adj[e.Dst], arc{to: e.Src, prod: e.Cons, cons: e.Prod})
+	}
+
+	nc := 0
+	for root := 0; root < n; root++ {
+		if comp[root] >= 0 {
+			continue
+		}
+		cid := nc
+		nc++
+		comp[root] = cid
+		num[root], den[root] = 1, 1
+		stack := []ActorID{ActorID(root)}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range adj[u] {
+				// Balance: q(u)*prod = q(to)*cons => q(to) = q(u)*prod/cons.
+				tn, err := mulCheck(num[u], a.prod)
+				if err != nil {
+					return nil, err
+				}
+				td, err := mulCheck(den[u], a.cons)
+				if err != nil {
+					return nil, err
+				}
+				gg := gcd64(tn, td)
+				tn, td = tn/gg, td/gg
+				if comp[a.to] < 0 {
+					comp[a.to] = cid
+					num[a.to], den[a.to] = tn, td
+					stack = append(stack, a.to)
+				} else if num[a.to] != tn || den[a.to] != td {
+					return nil, fmt.Errorf("%w: actors %s and %s", ErrInconsistent,
+						g.actors[u].Name, g.actors[a.to].Name)
+				}
+			}
+		}
+	}
+
+	// Scale each component by lcm of denominators, then divide by gcd of
+	// numerators.
+	q := make(Repetitions, n)
+	for cid := 0; cid < nc; cid++ {
+		var l int64 = 1
+		for a := 0; a < n; a++ {
+			if comp[a] != cid {
+				continue
+			}
+			var err error
+			l, err = lcm64(l, den[a])
+			if err != nil {
+				return nil, err
+			}
+		}
+		var cg int64
+		for a := 0; a < n; a++ {
+			if comp[a] != cid {
+				continue
+			}
+			v, err := mulCheck(num[a], l/den[a])
+			if err != nil {
+				return nil, err
+			}
+			q[a] = v
+			cg = gcd64(cg, v)
+		}
+		if cg > 1 {
+			for a := 0; a < n; a++ {
+				if comp[a] == cid {
+					q[a] /= cg
+				}
+			}
+		}
+	}
+	return q, nil
+}
+
+// TNSE returns the total number of samples exchanged on edge e in one
+// schedule period: prd(e) * q(src(e)).
+func TNSE(g *Graph, q Repetitions, e EdgeID) int64 {
+	ed := g.Edge(e)
+	return ed.Prod * q[ed.Src]
+}
+
+// Consistent reports whether the graph has a valid repetitions vector.
+func (g *Graph) Consistent() bool {
+	_, err := g.Repetitions()
+	return err == nil
+}

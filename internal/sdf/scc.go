@@ -1,0 +1,127 @@
+package sdf
+
+// SCCs returns the strongly connected components of the precedence graph
+// (edges whose delays do not already cover a full period's consumption), in
+// reverse topological order of the condensation (Tarjan's algorithm). Each
+// component lists its actors in ascending ID order after sorting.
+//
+// Actors joined only by delay-saturated edges land in separate components,
+// matching the classic decomposition used to schedule general SDF graphs:
+// the condensation is acyclic and each nontrivial component must be broken
+// internally by its initial tokens.
+func (g *Graph) SCCs(q Repetitions) [][]ActorID {
+	n := len(g.actors)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []ActorID
+	var out [][]ActorID
+	next := 0
+
+	// Iterative Tarjan to survive deep graphs without blowing the stack.
+	type frame struct {
+		v    ActorID
+		ei   int // next out-edge index to visit
+		kids []ActorID
+	}
+	succ := make([][]ActorID, n)
+	for _, e := range g.edges {
+		if e.Src != e.Dst && PrecedenceEdge(g, q, e.ID) {
+			succ[e.Src] = append(succ[e.Src], e.Dst)
+		}
+	}
+	var dfs func(root ActorID)
+	dfs = func(root ActorID) {
+		frames := []frame{{v: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(succ[f.v]) {
+				w := succ[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Finished v.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []ActorID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortActorIDs(comp)
+				out = append(out, comp)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		if index[a] == -1 {
+			dfs(ActorID(a))
+		}
+	}
+	return out
+}
+
+func sortActorIDs(ids []ActorID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Subgraph extracts the induced subgraph on the given actors (all edges with
+// both endpoints in the set, including self loops and delay edges). The
+// returned mapping translates the subgraph's ActorIDs back to g's.
+func (g *Graph) Subgraph(actors []ActorID) (*Graph, map[ActorID]ActorID) {
+	sub := New(g.Name + "_sub")
+	toSub := make(map[ActorID]ActorID, len(actors))
+	back := make(map[ActorID]ActorID, len(actors))
+	for _, a := range actors {
+		id := sub.AddActor(g.Actor(a).Name)
+		toSub[a] = id
+		back[id] = a
+	}
+	for _, e := range g.edges {
+		s, okS := toSub[e.Src]
+		d, okD := toSub[e.Dst]
+		if okS && okD {
+			id := sub.AddEdge(s, d, e.Prod, e.Cons, e.Delay)
+			if e.Words > 1 {
+				sub.SetWords(id, e.Words)
+			}
+		}
+	}
+	return sub, back
+}

@@ -1,0 +1,203 @@
+package sdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSCCsChainIsAllSingletons(t *testing.T) {
+	g := New("chain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, c, 1, 1, 0)
+	q, _ := g.Repetitions()
+	comps := g.SCCs(q)
+	if len(comps) != 3 {
+		t.Fatalf("%d components, want 3", len(comps))
+	}
+	for _, comp := range comps {
+		if len(comp) != 1 {
+			t.Errorf("component %v not a singleton", comp)
+		}
+	}
+}
+
+func TestSCCsCycleDetected(t *testing.T) {
+	// A -> B -> C -> A with partial delay on C->A so it stays a precedence
+	// edge (q all 1 needs del < 1, i.e. 0: fully cyclic and deadlocked, but
+	// SCC analysis does not care about liveness).
+	g := New("cyc")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	d := g.AddActor("D")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, c, 1, 1, 0)
+	g.AddEdge(c, a, 1, 1, 0)
+	g.AddEdge(c, d, 1, 1, 0)
+	q, _ := g.Repetitions()
+	comps := g.SCCs(q)
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want {A,B,C} and {D}", comps)
+	}
+	var big []ActorID
+	for _, comp := range comps {
+		if len(comp) == 3 {
+			big = comp
+		}
+	}
+	if len(big) != 3 || big[0] != a || big[1] != b || big[2] != c {
+		t.Errorf("big component = %v, want [A B C]", big)
+	}
+}
+
+func TestSCCsDelaySaturatedEdgeSplits(t *testing.T) {
+	// The back edge carries a full period of delay: precedence-wise acyclic,
+	// so A and B are separate components.
+	g := New("sat")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 1)
+	q, _ := g.Repetitions()
+	if comps := g.SCCs(q); len(comps) != 2 {
+		t.Errorf("components = %v, want two singletons", comps)
+	}
+	// With the delay below one period's consumption the loop is one SCC.
+	g2 := New("sat2")
+	a2 := g2.AddActor("A")
+	b2 := g2.AddActor("B")
+	g2.AddEdge(a2, b2, 2, 1, 0)
+	g2.AddEdge(b2, a2, 1, 2, 1) // cons*q(dst) = 2*1 = 2 > 1
+	q2, _ := g2.Repetitions()
+	if comps := g2.SCCs(q2); len(comps) != 1 {
+		t.Errorf("components = %v, want one {A,B}", comps)
+	}
+}
+
+// TestSCCsReverseTopologicalOrder: Tarjan emits components in reverse
+// topological order of the condensation.
+func TestSCCsReverseTopologicalOrder(t *testing.T) {
+	g := New("rt")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, c, 1, 1, 0)
+	g.AddEdge(c, b, 1, 1, 0) // {B,C} cycle downstream of A
+	q, _ := g.Repetitions()
+	comps := g.SCCs(q)
+	if len(comps) != 2 {
+		t.Fatalf("comps = %v", comps)
+	}
+	if len(comps[0]) != 2 {
+		t.Errorf("downstream SCC should be emitted first: %v", comps)
+	}
+	if comps[1][0] != a {
+		t.Errorf("source emitted last: %v", comps)
+	}
+}
+
+// TestSCCsPartitionProperty: components partition the actor set, and
+// contracting them yields an acyclic condensation.
+func TestSCCsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(10)
+		g := New("r")
+		for i := 0; i < n; i++ {
+			g.AddActor(string(rune('A' + i)))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.2 {
+					g.AddEdge(ActorID(i), ActorID(j), 1, 1, 0)
+				}
+			}
+		}
+		q := make(Repetitions, n)
+		for i := range q {
+			q[i] = 1
+		}
+		comps := g.SCCs(q)
+		seen := make(map[ActorID]int)
+		for ci, comp := range comps {
+			for _, a := range comp {
+				if _, dup := seen[a]; dup {
+					t.Fatalf("trial %d: actor %d in two components", trial, a)
+				}
+				seen[a] = ci
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: components cover %d of %d actors", trial, len(seen), n)
+		}
+		// Condensation acyclic: every precedence edge goes from a LATER
+		// component index to an EARLIER one (reverse topological emission)
+		// or stays inside one component.
+		for _, e := range g.Edges() {
+			if !PrecedenceEdge(g, q, e.ID) {
+				continue
+			}
+			if seen[e.Src] < seen[e.Dst] {
+				t.Fatalf("trial %d: condensation edge %d->%d violates reverse topological order",
+					trial, seen[e.Src], seen[e.Dst])
+			}
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New("sub")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 3, 1)
+	g.AddEdge(b, c, 1, 1, 0)
+	g.AddEdge(a, a, 1, 1, 1)
+	sub, back := g.Subgraph([]ActorID{a, b})
+	if sub.NumActors() != 2 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph %d actors %d edges, want 2/2", sub.NumActors(), sub.NumEdges())
+	}
+	e := sub.Edge(0)
+	if e.Prod != 2 || e.Cons != 3 || e.Delay != 1 {
+		t.Errorf("edge attributes lost: %+v", e)
+	}
+	if back[e.Src] != a || back[e.Dst] != b {
+		t.Errorf("back mapping wrong")
+	}
+}
+
+func TestGraphStringAndAccessors(t *testing.T) {
+	g := New("acc")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	e := g.AddEdge(a, b, 1, 2, 3)
+	if s := g.String(); s != "graph acc: 2 actors, 1 edges" {
+		t.Errorf("String = %q", s)
+	}
+	if len(g.Actors()) != 2 || len(g.Edges()) != 1 {
+		t.Error("accessor slices wrong")
+	}
+	if len(g.Out(a)) != 1 || len(g.In(b)) != 1 {
+		t.Error("adjacency wrong")
+	}
+	if _, ok := g.ActorByName("Z"); ok {
+		t.Error("phantom actor")
+	}
+	q := Repetitions{2, 1}
+	if q.Q(a) != 2 {
+		t.Error("Q accessor")
+	}
+	_ = e
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustActor on unknown name did not panic")
+			}
+		}()
+		g.MustActor("Z")
+	}()
+}

@@ -1,0 +1,34 @@
+package sdfio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sdf"
+)
+
+// WriteDOT serializes the graph in Graphviz DOT form, annotating each edge
+// with "prod/cons" rates and a "kD" delay marker, in the style of the
+// paper's figures.
+func WriteDOT(w io.Writer, g *sdf.Graph) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", g.Name); err != nil {
+		return err
+	}
+	for _, a := range g.Actors() {
+		if _, err := fmt.Fprintf(w, "  %q;\n", a.Name); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		label := fmt.Sprintf("%d/%d", e.Prod, e.Cons)
+		if e.Delay > 0 {
+			label += fmt.Sprintf(" %dD", e.Delay)
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q [label=%q];\n",
+			g.Actor(e.Src).Name, g.Actor(e.Dst).Name, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,41 @@
+package sdfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the .sdf reader; it must never panic,
+// and successful parses must survive a Write/Parse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"graph g\nactor A\nactor B\nedge A B 1 1\n",
+		"edge A B 2 3 4\n",
+		"# only a comment\n",
+		"actor 名\nedge 名 名 1 1 9\n",
+		"graph\n",
+		"edge A A 1 1 1\n",
+		"edge A B 0 0\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write failed on parsed graph: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+		}
+		if back.NumActors() != g.NumActors() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				g.NumActors(), g.NumEdges(), back.NumActors(), back.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package sdfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/systems"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `
+# A little chain
+graph demo
+actor A
+actor B
+edge A B 2 3
+edge B C 1 1 4   # C implicitly declared, delay 4
+`
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" || g.NumActors() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %s: %d actors %d edges", g.Name, g.NumActors(), g.NumEdges())
+	}
+	e := g.Edge(1)
+	if e.Delay != 4 {
+		t.Errorf("delay = %d, want 4", e.Delay)
+	}
+	if _, err := g.Repetitions(); err != nil {
+		t.Errorf("Repetitions: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"graph",            // missing name
+		"actor",            // missing name
+		"actor A\nactor A", // duplicate
+		"edge A B",         // missing rates
+		"edge A B x y",     // bad numbers
+		"edge A B 0 1",     // zero rate
+		"edge A B 1 1 -2",  // negative delay
+		"bogus directive",  // unknown
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	graphs := systems.Table1Systems()
+	graphs = append(graphs, systems.CDDAT(), systems.Homogeneous(2, 2))
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: Write: %v", g.Name, err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", g.Name, err)
+		}
+		if back.Name != g.Name || back.NumActors() != g.NumActors() || back.NumEdges() != g.NumEdges() {
+			t.Errorf("%s: round trip changed shape", g.Name)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			a, b := g.Edges()[i], back.Edges()[i]
+			if a.Prod != b.Prod || a.Cons != b.Cons || a.Delay != b.Delay {
+				t.Errorf("%s: edge %d changed: %+v vs %+v", g.Name, i, a, b)
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := systems.CDDAT()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "cddat"`,
+		`"cd" -> "up23" [label="1/1"]`,
+		`"up23" -> "up87" [label="2/3"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDelayMarker(t *testing.T) {
+	g, err := Parse(strings.NewReader("edge A B 1 1 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1/1 3D") {
+		t.Errorf("delay marker missing:\n%s", buf.String())
+	}
+}
+
+func TestParseWordsField(t *testing.T) {
+	g, err := Parse(strings.NewReader("edge A B 2 3 0 16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(0).Words != 16 {
+		t.Errorf("words = %d, want 16", g.Edge(0).Words)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "edge A B 2 3 0 16") {
+		t.Errorf("Write dropped words: %s", buf.String())
+	}
+	if _, err := Parse(strings.NewReader("edge A B 1 1 0 0")); err == nil {
+		t.Error("words=0 accepted")
+	}
+}

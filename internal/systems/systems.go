@@ -1,0 +1,420 @@
+// Package systems constructs the practical SDF benchmark graphs evaluated in
+// the paper (Table 1 and Secs. 10–11): one- and two-sided multirate
+// filterbanks of parametric depth and rate-change ratios, the satellite
+// receiver of Ritz et al., several Ptolemy demonstration systems
+// (reconstructed from their published descriptions — see DESIGN.md for the
+// substitution notes), the CD-to-DAT sample-rate converter and the
+// homogeneous sharing example of Fig. 26.
+package systems
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// Ratio describes a two-band rate change c1/den, c2/den with c1 + c2 = den
+// (perfect reconstruction). The paper's filterbanks use 1/2+1/2, 1/3+2/3 and
+// 2/5+3/5. Tag is the paper's name fragment ("12", "23", "235").
+type Ratio struct {
+	C1, C2, Den int64
+	Tag         string
+}
+
+// Standard filterbank ratios from the paper.
+var (
+	Ratio12  = Ratio{C1: 1, C2: 1, Den: 2, Tag: "12"}  // 1/2, 1/2
+	Ratio23  = Ratio{C1: 1, C2: 2, Den: 3, Tag: "23"}  // 1/3, 2/3
+	Ratio235 = Ratio{C1: 2, C2: 3, Den: 5, Tag: "235"} // 2/5, 3/5
+)
+
+func (r Ratio) check() {
+	if r.C1 <= 0 || r.C2 <= 0 || r.Den != r.C1+r.C2 || r.Tag == "" {
+		panic(fmt.Sprintf("systems: invalid ratio %+v", r))
+	}
+}
+
+// TwoSidedFilterbank builds a depth-d two-sided (both bands recursed)
+// multirate filterbank: per tree stage an input filter, an analysis actor
+// producing the two decimated bands, two synthesis upsamplers and a
+// combiner; one processing actor per leaf band; one source. The actor count
+// is 6*2^d - 4, matching the paper's 20 / 44 / 188 nodes at depths 2 / 3 / 5.
+func TwoSidedFilterbank(depth int, r Ratio) *sdf.Graph {
+	r.check()
+	if depth < 1 {
+		panic("systems: filterbank depth must be >= 1")
+	}
+	g := sdf.New(fmt.Sprintf("qmf%s_%dd", r.Tag, depth))
+	src := g.AddActor("src")
+	buildStage(g, src, 1, depth, r, "t", true)
+	return g
+}
+
+// OneSidedFilterbank builds a depth-d one-sided filterbank (Fig. 22): only
+// the low band recurses; the high band gets a leaf processing actor at every
+// level. 6 actors per level plus source and the deepest low-band leaf.
+func OneSidedFilterbank(depth int, r Ratio) *sdf.Graph {
+	r.check()
+	if depth < 1 {
+		panic("systems: filterbank depth must be >= 1")
+	}
+	g := sdf.New(fmt.Sprintf("nqmf%s_%dd", r.Tag, depth))
+	src := g.AddActor("src")
+	buildStage(g, src, 1, depth, r, "t", false)
+	return g
+}
+
+// buildStage adds one filterbank stage whose input is fed by feeder, which
+// produces feedProd tokens per firing. It returns the stage's output actor
+// (the combiner), which produces r.Den tokens per firing. twoSided selects
+// whether the high band recurses.
+func buildStage(g *sdf.Graph, feeder sdf.ActorID, feedProd int64, depth int, r Ratio, tag string, twoSided bool) sdf.ActorID {
+	in := g.AddActor(tag + "_in")
+	anal := g.AddActor(tag + "_anal")
+	g.AddEdge(feeder, in, feedProd, 1, 0)
+	g.AddEdge(in, anal, 1, r.Den, 0)
+
+	// Low band.
+	var lowOut sdf.ActorID
+	var lowProd int64
+	if depth == 1 {
+		lowLeaf := g.AddActor(tag + "_lo")
+		g.AddEdge(anal, lowLeaf, r.C1, 1, 0)
+		lowOut, lowProd = lowLeaf, 1
+	} else {
+		lowOut = buildStage(g, anal, r.C1, depth-1, r, tag+"l", twoSided)
+		lowProd = r.Den
+	}
+	// High band.
+	var highOut sdf.ActorID
+	var highProd int64
+	if depth == 1 || !twoSided {
+		highLeaf := g.AddActor(tag + "_hi")
+		g.AddEdge(anal, highLeaf, r.C2, 1, 0)
+		highOut, highProd = highLeaf, 1
+	} else {
+		highOut = buildStage(g, anal, r.C2, depth-1, r, tag+"h", twoSided)
+		highProd = r.Den
+	}
+
+	uL := g.AddActor(tag + "_upL")
+	uH := g.AddActor(tag + "_upH")
+	add := g.AddActor(tag + "_add")
+	g.AddEdge(lowOut, uL, lowProd, r.C1, 0)
+	g.AddEdge(highOut, uH, highProd, r.C2, 0)
+	g.AddEdge(uL, add, r.Den, r.Den, 0)
+	g.AddEdge(uH, add, r.Den, r.Den, 0)
+	return add
+}
+
+// SatelliteReceiver reconstructs the Ritz et al. satellite receiver
+// abstraction (Fig. 24): two parallel down-conversion front ends (A,B,C,G,H,I
+// and D,E,F,K,L,M) merging through matched filtering (N,S,J,T,U,P) into a
+// frame-level back end (Q,R,V,W). The repetition vector matches the one
+// implied by the APGAN schedule quoted in Sec. 11.1.3: q(A)=q(D)=1056,
+// q(B)=q(E)=264, q(C..M)=24, q(N..P,W)=240, q(Q,R,V)=1.
+func SatelliteReceiver() *sdf.Graph {
+	g := sdf.New("satrec")
+	id := make(map[string]sdf.ActorID)
+	for _, n := range []string{"A", "B", "C", "G", "H", "I",
+		"D", "E", "F", "K", "L", "M",
+		"N", "S", "J", "T", "U", "P", "Q", "R", "V", "W"} {
+		id[n] = g.AddActor(n)
+	}
+	e := func(a, b string, p, c int64) { g.AddEdge(id[a], id[b], p, c, 0) }
+	// Front end 1.
+	e("A", "B", 1, 4)
+	e("B", "C", 1, 11)
+	e("C", "G", 1, 1)
+	e("G", "H", 1, 1)
+	e("H", "I", 1, 1)
+	// Front end 2.
+	e("D", "E", 1, 4)
+	e("E", "F", 1, 11)
+	e("F", "K", 1, 1)
+	e("K", "L", 1, 1)
+	e("L", "M", 1, 1)
+	// Matched filter chains.
+	e("I", "N", 10, 1)
+	e("M", "S", 10, 1)
+	e("N", "J", 1, 1)
+	e("S", "J", 1, 1)
+	e("J", "T", 1, 1)
+	e("T", "U", 1, 1)
+	e("U", "P", 1, 1)
+	// Frame back end.
+	e("P", "Q", 1, 240)
+	e("Q", "R", 1, 1)
+	e("R", "V", 1, 1)
+	e("V", "W", 240, 1)
+	return g
+}
+
+// CDDAT builds the classic CD-to-DAT sample rate conversion chain
+// (44.1 kHz -> 48 kHz = 147:160) discussed in Sec. 11.1.3: a six-actor chain
+// with rate changes 2:3, 8:7 and 10:7, q = (147,147,98,112,160,160).
+func CDDAT() *sdf.Graph {
+	g := sdf.New("cddat")
+	names := []string{"cd", "up23", "up87", "up107", "fir", "dat"}
+	ids := make([]sdf.ActorID, len(names))
+	for i, n := range names {
+		ids[i] = g.AddActor(n)
+	}
+	rates := [][2]int64{{1, 1}, {2, 3}, {8, 7}, {10, 7}, {1, 1}}
+	for i, r := range rates {
+		g.AddEdge(ids[i], ids[i+1], r[0], r[1], 0)
+	}
+	return g
+}
+
+// Homogeneous builds the Fig. 26 class of homogeneous graphs: a source
+// feeding M parallel chains of N actors each, joined by a sink. Every rate
+// is 1. A shared implementation needs only M+1 cells; a non-shared one needs
+// M(N-1) + 2M.
+func Homogeneous(m, n int) *sdf.Graph {
+	if m < 1 || n < 1 {
+		panic("systems: Homogeneous needs m, n >= 1")
+	}
+	g := sdf.New(fmt.Sprintf("homog_%dx%d", m, n))
+	src := g.AddActor("src")
+	snk := g.AddActor("snk")
+	for i := 0; i < m; i++ {
+		prev := src
+		for j := 0; j < n; j++ {
+			a := g.AddActor(fmt.Sprintf("c%d_%d", i, j))
+			g.AddEdge(prev, a, 1, 1, 0)
+			prev = a
+		}
+		g.AddEdge(prev, snk, 1, 1, 0)
+	}
+	return g
+}
+
+// Modem16QAM reconstructs a 16-QAM modem loop: bit source, scrambler, 4:1
+// symbol mapper, 1:4 pulse-shaping interpolator, channel, 4:1 receive
+// decimator/matched filter, equalizer, symbol slicer, 1:4 demapper,
+// descrambler and sink.
+func Modem16QAM() *sdf.Graph {
+	g := sdf.New("16qamModem")
+	chainWithRates(g, []string{
+		"bits", "scramble", "map", "shape", "dac", "channel",
+		"agc", "matched", "eq", "slice", "demap", "descramble", "sink",
+	}, [][2]int64{
+		{1, 1}, // bits -> scramble
+		{4, 1}, // scramble -> map: 4 bits per symbol
+		{1, 4}, // map -> shape: 4 samples per symbol
+		{1, 1}, // shape -> dac
+		{1, 1}, // dac -> channel
+		{1, 1}, // channel -> agc
+		{4, 1}, // agc -> matched: decimate by 4
+		{1, 1}, // matched -> eq
+		{1, 1}, // eq -> slice
+		{1, 4}, // slice -> demap: 4 bits out per symbol
+		{1, 1}, // demap -> descramble
+		{1, 1}, // descramble -> sink
+	})
+	return g
+}
+
+// PAM4TransmitRecv reconstructs a 4-PAM transmitter/receiver pair: 2 bits
+// per symbol, 8x pulse-shaping interpolation, channel, 8x timing-recovery
+// decimation, detector and bit sink.
+func PAM4TransmitRecv() *sdf.Graph {
+	g := sdf.New("4pamxmitrec")
+	chainWithRates(g, []string{
+		"bits", "map", "pulse", "upsamp", "channel", "timing", "decim", "detect", "unmap", "sink",
+	}, [][2]int64{
+		{2, 1}, // bits -> map: 2 bits per symbol
+		{1, 2}, // map -> pulse: 2x
+		{1, 4}, // pulse -> upsamp: 4x more (8x total)
+		{1, 1}, // upsamp -> channel
+		{1, 1}, // channel -> timing
+		{4, 1}, // timing -> decim
+		{2, 1}, // decim -> detect
+		{1, 2}, // detect -> unmap: 2 bits per symbol
+		{1, 1}, // unmap -> sink
+	})
+	return g
+}
+
+// BlockVox reconstructs a block vocoder at the ~25-node scale the paper
+// quotes for this benchmark: a sample-rate front end (100 samples per
+// frame), three parallel frame-level analysis paths (LPC, pitch, gain), an
+// excitation generator with a voiced/unvoiced mix, and a sample-rate
+// synthesis back end.
+func BlockVox() *sdf.Graph {
+	g := sdf.New("blockVox")
+	id := map[string]sdf.ActorID{}
+	for _, n := range []string{
+		// Sample-rate front end.
+		"src", "dc", "preemph", "frame",
+		// LPC analysis path (frame rate).
+		"window", "autocorr", "levinson", "qcoef",
+		// Pitch path.
+		"lpf", "decim", "acorr2", "peak", "qpitch",
+		// Gain path + voicing decision.
+		"energy", "qgain", "vuv",
+		// Excitation.
+		"pulse", "noise", "mix", "scale",
+		// Synthesis back end (sample rate).
+		"synth", "deemph", "agc", "hpf", "out",
+	} {
+		id[n] = g.AddActor(n)
+	}
+	e := func(a, b string, p, c int64) { g.AddEdge(id[a], id[b], p, c, 0) }
+	// Front end: samples in, one frame token per 100 samples.
+	e("src", "dc", 1, 1)
+	e("dc", "preemph", 1, 1)
+	e("preemph", "frame", 1, 100)
+	// LPC path.
+	e("frame", "window", 1, 1)
+	e("window", "autocorr", 1, 1)
+	e("autocorr", "levinson", 1, 1)
+	e("levinson", "qcoef", 1, 1)
+	e("qcoef", "synth", 1, 1)
+	// Pitch path.
+	e("frame", "lpf", 1, 1)
+	e("lpf", "decim", 1, 1)
+	e("decim", "acorr2", 1, 1)
+	e("acorr2", "peak", 1, 1)
+	e("peak", "qpitch", 1, 1)
+	e("qpitch", "pulse", 1, 1)
+	// Gain path and voicing decision.
+	e("frame", "energy", 1, 1)
+	e("energy", "qgain", 1, 1)
+	e("energy", "vuv", 1, 1)
+	e("qgain", "scale", 1, 1)
+	// Excitation: pulse train vs noise, selected by the voicing decision.
+	e("pulse", "mix", 1, 1)
+	e("noise", "mix", 1, 1)
+	e("vuv", "mix", 1, 1)
+	e("mix", "scale", 1, 1)
+	e("scale", "synth", 1, 1)
+	// Synthesis: one frame token expands back to 100 samples.
+	e("synth", "deemph", 100, 1)
+	e("deemph", "agc", 1, 1)
+	e("agc", "hpf", 1, 1)
+	e("hpf", "out", 1, 1)
+	return g
+}
+
+// OverAddFFT reconstructs an overlap-add FFT filter: 128-sample hops
+// assembled into 256-sample blocks, transformed, multiplied by a frequency
+// response, inverse transformed, and overlap-added back to 128-sample hops.
+func OverAddFFT() *sdf.Graph {
+	g := sdf.New("overAddFFT")
+	src := g.AddActor("src")
+	ovl := g.AddActor("overlap")
+	fft := g.AddActor("fft")
+	coef := g.AddActor("coef")
+	mult := g.AddActor("mult")
+	ifft := g.AddActor("ifft")
+	oadd := g.AddActor("overlapAdd")
+	snk := g.AddActor("sink")
+	g.AddEdge(src, ovl, 1, 128, 0)     // gather a hop
+	g.AddEdge(ovl, fft, 256, 256, 0)   // blocks of 256 (with overlap)
+	g.AddEdge(coef, mult, 256, 256, 0) // frequency response per block
+	g.AddEdge(fft, mult, 256, 256, 0)  // spectrum
+	g.AddEdge(mult, ifft, 256, 256, 0) // filtered spectrum
+	g.AddEdge(ifft, oadd, 256, 256, 0) // time block
+	g.AddEdge(oadd, snk, 128, 1, 0)    // emit a hop
+	return g
+}
+
+// PhasedArray reconstructs a 4-channel phased-array detector: per-channel
+// front ends feeding a beamformer, followed by a block FFT detector.
+func PhasedArray() *sdf.Graph {
+	g := sdf.New("phasedArray")
+	beam := g.AddActor("beam")
+	for i := 0; i < 4; i++ {
+		sensor := g.AddActor(fmt.Sprintf("sensor%d", i))
+		bpf := g.AddActor(fmt.Sprintf("bpf%d", i))
+		shift := g.AddActor(fmt.Sprintf("shift%d", i))
+		g.AddEdge(sensor, bpf, 1, 1, 0)
+		g.AddEdge(bpf, shift, 1, 1, 0)
+		g.AddEdge(shift, beam, 1, 1, 0)
+	}
+	blocker := g.AddActor("block")
+	fft := g.AddActor("fft")
+	mag := g.AddActor("mag")
+	detect := g.AddActor("detect")
+	g.AddEdge(beam, blocker, 1, 64, 0) // 64-sample detection blocks
+	g.AddEdge(blocker, fft, 64, 64, 0)
+	g.AddEdge(fft, mag, 64, 64, 0)
+	g.AddEdge(mag, detect, 64, 64, 0)
+	return g
+}
+
+// chainWithRates adds a linear chain of actors with the given per-edge
+// (prod, cons) rates.
+func chainWithRates(g *sdf.Graph, names []string, rates [][2]int64) {
+	if len(rates) != len(names)-1 {
+		panic("systems: rates/names mismatch")
+	}
+	prev := g.AddActor(names[0])
+	for i, r := range rates {
+		next := g.AddActor(names[i+1])
+		g.AddEdge(prev, next, r[0], r[1], 0)
+		prev = next
+	}
+}
+
+// Table1Systems returns all practical benchmark graphs of Table 1 in the
+// paper's row order (filterbanks of the three ratio families at depths 2, 3
+// and 5, the one-sided depth-4 filterbank, the satellite receiver and the
+// five Ptolemy demos).
+func Table1Systems() []*sdf.Graph {
+	return []*sdf.Graph{
+		OneSidedFilterbank(4, Ratio23),
+		TwoSidedFilterbank(2, Ratio23),
+		TwoSidedFilterbank(3, Ratio23),
+		TwoSidedFilterbank(5, Ratio23),
+		TwoSidedFilterbank(2, Ratio12),
+		TwoSidedFilterbank(3, Ratio12),
+		TwoSidedFilterbank(5, Ratio12),
+		TwoSidedFilterbank(2, Ratio235),
+		TwoSidedFilterbank(3, Ratio235),
+		TwoSidedFilterbank(5, Ratio235),
+		SatelliteReceiver(),
+		Modem16QAM(),
+		PAM4TransmitRecv(),
+		BlockVox(),
+		OverAddFFT(),
+		PhasedArray(),
+	}
+}
+
+// EchoCanceller reconstructs an adaptive echo canceller with a genuine
+// feedback cycle: the adaptive filter's coefficient update depends on the
+// error signal, which depends on the filter output — a strongly connected
+// component broken by one frame of initial coefficients. It exercises the
+// general-graph (cyclic) compilation path.
+func EchoCanceller() *sdf.Graph {
+	g := sdf.New("echoCanc")
+	id := map[string]sdf.ActorID{}
+	for _, n := range []string{
+		"far", "near", "fir", "sub", "update", "gate", "out",
+	} {
+		id[n] = g.AddActor(n)
+	}
+	e := func(a, b string, p, c, d int64) { g.AddEdge(id[a], id[b], p, c, d) }
+	// Far-end reference feeds the adaptive filter and the update (which
+	// consumes half-blocks of 4 samples).
+	e("far", "fir", 1, 1, 0)
+	e("far", "update", 1, 4, 0)
+	// Near-end signal minus echo estimate gives the error.
+	e("near", "sub", 1, 1, 0)
+	e("fir", "sub", 1, 1, 0)
+	// The error drives the (block-packetizing) output and the update...
+	e("sub", "out", 1, 8, 0)
+	e("sub", "update", 1, 4, 0)
+	// ...and the updated coefficients feed back into the filter: the update
+	// consumes half-blocks of 4 samples and releases 4 per-sample
+	// coefficient tokens, with half a block of initial coefficients. The
+	// delay (4) is below one period's consumption (8), so the
+	// fir/sub/update/gate loop is a genuine strongly connected component
+	// that only its initial tokens make schedulable.
+	e("update", "gate", 1, 1, 0)
+	e("gate", "fir", 4, 1, 4)
+	return g
+}

@@ -1,0 +1,172 @@
+package systems
+
+import (
+	"testing"
+)
+
+func TestFilterbankNodeCounts(t *testing.T) {
+	// Paper: depth 5, 3, 2 two-sided filterbanks have 188, 44, 20 nodes.
+	cases := []struct {
+		depth int
+		want  int
+	}{{2, 20}, {3, 44}, {5, 188}}
+	for _, tc := range cases {
+		for _, r := range []Ratio{Ratio12, Ratio23, Ratio235} {
+			g := TwoSidedFilterbank(tc.depth, r)
+			if got := g.NumActors(); got != tc.want {
+				t.Errorf("TwoSidedFilterbank(%d, %v): %d actors, want %d",
+					tc.depth, r, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestAllSystemsConsistentAndAcyclic(t *testing.T) {
+	graphs := Table1Systems()
+	graphs = append(graphs, CDDAT(), Homogeneous(3, 4))
+	for _, g := range graphs {
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+			continue
+		}
+		if _, err := g.TopologicalSort(q); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestSatelliteReceiverRepetitions(t *testing.T) {
+	g := SatelliteReceiver()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"A": 1056, "D": 1056, "B": 264, "E": 264,
+		"C": 24, "G": 24, "H": 24, "I": 24, "F": 24, "K": 24, "L": 24, "M": 24,
+		"N": 240, "S": 240, "J": 240, "T": 240, "U": 240, "P": 240, "W": 240,
+		"Q": 1, "R": 1, "V": 1,
+	}
+	for name, w := range want {
+		a, ok := g.ActorByName(name)
+		if !ok {
+			t.Fatalf("missing actor %s", name)
+		}
+		if q[a.ID] != w {
+			t.Errorf("q(%s) = %d, want %d", name, q[a.ID], w)
+		}
+	}
+	if g.NumActors() != 22 {
+		t.Errorf("satrec has %d actors, want 22", g.NumActors())
+	}
+}
+
+func TestCDDATRepetitions(t *testing.T) {
+	g := CDDAT()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{147, 147, 98, 112, 160, 160}
+	for i, w := range want {
+		if q[i] != w {
+			t.Errorf("q[%d] = %d, want %d", i, q[i], w)
+		}
+	}
+}
+
+func TestHomogeneousShape(t *testing.T) {
+	m, n := 4, 3
+	g := Homogeneous(m, n)
+	if got, want := g.NumActors(), m*n+2; got != want {
+		t.Errorf("actors = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), m*(n+1); got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range q {
+		if v != 1 {
+			t.Errorf("q[%d] = %d, want 1 (homogeneous)", i, v)
+		}
+	}
+	// Non-shared cost from the paper: M(N-1) + 2M.
+	if got, want := g.BMLB(), int64(m*(n-1)+2*m); got != want {
+		t.Errorf("BMLB = %d, want %d", got, want)
+	}
+}
+
+func TestOneSidedFilterbankSize(t *testing.T) {
+	g := OneSidedFilterbank(4, Ratio23)
+	if got := g.NumActors(); got != 26 {
+		t.Errorf("nqmf23_4d has %d actors, want 26", got)
+	}
+	if _, err := g.Repetitions(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterbankMultirateGrowth(t *testing.T) {
+	g := TwoSidedFilterbank(3, Ratio12)
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.ActorByName("src")
+	// The source must fire den^depth = 8 times per deepest-band firing.
+	if q[src.ID]%8 != 0 {
+		t.Errorf("q(src) = %d, want a multiple of 8", q[src.ID])
+	}
+}
+
+func TestRatioValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid ratio did not panic")
+		}
+	}()
+	TwoSidedFilterbank(2, Ratio{C1: 1, C2: 1, Den: 3})
+}
+
+func TestTable1SystemNames(t *testing.T) {
+	want := []string{
+		"nqmf23_4d", "qmf23_2d", "qmf23_3d", "qmf23_5d",
+		"qmf12_2d", "qmf12_3d", "qmf12_5d",
+		"qmf235_2d", "qmf235_3d", "qmf235_5d",
+		"satrec", "16qamModem", "4pamxmitrec", "blockVox", "overAddFFT", "phasedArray",
+	}
+	got := Table1Systems()
+	if len(got) != len(want) {
+		t.Fatalf("%d systems, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		if g.Name != want[i] {
+			t.Errorf("system %d = %s, want %s", i, g.Name, want[i])
+		}
+	}
+}
+
+func TestEchoCancellerIsCyclic(t *testing.T) {
+	g := EchoCanceller()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsAcyclic(q) {
+		t.Fatal("echo canceller should have a strongly connected component")
+	}
+	comps := g.SCCs(q)
+	var big int
+	for _, c := range comps {
+		if len(c) > big {
+			big = len(c)
+		}
+	}
+	if big < 3 {
+		t.Errorf("largest SCC has %d actors, want the fir/sub/update/gate loop", big)
+	}
+}
