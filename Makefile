@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench bench-json
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# tier1 is the merge gate: everything must pass before a change lands.
+tier1: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem -short ./...
+
+# bench-json writes the BENCH_<date>.json performance trajectory file.
+bench-json:
+	$(GO) run ./cmd/sdfbench -quick -json >/dev/null

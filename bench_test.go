@@ -406,6 +406,75 @@ func BenchmarkTradeoff(b *testing.B) {
 	}
 }
 
+// multirateBenchSystems are the Table 1 systems whose periods contain far
+// more firings than schedule nodes — the regime the loop-aware simulator is
+// built for (the acceptance target is ≥5x over firing expansion here).
+func multirateBenchSystems() []*sdf.Graph {
+	return []*sdf.Graph{
+		systems.SatelliteReceiver(),
+		systems.TwoSidedFilterbank(5, systems.Ratio235),
+		systems.PhasedArray(),
+		systems.CDDAT(),
+	}
+}
+
+// BenchmarkMaxTokensLoopAware times the loop-aware max_tokens/bufmem
+// recursion on the compiled SDPPO schedules of the multirate systems.
+func BenchmarkMaxTokensLoopAware(b *testing.B) {
+	for _, g := range multirateBenchSystems() {
+		res, err := core.Compile(g, core.Options{Strategy: core.APGAN, Looping: core.SDPPOLoops})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(g.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := res.Schedule.SimulateLoopAware(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaxTokensFiring times the firing-expansion reference oracle on
+// the same schedules, for direct comparison with the loop-aware path.
+func BenchmarkMaxTokensFiring(b *testing.B) {
+	for _, g := range multirateBenchSystems() {
+		res, err := core.Compile(g, core.Options{Strategy: core.APGAN, Looping: core.SDPPOLoops})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(g.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := res.Schedule.SimulateByExpansion(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateFirstFit times first-fit packing on a large random
+// instance (the scratch-reuse and sorted-insertion fast path in
+// alloc.Allocate).
+func BenchmarkAllocateFirstFit(b *testing.B) {
+	g := benchGraph(150)
+	res, err := core.Compile(g, core.Options{Strategy: core.APGAN, Looping: core.SDPPOLoops})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart} {
+		b.Run(strat.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				alloc.Allocate(res.Intervals, strat)
+			}
+		})
+	}
+}
+
 // BenchmarkExactStudy regenerates the heuristics-vs-exhaustive-optimum
 // comparison on small graphs.
 func BenchmarkExactStudy(b *testing.B) {

@@ -15,6 +15,12 @@
 //	sdfbench -experiment all
 //
 // -quick reduces population sizes for a fast smoke run.
+//
+// With -json, results go to stdout as JSON and a benchmark trajectory file
+// BENCH_<date>.json (per-phase wall times, per-system and per-population
+// ns/op, loop-aware vs firing-expansion simulator micro timings) is written
+// so successive PRs can track performance regressions; -benchout overrides
+// the file path.
 package main
 
 import (
@@ -22,21 +28,82 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/randsdf"
 	"repro/internal/sdf"
 	"repro/internal/systems"
+
+	"math/rand"
 )
+
+// benchReport is the schema of the BENCH_<date>.json trajectory file.
+type benchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Seed       int64        `json:"seed"`
+	Phases     []benchPhase `json:"phases"`
+	// Table1Systems is the single-run wall time of the full shared pipeline
+	// per practical system.
+	Table1Systems []benchSystem `json:"table1_systems,omitempty"`
+	// Fig27 is the wall time per random-graph population.
+	Fig27 []benchFig27 `json:"fig27,omitempty"`
+	// MaxTokens compares the loop-aware token simulation against the
+	// firing-expansion oracle per system (the tentpole speedup).
+	MaxTokens []benchMaxTokens `json:"max_tokens,omitempty"`
+	// AllocFirstFitNS times first-fit allocation on a 150-actor random
+	// graph's lifetime intervals.
+	AllocFirstFitNS int64 `json:"alloc_first_fit_ns,omitempty"`
+}
+
+type benchPhase struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+type benchSystem struct {
+	System string `json:"system"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+type benchFig27 struct {
+	Size       int   `json:"size"`
+	Graphs     int   `json:"graphs"`
+	WallNS     int64 `json:"wall_ns"`
+	NSPerGraph int64 `json:"ns_per_graph"`
+}
+
+type benchMaxTokens struct {
+	System      string  `json:"system"`
+	LoopAwareNS int64   `json:"loop_aware_ns"`
+	FiringNS    int64   `json:"firing_ns"`
+	Speedup     float64 `json:"speedup"`
+}
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run")
-		quick   = flag.Bool("quick", false, "reduced population sizes")
-		seed    = flag.Int64("seed", 2000, "random seed for stochastic studies")
-		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+		exp      = flag.String("experiment", "all", "which experiment to run")
+		quick    = flag.Bool("quick", false, "reduced population sizes")
+		seed     = flag.Int64("seed", 2000, "random seed for stochastic studies")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON and write a BENCH_<date>.json trajectory")
+		benchOut = flag.String("benchout", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
 	)
 	flag.Parse()
+
+	report := &benchReport{
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Seed:       *seed,
+	}
 
 	emit := func(name string, v interface{}, text func() string) {
 		if *jsonOut {
@@ -51,10 +118,12 @@ func main() {
 		fmt.Print(text())
 	}
 
+	ran := 0
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran++
 		start := time.Now()
 		if !*jsonOut {
 			fmt.Printf("==== %s ====\n", name)
@@ -63,8 +132,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sdfbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		report.Phases = append(report.Phases, benchPhase{Name: name, WallNS: elapsed.Nanoseconds()})
 		if !*jsonOut {
-			fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s in %v)\n\n", name, elapsed.Round(time.Millisecond))
 		}
 	}
 
@@ -72,6 +143,19 @@ func main() {
 		rows, err := experiments.DefaultTable1()
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			// Per-system trajectory: one timed sequential pass each, so the
+			// numbers are comparable across machines with different core
+			// counts.
+			for _, g := range systems.Table1Systems() {
+				start := time.Now()
+				if _, err := experiments.Table1([]*sdf.Graph{g}); err != nil {
+					return err
+				}
+				report.Table1Systems = append(report.Table1Systems,
+					benchSystem{System: g.Name, WallNS: time.Since(start).Nanoseconds()})
+			}
 		}
 		emit("table1", rows, func() string {
 			return experiments.FormatTable1(rows) + "\n" + experiments.FormatFig25(rows)
@@ -84,6 +168,13 @@ func main() {
 		cfg.Seed = *seed
 		if *quick {
 			cfg = experiments.Fig27Config{Sizes: []int{20, 50}, PerSize: 10, Seed: *seed}
+		}
+		cfg.OnSizeTimed = func(size, graphs int, elapsed time.Duration) {
+			report.Fig27 = append(report.Fig27, benchFig27{
+				Size: size, Graphs: graphs,
+				WallNS:     elapsed.Nanoseconds(),
+				NSPerGraph: elapsed.Nanoseconds() / int64(graphs),
+			})
 		}
 		pts, err := experiments.Fig27(cfg)
 		if err != nil {
@@ -99,8 +190,7 @@ func main() {
 		if *quick {
 			small, large = 50, 5
 		}
-		var results []experiments.RandomSortResult
-		for _, j := range []struct {
+		jobs := []struct {
 			name   string
 			trials int
 		}{
@@ -108,13 +198,12 @@ func main() {
 			{"blockVox", small},
 			{"qmf12_5d", large},
 			{"qmf235_5d", large},
-		} {
-			g := mustSystem(j.name)
-			r, err := experiments.RandomSort(g, j.trials, *seed)
-			if err != nil {
-				return err
-			}
-			results = append(results, r)
+		}
+		results, err := par.Map(len(jobs), func(i int) (experiments.RandomSortResult, error) {
+			return experiments.RandomSort(mustSystem(jobs[i].name), jobs[i].trials, *seed)
+		})
+		if err != nil {
+			return err
 		}
 		emit("randomsort", results, func() string { return experiments.FormatRandomSort(results) })
 		return nil
@@ -196,6 +285,103 @@ func main() {
 		emit("merging", rows, func() string { return experiments.FormatMerging(rows) })
 		return nil
 	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "sdfbench: unknown experiment %q (see -h for the list)\n", *exp)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := writeBenchFile(report, *benchOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "sdfbench: bench trajectory:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchFile appends the simulator and allocator micro timings to the
+// report and writes it to path (default BENCH_<date>.json).
+func writeBenchFile(report *benchReport, path string, quick bool) error {
+	microBudget := 50 * time.Millisecond
+	graphs := systems.Table1Systems()
+	if quick {
+		microBudget = 5 * time.Millisecond
+		// Keep the heavily multirate systems — the regime the loop-aware
+		// simulator targets — so even a quick trajectory file tracks the
+		// speedup that matters.
+		multirate := map[string]bool{
+			"satrec": true, "qmf235_5d": true, "phasedArray": true, "qmf235_3d": true,
+		}
+		var sub []*sdf.Graph
+		for _, g := range graphs {
+			if multirate[g.Name] {
+				sub = append(sub, g)
+			}
+		}
+		graphs = sub
+	}
+	for _, g := range graphs {
+		res, err := core.Compile(g, core.Options{Strategy: core.APGAN, Looping: core.SDPPOLoops})
+		if err != nil {
+			return err
+		}
+		s := res.Schedule
+		la := timeNsPerOp(microBudget, func() {
+			if _, err := s.SimulateLoopAware(); err != nil {
+				panic(err)
+			}
+		})
+		fe := timeNsPerOp(microBudget, func() {
+			if _, err := s.SimulateByExpansion(); err != nil {
+				panic(err)
+			}
+		})
+		m := benchMaxTokens{System: g.Name, LoopAwareNS: la, FiringNS: fe}
+		if la > 0 {
+			m.Speedup = float64(fe) / float64(la)
+		}
+		report.MaxTokens = append(report.MaxTokens, m)
+	}
+
+	g := randsdf.Graph(rand.New(rand.NewSource(150)), randsdf.Config{Actors: 150})
+	res, err := core.Compile(g, core.Options{})
+	if err != nil {
+		return err
+	}
+	report.AllocFirstFitNS = timeNsPerOp(microBudget, func() {
+		alloc.Allocate(res.Intervals, alloc.FirstFitDuration)
+	})
+
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sdfbench: wrote", path)
+	return nil
+}
+
+// timeNsPerOp measures f's per-call wall time, doubling the iteration count
+// until the measurement spans the budget.
+func timeNsPerOp(budget time.Duration, f func()) int64 {
+	f() // warm-up
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= budget || n >= 1<<24 {
+			return elapsed.Nanoseconds() / int64(n)
+		}
+		n *= 2
+	}
 }
 
 func mustSystem(name string) *sdf.Graph {

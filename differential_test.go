@@ -1,0 +1,164 @@
+package repro
+
+// Differential tests for the loop-aware token simulator: on every graph the
+// repo can produce — the sixteen Table 1 systems, the graphs demoed under
+// examples/, and a population of random SDF graphs with delay-carrying
+// edges — the closed-form recursion must agree with the firing-expansion
+// oracle on every max_tokens, final-token, and firing count, and BufMem
+// (EQ 1) must equal the total recomputed from the oracle.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/randsdf"
+	"repro/internal/regularity"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// diffCheck compiles the graph under the given options and cross-checks the
+// three simulators on the resulting schedule.
+func diffCheck(t *testing.T, g *sdf.Graph, opts core.Options, label string) {
+	t.Helper()
+	res, err := core.Compile(g, opts)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	s := res.Schedule
+	fast, fastErr := s.SimulateLoopAware()
+	slow, slowErr := s.SimulateByExpansion()
+	if (fastErr == nil) != (slowErr == nil) {
+		t.Fatalf("%s: loop-aware err=%v, oracle err=%v", label, fastErr, slowErr)
+	}
+	if fastErr != nil {
+		return
+	}
+	disp, dispErr := s.Simulate()
+	if dispErr != nil {
+		t.Fatalf("%s: Simulate: %v", label, dispErr)
+	}
+	for e := range slow.MaxTokens {
+		if fast.MaxTokens[e] != slow.MaxTokens[e] {
+			t.Errorf("%s: max_tokens(edge %d) = %d, oracle %d", label, e, fast.MaxTokens[e], slow.MaxTokens[e])
+		}
+		if fast.FinalTokens[e] != slow.FinalTokens[e] {
+			t.Errorf("%s: final(edge %d) = %d, oracle %d", label, e, fast.FinalTokens[e], slow.FinalTokens[e])
+		}
+		if disp.MaxTokens[e] != slow.MaxTokens[e] {
+			t.Errorf("%s: dispatched max_tokens(edge %d) = %d, oracle %d", label, e, disp.MaxTokens[e], slow.MaxTokens[e])
+		}
+	}
+	for a := range slow.Firings {
+		if fast.Firings[a] != slow.Firings[a] {
+			t.Errorf("%s: firings(%d) = %d, oracle %d", label, a, fast.Firings[a], slow.Firings[a])
+		}
+	}
+	got, err := s.BufMem()
+	if err != nil {
+		t.Fatalf("%s: BufMem: %v", label, err)
+	}
+	var want int64
+	for _, e := range g.Edges() {
+		want += slow.MaxTokens[e.ID] * e.Words
+	}
+	if got != want {
+		t.Errorf("%s: BufMem = %d, oracle total %d", label, got, want)
+	}
+}
+
+// diffOptions are the pipeline variants exercised per fixed graph, covering
+// both order heuristics and all three looping modes.
+func diffOptions() []core.Options {
+	return []core.Options{
+		{Strategy: core.APGAN, Looping: core.SDPPOLoops},
+		{Strategy: core.APGAN, Looping: core.DPPOLoops},
+		{Strategy: core.APGAN, Looping: core.FlatLoops},
+		{Strategy: core.RPMC, Looping: core.SDPPOLoops},
+		{Strategy: core.RPMC, Looping: core.DPPOLoops},
+	}
+}
+
+// TestDifferentialTable1 covers all sixteen practical systems of Table 1.
+func TestDifferentialTable1(t *testing.T) {
+	for _, g := range systems.Table1Systems() {
+		for _, opts := range diffOptions() {
+			diffCheck(t, g, opts, fmt.Sprintf("%s/%v/%v", g.Name, opts.Strategy, opts.Looping))
+		}
+	}
+}
+
+// TestDifferentialExamples covers the graphs the examples/ programs build.
+func TestDifferentialExamples(t *testing.T) {
+	graphs := []*sdf.Graph{
+		systems.CDDAT(),
+		systems.SatelliteReceiver(),
+		systems.Homogeneous(3, 4),
+		systems.Homogeneous(8, 16),
+		systems.OneSidedFilterbank(4, systems.Ratio23),
+		systems.TwoSidedFilterbank(3, systems.Ratio12),
+		regularity.FIR(16),
+	}
+	for _, g := range graphs {
+		for _, opts := range diffOptions() {
+			diffCheck(t, g, opts, fmt.Sprintf("%s/%v/%v", g.Name, opts.Strategy, opts.Looping))
+		}
+	}
+}
+
+// TestDifferentialRandom fuzzes the comparison over 200 random graphs,
+// including delay-carrying edges, alternating between the two order
+// heuristics.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for i := 0; i < trials; i++ {
+		g := randsdf.Graph(rng, randsdf.Config{
+			Actors:    3 + rng.Intn(18),
+			DelayProb: 0.4,
+		})
+		opts := core.Options{Strategy: core.APGAN, Looping: core.SDPPOLoops}
+		if i%2 == 1 {
+			opts.Strategy = core.RPMC
+		}
+		if i%5 == 0 {
+			opts.Looping = core.DPPOLoops
+		}
+		diffCheck(t, g, opts, fmt.Sprintf("rand%d/%v/%v", i, opts.Strategy, opts.Looping))
+	}
+}
+
+// TestDifferentialFlatVsNested pins the equivalence on a hand-built deeply
+// nested schedule whose expansion is still tractable, so a miscounted loop
+// boundary cannot hide behind compiler-produced shapes.
+func TestDifferentialFlatVsNested(t *testing.T) {
+	g := systems.CDDAT()
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopologicalSort(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.FlatSAS(g, q, order)
+	fast, err := s.SimulateLoopAware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.SimulateByExpansion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range slow.MaxTokens {
+		if fast.MaxTokens[e] != slow.MaxTokens[e] {
+			t.Errorf("flat SAS: max_tokens(edge %d) = %d, oracle %d", e, fast.MaxTokens[e], slow.MaxTokens[e])
+		}
+	}
+}

@@ -7,7 +7,6 @@ package alloc
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/lifetime"
 )
@@ -80,14 +79,30 @@ func Allocate(intervals []*lifetime.Interval, strat Strategy) *Allocation {
 	offsets := make([]int64, len(order))
 	placed := make([]bool, len(order))
 	var total int64
+	// One scratch list reused across intervals; each placed neighbor is
+	// inserted at its sorted position, so no per-interval allocation or
+	// comparison-sort pass is needed.
+	busy := make([]memRange, 0, len(order))
 	for i, iv := range order {
-		var busy []memRange
+		busy = busy[:0]
 		for _, j := range w.Adj[i] {
-			if placed[j] {
-				busy = append(busy, memRange{offsets[j], offsets[j] + order[j].Size})
+			if !placed[j] {
+				continue
 			}
+			r := memRange{offsets[j], offsets[j] + order[j].Size}
+			lo, hi := 0, len(busy)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if busy[mid].lo <= r.lo {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			busy = append(busy, memRange{})
+			copy(busy[lo+1:], busy[lo:])
+			busy[lo] = r
 		}
-		sort.Slice(busy, func(x, y int) bool { return busy[x].lo < busy[y].lo })
 		var off int64
 		if strat == BestFitDuration {
 			off = bestFit(busy, iv.Size)

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"sort"
 
+	"repro/internal/num"
 	"repro/internal/sched"
 	"repro/internal/sdf"
 )
@@ -69,7 +70,7 @@ func Run(g *sdf.Graph, q sdf.Repetitions) (*Result, error) {
 			return nil, ErrNotClusterable
 		}
 		l, r := clusters[pair.src], clusters[pair.dst]
-		merged := &Hierarchy{Left: l, Right: r, Rep: gcd64(l.Rep, r.Rep)}
+		merged := &Hierarchy{Left: l, Right: r, Rep: num.GCD(l.Rep, r.Rep)}
 		clusters[pair.src] = merged
 		clusters[pair.dst] = nil
 		for a := range clusterOf {
@@ -123,7 +124,7 @@ func pickPair(g *sdf.Graph, q sdf.Repetitions, clusterOf []int, clusters []*Hier
 		}
 		c := agg[k]
 		if c == nil {
-			c = &candidate{src: cs, dst: cd, gcd: gcd64(clusters[cs].Rep, clusters[cd].Rep)}
+			c = &candidate{src: cs, dst: cd, gcd: num.GCD(clusters[cs].Rep, clusters[cd].Rep)}
 			agg[k] = c
 		}
 		if prec {
@@ -268,14 +269,4 @@ func buildNode(h *Hierarchy, q sdf.Repetitions, outer int64) *sched.Node {
 	}
 	f := h.Rep / outer
 	return sched.Loop(f, buildNode(h.Left, q, h.Rep), buildNode(h.Right, q, h.Rep))
-}
-
-func gcd64(a, b int64) int64 {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	if a < 0 {
-		return -a
-	}
-	return a
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/num"
 	"repro/internal/sched"
 	"repro/internal/sdf"
 	"repro/internal/systems"
@@ -194,7 +195,7 @@ func randomDAG(t testing.TB, rng *rand.Rand, n int) (*sdf.Graph, sdf.Repetitions
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if rng.Float64() < 0.3 {
-				gg := gcd64(reps[i], reps[j])
+				gg := num.GCD(reps[i], reps[j])
 				g.AddEdge(sdf.ActorID(i), sdf.ActorID(j), reps[j]/gg, reps[i]/gg, 0)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/looping"
+	"repro/internal/par"
 	"repro/internal/randsdf"
 	"repro/internal/rpmc"
 	"repro/internal/sdf"
@@ -30,61 +31,84 @@ type ExactRow struct {
 
 // ExactStudy runs the comparison on small random graphs plus any supplied
 // systems with tractable order spaces (orders capped at maxOrders; rows
-// whose space exceeds the cap are skipped).
+// whose space exceeds the cap are skipped). Graph generation stays
+// sequential — the random graphs are drawn from one seeded stream — while
+// the exhaustive per-graph searches run in parallel, with rows collected in
+// generation order.
 func ExactStudy(graphs []*sdf.Graph, randomN, maxOrders int, seed int64) ([]ExactRow, error) {
 	rng := rand.New(rand.NewSource(seed))
 	all := append([]*sdf.Graph{}, graphs...)
 	for i := 0; i < randomN; i++ {
 		all = append(all, randsdf.Graph(rng, randsdf.Config{Actors: 5 + rng.Intn(4)}))
 	}
+	type outcome struct {
+		row ExactRow
+		ok  bool
+	}
+	outcomes, err := par.MapSlice(all, func(i int, g *sdf.Graph) (outcome, error) {
+		row, ok, err := exactRow(g, i, maxOrders)
+		return outcome{row: row, ok: ok}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []ExactRow
-	for i, g := range all {
-		q, err := g.Repetitions()
-		if err != nil {
-			return nil, err
+	for _, oc := range outcomes {
+		if oc.ok {
+			rows = append(rows, oc.row)
 		}
-		exNS, err := exact.BestNonShared(g, q, maxOrders)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: exact %s: %w", g.Name, err)
-		}
-		if !exNS.Exhausted {
-			continue
-		}
-		exSh, err := exact.BestShared(g, q, maxOrders)
-		if err != nil {
-			return nil, err
-		}
-		row := ExactRow{System: fmt.Sprintf("%s#%d", g.Name, i), Actors: g.NumActors(),
-			Orders: exNS.Orders, ExactNS: exNS.Best, ExactSh: exSh.Best}
-		ar, err := apgan.Run(g, q)
-		if err != nil {
-			return nil, err
-		}
-		row.APGANNS, err = looping.DPPO(g, q, ar.Order).Schedule.BufMem()
-		if err != nil {
-			return nil, err
-		}
-		rOrder, err := rpmc.Order(g, q)
-		if err != nil {
-			return nil, err
-		}
-		row.RPMCNS, err = looping.DPPO(g, q, rOrder).Schedule.BufMem()
-		if err != nil {
-			return nil, err
-		}
-		row.BestHeurSh = -1
-		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
-			c, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
-			if err != nil {
-				return nil, err
-			}
-			if row.BestHeurSh < 0 || c.Metrics.SharedTotal < row.BestHeurSh {
-				row.BestHeurSh = c.Metrics.SharedTotal
-			}
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// exactRow runs the exhaustive search and both heuristics on one graph; ok is
+// false when the graph's order space exceeds maxOrders.
+func exactRow(g *sdf.Graph, i, maxOrders int) (ExactRow, bool, error) {
+	var row ExactRow
+	q, err := g.Repetitions()
+	if err != nil {
+		return row, false, err
+	}
+	exNS, err := exact.BestNonShared(g, q, maxOrders)
+	if err != nil {
+		return row, false, fmt.Errorf("experiments: exact %s: %w", g.Name, err)
+	}
+	if !exNS.Exhausted {
+		return row, false, nil
+	}
+	exSh, err := exact.BestShared(g, q, maxOrders)
+	if err != nil {
+		return row, false, err
+	}
+	row = ExactRow{System: fmt.Sprintf("%s#%d", g.Name, i), Actors: g.NumActors(),
+		Orders: exNS.Orders, ExactNS: exNS.Best, ExactSh: exSh.Best}
+	ar, err := apgan.Run(g, q)
+	if err != nil {
+		return row, false, err
+	}
+	row.APGANNS, err = looping.DPPO(g, q, ar.Order).Schedule.BufMem()
+	if err != nil {
+		return row, false, err
+	}
+	rOrder, err := rpmc.Order(g, q)
+	if err != nil {
+		return row, false, err
+	}
+	row.RPMCNS, err = looping.DPPO(g, q, rOrder).Schedule.BufMem()
+	if err != nil {
+		return row, false, err
+	}
+	row.BestHeurSh = -1
+	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+		c, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
+		if err != nil {
+			return row, false, err
+		}
+		if row.BestHeurSh < 0 || c.Metrics.SharedTotal < row.BestHeurSh {
+			row.BestHeurSh = c.Metrics.SharedTotal
+		}
+	}
+	return row, true, nil
 }
 
 // FormatExact renders the comparison.

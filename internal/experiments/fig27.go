@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/randsdf"
 	"repro/internal/sdf"
 )
@@ -18,6 +18,10 @@ type Fig27Config struct {
 	Sizes   []int // node counts; paper: 20, 50, 100, 150
 	PerSize int   // graphs per size; paper: 100
 	Seed    int64
+	// OnSizeTimed, if non-nil, receives the wall time of each population
+	// after it completes (the benchmark trajectory hook). It does not affect
+	// results.
+	OnSizeTimed func(size, graphs int, elapsed time.Duration)
 }
 
 // DefaultFig27Config reproduces the paper's populations.
@@ -52,36 +56,34 @@ type graphOutcome struct {
 	rpmcAlloc, apganAlloc     int64
 }
 
-// Fig27 runs the random-graph study. Graphs are compiled in parallel
-// (bounded by GOMAXPROCS); each graph gets a seed derived from its index so
-// results are deterministic regardless of scheduling.
+// Fig27 runs the random-graph study. Graphs are generated and compiled in
+// parallel (bounded by GOMAXPROCS); each worker derives its own rand source
+// from the graph's index so results are deterministic regardless of
+// scheduling and no *rand.Rand is ever shared across goroutines.
 func Fig27(cfg Fig27Config) ([]Fig27Point, error) {
 	var out []Fig27Point
 	for si, size := range cfg.Sizes {
-		outcomes := make([]graphOutcome, cfg.PerSize)
-		errs := make([]error, cfg.PerSize)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i := 0; i < cfg.PerSize; i++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				seed := cfg.Seed + int64(si)*1_000_003 + int64(i)
-				g := randsdf.Graph(rand.New(rand.NewSource(seed)), randsdf.Config{Actors: size})
-				outcomes[i], errs[i] = runOne(g)
-			}(i)
+		sizeStart := time.Now()
+		outcomes, err := par.Map(cfg.PerSize, func(i int) (graphOutcome, error) {
+			seed := cfg.Seed + int64(si)*1_000_003 + int64(i)
+			g := randsdf.Graph(rand.New(rand.NewSource(seed)), randsdf.Config{Actors: size})
+			oc, err := runOne(g)
+			if err != nil {
+				return oc, fmt.Errorf("graph %d: %w", i, err)
+			}
+			return oc, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig27 size %d: %w", size, err)
 		}
-		wg.Wait()
+		if cfg.OnSizeTimed != nil {
+			cfg.OnSizeTimed(size, cfg.PerSize, time.Since(sizeStart))
+		}
 		var p Fig27Point
 		p.Size = size
 		var sumA, sumB, sumC, sumD, sumE float64
 		wins := 0
-		for i, oc := range outcomes {
-			if errs[i] != nil {
-				return nil, fmt.Errorf("experiments: fig27 size %d graph %d: %w", size, i, errs[i])
-			}
+		for _, oc := range outcomes {
 			p.Graphs++
 			sumA += pct(oc.nonSharedBest-oc.sharedBest, oc.nonSharedBest)
 			sumB += pct(oc.sharedBest-oc.mco, oc.sharedBest)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sched"
 	"repro/internal/sdf"
 	"repro/internal/systems"
@@ -22,30 +23,28 @@ type HomogeneousRow struct {
 	Expected, NonShared int64
 }
 
-// Homogeneous runs the study over the given (M, N) grid.
+// Homogeneous runs the study over the given (M, N) grid, one grid cell per
+// worker, results in grid order.
 func Homogeneous(ms, ns []int) ([]HomogeneousRow, error) {
-	var rows []HomogeneousRow
-	for _, m := range ms {
-		for _, n := range ns {
-			g := systems.Homogeneous(m, n)
-			best := int64(-1)
-			for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
-				c, err := core.Compile(g, core.Options{Strategy: strat, Verify: true})
-				if err != nil {
-					return nil, fmt.Errorf("experiments: homogeneous %dx%d: %w", m, n, err)
-				}
-				if best < 0 || c.Best.Total < best {
-					best = c.Best.Total
-				}
+	return par.Map(len(ms)*len(ns), func(i int) (HomogeneousRow, error) {
+		m, n := ms[i/len(ns)], ns[i%len(ns)]
+		g := systems.Homogeneous(m, n)
+		best := int64(-1)
+		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+			c, err := core.Compile(g, core.Options{Strategy: strat, Verify: true})
+			if err != nil {
+				return HomogeneousRow{}, fmt.Errorf("experiments: homogeneous %dx%d: %w", m, n, err)
 			}
-			rows = append(rows, HomogeneousRow{
-				M: m, N: n, Shared: best,
-				Expected:  int64(m + 1),
-				NonShared: int64(m*(n-1) + 2*m),
-			})
+			if best < 0 || c.Best.Total < best {
+				best = c.Best.Total
+			}
 		}
-	}
-	return rows, nil
+		return HomogeneousRow{
+			M: m, N: n, Shared: best,
+			Expected:  int64(m + 1),
+			NonShared: int64(m*(n-1) + 2*m),
+		}, nil
+	})
 }
 
 // FormatHomogeneous renders the study.
@@ -68,10 +67,10 @@ type SdppoVsDppoRow struct {
 }
 
 // SdppoVsDppo runs the ablation over the given systems with both order
-// strategies, keeping the better result of each looping algorithm.
+// strategies, keeping the better result of each looping algorithm. One
+// system per worker, results in input order.
 func SdppoVsDppo(graphs []*sdf.Graph) ([]SdppoVsDppoRow, error) {
-	var rows []SdppoVsDppoRow
-	for _, g := range graphs {
+	return par.MapSlice(graphs, func(_ int, g *sdf.Graph) (SdppoVsDppoRow, error) {
 		row := SdppoVsDppoRow{System: g.Name, AllocSdppo: -1, AllocDppo: -1}
 		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
 			for _, la := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops} {
@@ -80,7 +79,7 @@ func SdppoVsDppo(graphs []*sdf.Graph) ([]SdppoVsDppoRow, error) {
 					Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
 				})
 				if err != nil {
-					return nil, fmt.Errorf("experiments: sdppo-vs-dppo %s: %w", g.Name, err)
+					return row, fmt.Errorf("experiments: sdppo-vs-dppo %s: %w", g.Name, err)
 				}
 				if la == core.SDPPOLoops {
 					if row.AllocSdppo < 0 || c.Best.Total < row.AllocSdppo {
@@ -96,9 +95,8 @@ func SdppoVsDppo(graphs []*sdf.Graph) ([]SdppoVsDppoRow, error) {
 		if row.AllocDppo > 0 {
 			row.ImprovePct = 100 * float64(row.AllocDppo-row.AllocSdppo) / float64(row.AllocDppo)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // FormatSdppoVsDppo renders the ablation.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sdf"
 	"repro/internal/systems"
 )
@@ -34,24 +35,23 @@ type Table1Row struct {
 
 // BestShared returns the smallest achieved shared allocation of the row.
 func (r Table1Row) BestShared() int64 {
-	return min64(min64(r.FfdurR, r.FfstartR), min64(r.FfdurA, r.FfstartA))
+	return min(r.FfdurR, r.FfstartR, r.FfdurA, r.FfstartA)
 }
 
 // BestNonShared returns the better of the two DPPO results.
-func (r Table1Row) BestNonShared() int64 { return min64(r.DppoR, r.DppoA) }
+func (r Table1Row) BestNonShared() int64 { return min(r.DppoR, r.DppoA) }
 
 // Table1 computes the full table for the given systems (use
-// systems.Table1Systems() for the paper's set).
+// systems.Table1Systems() for the paper's set). Systems are compiled in
+// parallel; rows come back in input order.
 func Table1(graphs []*sdf.Graph) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(graphs))
-	for _, g := range graphs {
+	return par.MapSlice(graphs, func(_ int, g *sdf.Graph) (Table1Row, error) {
 		row, err := table1Row(g)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", g.Name, err)
+			return row, fmt.Errorf("experiments: %s: %w", g.Name, err)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func table1Row(g *sdf.Graph) (Table1Row, error) {
@@ -134,11 +134,4 @@ func FormatFig25(rows []Table1Row) string {
 // DefaultTable1 computes Table 1 on the paper's benchmark set.
 func DefaultTable1() ([]Table1Row, error) {
 	return Table1(systems.Table1Systems())
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -13,6 +13,7 @@ package looping
 import (
 	"fmt"
 
+	"repro/internal/num"
 	"repro/internal/sched"
 	"repro/internal/sdf"
 )
@@ -49,7 +50,7 @@ func newChain(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *chain {
 		c.gcd[i] = make([]int64, n)
 		g := int64(0)
 		for j := i; j < n; j++ {
-			g = gcd64(g, q[order[j]])
+			g = num.GCD(g, q[order[j]])
 			c.gcd[i][j] = g
 		}
 	}
@@ -73,16 +74,6 @@ func newChain(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *chain {
 		c.byHi[hi] = append(c.byHi[hi], idx)
 	}
 	return c
-}
-
-func gcd64(a, b int64) int64 {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	if a < 0 {
-		return -a
-	}
-	return a
 }
 
 // crossing returns the summed TNSE and delay of edges crossing the split

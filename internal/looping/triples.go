@@ -49,7 +49,7 @@ func combineTriples(l, r Triple, cost, rL, rR int64) Triple {
 		// second one, and the subchain's own input buffer sees either the
 		// first invocation alone or the second one plus the crossing buffer
 		// (Case II).
-		t.Left = max64(l.Left+cost, l.Cost)
+		t.Left = max(l.Left+cost, l.Cost)
 		mids = append(mids, l.Cost+cost)
 	default: // rL > 2
 		// Middle invocations of S_L are fully overlapped by the crossing
@@ -62,7 +62,7 @@ func combineTriples(l, r Triple, cost, rL, rR int64) Triple {
 		t.Right = r.Right
 		mids = append(mids, r.Cost, r.Left+cost)
 	case rR == 2:
-		t.Right = max64(r.Right+cost, r.Cost)
+		t.Right = max(r.Right+cost, r.Cost)
 		mids = append(mids, r.Cost+cost)
 	default: // rR > 2
 		t.Right = r.Cost + cost
@@ -82,13 +82,6 @@ func combineTriples(l, r Triple, cost, rL, rR int64) Triple {
 		t.Cost = t.Right
 	}
 	return t
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // insertPareto adds a candidate entry to a cell, dropping dominated entries

@@ -1,0 +1,20 @@
+// Package num holds the small integer helpers shared across the framework.
+// Before it existed every package carried its own gcd64/min64/max64 copy;
+// min/max are Go builtins since 1.21, so only the non-builtin helpers live
+// here.
+package num
+
+// GCD returns the greatest common divisor of a and b, treating negatives by
+// absolute value. GCD(0, 0) is 0.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

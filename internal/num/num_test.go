@@ -1,0 +1,24 @@
+package num
+
+import "testing"
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{7, 0, 7},
+		{12, 18, 6},
+		{18, 12, 6},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{-12, -18, 6},
+		{1, 1, 1},
+		{13, 17, 1},
+		{240, 612, 12},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package par provides bounded, deterministic-ordering parallelism for the
+// experiment drivers. Work items are distributed to at most GOMAXPROCS
+// workers, results land in index order, and the reported error is always the
+// one from the lowest-indexed failing item — so a parallel run is
+// byte-identical to the sequential one regardless of OS scheduling.
+//
+// Determinism contract for callers: the per-item function must not share
+// mutable state across items (derive per-item rand sources from the item
+// index, never from a shared *rand.Rand).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) with bounded concurrency and waits for all items.
+// It returns the error of the lowest-indexed item that failed, or nil. A
+// panic in any item is re-raised in the caller after all workers drain.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := min(n, runtime.GOMAXPROCS(0))
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return firstError(errs)
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &panicValue{r})
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.(*panicValue).v)
+	}
+	return firstError(errs)
+}
+
+// Map runs fn over 0..n-1 with bounded concurrency and returns the results
+// in index order. On error the partial results are returned alongside the
+// lowest-indexed error.
+func Map[R any](n int, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]R, n)
+	err := ForEach(n, func(i int) error {
+		r, err := fn(i)
+		out[i] = r
+		return err
+	})
+	return out, err
+}
+
+// MapSlice is Map over an explicit item slice.
+func MapSlice[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return Map(len(items), func(i int) (R, error) { return fn(i, items[i]) })
+}
+
+type panicValue struct{ v any }
+
+func firstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	out, err := Map(1000, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(64, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 40:
+				return errors.New("b")
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("got %v, want error from item 7", err)
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	limit := int64(runtime.GOMAXPROCS(0))
+	var cur, peak atomic.Int64
+	err := ForEach(200, func(i int) error {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > limit {
+		t.Errorf("observed %d concurrent items, cap %d", peak.Load(), limit)
+	}
+}
+
+func TestForEachPanicsPropagate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic did not propagate")
+		}
+	}()
+	_ = ForEach(16, func(i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		return nil
+	})
+}
+
+func TestMapDeterministicWithDerivedSeeds(t *testing.T) {
+	run := func() []int64 {
+		out, err := Map(100, func(i int) (int64, error) {
+			rng := rand.New(rand.NewSource(1000 + int64(i)))
+			return rng.Int63(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d", i)
+		}
+	}
+}
+
+func TestMapSlice(t *testing.T) {
+	items := []string{"x", "y", "z"}
+	out, err := MapSlice(items, func(i int, s string) (string, error) {
+		return fmt.Sprintf("%d:%s", i, s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0:x", "1:y", "2:z"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Error(err)
+	}
+	out, err := Map(-3, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Errorf("Map(-3) = %v, %v", out, err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/num"
 	"repro/internal/sdf"
 )
 
@@ -25,11 +26,16 @@ type Config struct {
 	// Reps is the pool of repetition counts actors draw from; defaults to
 	// {1,2,3,4,6,8,12}.
 	Reps []int64
+	// DelayProb is the probability that an edge carries initial tokens; a
+	// delayed edge gets one or two periods' worth of its production rate.
+	// Zero (the default) keeps graphs delayless and leaves the random stream
+	// of existing configurations untouched.
+	DelayProb float64
 }
 
 // Graph draws a random consistent acyclic SDF graph. Every generated graph
-// is weakly connected (a spanning chain of edges is forced), delayless, and
-// has rates bounded by max(Reps).
+// is weakly connected (a spanning chain of edges is forced), delayless
+// unless DelayProb is set, and has rates bounded by max(Reps).
 func Graph(rng *rand.Rand, cfg Config) *sdf.Graph {
 	if cfg.Actors < 1 {
 		panic("randsdf: need at least one actor")
@@ -44,7 +50,7 @@ func Graph(rng *rand.Rand, cfg Config) *sdf.Graph {
 	}
 	prob := cfg.EdgeProb
 	if prob <= 0 {
-		prob = minF(1.0, 1.5/float64(window))
+		prob = min(1.0, 1.5/float64(window))
 	}
 	g := sdf.New(fmt.Sprintf("rand%d", cfg.Actors))
 	q := make([]int64, cfg.Actors)
@@ -53,9 +59,14 @@ func Graph(rng *rand.Rand, cfg Config) *sdf.Graph {
 		q[i] = reps[rng.Intn(len(reps))]
 	}
 	addEdge := func(i, j int) {
-		gg := gcd64(q[i], q[j])
+		gg := num.GCD(q[i], q[j])
 		// prod*q_i = cons*q_j  <=>  prod = q_j/g, cons = q_i/g.
-		g.AddEdge(sdf.ActorID(i), sdf.ActorID(j), q[j]/gg, q[i]/gg, 0)
+		prod, cons := q[j]/gg, q[i]/gg
+		var delay int64
+		if cfg.DelayProb > 0 && rng.Float64() < cfg.DelayProb {
+			delay = prod * int64(1+rng.Intn(2))
+		}
+		g.AddEdge(sdf.ActorID(i), sdf.ActorID(j), prod, cons, delay)
 	}
 	// Random-parent tree for weak connectivity: unlike a spanning chain it
 	// leaves genuine topological-order freedom, which the ordering-strategy
@@ -75,18 +86,4 @@ func Graph(rng *rand.Rand, cfg Config) *sdf.Graph {
 		}
 	}
 	return g
-}
-
-func gcd64(a, b int64) int64 {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,350 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sdf"
+)
+
+// Loop-aware token simulation. Expanding a looped schedule into its firing
+// sequence costs O(total firings), which grows exponentially with graph size
+// on multirate graphs (deeply nested loop counts multiply). Instead,
+// Simulate recurses over the schedule *tree* and summarizes each subtree
+// with three closed-form per-edge quantities, all relative to the token
+// level at the instant the subtree starts:
+//
+//	net    — net token change after executing the subtree completely
+//	peak   — max level observed right after a production on the edge
+//	trough — min level observed right after a consumption on the edge
+//
+// peak/trough are sampled exactly where the firing-expansion simulator
+// samples them (after each production for max_tokens, after each consumption
+// for underflow detection), so the two paths agree bit for bit.
+//
+// For a leaf (n A) with per-firing delta d = prod − cons on an adjacent
+// edge, firing i passes level (i−1)·d − cons after consuming and i·d after
+// producing, so
+//
+//	peak   = max(d, n·d)             (observed after firing 1 or firing n)
+//	trough = −cons + min(0, (n−1)·d) (observed during firing 1 or firing n)
+//	net    = n·d
+//
+// For a loop repeating a body with summary (net b, peak p, trough t) n
+// times, iteration j starts at level (j−1)·b, hence
+//
+//	peak   = p + (n−1)·b  if b > 0, else p
+//	trough = t + (n−1)·b  if b < 0, else t
+//	net    = n·b
+//
+// Summaries are kept sparse — a subtree mentions only the edges adjacent to
+// its own actors, sorted by edge ID — and sequencing merges sorted
+// summaries in place from the back, so the whole pass costs
+// O(schedule nodes · adjacent edges) time and amortizes allocations like
+// append, independent of every loop count.
+
+const (
+	unobservedPeak   = math.MinInt64 // no production on the edge in this subtree
+	unobservedTrough = math.MaxInt64 // no consumption on the edge in this subtree
+)
+
+// edgeAcc is one edge's (net, peak, trough) summary within a subtree.
+type edgeAcc struct {
+	e                 sdf.EdgeID
+	net, peak, trough int64
+}
+
+// leafInto appends the summary of a firing block — one entry per edge
+// adjacent to its actor, sorted by edge ID — to buf and returns it.
+func leafInto(buf []edgeAcc, g *sdf.Graph, n *Node) []edgeAcc {
+	start := len(buf)
+	for _, eid := range g.In(n.Actor) {
+		e := g.Edge(eid)
+		cons := e.Cons
+		var prod int64
+		if e.Src == n.Actor { // self loop; present in Out too, skipped there
+			prod = e.Prod
+		}
+		d := prod - cons
+		a := edgeAcc{
+			e:      eid,
+			net:    n.Count * d,
+			peak:   unobservedPeak,
+			trough: -cons + min(0, (n.Count-1)*d),
+		}
+		if prod > 0 {
+			a.peak = max(d, n.Count*d)
+		}
+		buf = append(buf, a)
+	}
+	for _, eid := range g.Out(n.Actor) {
+		e := g.Edge(eid)
+		if e.Dst == n.Actor {
+			continue // self loop, already summarized from the In list
+		}
+		buf = append(buf, edgeAcc{
+			e:      eid,
+			net:    n.Count * e.Prod,
+			peak:   n.Count * e.Prod,
+			trough: unobservedTrough,
+		})
+	}
+	// Adjacency lists are tiny; insertion sort keeps this allocation free.
+	s := buf[start:]
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].e < s[j-1].e; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return buf
+}
+
+// combine returns the summary of "a then c" on one edge: c's observations
+// shift by a's net level, nets add.
+func combine(a, c edgeAcc) edgeAcc {
+	if c.peak != unobservedPeak {
+		if v := a.net + c.peak; a.peak == unobservedPeak || v > a.peak {
+			a.peak = v
+		}
+	}
+	if c.trough != unobservedTrough {
+		if v := a.net + c.trough; a.trough == unobservedTrough || v < a.trough {
+			a.trough = v
+		}
+	}
+	a.net += c.net
+	return a
+}
+
+// sequence appends child's summary to acc as if the child executed right
+// after everything already accumulated. Both inputs are sorted by edge ID;
+// the sorted union is returned. acc's storage is reused (merging backward in
+// place) whenever its capacity allows; child is never modified.
+func sequence(acc, child []edgeAcc) []edgeAcc {
+	if len(child) == 0 {
+		return acc
+	}
+	if len(acc) == 0 {
+		return append(acc, child...)
+	}
+	// Union size via a two-pointer count.
+	u := len(acc) + len(child)
+	for i, j := 0, 0; i < len(acc) && j < len(child); {
+		switch {
+		case acc[i].e < child[j].e:
+			i++
+		case acc[i].e > child[j].e:
+			j++
+		default:
+			u--
+			i++
+			j++
+		}
+	}
+	if cap(acc) < u {
+		merged := make([]edgeAcc, 0, max(u+8, 2*cap(acc)))
+		i, j := 0, 0
+		for i < len(acc) || j < len(child) {
+			switch {
+			case j >= len(child) || (i < len(acc) && acc[i].e < child[j].e):
+				merged = append(merged, acc[i])
+				i++
+			case i >= len(acc) || acc[i].e > child[j].e:
+				// First activity on this edge: entry carries over unshifted.
+				merged = append(merged, child[j])
+				j++
+			default:
+				merged = append(merged, combine(acc[i], child[j]))
+				i++
+				j++
+			}
+		}
+		return merged
+	}
+	// Backward in-place merge: the write cursor k never catches up with the
+	// read cursor i, because at least as many entries remain to write as
+	// remain to read from acc.
+	i, k := len(acc)-1, u-1
+	acc = acc[:u]
+	for j := len(child) - 1; j >= 0; {
+		switch {
+		case i >= 0 && acc[i].e > child[j].e:
+			acc[k] = acc[i]
+			i--
+		case i >= 0 && acc[i].e == child[j].e:
+			acc[k] = combine(acc[i], child[j])
+			i--
+			j--
+		default:
+			acc[k] = child[j]
+			j--
+		}
+		k--
+	}
+	return acc
+}
+
+// sequenceInto merges pre (executing first) into post's storage, for the
+// small-to-large case |pre| ≪ |post|: entries on shared edges combine via a
+// binary search, post-only entries stay put (pre's net there is zero), and
+// the few pre-only edges merge in afterwards. Cost is
+// O(|pre|·log|post|) instead of O(|post|). post must be exclusively owned.
+func sequenceInto(pre, post []edgeAcc) []edgeAcc {
+	var stack [16]edgeAcc
+	extras := stack[:0]
+	for _, a := range pre {
+		lo, hi := 0, len(post)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if post[mid].e < a.e {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(post) && post[lo].e == a.e {
+			post[lo] = combine(a, post[lo])
+		} else {
+			extras = append(extras, a) // stays sorted: pre is sorted
+		}
+	}
+	if len(extras) == 0 {
+		return post
+	}
+	// Disjoint sorted merge of the leftover pre-only entries; they carry
+	// over verbatim since post never touched those edges, so the argument
+	// order (which only affects shared edges) is irrelevant — and this
+	// order reuses post's storage rather than the stack buffer's.
+	return sequence(post, extras)
+}
+
+// repeat applies a loop count to a fully-sequenced body summary in closed
+// form.
+func repeat(acc []edgeAcc, count int64) {
+	if count == 1 {
+		return
+	}
+	for i := range acc {
+		b := acc[i].net
+		if acc[i].peak != unobservedPeak && b > 0 {
+			acc[i].peak += (count - 1) * b
+		}
+		if acc[i].trough != unobservedTrough && b < 0 {
+			acc[i].trough += (count - 1) * b
+		}
+		acc[i].net = count * b
+	}
+}
+
+// appendNode sequences the summary of one schedule term onto acc and returns
+// the (possibly reallocated) accumulator. Leaves fold in through a small
+// stack buffer; internal nodes recurse, adopting their first child's
+// accumulator.
+func appendNode(acc []edgeAcc, g *sdf.Graph, n *Node) []edgeAcc {
+	if n.IsLeaf() {
+		var stack [16]edgeAcc
+		ls := leafInto(stack[:0], g, n)
+		if len(acc) == 0 && cap(acc) == 0 {
+			// First summary: materialize with growth slack.
+			return append(make([]edgeAcc, 0, len(ls)+8), ls...)
+		}
+		return sequence(acc, ls)
+	}
+	var body []edgeAcc
+	for _, ch := range n.Children {
+		body = appendNode(body, g, ch)
+	}
+	repeat(body, n.Count)
+	if len(acc) == 0 && cap(acc) == 0 {
+		return body // adopt the child accumulator outright
+	}
+	if len(body) > 2*len(acc) {
+		// Small-to-large: fold the few accumulated entries into the big
+		// subtree summary (which this call exclusively owns) instead of
+		// rewriting the big summary entry by entry.
+		return sequenceInto(acc, body)
+	}
+	return sequence(acc, body)
+}
+
+// treeStats returns the schedule subtree's node count and total firings,
+// with firings saturated at statCap so deeply nested loop counts cannot
+// overflow. mult is the product of the enclosing loop counts (≤ statCap).
+const statCap = int64(1) << 40
+
+func treeStats(ns []*Node, mult int64) (nodes, firings int64) {
+	for _, n := range ns {
+		nodes++
+		m := statCap
+		if n.Count <= statCap/mult {
+			m = mult * n.Count
+		}
+		if n.IsLeaf() {
+			firings += m
+		} else {
+			cn, cf := treeStats(n.Children, m)
+			nodes += cn
+			firings += cf
+		}
+		if firings > statCap {
+			firings = statCap
+		}
+	}
+	return
+}
+
+// expansionFactor picks the simulation path: when the period has at most
+// this many firings per schedule node, plain expansion is cheaper than
+// building and merging subtree summaries (measured crossover on the Table 1
+// systems; near-homogeneous graphs sit well below it, multirate graphs well
+// above).
+const expansionFactor = 4
+
+// Simulate computes one period of the schedule — max_tokens per edge, final
+// token counts, and firing counts. It dispatches to whichever of the two
+// equivalent simulators is cheaper for this schedule's shape: firing
+// expansion when the firing sequence is barely longer than the schedule
+// tree itself, the loop-aware recursion otherwise.
+func (s *Schedule) Simulate() (*SimResult, error) {
+	nodes, firings := treeStats(s.Body, 1)
+	if firings <= expansionFactor*nodes {
+		return s.SimulateByExpansion()
+	}
+	return s.SimulateLoopAware()
+}
+
+// SimulateLoopAware computes one period of the schedule with the loop-aware
+// recursion above. It returns an error if any firing would consume tokens
+// that are not present (deadlock / invalid schedule), exactly as the
+// firing-expansion SimulateByExpansion does, but in time independent of the
+// loop counts.
+func (s *Schedule) SimulateLoopAware() (*SimResult, error) {
+	g := s.Graph
+	var acc []edgeAcc
+	for _, n := range s.Body {
+		acc = appendNode(acc, g, n)
+	}
+	res := &SimResult{
+		MaxTokens:   make([]int64, g.NumEdges()),
+		FinalTokens: make([]int64, g.NumEdges()),
+		Firings:     s.Firings(),
+	}
+	for _, e := range g.Edges() {
+		// Edges untouched by the schedule stay at their initial delay.
+		res.MaxTokens[e.ID] = e.Delay
+		res.FinalTokens[e.ID] = e.Delay
+	}
+	for _, a := range acc {
+		e := g.Edge(a.e)
+		if a.trough != unobservedTrough && e.Delay+a.trough < 0 {
+			return nil, fmt.Errorf("sched: firing %s needs %d more tokens on edge %d (%s->%s)",
+				g.Actor(e.Dst).Name, -(e.Delay + a.trough), e.ID,
+				g.Actor(e.Src).Name, g.Actor(e.Dst).Name)
+		}
+		if a.peak != unobservedPeak && e.Delay+a.peak > res.MaxTokens[e.ID] {
+			res.MaxTokens[e.ID] = e.Delay + a.peak
+		}
+		res.FinalTokens[e.ID] = e.Delay + a.net
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+)
+
+// checkAgainstOracle verifies SimulateLoopAware against the firing-expansion
+// oracle on one schedule: both must agree on error/no-error, and on success
+// on every MaxTokens, FinalTokens, and Firings entry. The dispatching
+// Simulate is exercised too, so both sides of its threshold stay covered.
+func checkAgainstOracle(t *testing.T, s *Schedule, label string) {
+	t.Helper()
+	fast, fastErr := s.SimulateLoopAware()
+	slow, slowErr := s.SimulateByExpansion()
+	if _, dispErr := s.Simulate(); (dispErr == nil) != (slowErr == nil) {
+		t.Fatalf("%s: Simulate err=%v, oracle err=%v", label, dispErr, slowErr)
+	}
+	if (fastErr == nil) != (slowErr == nil) {
+		t.Fatalf("%s: loop-aware err=%v, oracle err=%v", label, fastErr, slowErr)
+	}
+	if fastErr != nil {
+		return
+	}
+	for e := range slow.MaxTokens {
+		if fast.MaxTokens[e] != slow.MaxTokens[e] {
+			t.Errorf("%s: max_tokens(edge %d) = %d, oracle %d", label, e, fast.MaxTokens[e], slow.MaxTokens[e])
+		}
+		if fast.FinalTokens[e] != slow.FinalTokens[e] {
+			t.Errorf("%s: final(edge %d) = %d, oracle %d", label, e, fast.FinalTokens[e], slow.FinalTokens[e])
+		}
+	}
+	for a := range slow.Firings {
+		if fast.Firings[a] != slow.Firings[a] {
+			t.Errorf("%s: firings(%d) = %d, oracle %d", label, a, fast.Firings[a], slow.Firings[a])
+		}
+	}
+}
+
+// TestLoopAwareFig1 cross-checks the paper's running example, including a
+// deliberately underflowing order.
+func TestLoopAwareFig1(t *testing.T) {
+	g, _ := fig1(t)
+	for _, text := range []string{
+		"(3A)(6B)(2C)",
+		"(3A(2B))(2C)",
+		"(3(A(2B)))(2C)",
+		"(2C)(3A)(6B)",        // underflows on (B,C)
+		"A(2B)A(4B)(2C)A(2C)", // multi-appearance, invalid period — still simulable
+	} {
+		s, err := Parse(g, text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		checkAgainstOracle(t, s, text)
+	}
+}
+
+// TestLoopAwareSelfLoops covers self-loop edges, whose consume and produce
+// contributions land on the same edge within one firing.
+func TestLoopAwareSelfLoops(t *testing.T) {
+	g := sdf.New("self")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, a, 2, 2, 2) // net-zero self loop
+	g.AddEdge(a, b, 3, 1, 0)
+	g.AddEdge(b, b, 1, 2, 5) // net-negative self loop draining its delay
+	for _, text := range []string{"(4A)(12B)", "(2(2A(6B)))", "(4A)(2(6B))"} {
+		s := MustParse(g, text)
+		checkAgainstOracle(t, s, text)
+	}
+	// Insufficient self-loop delay must fail on both paths.
+	bad := MustParse(g, "(4A)(3(6B))")
+	checkAgainstOracle(t, bad, "(4A)(3(6B))")
+	if _, err := bad.Simulate(); err == nil {
+		t.Error("expected underflow with drained self-loop delay")
+	}
+}
+
+// TestLoopAwareDeepNesting exercises a loop nest whose expansion would be
+// 2^40 firings: the loop-aware path must evaluate it instantly while the
+// closed-form values stay exact.
+func TestLoopAwareDeepNesting(t *testing.T) {
+	g := sdf.New("deep")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	// (2(2(...(2 A B)...))) nested 40 deep: A and B alternate, so the edge
+	// peak stays 1 while both actors fire 2^40 times.
+	inner := Loop(2, Leaf(1, a), Leaf(1, b))
+	for i := 0; i < 39; i++ {
+		inner = Loop(2, inner)
+	}
+	s := &Schedule{Graph: g, Body: []*Node{inner}}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1) << 40
+	if res.Firings[a] != want || res.Firings[b] != want {
+		t.Errorf("firings = %v, want 2^40", res.Firings)
+	}
+	if res.MaxTokens[0] != 1 {
+		t.Errorf("max_tokens = %d, want 1", res.MaxTokens[0])
+	}
+	if res.FinalTokens[0] != 0 {
+		t.Errorf("final = %d, want 0", res.FinalTokens[0])
+	}
+}
+
+// TestLoopAwareRandomSchedules fuzzes the recursion against the oracle with
+// random graphs (delays included) under random valid and random shuffled
+// (often invalid) loop structures.
+func TestLoopAwareRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		g := randsdf.Graph(rng, randsdf.Config{
+			Actors:    2 + rng.Intn(8),
+			DelayProb: 0.4,
+		})
+		q, err := g.Repetitions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := g.TopologicalSort(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random lexical shuffles produce underflowing schedules too; both
+		// paths must classify them identically.
+		if trial%3 == 0 {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		s := randomNest(rng, g, q, order)
+		checkAgainstOracle(t, s, s.String())
+	}
+}
+
+// randomNest builds a random two-level looped schedule over the given order:
+// adjacent actors are grouped under a shared loop count when their repetition
+// counts allow it.
+func randomNest(rng *rand.Rand, g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Schedule {
+	var body []*Node
+	for i := 0; i < len(order); {
+		// Try to group this actor with the next under their gcd.
+		if i+1 < len(order) && rng.Intn(2) == 0 {
+			a, b := order[i], order[i+1]
+			gg := gcdPair(q[a], q[b])
+			if gg > 1 {
+				body = append(body, Loop(gg, Leaf(q[a]/gg, a), Leaf(q[b]/gg, b)))
+				i += 2
+				continue
+			}
+		}
+		body = append(body, Leaf(q[order[i]], order[i]))
+		i++
+	}
+	return &Schedule{Graph: g, Body: body}
+}
+
+func gcdPair(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

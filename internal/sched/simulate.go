@@ -18,10 +18,15 @@ type SimResult struct {
 	Firings []int64
 }
 
-// Simulate executes one period of the schedule, tracking the token count of
-// every edge. It returns an error if any firing would consume tokens that are
-// not present (deadlock / invalid schedule).
-func (s *Schedule) Simulate() (*SimResult, error) {
+// SimulateByExpansion executes one period of the schedule firing by firing,
+// tracking the token count of every edge. It returns an error if any firing
+// would consume tokens that are not present (deadlock / invalid schedule).
+//
+// Its cost is O(total firings), which grows exponentially with graph size on
+// multirate graphs; Simulate computes the same result in closed form per
+// loop. This path is kept as the reference oracle the loop-aware recursion
+// is differentially tested against.
+func (s *Schedule) SimulateByExpansion() (*SimResult, error) {
 	g := s.Graph
 	tokens := make([]int64, g.NumEdges())
 	maxTok := make([]int64, g.NumEdges())

@@ -1,5 +1,7 @@
 package sdf
 
+import "repro/internal/num"
+
 // BMLBEdge returns the buffer memory lower bound for a single edge over all
 // valid single appearance schedules under the non-shared buffer model [3]:
 //
@@ -9,7 +11,7 @@ package sdf
 //
 // where d = del(e).
 func BMLBEdge(e Edge) int64 {
-	eta := e.Prod / gcd64(e.Prod, e.Cons) * e.Cons
+	eta := e.Prod / num.GCD(e.Prod, e.Cons) * e.Cons
 	bound := e.Delay
 	if e.Delay < eta {
 		bound = eta + e.Delay
@@ -46,7 +48,7 @@ func (g *Graph) BMLB() int64 {
 // with a = prd(e), b = cns(e), c = gcd(a, b), d = del(e).
 func MinBufferEdge(e Edge) int64 {
 	a, b, d := e.Prod, e.Cons, e.Delay
-	c := gcd64(a, b)
+	c := num.GCD(a, b)
 	bound := d
 	if d < a+b-c {
 		bound = a + b - c + d%c

@@ -3,6 +3,8 @@ package sdf
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/num"
 )
 
 // fig1 builds the Fig. 1 example: A --2,3,1D--> B --1,2--> C wait; the paper's
@@ -351,7 +353,7 @@ func TestAddEdgePanics(t *testing.T) {
 }
 
 func TestGCDHelpers(t *testing.T) {
-	if gcd64(12, 18) != 6 || gcd64(0, 5) != 5 || gcd64(7, 0) != 7 {
+	if num.GCD(12, 18) != 6 || num.GCD(0, 5) != 5 || num.GCD(7, 0) != 7 {
 		t.Error("gcd64 broken")
 	}
 	l, err := lcm64(4, 6)

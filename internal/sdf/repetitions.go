@@ -3,6 +3,8 @@ package sdf
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/num"
 )
 
 // ErrInconsistent reports that a graph has no valid repetitions vector, i.e.
@@ -34,29 +36,16 @@ func (q Repetitions) TotalFirings() int64 {
 func (q Repetitions) GCD(actors []ActorID) int64 {
 	var g int64
 	for _, a := range actors {
-		g = gcd64(g, q[a])
+		g = num.GCD(g, q[a])
 	}
 	return g
-}
-
-func gcd64(a, b int64) int64 {
-	if a < 0 {
-		a = -a
-	}
-	if b < 0 {
-		b = -b
-	}
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
 }
 
 func lcm64(a, b int64) (int64, error) {
 	if a == 0 || b == 0 {
 		return 0, nil
 	}
-	g := gcd64(a, b)
+	g := num.GCD(a, b)
 	q := a / g
 	if q != 0 && b > (1<<62)/q {
 		return 0, ErrOverflow
@@ -85,10 +74,10 @@ func mulCheck(a, b int64) (int64, error) {
 // Actors with no edges get q = 1.
 func (g *Graph) Repetitions() (Repetitions, error) {
 	n := len(g.actors)
-	// Represent q(a) as num[a]/den[a] relative to the component root, then
+	// Represent q(a) as qn[a]/qd[a] relative to the component root, then
 	// scale by the lcm of denominators.
-	num := make([]int64, n)
-	den := make([]int64, n)
+	qn := make([]int64, n)
+	qd := make([]int64, n)
 	comp := make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -114,28 +103,28 @@ func (g *Graph) Repetitions() (Repetitions, error) {
 		cid := nc
 		nc++
 		comp[root] = cid
-		num[root], den[root] = 1, 1
+		qn[root], qd[root] = 1, 1
 		stack := []ActorID{ActorID(root)}
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			for _, a := range adj[u] {
 				// Balance: q(u)*prod = q(to)*cons => q(to) = q(u)*prod/cons.
-				tn, err := mulCheck(num[u], a.prod)
+				tn, err := mulCheck(qn[u], a.prod)
 				if err != nil {
 					return nil, err
 				}
-				td, err := mulCheck(den[u], a.cons)
+				td, err := mulCheck(qd[u], a.cons)
 				if err != nil {
 					return nil, err
 				}
-				gg := gcd64(tn, td)
+				gg := num.GCD(tn, td)
 				tn, td = tn/gg, td/gg
 				if comp[a.to] < 0 {
 					comp[a.to] = cid
-					num[a.to], den[a.to] = tn, td
+					qn[a.to], qd[a.to] = tn, td
 					stack = append(stack, a.to)
-				} else if num[a.to] != tn || den[a.to] != td {
+				} else if qn[a.to] != tn || qd[a.to] != td {
 					return nil, fmt.Errorf("%w: actors %s and %s", ErrInconsistent,
 						g.actors[u].Name, g.actors[a.to].Name)
 				}
@@ -153,7 +142,7 @@ func (g *Graph) Repetitions() (Repetitions, error) {
 				continue
 			}
 			var err error
-			l, err = lcm64(l, den[a])
+			l, err = lcm64(l, qd[a])
 			if err != nil {
 				return nil, err
 			}
@@ -163,12 +152,12 @@ func (g *Graph) Repetitions() (Repetitions, error) {
 			if comp[a] != cid {
 				continue
 			}
-			v, err := mulCheck(num[a], l/den[a])
+			v, err := mulCheck(qn[a], l/qd[a])
 			if err != nil {
 				return nil, err
 			}
 			q[a] = v
-			cg = gcd64(cg, v)
+			cg = num.GCD(cg, v)
 		}
 		if cg > 1 {
 			for a := 0; a < n; a++ {
