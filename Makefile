@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 bench bench-json
+.PHONY: all build vet test race tier1 bench bench-json fuzz-short
 
 all: tier1
 
@@ -25,3 +26,10 @@ bench:
 # bench-json writes the BENCH_<date>.json performance trajectory file.
 bench-json:
 	$(GO) run ./cmd/sdfbench -quick -json >/dev/null
+
+# fuzz-short gives every native fuzz target a bounded budget (FUZZTIME per
+# target) on top of the checked-in corpora — the same loop CI runs.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sched
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sdfio
+	$(GO) test -run='^$$' -fuzz=FuzzPipeline -fuzztime=$(FUZZTIME) ./internal/check

@@ -88,14 +88,17 @@ type benchMaxTokens struct {
 }
 
 func main() {
+	fs := flag.NewFlagSet("sdfbench", flag.ContinueOnError)
 	var (
-		exp      = flag.String("experiment", "all", "which experiment to run")
-		quick    = flag.Bool("quick", false, "reduced population sizes")
-		seed     = flag.Int64("seed", 2000, "random seed for stochastic studies")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON and write a BENCH_<date>.json trajectory")
-		benchOut = flag.String("benchout", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
+		exp      = fs.String("experiment", "all", "which experiment to run")
+		quick    = fs.Bool("quick", false, "reduced population sizes")
+		seed     = fs.Int64("seed", 2000, "random seed for stochastic studies")
+		jsonOut  = fs.Bool("json", false, "emit results as JSON and write a BENCH_<date>.json trajectory")
+		benchOut = fs.String("benchout", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
 	)
-	flag.Parse()
+	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+		os.Exit(code)
+	}
 
 	report := &benchReport{
 		Date:       time.Now().Format(time.RFC3339),

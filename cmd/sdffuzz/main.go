@@ -1,0 +1,251 @@
+// Command sdffuzz is the randomized differential fuzzer for the whole
+// shared-memory synthesis pipeline: it draws random consistent acyclic SDF
+// graphs, compiles each one under every (topological sort x loop
+// post-optimization x allocator) configuration, and runs the stage-by-stage
+// invariant oracle of internal/check on every result. Failing graphs are
+// shrunk to minimal reproducers and written to -crashers (default
+// testdata/crashers/) as commented .sdf files.
+//
+//	sdffuzz -n 500 -seed 1          # 500 graphs through the full grid
+//	sdffuzz -repro testdata/crashers/crasher-xyz.sdf
+//
+// Exit status: 0 when every graph passes the oracle under every
+// configuration, 1 when violations were found, 2 on flag errors.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flag"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sdffuzz", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 200, "number of random graphs to drive through the grid")
+		seed      = fs.Int64("seed", 1, "random seed; runs are deterministic per seed")
+		maxActors = fs.Int("actors", 10, "maximum actors per generated graph")
+		crashDir  = fs.String("crashers", filepath.Join("testdata", "crashers"), "directory for minimized reproducers")
+		repro     = fs.String("repro", "", "re-run the oracle grid on one .sdf reproducer and exit")
+		verbose   = fs.Bool("v", false, "log every generated graph")
+	)
+	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+		os.Exit(code)
+	}
+
+	if *repro != "" {
+		os.Exit(reproduce(*repro))
+	}
+
+	f := &fuzzer{
+		rng:       rand.New(rand.NewSource(*seed)),
+		maxActors: *maxActors,
+		crashDir:  *crashDir,
+		verbose:   *verbose,
+		configs:   check.PipelineConfigs(),
+		seen:      make(map[string]bool),
+	}
+	f.run(*n)
+	fmt.Printf("sdffuzz: %d graphs x %d configs: %d violations, %d overflow skips\n",
+		*n, len(f.configs), f.violations, f.skipped)
+	if f.violations > 0 {
+		fmt.Fprintf(os.Stderr, "sdffuzz: reproducers written to %s\n", f.crashDir)
+		os.Exit(1)
+	}
+}
+
+type fuzzer struct {
+	rng       *rand.Rand
+	maxActors int
+	crashDir  string
+	verbose   bool
+	configs   []check.PipelineConfig
+	seen      map[string]bool // violation buckets already minimized
+	violations int
+	skipped    int
+}
+
+// randomGraph draws one consistent acyclic graph, occasionally with initial
+// tokens and vector (multi-word) edges, the two features that exercise the
+// conservative whole-period lifetime paths.
+func (f *fuzzer) randomGraph() *sdf.Graph {
+	actors := 1 + f.rng.Intn(f.maxActors)
+	g := randsdf.Graph(f.rng, randsdf.Config{
+		Actors:    actors,
+		Window:    1 + f.rng.Intn(actors),
+		DelayProb: []float64{0, 0, 0.25, 0.5}[f.rng.Intn(4)],
+	})
+	if f.rng.Intn(5) == 0 && g.NumEdges() > 0 {
+		g.SetWords(sdf.EdgeID(f.rng.Intn(g.NumEdges())), 1+int64(f.rng.Intn(3)))
+	}
+	return g
+}
+
+func (f *fuzzer) run(n int) {
+	for i := 0; i < n; i++ {
+		g := f.randomGraph()
+		if f.verbose {
+			fmt.Printf("graph %d: %d actors, %d edges\n", i, g.NumActors(), g.NumEdges())
+		}
+		for _, cfg := range f.configs {
+			err := cfg.Run(g, check.Options{})
+			switch classify(err) {
+			case verdictOK:
+			case verdictSkip:
+				f.skipped++
+			case verdictFail:
+				f.violations++
+				f.report(g, cfg, err)
+			}
+		}
+	}
+}
+
+// report shrinks a failing graph to a minimal reproducer and writes it,
+// bucketing by (stage, rule, config) so one underlying bug produces one
+// crasher file no matter how many random graphs trip over it.
+func (f *fuzzer) report(g *sdf.Graph, cfg check.PipelineConfig, err error) {
+	bucket := bucketOf(cfg, err)
+	fmt.Fprintf(os.Stderr, "sdffuzz: VIOLATION [%s] on %d-actor graph: %v\n", bucket, g.NumActors(), err)
+	if f.seen[bucket] {
+		return
+	}
+	f.seen[bucket] = true
+	min, minErr := shrink(g, cfg, err)
+	path, werr := writeCrasher(f.crashDir, bucket, min, cfg, minErr)
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "sdffuzz: writing crasher: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sdffuzz: minimized to %d actors / %d edges -> %s\n",
+		min.NumActors(), min.NumEdges(), path)
+}
+
+type verdict int
+
+const (
+	verdictOK verdict = iota
+	verdictSkip
+	verdictFail
+)
+
+// classify sorts an oracle result: nil passes, int64 overflow in the
+// repetitions arithmetic is an expected skip on extreme random rates, and
+// everything else — oracle violations and unexpected compile failures alike
+// — is a finding.
+func classify(err error) verdict {
+	switch {
+	case err == nil:
+		return verdictOK
+	case isOverflow(err):
+		return verdictSkip
+	default:
+		return verdictFail
+	}
+}
+
+func isOverflow(err error) bool {
+	// errors.Is on the sentinel, tolerating wrapping anywhere in the chain.
+	for e := err; e != nil; {
+		if e == sdf.ErrOverflow {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// bucketOf derives the crash bucket: stage/rule for oracle violations, the
+// leading error text for compile failures.
+func bucketOf(cfg check.PipelineConfig, err error) string {
+	if v, ok := asViolation(err); ok {
+		return fmt.Sprintf("%s-%s-%s", v.Stage, v.Rule, cfg)
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, ':'); i > 0 {
+		msg = msg[:i]
+	}
+	return fmt.Sprintf("compile-%s-%s", strings.ReplaceAll(msg, " ", "_"), cfg)
+}
+
+func asViolation(err error) (*check.Violation, bool) {
+	for e := err; e != nil; {
+		if v, ok := e.(*check.Violation); ok {
+			return v, true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return nil, false
+		}
+		e = u.Unwrap()
+	}
+	return nil, false
+}
+
+// writeCrasher serializes the minimized graph with a comment header carrying
+// the configuration, the violation, and the reproduction command. The file
+// is valid .sdf: comments are ignored by sdfio.Parse.
+func writeCrasher(dir, bucket string, g *sdf.Graph, cfg check.PipelineConfig, err error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# sdffuzz minimized reproducer\n")
+	fmt.Fprintf(&b, "# config: %s\n", cfg)
+	fmt.Fprintf(&b, "# error: %v\n", err)
+	fmt.Fprintf(&b, "# reproduce: go run ./cmd/sdffuzz -repro <this file>\n")
+	if werr := sdfio.Write(&b, g); werr != nil {
+		return "", werr
+	}
+	h := fnv.New32a()
+	h.Write([]byte(b.String()))
+	path := filepath.Join(dir, fmt.Sprintf("crasher-%s-%08x.sdf", bucket, h.Sum32()))
+	return path, os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// reproduce loads one crasher and re-runs the whole configuration grid on
+// it, reporting every configuration's verdict.
+func reproduce(path string) int {
+	fh, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
+		return 1
+	}
+	g, err := sdfio.Parse(fh)
+	fh.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
+		return 1
+	}
+	failures := 0
+	for _, cfg := range check.PipelineConfigs() {
+		switch err := cfg.Run(g, check.Options{}); classify(err) {
+		case verdictOK:
+			fmt.Printf("%-20s ok\n", cfg)
+		case verdictSkip:
+			fmt.Printf("%-20s skipped (overflow)\n", cfg)
+		case verdictFail:
+			failures++
+			fmt.Printf("%-20s FAIL: %v\n", cfg, err)
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/sdf"
+)
+
+// shrink greedily minimizes a failing graph while the failure stays in the
+// same bucket (stage, rule, config). Each pass tries single-step reductions —
+// drop an actor with all its edges, drop one edge, zero or halve a delay,
+// reset a vector edge to one word — and restarts whenever one sticks, until a
+// full pass yields no accepted reduction. Dropping actors or edges only
+// relaxes the balance equations, so every candidate remains a consistent SDF
+// graph and re-runs the exact production pipeline.
+func shrink(g *sdf.Graph, cfg check.PipelineConfig, orig error) (*sdf.Graph, error) {
+	bucket := bucketOf(cfg, orig)
+	return shrinkWith(g, orig, func(cand *sdf.Graph) (error, bool) {
+		err := cfg.Run(cand, check.Options{})
+		return err, err != nil && bucketOf(cfg, err) == bucket
+	})
+}
+
+// shrinkWith is the generic greedy loop: reproduces reports whether a
+// candidate still triggers the original failure (and with what error).
+func shrinkWith(g *sdf.Graph, orig error, reproduces func(*sdf.Graph) (error, bool)) (*sdf.Graph, error) {
+	cur, curErr := g, orig
+	reduced := true
+	for reduced {
+		reduced = false
+		for _, cand := range reductions(cur) {
+			if err, ok := reproduces(cand); ok {
+				cur, curErr = cand, err
+				reduced = true
+				break
+			}
+		}
+	}
+	return cur, curErr
+}
+
+// reductions enumerates every single-step simplification of g, smallest
+// candidates first so the greedy loop prefers structural cuts over parameter
+// tweaks.
+func reductions(g *sdf.Graph) []*sdf.Graph {
+	var out []*sdf.Graph
+	for a := 0; a < g.NumActors(); a++ {
+		if g.NumActors() > 1 {
+			out = append(out, withoutActor(g, sdf.ActorID(a)))
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		out = append(out, withoutEdge(g, sdf.EdgeID(e)))
+	}
+	for _, e := range g.Edges() {
+		if e.Delay > 0 {
+			out = append(out, withEdgeTweak(g, e.ID, func(ed *sdf.Edge) { ed.Delay = 0 }))
+		}
+		if e.Delay > 1 {
+			out = append(out, withEdgeTweak(g, e.ID, func(ed *sdf.Edge) { ed.Delay /= 2 }))
+		}
+		if e.Words > 1 {
+			out = append(out, withEdgeTweak(g, e.ID, func(ed *sdf.Edge) { ed.Words = 1 }))
+		}
+	}
+	return out
+}
+
+// rebuild constructs a fresh graph from a filtered actor set and an edge
+// transform. keep decides which actors survive; tweak may mutate a copied
+// edge before insertion (edges touching dropped actors are discarded).
+func rebuild(g *sdf.Graph, keep func(sdf.ActorID) bool, skipEdge sdf.EdgeID, tweak func(*sdf.Edge)) *sdf.Graph {
+	ng := sdf.New(g.Name)
+	remap := make(map[sdf.ActorID]sdf.ActorID, g.NumActors())
+	for _, a := range g.Actors() {
+		if keep(a.ID) {
+			remap[a.ID] = ng.AddActor(a.Name)
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.ID == skipEdge {
+			continue
+		}
+		src, okS := remap[e.Src]
+		dst, okD := remap[e.Dst]
+		if !okS || !okD {
+			continue
+		}
+		ec := e
+		if tweak != nil {
+			tweak(&ec)
+		}
+		id := ng.AddEdge(src, dst, ec.Prod, ec.Cons, ec.Delay)
+		if ec.Words > 1 {
+			ng.SetWords(id, ec.Words)
+		}
+	}
+	return ng
+}
+
+func withoutActor(g *sdf.Graph, drop sdf.ActorID) *sdf.Graph {
+	return rebuild(g, func(a sdf.ActorID) bool { return a != drop }, -1, nil)
+}
+
+func withoutEdge(g *sdf.Graph, drop sdf.EdgeID) *sdf.Graph {
+	return rebuild(g, func(sdf.ActorID) bool { return true }, drop, nil)
+}
+
+func withEdgeTweak(g *sdf.Graph, target sdf.EdgeID, mut func(*sdf.Edge)) *sdf.Graph {
+	return rebuild(g, func(sdf.ActorID) bool { return true }, -1, func(e *sdf.Edge) {
+		if e.ID == target {
+			mut(e)
+		}
+	})
+}
+
+// graphSignature is a compact structural description used by tests to assert
+// shrinker behaviour without depending on actor names.
+func graphSignature(g *sdf.Graph) string {
+	return fmt.Sprintf("%dA/%dE", g.NumActors(), g.NumEdges())
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+func TestGolden(t *testing.T) {
+	out := goldentest.CaptureStdout(t, main)
+	goldentest.Compare(t, "testdata/golden.txt", out)
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("filterbank sweep compiles 16 systems; skipped under -short")
+	}
+	out := goldentest.CaptureStdout(t, main)
+	goldentest.Compare(t, "testdata/golden.txt", out)
+}

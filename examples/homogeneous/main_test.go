@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("homogeneous sweep compiles up to 1024-actor graphs; skipped under -short")
+	}
+	out := goldentest.CaptureStdout(t, main)
+	goldentest.Compare(t, "testdata/golden.txt", out)
+}

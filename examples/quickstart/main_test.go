@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+// TestGolden pins the demo's full stdout: repetitions, schedule, lifetime
+// chart and packed layout are all deterministic.
+func TestGolden(t *testing.T) {
+	out := goldentest.CaptureStdout(t, main)
+	goldentest.Compare(t, "testdata/golden.txt", out)
+}

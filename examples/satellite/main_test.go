@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+// TestGolden runs the demo with the generated C file redirected to a temp
+// path (main reads os.Args[1], which in a test binary would otherwise be a
+// test flag) and normalizes that path before the golden comparison.
+func TestGolden(t *testing.T) {
+	cfile := filepath.Join(t.TempDir(), "satrec.c")
+	oldArgs := os.Args
+	os.Args = []string{"satellite", cfile}
+	defer func() { os.Args = oldArgs }()
+
+	out := goldentest.CaptureStdout(t, main)
+	out = strings.ReplaceAll(out, cfile, "satrec_generated.c")
+	goldentest.Compare(t, "testdata/golden.txt", out)
+
+	src, err := os.ReadFile(cfile)
+	if err != nil {
+		t.Fatalf("generated C file missing: %v", err)
+	}
+	for _, want := range []string{"#define MEM_SIZE", "int main(void)"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("generated C lacks %q", want)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package check is the pipeline-wide invariant oracle for the shared-memory
+// SDF synthesis flow. Every stage of the Fig. 21 pipeline — repetitions
+// vector, lexical order, looped schedule, buffer lifetimes, storage
+// allocation, generated code and the float64 runtime — is verified against
+// stage-independent properties (balance equations, SAS validity, the BMLB
+// lower bound of Sec. 11.1.3, lifetime/trace bracketing, memory disjointness,
+// trace equivalence), so a bug introduced anywhere in the flow is caught and
+// attributed to the stage whose contract it breaks.
+//
+// The oracle is deliberately redundant with the algorithms it checks: every
+// property is recomputed from first principles (firing expansion, pairwise
+// interval intersection, a reference token interpreter) rather than by
+// calling the optimized code paths under test. Pipeline is the single entry
+// point used by cmd/sdffuzz, the FuzzPipeline native fuzz target, and any
+// future perf or refactor PR that needs a standing correctness gate.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/num"
+	"repro/internal/sched"
+	"repro/internal/sdf"
+)
+
+// Stage identifies the pipeline stage whose contract a violation breaks.
+type Stage string
+
+const (
+	StageGraph       Stage = "graph"
+	StageRepetitions Stage = "repetitions"
+	StageOrder       Stage = "order"
+	StageSchedule    Stage = "schedule"
+	StageLifetimes   Stage = "lifetimes"
+	StageAllocation  Stage = "allocation"
+	StageMemory      Stage = "memory"
+	StageCodegen     Stage = "codegen"
+	StageRuntime     Stage = "runtime"
+)
+
+// Violation is a stage-attributed oracle failure. Rule names the invariant
+// that broke, in a stable kebab-case vocabulary suitable for triage and for
+// the fuzzer's crash bucketing.
+type Violation struct {
+	Stage Stage
+	Rule  string
+	Msg   string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s/%s: %s", v.Stage, v.Rule, v.Msg)
+}
+
+// violationf builds a Violation with a formatted message.
+func violationf(stage Stage, rule, format string, args ...interface{}) *Violation {
+	return &Violation{Stage: stage, Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// StageOf extracts the stage attribution from an oracle error; ok is false
+// when err does not wrap a Violation.
+func StageOf(err error) (Stage, bool) {
+	var v *Violation
+	if errors.As(err, &v) {
+		return v.Stage, true
+	}
+	return "", false
+}
+
+// Options tunes the oracle's cost/coverage trade-offs. The zero value is the
+// recommended configuration.
+type Options struct {
+	// MaxExpansionFirings caps the firing-expansion differential: when one
+	// period exceeds this many firings the O(total firings) reference
+	// simulation is skipped and only the loop-aware path is checked.
+	// 0 means 1<<20.
+	MaxExpansionFirings int64
+	// MaxTraceCells caps the lifetime step-trace (edges x schedule steps
+	// booleans); larger systems skip the bracketing check. 0 means 1<<23.
+	MaxTraceCells int64
+	// SimPeriods is how many periods the token-level shared-memory simulator
+	// runs in the memory stage. 0 means 2.
+	SimPeriods int
+}
+
+func (o Options) maxExpansion() int64 {
+	if o.MaxExpansionFirings <= 0 {
+		return 1 << 20
+	}
+	return o.MaxExpansionFirings
+}
+
+func (o Options) maxTraceCells() int64 {
+	if o.MaxTraceCells <= 0 {
+		return 1 << 23
+	}
+	return o.MaxTraceCells
+}
+
+func (o Options) simPeriods() int {
+	if o.SimPeriods <= 0 {
+		return 2
+	}
+	return o.SimPeriods
+}
+
+// Graph verifies structural sanity of the SDF graph itself: at least one
+// actor, unique non-empty names, endpoints in range, positive rates,
+// non-negative delays and positive token footprints.
+func Graph(g *sdf.Graph) error {
+	if g == nil {
+		return violationf(StageGraph, "nil", "no graph")
+	}
+	if g.NumActors() == 0 {
+		return violationf(StageGraph, "empty", "graph %q has no actors", g.Name)
+	}
+	names := make(map[string]bool, g.NumActors())
+	for _, a := range g.Actors() {
+		if a.Name == "" {
+			return violationf(StageGraph, "actor-name", "actor %d has an empty name", a.ID)
+		}
+		if names[a.Name] {
+			return violationf(StageGraph, "actor-name", "duplicate actor name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, e := range g.Edges() {
+		if e.Src < 0 || int(e.Src) >= g.NumActors() || e.Dst < 0 || int(e.Dst) >= g.NumActors() {
+			return violationf(StageGraph, "edge-endpoints", "edge %d references unknown actor (%d->%d)", e.ID, e.Src, e.Dst)
+		}
+		if e.Prod < 1 || e.Cons < 1 {
+			return violationf(StageGraph, "edge-rates", "edge %d has rates prod=%d cons=%d", e.ID, e.Prod, e.Cons)
+		}
+		if e.Delay < 0 {
+			return violationf(StageGraph, "edge-delay", "edge %d has delay %d", e.ID, e.Delay)
+		}
+		if e.Words < 1 {
+			return violationf(StageGraph, "edge-words", "edge %d has token footprint %d words", e.ID, e.Words)
+		}
+	}
+	return nil
+}
+
+// Repetitions verifies that q is the repetitions vector of g: positive,
+// satisfying every balance equation prd(e)*q(src) = cns(e)*q(dst), and
+// minimal (component-wise gcd 1), which pins it down uniquely.
+func Repetitions(g *sdf.Graph, q sdf.Repetitions) error {
+	if len(q) != g.NumActors() {
+		return violationf(StageRepetitions, "length", "q has %d entries for %d actors", len(q), g.NumActors())
+	}
+	for a, v := range q {
+		if v < 1 {
+			return violationf(StageRepetitions, "positive", "q(%s) = %d", g.Actor(sdf.ActorID(a)).Name, v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Prod*q[e.Src] != e.Cons*q[e.Dst] {
+			return violationf(StageRepetitions, "balance",
+				"edge %s->%s: prd*q(src) = %d*%d != %d*%d = cns*q(dst)",
+				g.Actor(e.Src).Name, g.Actor(e.Dst).Name, e.Prod, q[e.Src], e.Cons, q[e.Dst])
+		}
+	}
+	// Minimality per weakly connected component (union-find over edges).
+	parent := make([]int, g.NumActors())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges() {
+		parent[find(int(e.Src))] = find(int(e.Dst))
+	}
+	gcd := make(map[int]int64)
+	for a := range q {
+		r := find(a)
+		gcd[r] = num.GCD(gcd[r], q[a])
+	}
+	for r, v := range gcd {
+		if v > 1 {
+			return violationf(StageRepetitions, "minimal",
+				"component of %s has gcd %d > 1 (q not minimal)", g.Actor(sdf.ActorID(r)).Name, v)
+		}
+	}
+	return nil
+}
+
+// Order verifies that the lexical ordering is a permutation of the actors
+// respecting every precedence edge (delays that cover one period's
+// consumption remove the precedence, per Bhattacharyya et al.).
+func Order(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) error {
+	if len(order) != g.NumActors() {
+		return violationf(StageOrder, "length", "order has %d actors, graph has %d", len(order), g.NumActors())
+	}
+	pos := make([]int, g.NumActors())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, a := range order {
+		if a < 0 || int(a) >= g.NumActors() {
+			return violationf(StageOrder, "range", "order[%d] = %d out of range", i, a)
+		}
+		if pos[a] >= 0 {
+			return violationf(StageOrder, "permutation", "actor %s appears twice in the order", g.Actor(a).Name)
+		}
+		pos[a] = i
+	}
+	for _, e := range g.Edges() {
+		if sdf.PrecedenceEdge(g, q, e.ID) && pos[e.Src] > pos[e.Dst] {
+			return violationf(StageOrder, "precedence",
+				"precedence edge %s->%s inverted in lexical order (positions %d > %d)",
+				g.Actor(e.Src).Name, g.Actor(e.Dst).Name, pos[e.Src], pos[e.Dst])
+		}
+	}
+	return nil
+}
+
+// Schedule verifies the looped schedule against the graph and repetitions
+// vector: well-formed loop structure, executability (token counts never go
+// negative), exactly q(v) firings per actor, zero net token change, agreement
+// between the loop-aware simulation and the firing-expansion reference, and
+// — for single appearance schedules — the per-edge and total BMLB lower
+// bounds of Sec. 11.1.3.
+func Schedule(g *sdf.Graph, q sdf.Repetitions, s *sched.Schedule, opt Options) error {
+	if s == nil || len(s.Body) == 0 {
+		return violationf(StageSchedule, "empty", "no schedule")
+	}
+	if s.Graph != g {
+		return violationf(StageSchedule, "graph", "schedule is bound to a different graph")
+	}
+	if err := scheduleShape(g, s.Body); err != nil {
+		return err
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		return violationf(StageSchedule, "executable", "%v", err)
+	}
+	for a := 0; a < g.NumActors(); a++ {
+		if res.Firings[a] != q[a] {
+			return violationf(StageSchedule, "firings",
+				"actor %s fires %d times per period, want q = %d",
+				g.Actor(sdf.ActorID(a)).Name, res.Firings[a], q[a])
+		}
+	}
+	for _, e := range g.Edges() {
+		if res.FinalTokens[e.ID] != e.Delay {
+			return violationf(StageSchedule, "periodic",
+				"edge %s->%s ends the period with %d tokens, want delay %d",
+				g.Actor(e.Src).Name, g.Actor(e.Dst).Name, res.FinalTokens[e.ID], e.Delay)
+		}
+		if res.MaxTokens[e.ID] < e.Delay {
+			return violationf(StageSchedule, "max-tokens",
+				"edge %s->%s reports max_tokens %d below its delay %d",
+				g.Actor(e.Src).Name, g.Actor(e.Dst).Name, res.MaxTokens[e.ID], e.Delay)
+		}
+	}
+	if q.TotalFirings() <= opt.maxExpansion() {
+		ref, err := s.SimulateByExpansion()
+		if err != nil {
+			return violationf(StageSchedule, "differential",
+				"loop-aware simulation succeeds but firing expansion fails: %v", err)
+		}
+		for _, e := range g.Edges() {
+			if res.MaxTokens[e.ID] != ref.MaxTokens[e.ID] {
+				return violationf(StageSchedule, "differential",
+					"edge %s->%s: loop-aware max_tokens %d != expansion %d",
+					g.Actor(e.Src).Name, g.Actor(e.Dst).Name, res.MaxTokens[e.ID], ref.MaxTokens[e.ID])
+			}
+			if res.FinalTokens[e.ID] != ref.FinalTokens[e.ID] {
+				return violationf(StageSchedule, "differential",
+					"edge %s->%s: loop-aware final tokens %d != expansion %d",
+					g.Actor(e.Src).Name, g.Actor(e.Dst).Name, res.FinalTokens[e.ID], ref.FinalTokens[e.ID])
+			}
+		}
+		for a := range res.Firings {
+			if res.Firings[a] != ref.Firings[a] {
+				return violationf(StageSchedule, "differential",
+					"actor %s: loop-aware firings %d != expansion %d",
+					g.Actor(sdf.ActorID(a)).Name, res.Firings[a], ref.Firings[a])
+			}
+		}
+	}
+	if s.IsSingleAppearance() {
+		var bufmem int64
+		for _, e := range g.Edges() {
+			bufmem += res.MaxTokens[e.ID] * e.Words
+			if res.MaxTokens[e.ID]*e.Words < sdf.BMLBEdge(e) {
+				return violationf(StageSchedule, "bmlb",
+					"edge %s->%s: max_tokens %d words below the per-edge BMLB %d",
+					g.Actor(e.Src).Name, g.Actor(e.Dst).Name, res.MaxTokens[e.ID]*e.Words, sdf.BMLBEdge(e))
+			}
+		}
+		if bmlb := g.BMLB(); bufmem < bmlb {
+			return violationf(StageSchedule, "bmlb",
+				"bufmem(S) = %d below the graph BMLB %d", bufmem, bmlb)
+		}
+	}
+	return nil
+}
+
+// scheduleShape walks the schedule term recursively checking structural
+// invariants: positive counts, non-empty loop bodies, leaf actors in range.
+func scheduleShape(g *sdf.Graph, body []*sched.Node) error {
+	var walk func(n *sched.Node) error
+	walk = func(n *sched.Node) error {
+		if n == nil {
+			return violationf(StageSchedule, "shape", "nil schedule term")
+		}
+		if n.Count < 1 {
+			return violationf(StageSchedule, "shape", "loop count %d < 1", n.Count)
+		}
+		if n.IsLeaf() {
+			if n.Actor < 0 || int(n.Actor) >= g.NumActors() {
+				return violationf(StageSchedule, "shape", "leaf fires unknown actor %d", n.Actor)
+			}
+			return nil
+		}
+		if len(n.Children) == 0 {
+			return violationf(StageSchedule, "shape", "empty loop body")
+		}
+		for _, ch := range n.Children {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, n := range body {
+		if err := walk(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/lifetime"
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+	"repro/internal/systems"
+)
+
+// compileQuickstart compiles the three-actor sample-rate converter used
+// throughout the corruption tests: small enough to reason about, multirate
+// enough that buffers genuinely overlap in time.
+func compileQuickstart(t *testing.T, opts core.Options) *core.Result {
+	t.Helper()
+	g := sdf.New("quickstart")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 2, 1, 0)
+	g.AddEdge(b, c, 1, 3, 0)
+	res, err := core.Compile(g, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+func TestPipelineCleanOnPracticalSystems(t *testing.T) {
+	for _, g := range systems.Table1Systems() {
+		for _, strat := range []core.OrderStrategy{core.APGAN, core.RPMC} {
+			res, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
+			if err != nil {
+				t.Fatalf("%s/%v: compile: %v", g.Name, strat, err)
+			}
+			if err := Pipeline(res, Options{}); err != nil {
+				t.Errorf("%s/%v: oracle violation: %v", g.Name, strat, err)
+			}
+		}
+	}
+}
+
+func TestPipelineCleanAcrossConfigurations(t *testing.T) {
+	g := systems.CDDAT()
+	for _, strat := range []core.OrderStrategy{core.APGAN, core.RPMC} {
+		for _, la := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops, core.ChainPreciseLoops, core.FlatLoops} {
+			res, err := core.Compile(g, core.Options{
+				Strategy: strat,
+				Looping:  la,
+				Allocators: []alloc.Strategy{
+					alloc.FirstFitDuration, alloc.FirstFitStart, alloc.BestFitDuration,
+				},
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: compile: %v", strat, la, err)
+			}
+			if err := Pipeline(res, Options{}); err != nil {
+				t.Errorf("%v/%v: oracle violation: %v", strat, la, err)
+			}
+		}
+	}
+}
+
+func TestPipelineCleanOnRandomGraphsWithDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		g := randsdf.Graph(rng, randsdf.Config{Actors: 2 + rng.Intn(8), DelayProb: 0.4})
+		res, err := core.Compile(g, core.Options{Strategy: core.APGAN})
+		if err != nil {
+			t.Fatalf("graph %d: compile: %v", i, err)
+		}
+		if err := Pipeline(res, Options{}); err != nil {
+			t.Errorf("graph %d: oracle violation: %v", i, err)
+		}
+	}
+}
+
+// intersectingPair returns the indices of two placements whose intervals are
+// live at the same time, which every multirate chain is guaranteed to have.
+func intersectingPair(t *testing.T, a *alloc.Allocation) (int, int) {
+	t.Helper()
+	for i := 0; i < len(a.Placements); i++ {
+		for j := i + 1; j < len(a.Placements); j++ {
+			if lifetime.Intersects(a.Placements[i].Interval, a.Placements[j].Interval) {
+				return i, j
+			}
+		}
+	}
+	t.Fatal("no pair of time-intersecting intervals in the allocation")
+	return 0, 0
+}
+
+// TestCorruptedAllocationOffsetCaught is the acceptance property for the
+// oracle: deliberately moving one allocator offset onto a concurrently live
+// buffer must be caught by Pipeline with an allocation-stage attribution.
+func TestCorruptedAllocationOffsetCaught(t *testing.T) {
+	res := compileQuickstart(t, core.Options{})
+	i, j := intersectingPair(t, res.Best)
+	res.Best.Placements[j].Offset = res.Best.Placements[i].Offset
+	err := Pipeline(res, Options{})
+	if err == nil {
+		t.Fatal("oracle accepted an allocation with overlapping live buffers")
+	}
+	stage, ok := StageOf(err)
+	if !ok {
+		t.Fatalf("oracle error %v is not stage-attributed", err)
+	}
+	if stage != StageAllocation {
+		t.Fatalf("violation attributed to stage %q, want %q (error: %v)", stage, StageAllocation, err)
+	}
+	if !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("error %v does not name the overlap rule", err)
+	}
+}
+
+func TestCorruptedScheduleCaught(t *testing.T) {
+	res := compileQuickstart(t, core.Options{})
+	res.Schedule.Body[0].Count++
+	err := Pipeline(res, Options{})
+	if stage, _ := StageOf(err); stage != StageSchedule {
+		t.Fatalf("got %v, want a %s violation", err, StageSchedule)
+	}
+}
+
+func TestCorruptedRepetitionsCaught(t *testing.T) {
+	res := compileQuickstart(t, core.Options{})
+	doubled := make(sdf.Repetitions, len(res.Repetitions))
+	for i, v := range res.Repetitions {
+		doubled[i] = 2 * v
+	}
+	// A uniformly scaled vector still balances; only minimality rejects it.
+	if err := Repetitions(res.Graph, doubled); err == nil {
+		t.Error("oracle accepted a non-minimal repetitions vector")
+	}
+	res.Repetitions[0]++
+	err := Pipeline(res, Options{})
+	if stage, _ := StageOf(err); stage != StageRepetitions {
+		t.Fatalf("got %v, want a %s violation", err, StageRepetitions)
+	}
+}
+
+func TestCorruptedOrderCaught(t *testing.T) {
+	res := compileQuickstart(t, core.Options{})
+	res.Order[0], res.Order[1] = res.Order[1], res.Order[0]
+	err := Pipeline(res, Options{})
+	if stage, _ := StageOf(err); stage != StageOrder {
+		t.Fatalf("got %v, want a %s violation", err, StageOrder)
+	}
+}
+
+func TestCorruptedLifetimeCaught(t *testing.T) {
+	// Shrinking a buffer below the edge's simulated peak must trip the size
+	// rule; truncating its live window must trip bracketing.
+	for _, corrupt := range []struct {
+		name string
+		mut  func(iv *lifetime.Interval)
+	}{
+		{"size", func(iv *lifetime.Interval) { iv.Size = 1 }},
+		{"bracketing", func(iv *lifetime.Interval) { iv.Dur = 1; iv.Periods = nil }},
+	} {
+		r := compileQuickstart(t, core.Options{})
+		var target *lifetime.Interval
+		for _, iv := range r.Intervals {
+			if iv.Size > 1 && iv.Dur > 1 {
+				target = iv
+				break
+			}
+		}
+		if target == nil {
+			t.Fatalf("%s: no interval large enough to corrupt", corrupt.name)
+		}
+		corrupt.mut(target)
+		err := Pipeline(r, Options{})
+		if stage, _ := StageOf(err); stage != StageLifetimes {
+			t.Fatalf("%s: got %v, want a %s violation", corrupt.name, err, StageLifetimes)
+		}
+	}
+}
+
+func TestMemoryStageCatchesClobberDirectly(t *testing.T) {
+	res := compileQuickstart(t, core.Options{})
+	i, j := intersectingPair(t, res.Best)
+	res.Best.Placements[j].Offset = res.Best.Placements[i].Offset
+	err := Memory(res, Options{})
+	if stage, _ := StageOf(err); stage != StageMemory {
+		t.Fatalf("token-level simulator missed the clobber: %v", err)
+	}
+}
+
+func TestViolationFormatting(t *testing.T) {
+	v := violationf(StageAllocation, "overlap", "a and b collide at %d", 7)
+	if got := v.Error(); got != "check: allocation/overlap: a and b collide at 7" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if stage, ok := StageOf(v); !ok || stage != StageAllocation {
+		t.Fatalf("StageOf = %v, %v", stage, ok)
+	}
+	if _, ok := StageOf(nil); ok {
+		t.Fatal("StageOf(nil) reported a stage")
+	}
+}
+
+func TestScheduleOracleRejectsWrongGraphBinding(t *testing.T) {
+	res := compileQuickstart(t, core.Options{})
+	other := sdf.New("other")
+	other.AddActor("X")
+	err := Schedule(other, sdf.Repetitions{1}, res.Schedule, Options{})
+	if stage, _ := StageOf(err); stage != StageSchedule {
+		t.Fatalf("got %v, want a %s violation", err, StageSchedule)
+	}
+}

@@ -1,0 +1,55 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/sdf"
+)
+
+// PipelineConfig is one point of the (topological sort x post-optimization x
+// allocator) grid that the differential fuzzers sweep. All allocators are
+// compiled in one pass — Pipeline verifies each of the resulting allocations
+// individually — so the grid costs one compilation per (order, looping) pair.
+type PipelineConfig struct {
+	Strategy   core.OrderStrategy
+	Looping    core.LoopAlg
+	Allocators []alloc.Strategy
+}
+
+// String names the configuration the way crash reports reference it.
+func (c PipelineConfig) String() string {
+	return fmt.Sprintf("%v+%v", c.Strategy, c.Looping)
+}
+
+// Options converts the configuration into compiler options. Verification is
+// left off: the oracle re-runs the token-level simulator itself.
+func (c PipelineConfig) Options() core.Options {
+	return core.Options{Strategy: c.Strategy, Looping: c.Looping, Allocators: c.Allocators}
+}
+
+// Run compiles the graph under this configuration and runs the full Pipeline
+// oracle on the result. A returned *Violation is an oracle failure; any other
+// non-nil error is a compilation failure (which, for a consistent acyclic
+// graph, is itself suspect unless it wraps sdf.ErrOverflow).
+func (c PipelineConfig) Run(g *sdf.Graph, opt Options) error {
+	res, err := core.Compile(g, c.Options())
+	if err != nil {
+		return err
+	}
+	return Pipeline(res, opt)
+}
+
+// PipelineConfigs enumerates the full grid: both ordering heuristics times
+// all four loop-hierarchy algorithms, each carrying all three allocators.
+func PipelineConfigs() []PipelineConfig {
+	allocators := []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart, alloc.BestFitDuration}
+	var out []PipelineConfig
+	for _, strat := range []core.OrderStrategy{core.APGAN, core.RPMC} {
+		for _, la := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops, core.ChainPreciseLoops, core.FlatLoops} {
+			out = append(out, PipelineConfig{Strategy: strat, Looping: la, Allocators: allocators})
+		}
+	}
+	return out
+}

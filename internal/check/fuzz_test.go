@@ -1,0 +1,55 @@
+package check
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randsdf"
+	"repro/internal/sdf"
+)
+
+// fuzzGraph deterministically materializes the fuzz input into a consistent
+// acyclic SDF graph: the generator guarantees consistency by construction,
+// so every pipeline configuration must compile it and pass the full oracle.
+func fuzzGraph(seed int64, nactors, window, delayPct byte) *sdf.Graph {
+	actors := 1 + int(nactors)%12
+	win := 1 + int(window)%actors
+	rng := rand.New(rand.NewSource(seed))
+	g := randsdf.Graph(rng, randsdf.Config{
+		Actors:    actors,
+		Window:    win,
+		DelayProb: float64(delayPct%4) * 0.25,
+	})
+	// Occasionally give one edge a multi-word (vector) token footprint, which
+	// scales lifetime sizes and allocation but keeps the graph consistent.
+	if delayPct%5 == 0 && g.NumEdges() > 0 {
+		g.SetWords(sdf.EdgeID(rng.Intn(g.NumEdges())), 1+int64(rng.Intn(3)))
+	}
+	return g
+}
+
+// FuzzPipeline drives randomized consistent graphs through one point of the
+// (topo-sort x post-opt x allocator) grid and requires the stage-by-stage
+// invariant oracle to hold. Any t.Fatal here is a real pipeline bug.
+func FuzzPipeline(f *testing.F) {
+	f.Add(int64(1), byte(3), byte(2), byte(0), byte(0))
+	f.Add(int64(2), byte(7), byte(3), byte(1), byte(3))
+	f.Add(int64(3), byte(11), byte(11), byte(2), byte(5))
+	f.Add(int64(4), byte(5), byte(1), byte(3), byte(7))
+	f.Add(int64(42), byte(9), byte(4), byte(5), byte(2))
+	f.Add(int64(-1), byte(0), byte(0), byte(0), byte(6))
+	cfgs := PipelineConfigs()
+	f.Fuzz(func(t *testing.T, seed int64, nactors, window, delayPct, cfgIdx byte) {
+		g := fuzzGraph(seed, nactors, window, delayPct)
+		cfg := cfgs[int(cfgIdx)%len(cfgs)]
+		err := cfg.Run(g, Options{})
+		if err == nil {
+			return
+		}
+		if errors.Is(err, sdf.ErrOverflow) {
+			t.Skip("repetitions overflow int64")
+		}
+		t.Fatalf("config %v on %d-actor graph (seed %d): %v", cfg, g.NumActors(), seed, err)
+	})
+}

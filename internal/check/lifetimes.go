@@ -1,0 +1,195 @@
+package check
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/lifetime"
+	"repro/internal/schedtree"
+)
+
+// stepTrace is an independent reconstruction of every edge's token history at
+// schedule-step granularity (one leaf-block invocation = one step, the time
+// base of the schedule tree): whether the edge holds tokens at any instant
+// during each step, and the peak token count it ever reaches. It is computed
+// by walking the tree directly rather than reusing the lifetime extraction
+// under test.
+type stepTrace struct {
+	held  [][]bool // held[e][t]: edge e owns live tokens during step t
+	peak  []int64  // maximum token count per edge
+	steps int64    // steps actually walked; must equal tree.TotalDur
+}
+
+// traceTree executes the schedule tree step by step. It returns nil when the
+// trace would exceed maxCells booleans (edges x steps), in which case the
+// bracketing checks are skipped.
+func traceTree(t *schedtree.Tree, maxCells int64) *stepTrace {
+	g := t.Graph
+	nE := int64(g.NumEdges())
+	if nE == 0 || t.TotalDur <= 0 || t.TotalDur > maxCells/nE {
+		return nil
+	}
+	tr := &stepTrace{
+		held: make([][]bool, nE),
+		peak: make([]int64, nE),
+	}
+	tokens := make([]int64, nE)
+	for _, e := range g.Edges() {
+		tokens[e.ID] = e.Delay
+		tr.peak[e.ID] = e.Delay
+		tr.held[e.ID] = make([]bool, t.TotalDur)
+	}
+	var walk func(n *schedtree.Node) bool
+	walk = func(n *schedtree.Node) bool {
+		for it := int64(0); it < n.Loop; it++ {
+			if !n.IsLeaf() {
+				if !walk(n.Left) {
+					return false
+				}
+				if n.Right != nil && !walk(n.Right) {
+					return false
+				}
+				continue
+			}
+			if tr.steps >= t.TotalDur {
+				return false // tree duration annotation is wrong; caught by caller
+			}
+			// Within one invocation of a firing block an input count only
+			// falls and an output count only rises, so the step's endpoints
+			// bound both the peak and the "holds tokens" predicate. Consume
+			// first, then produce, mirroring atomic firing semantics.
+			for _, eid := range g.In(n.Actor) {
+				if tokens[eid] > 0 {
+					tr.held[eid][tr.steps] = true
+				}
+				tokens[eid] -= g.Edge(eid).Cons * n.Reps
+			}
+			for _, eid := range g.Out(n.Actor) {
+				tokens[eid] += g.Edge(eid).Prod * n.Reps
+				if tokens[eid] > tr.peak[eid] {
+					tr.peak[eid] = tokens[eid]
+				}
+			}
+			for e := int64(0); e < nE; e++ {
+				if tokens[e] > 0 {
+					tr.held[e][tr.steps] = true
+				}
+			}
+			tr.steps++
+			continue
+		}
+		return true
+	}
+	walk(t.Root)
+	return tr
+}
+
+// Lifetimes verifies the extracted buffer lifetime intervals against the
+// schedule tree: one structurally valid interval per edge, named after its
+// edge, contained in the schedule period, sized to hold the edge's simulated
+// peak token population, and — the bracketing property — live at every
+// schedule step at which the reconstructed token trace shows the edge holding
+// tokens. Start/stop/periodicity errors in the extraction all surface as
+// bracketing failures.
+func Lifetimes(t *schedtree.Tree, intervals []*lifetime.Interval, opt Options) error {
+	g := t.Graph
+	if len(intervals) != g.NumEdges() {
+		return violationf(StageLifetimes, "length", "%d intervals for %d edges", len(intervals), g.NumEdges())
+	}
+	if t.TotalDur <= 0 {
+		return violationf(StageLifetimes, "period", "schedule tree has duration %d", t.TotalDur)
+	}
+	for _, e := range g.Edges() {
+		iv := intervals[e.ID]
+		if iv == nil {
+			return violationf(StageLifetimes, "missing", "edge %d has no lifetime interval", e.ID)
+		}
+		if want := g.Actor(e.Src).Name + "->" + g.Actor(e.Dst).Name; iv.Name != want {
+			return violationf(StageLifetimes, "name", "edge %d interval named %q, want %q", e.ID, iv.Name, want)
+		}
+		if err := iv.Validate(); err != nil {
+			return violationf(StageLifetimes, "structure", "%v", err)
+		}
+		if iv.Start < 0 || iv.End() > t.TotalDur {
+			return violationf(StageLifetimes, "period",
+				"interval %s spans [%d,%d) outside the period [0,%d)", iv.Name, iv.Start, iv.End(), t.TotalDur)
+		}
+	}
+	tr := traceTree(t, opt.maxTraceCells())
+	if tr == nil {
+		return nil // system too large for the step trace; structural checks only
+	}
+	if tr.steps != t.TotalDur {
+		return violationf(StageLifetimes, "period",
+			"schedule tree walks %d steps but annotates TotalDur %d", tr.steps, t.TotalDur)
+	}
+	for _, e := range g.Edges() {
+		iv := intervals[e.ID]
+		if iv.Size < tr.peak[e.ID]*e.Words {
+			return violationf(StageLifetimes, "size",
+				"interval %s holds %d cells but the edge peaks at %d tokens x %d words",
+				iv.Name, iv.Size, tr.peak[e.ID], e.Words)
+		}
+		for step := int64(0); step < tr.steps; step++ {
+			if tr.held[e.ID][step] && !iv.LiveAt(step) {
+				return violationf(StageLifetimes, "bracketing",
+					"edge %s holds tokens at step %d but its interval %v is not live there",
+					iv.Name, step, iv)
+			}
+		}
+	}
+	return nil
+}
+
+// Allocation verifies a storage allocation against the lifetime intervals it
+// packs: every interval placed exactly once at a non-negative offset inside
+// the declared total, no two time-intersecting intervals overlapping in
+// memory, and the total within the trivial bounds (at least the largest
+// buffer, at most the sum of all buffers).
+func Allocation(intervals []*lifetime.Interval, a *alloc.Allocation) error {
+	if a == nil {
+		return violationf(StageAllocation, "missing", "no allocation")
+	}
+	placed := make(map[*lifetime.Interval]int64, len(a.Placements))
+	for _, p := range a.Placements {
+		if p.Interval == nil {
+			return violationf(StageAllocation, "placement", "placement with nil interval")
+		}
+		if _, dup := placed[p.Interval]; dup {
+			return violationf(StageAllocation, "placement", "interval %s placed twice", p.Interval.Name)
+		}
+		placed[p.Interval] = p.Offset
+		if p.Offset < 0 || p.Offset+p.Interval.Size > a.Total {
+			return violationf(StageAllocation, "bounds",
+				"interval %s at [%d,%d) exceeds total %d",
+				p.Interval.Name, p.Offset, p.Offset+p.Interval.Size, a.Total)
+		}
+	}
+	var sum, largest int64
+	for _, iv := range intervals {
+		if _, ok := placed[iv]; !ok {
+			return violationf(StageAllocation, "placement", "interval %s has no placement", iv.Name)
+		}
+		sum += iv.Size
+		if iv.Size > largest {
+			largest = iv.Size
+		}
+	}
+	if len(intervals) > 0 && (a.Total < largest || a.Total > sum) {
+		return violationf(StageAllocation, "total",
+			"total %d outside [largest buffer %d, sum of buffers %d]", a.Total, largest, sum)
+	}
+	for i := 0; i < len(intervals); i++ {
+		for j := i + 1; j < len(intervals); j++ {
+			vi, vj := intervals[i], intervals[j]
+			if !lifetime.Intersects(vi, vj) {
+				continue
+			}
+			oi, oj := placed[vi], placed[vj]
+			if oi < oj+vj.Size && oj < oi+vi.Size {
+				return violationf(StageAllocation, "overlap",
+					"%s at [%d,%d) and %s at [%d,%d) are live together but share memory",
+					vi.Name, oi, oi+vi.Size, vj.Name, oj, oj+vj.Size)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"errors"
+	"flag"
+)
+
+// ParseCLI parses command-line arguments with the conventions every binary
+// in this repository follows: -h/-help print usage and exit 0, unknown flags
+// or malformed values print usage and exit 2, and valid arguments let the
+// program continue.
+//
+// It returns the exit code the process should terminate with, or -1 when
+// parsing succeeded and execution should proceed:
+//
+//	fs := flag.NewFlagSet("sdffuzz", flag.ContinueOnError)
+//	n := fs.Int("n", 200, "number of graphs")
+//	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+//		os.Exit(code)
+//	}
+//
+// The flag set's error handling is forced to ContinueOnError so the decision
+// stays with the caller (and with tests).
+func ParseCLI(fs *flag.FlagSet, args []string) int {
+	fs.Init(fs.Name(), flag.ContinueOnError)
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return -1
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func newTestFlagSet() (*flag.FlagSet, *int) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 7, "a number")
+	return fs, n
+}
+
+func TestParseCLI(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		n    int
+	}{
+		{"no args", nil, -1, 7},
+		{"valid flag", []string{"-n", "3"}, -1, 3},
+		{"help short", []string{"-h"}, 0, 7},
+		{"help long", []string{"-help"}, 0, 7},
+		{"unknown flag", []string{"-bogus"}, 2, 7},
+		// The stdlib flag package stores the failed strconv result (0) before
+		// reporting the error, so the value is clobbered — callers exit anyway.
+		{"bad value", []string{"-n", "x"}, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, n := newTestFlagSet()
+			if got := ParseCLI(fs, tc.args); got != tc.code {
+				t.Fatalf("ParseCLI(%v) = %d, want %d", tc.args, got, tc.code)
+			}
+			if *n != tc.n {
+				t.Fatalf("after ParseCLI(%v), n = %d, want %d", tc.args, *n, tc.n)
+			}
+		})
+	}
+}
+
+func TestParseCLIKeepsOutputSuppressed(t *testing.T) {
+	// ParseCLI must not reset the caller's configured output writer: Init
+	// only renames the set and pins ContinueOnError.
+	fs, _ := newTestFlagSet()
+	if code := ParseCLI(fs, []string{"-bogus"}); code != 2 {
+		t.Fatalf("code = %d, want 2", code)
+	}
+	if fs.Output() == nil {
+		t.Fatal("output writer lost")
+	}
+}

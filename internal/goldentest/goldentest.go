@@ -1,0 +1,88 @@
+// Package goldentest captures a program's stdout and compares it against a
+// checked-in golden file. The examples/ smoke tests use it to pin the exact
+// output of each demo program; run any of them with -update to regenerate
+// the golden files after an intentional output change:
+//
+//	go test ./examples/... -run Golden -update
+package goldentest
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// CaptureStdout runs f with os.Stdout redirected into a pipe and returns
+// everything f wrote. Writes to os.Stderr (log output) pass through
+// untouched. A panic inside f still restores os.Stdout.
+func CaptureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("goldentest: pipe: %v", err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		r.Close()
+		done <- string(b)
+	}()
+
+	f()
+
+	os.Stdout = old
+	w.Close()
+	return <-done
+}
+
+// Compare checks got against the golden file, rewriting it under -update.
+// On mismatch it reports the first differing line with context, which is
+// usually enough to tell an intentional change from a regression.
+func Compare(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatalf("goldentest: %v", err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("goldentest: %v", err)
+		}
+		t.Logf("goldentest: wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("goldentest: %v (run with -update to create it)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	t.Errorf("output differs from %s (re-run with -update if intentional):\n%s",
+		goldenPath, firstDiff(string(want), got))
+}
+
+// firstDiff renders the first line where want and got diverge.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got   : %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("golden has %d lines, got %d", len(wl), len(gl))
+}

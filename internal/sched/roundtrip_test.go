@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+// lettersGraph builds a graph with single-letter actors A..<n>, rates all 1,
+// so any looped term over them parses.
+func lettersGraph(t *testing.T, names string) *sdf.Graph {
+	t.Helper()
+	g := sdf.New("letters")
+	for _, r := range names {
+		g.AddActor(string(r))
+	}
+	return g
+}
+
+// TestRoundTripCanonical drives the parser and printer as a pair through a
+// table of schedules: parsing the input must print the expected canonical
+// form, and the printer must be a fixed point (parse(print(s)) prints
+// identically), so printed schedules are stable currency in reports, golden
+// files and crash reproducers.
+func TestRoundTripCanonical(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+	}{
+		{"A", "A"},
+		{"AB", "AB"},
+		{" A \tB\nC ", "ABC"},                         // whitespace is ignored
+		{"(1A)", "A"},                                 // unit counts vanish
+		{"(3A)", "(3A)"},
+		{"3A", "(3A)"},                                // inline count binds to the name
+		{"(3A)(6B)(2C)", "(3A)(6B)(2C)"},
+		{"(3A(2B))(2C)", "(3A(2B))(2C)"},
+		{"(3(A(2B)))(2C)", "(3A(2B))(2C)"},            // singleton group folds into its child
+		{"(1(1(1A)))", "A"},                           // nested unit loops collapse
+		{"(2(3B)(5C))(7A)", "(2(3B)(5C))(7A)"},
+		{"(2(2(2(2A))))", "(2(2(2(2A))))"},            // deep nesting survives verbatim
+		{"10(AB)", "(10AB)"},                          // inline count absorbs the group
+		{"(10(ABC))(DEF)", "(10ABC)(DEF)"},            // singleton bodies fold away
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			g := lettersGraph(t, "ABCDEF")
+			s, err := Parse(g, tc.in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.in, err)
+			}
+			got := s.String()
+			if got != tc.canonical {
+				t.Fatalf("Parse(%q).String() = %q, want %q", tc.in, got, tc.canonical)
+			}
+			s2, err := Parse(g, got)
+			if err != nil {
+				t.Fatalf("reparse of %q: %v", got, err)
+			}
+			if again := s2.String(); again != got {
+				t.Fatalf("printer not a fixed point: %q -> %q", got, again)
+			}
+			if !sameFirings(s, s2) {
+				t.Fatalf("round trip changed firings for %q", tc.in)
+			}
+		})
+	}
+}
+
+// TestRoundTripPaperSchedules exercises the exact schedule strings the paper
+// quotes — the satellite receiver's APGAN schedule being the hairiest mix of
+// nested loops, inline counts and concatenated single-letter names.
+func TestRoundTripPaperSchedules(t *testing.T) {
+	g := lettersGraph(t, "ABCDEFGHIJKLMNPQRSTUVW")
+	for _, text := range []string{
+		"(24(11(4A)B)CGHI(11(4D)E)FKLM10(NSJTUP))(QRV240W)",
+		"(7(7(8AB)C)D)(7E)F",
+	} {
+		s, err := Parse(g, text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		printed := s.String()
+		s2, err := Parse(g, printed)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", printed, err)
+		}
+		if !sameFirings(s, s2) {
+			t.Fatalf("round trip changed firings: %q -> %q", text, printed)
+		}
+		if again := s2.String(); again != printed {
+			t.Fatalf("printer not a fixed point: %q -> %q", printed, again)
+		}
+	}
+}
+
+// TestParseErrorMessages pins down the failure mode per malformed input, not
+// just that an error occurred.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "empty"},
+		{"(", "unterminated"},
+		{")", "unbalanced"},
+		{"(3A", "unterminated"},
+		{"3A)", "unbalanced"},
+		{"(3X)", "unknown actor"},
+		{"()", "empty"},
+		{"3", "count"},                     // dangling count with nothing to bind
+		{"(0A)", "count"},                  // zero loop count is invalid
+		{"99999999999999999999A", "bad number"}, // overflows int64
+	}
+	g := lettersGraph(t, "ABC")
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			_, err := Parse(g, tc.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.in, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse(%q) error = %q, want substring %q", tc.in, err, tc.wantSub)
+			}
+		})
+	}
+}
