@@ -2,7 +2,50 @@
 // Before it existed every package carried its own gcd64/min64/max64 copy;
 // min/max are Go builtins since 1.21, so only the non-builtin helpers live
 // here.
+//
+// CheckedMul and CheckedAdd are the overflow-guarded arithmetic the rest of
+// the pipeline is required to use on repetition-vector, rate, and
+// token-count quantities: TNSE and bufmem are products of per-firing rates
+// and repetition counts, and on large multirate graphs those products exceed
+// int64 long before the individual factors look suspicious. The sdflint
+// checkedmul analyzer enforces the convention at the source level.
 package num
+
+import "errors"
+
+// ErrOverflow is the typed error every checked arithmetic helper returns
+// when a computation exceeds the int64 range. Callers wrap it with %w so
+// errors.Is(err, num.ErrOverflow) identifies the class across package
+// boundaries.
+var ErrOverflow = errors.New("num: int64 overflow")
+
+// CheckedMul returns a*b, or ErrOverflow if the product does not fit in an
+// int64. It is exact for all operand signs, including math.MinInt64 edge
+// cases.
+func CheckedMul(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	r := a * b
+	// A quotient round-trip catches every overflow except the one case where
+	// the division itself is undefined: MinInt64 / -1.
+	if (a == -1 && b == minInt64) || (b == -1 && a == minInt64) || r/b != a {
+		return 0, ErrOverflow
+	}
+	return r, nil
+}
+
+// CheckedAdd returns a+b, or ErrOverflow if the sum does not fit in an
+// int64.
+func CheckedAdd(a, b int64) (int64, error) {
+	r := a + b
+	if (b > 0 && r < a) || (b < 0 && r > a) {
+		return 0, ErrOverflow
+	}
+	return r, nil
+}
+
+const minInt64 = -1 << 63
 
 // GCD returns the greatest common divisor of a and b, treating negatives by
 // absolute value. GCD(0, 0) is 0.

@@ -1,6 +1,10 @@
 package num
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"testing"
+)
 
 func TestGCD(t *testing.T) {
 	cases := []struct{ a, b, want int64 }{
@@ -19,6 +23,86 @@ func TestGCD(t *testing.T) {
 	for _, c := range cases {
 		if got := GCD(c.a, c.b); got != c.want {
 			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCheckedMul(t *testing.T) {
+	const maxI = int64(math.MaxInt64)
+	const minI = int64(math.MinInt64)
+	ok := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, maxI, 0},
+		{minI, 0, 0},
+		{1, maxI, maxI},
+		{maxI, 1, maxI},
+		{-1, maxI, -maxI},
+		{1, minI, minI},
+		{minI, 1, minI},
+		{3, 7, 21},
+		{-3, 7, -21},
+		{3, -7, -21},
+		{-3, -7, 21},
+		{1 << 31, 1 << 31, 1 << 62},
+	}
+	for _, c := range ok {
+		got, err := CheckedMul(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("CheckedMul(%d, %d) = %d, %v; want %d, nil", c.a, c.b, got, err, c.want)
+		}
+	}
+	bad := []struct{ a, b int64 }{
+		{maxI, 2},
+		{2, maxI},
+		{minI, 2},
+		{minI, -1},
+		{-1, minI},
+		{1 << 32, 1 << 31},
+		{maxI, maxI},
+		{minI, minI},
+		{maxI/2 + 1, 2},
+	}
+	for _, c := range bad {
+		if got, err := CheckedMul(c.a, c.b); err == nil {
+			t.Errorf("CheckedMul(%d, %d) = %d, nil; want ErrOverflow", c.a, c.b, got)
+		} else if !errors.Is(err, ErrOverflow) {
+			t.Errorf("CheckedMul(%d, %d) error %v is not ErrOverflow", c.a, c.b, err)
+		}
+	}
+}
+
+func TestCheckedAdd(t *testing.T) {
+	const maxI = int64(math.MaxInt64)
+	const minI = int64(math.MinInt64)
+	ok := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{maxI, 0, maxI},
+		{maxI - 1, 1, maxI},
+		{minI, 0, minI},
+		{minI + 1, -1, minI},
+		{maxI, minI, -1},
+		{-5, 3, -2},
+	}
+	for _, c := range ok {
+		got, err := CheckedAdd(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("CheckedAdd(%d, %d) = %d, %v; want %d, nil", c.a, c.b, got, err, c.want)
+		}
+	}
+	bad := []struct{ a, b int64 }{
+		{maxI, 1},
+		{1, maxI},
+		{minI, -1},
+		{-1, minI},
+		{maxI, maxI},
+		{minI, minI},
+	}
+	for _, c := range bad {
+		if got, err := CheckedAdd(c.a, c.b); err == nil {
+			t.Errorf("CheckedAdd(%d, %d) = %d, nil; want ErrOverflow", c.a, c.b, got)
+		} else if !errors.Is(err, ErrOverflow) {
+			t.Errorf("CheckedAdd(%d, %d) error %v is not ErrOverflow", c.a, c.b, err)
 		}
 	}
 }
