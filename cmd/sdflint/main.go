@@ -1,0 +1,132 @@
+// Command sdflint runs the repository's custom static-analysis pass: the
+// determinism and overflow-safety analyzers of internal/lint (maporder,
+// bannedcall, checkedmul, errattrib, exhaustive) over every package of the
+// module. It is part of the tier-1 gate via `make lint`.
+//
+//	sdflint ./...              # lint the whole module (the default)
+//	sdflint internal/sched     # restrict reporting to one directory subtree
+//	sdflint -list              # print the analyzers and exit
+//
+// Diagnostics are printed one per line as file:line:col: message (analyzer),
+// with paths relative to the module root. Exit status: 0 when clean, 1 when
+// any diagnostic was reported, 2 on flag errors or when the module cannot be
+// loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sdflint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+		os.Exit(code)
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Printf("%-12s %s [%s]\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+	os.Exit(run(fs.Args()))
+}
+
+func run(args []string) int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdflint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdflint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdflint:", err)
+		return 2
+	}
+	if filtered, err := filterPackages(pkgs, args, root); err != nil {
+		fmt.Fprintln(os.Stderr, "sdflint:", err)
+		return 2
+	} else {
+		pkgs = filtered
+	}
+	diags := lint.RunAll(lint.Analyzers(), loader, pkgs)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sdflint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages narrows the loaded set to the requested directory subtrees.
+// "./..." (and no arguments at all) means everything; "dir" and "dir/..."
+// mean the subtree rooted at dir, relative to the current directory.
+func filterPackages(pkgs []*lint.Package, args []string, root string) ([]*lint.Package, error) {
+	var prefixes []string
+	for _, a := range args {
+		a = strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/")
+		if a == "." || a == "" {
+			return pkgs, nil
+		}
+		abs, err := filepath.Abs(a)
+		if err != nil {
+			return nil, err
+		}
+		prefixes = append(prefixes, abs)
+	}
+	if len(prefixes) == 0 {
+		return pkgs, nil
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, pre := range prefixes {
+			if p.Dir == pre || strings.HasPrefix(p.Dir, pre+string(filepath.Separator)) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(args, " "))
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder, "maporder") }
+func TestBannedCallFixture(t *testing.T) { runFixture(t, BannedCall, "bannedcall") }
+func TestCheckedMulFixture(t *testing.T) { runFixture(t, CheckedMul, "checkedmul") }
+func TestErrAttribFixture(t *testing.T)  { runFixture(t, ErrAttrib, "errattrib") }
+func TestExhaustiveFixture(t *testing.T) { runFixture(t, Exhaustive, "exhaustive") }
+
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Name: "x", Packages: []string{"internal/sdf", "internal/num"}}
+	for path, want := range map[string]bool{
+		"repro/internal/sdf":  true,
+		"repro/internal/num":  true,
+		"internal/sdf":        true,
+		"repro/internal/sdfx": false,
+		"repro/internal/core": false,
+	} {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	all := &Analyzer{Name: "y"}
+	if !all.AppliesTo("anything/at/all") {
+		t.Error("empty Packages should apply everywhere")
+	}
+}
+
+func TestMalformedIgnoreDirective(t *testing.T) {
+	src := `package p
+
+//lint:ignore maporder
+var a int
+
+//lint:ignore
+var b int
+
+//lint:ignore maporder has a reason
+var c int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckIgnoreDirectives(fset, []*ast.File{f})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("diagnostic attributed to %q, want lint", d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import "go/ast"
+
+// BannedCall forbids ambient-state calls inside the deterministic core
+// packages of the pipeline. Ordering, looping DP, lifetime extraction,
+// allocation, code generation, and the invariant oracle must be pure
+// functions of their inputs — the golden outputs, the differential fuzzer's
+// reproducers, and the paper's tables all assume that compiling the same
+// graph twice yields identical bytes. Wall-clock reads, environment lookups,
+// and the globally seeded math/rand source all break that contract.
+//
+// Allowed even here: rand.New/NewSource (an explicitly seeded *rand.Rand is
+// deterministic) and everything in test files (not linted).
+var BannedCall = &Analyzer{
+	Name: "bannedcall",
+	Doc:  "no ambient time/env/global-rand calls in deterministic pipeline packages",
+	Packages: []string{
+		"internal/sdf", "internal/sched", "internal/looping", "internal/lifetime",
+		"internal/alloc", "internal/codegen", "internal/check",
+	},
+	Run: runBannedCall,
+}
+
+// bannedFuncs maps package path -> function name -> remediation hint.
+// An empty name key bans every function in the package except those listed
+// with an "allow" hint.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "inject the timestamp from the caller",
+		"Since": "inject the timestamp from the caller",
+		"Until": "inject the timestamp from the caller",
+	},
+	"os": {
+		"Getenv":    "thread configuration through explicit options",
+		"LookupEnv": "thread configuration through explicit options",
+		"Environ":   "thread configuration through explicit options",
+	},
+}
+
+// randAllowed lists math/rand functions that are fine because they build an
+// explicitly seeded generator rather than using the global source.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runBannedCall(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass, sel)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			if hint, ok := bannedFuncs[path][name]; ok {
+				pass.Reportf(call.Pos(), "call to %s.%s is banned in deterministic pipeline packages; %s", path, name, hint)
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !randAllowed[name] {
+				pass.Reportf(call.Pos(), "call to %s.%s uses the global rand source; construct a fixed-seed *rand.Rand with rand.New(rand.NewSource(seed)) instead", path, name)
+			}
+			return true
+		})
+	}
+}

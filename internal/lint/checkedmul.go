@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckedMul flags raw `*` and `+` arithmetic on repetition-vector, rate,
+// and token-count expressions inside the exact-arithmetic packages
+// (internal/sdf, internal/sched, internal/num). TNSE and bufmem are products
+// of per-firing rates and repetition counts; on large multirate graphs those
+// products overflow int64 while every individual factor still looks small,
+// and a silently wrapped product corrupts every downstream stage. Such sites
+// must go through num.CheckedMul / num.CheckedAdd and surface
+// num.ErrOverflow.
+//
+// A "rate expression" is recognized structurally: an index into a
+// Repetitions vector, a call to TNSE, or a Prod/Cons/Delay/Words field read
+// on an Edge. Copying a rate into a plain local first is an explicit
+// acknowledgement that the surrounding arithmetic is range-checked by other
+// means, and is how saturating hot paths (e.g. the loop-aware simulator's
+// closed forms) opt out.
+var CheckedMul = &Analyzer{
+	Name:     "checkedmul",
+	Doc:      "rate and token-count arithmetic must use num.CheckedMul/CheckedAdd",
+	Packages: []string{"internal/sdf", "internal/sched", "internal/num"},
+	Run:      runCheckedMul,
+}
+
+func runCheckedMul(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL && n.Op != token.ADD {
+					return true
+				}
+				if isRateExpr(pass, n.X) || isRateExpr(pass, n.Y) {
+					reportChecked(pass, n.OpPos, n.Op)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.MUL_ASSIGN && n.Tok != token.ADD_ASSIGN {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if isRateExpr(pass, rhs) {
+						op := token.MUL
+						if n.Tok == token.ADD_ASSIGN {
+							op = token.ADD
+						}
+						reportChecked(pass, n.TokPos, op)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportChecked(pass *Pass, pos token.Pos, op token.Token) {
+	helper := "num.CheckedMul"
+	if op == token.ADD {
+		helper = "num.CheckedAdd"
+	}
+	pass.Reportf(pos, "unchecked %q on a rate/token-count expression can overflow int64; use %s", op, helper)
+}
+
+// isRateExpr reports whether e directly denotes a rate or token-count
+// quantity (see the analyzer doc for the recognized shapes).
+func isRateExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		return isNamed(pass.TypeOf(e.X), "Repetitions")
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "TNSE"
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "TNSE"
+		}
+	case *ast.SelectorExpr:
+		s, ok := pass.Info.Selections[e]
+		if !ok || s.Kind() != types.FieldVal {
+			return false
+		}
+		switch e.Sel.Name {
+		case "Prod", "Cons", "Delay", "Words":
+			return isNamed(s.Recv(), "Edge")
+		}
+	}
+	return false
+}
+
+// isNamed reports whether t (or its pointee) is a defined type with the
+// given name. Matching by name rather than by canonical package keeps the
+// analyzer testable against self-contained fixtures while still matching
+// sdf.Repetitions and sdf.Edge in the real tree.
+func isNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name
+}

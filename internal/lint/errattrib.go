@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrAttrib enforces stage attribution on every error the invariant oracle
+// constructs: inside internal/check an error must be a *Violation (which
+// carries a Stage and a Rule for the fuzzer's crash bucketing) or must wrap
+// one with %w so errors.As still finds the attribution. Bare errors.New or
+// fmt.Errorf without %w would surface in a fuzzer report as an
+// unattributable failure that cannot be bucketed or triaged.
+var ErrAttrib = &Analyzer{
+	Name:     "errattrib",
+	Doc:      "errors in internal/check must be Violations or wrap one with %w",
+	Packages: []string{"internal/check"},
+	Run:      runErrAttrib,
+}
+
+func runErrAttrib(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass, sel)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				pass.Reportf(call.Pos(), "errors.New loses stage attribution; construct a *Violation (or wrap one with %%w)")
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				if !errorfWraps(pass, call) {
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w loses stage attribution; wrap a *Violation with %%w")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errorfWraps reports whether the fmt.Errorf call's format string provably
+// contains a %w verb. A non-constant format cannot be proven and counts as
+// unattributed.
+func errorfWraps(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return strings.Contains(tv.Value.ExactString(), "%w")
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks that every switch over a module-defined enum type — a
+// named integer or string type with package-level constants, such as
+// core.OrderStrategy, core.LoopAlg, or alloc.Strategy — either covers every
+// declared constant or carries a default clause that panics. The fuzzer's
+// configuration grid and the compiler's strategy dispatch rely on these
+// switches: a silently ignored new enum constant would make a whole slice of
+// the (ordering x looping x allocator) grid fall through to arbitrary
+// behavior instead of failing loudly.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over strategy enums must cover every constant or panic by default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypeOf(sw.Tag)
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	if pass.IsLocal != nil && !pass.IsLocal(named.Obj().Pkg()) {
+		return
+	}
+	switch b := named.Underlying().(type) {
+	case *types.Basic:
+		if b.Info()&(types.IsInteger|types.IsString) == 0 {
+			return
+		}
+	default:
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return // not an enum, just a named type
+	}
+
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && panics(defaultClause.Body) {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (cover every constant or panic in default)",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// enumConstants returns the package-level constants declared with exactly
+// the named type, in declaration-scope order (sorted by name for
+// determinism).
+func enumConstants(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// panics reports whether the statement list contains a call to the panic
+// builtin (directly or nested in its statements, excluding function
+// literals).
+func panics(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,150 @@
+package lint
+
+// analysistest-style fixture harness: each analyzer gets a package under
+// testdata/src/<name>/ whose files carry `// want "substring"` comments on
+// the lines where a diagnostic must be reported. The harness type-checks the
+// fixture (stdlib imports only, resolved from source), runs the analyzer,
+// and asserts an exact file:line match between diagnostics and expectations
+// — unexpected findings, missing findings, and wrong positions all fail.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want "..."` annotation.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// runFixture type-checks testdata/src/<name> and asserts the analyzer's
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	var wants []*expectation
+	for _, fn := range names {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", fn, err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	isLocal := func(p *types.Package) bool { return p == tpkg }
+
+	diags := Run(a, fset, files, tpkg, info, name, isLocal)
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts want annotations with their positions.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, pat := range splitQuoted(t, m[1], pos) {
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses one or more Go-quoted strings: `"a" "b"`.
+func splitQuoted(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want annotation %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// matchWant finds the first unmatched expectation on the diagnostic's line
+// whose pattern is a substring of the message.
+func matchWant(wants []*expectation, d Diagnostic) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.pattern) {
+			return w
+		}
+	}
+	return nil
+}

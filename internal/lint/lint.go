@@ -1,0 +1,231 @@
+// Package lint is a small, dependency-free static-analysis framework that
+// enforces this repository's determinism and safety invariants at the source
+// level. It is deliberately stdlib-only — go/parser, go/ast, and go/types
+// with a source importer; no golang.org/x/tools — so the lint gate needs
+// nothing beyond the toolchain the build already requires.
+//
+// The framework mirrors the shape of x/tools/go/analysis at a fraction of
+// the surface: an Analyzer owns a name, a doc string, an optional package
+// scope, and a Run function that inspects one type-checked package and
+// reports position-tagged diagnostics. cmd/sdflint drives every registered
+// analyzer over every package of the module; the fixture harness in
+// harness_test.go drives single analyzers over annotated testdata packages.
+//
+// Diagnostics are suppressed with a staticcheck-style comment on the flagged
+// line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an ignore comment without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer protects.
+	Doc string
+	// Packages optionally restricts the analyzer to import paths with one of
+	// these suffixes (e.g. "internal/sdf"). Empty means every package. The
+	// fixture harness bypasses the restriction.
+	Packages []string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// AppliesTo reports whether the analyzer is in scope for the import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+	// IsLocal reports whether a types.Package is part of the code under
+	// analysis (the module, or the fixture package itself) as opposed to a
+	// stdlib dependency. Analyzers use it to avoid imposing repository
+	// conventions on standard-library types.
+	IsLocal func(p *types.Package) bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic the way sdflint prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line     int    // line the comment ends on
+	analyzer string // analyzer name, or "*"
+	valid    bool   // has both an analyzer and a reason
+	pos      token.Pos
+}
+
+// parseIgnores extracts every //lint:ignore directive, keyed by filename.
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	byFile := make(map[string][]ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				end := fset.Position(c.End())
+				d := ignoreDirective{line: end.Line, pos: c.Pos()}
+				if len(fields) >= 1 {
+					d.analyzer = fields[0]
+				}
+				d.valid = d.analyzer != "" && len(fields) >= 2
+				byFile[end.Filename] = append(byFile[end.Filename], d)
+			}
+		}
+	}
+	return byFile
+}
+
+// CheckIgnoreDirectives reports malformed //lint:ignore comments (missing
+// analyzer name or reason). It runs once per package, independent of which
+// analyzers are in scope.
+func CheckIgnoreDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	byFile := parseIgnores(fset, files)
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Diagnostic
+	for _, name := range names {
+		for _, d := range byFile[name] {
+			if !d.valid {
+				out = append(out, Diagnostic{
+					Pos:      fset.Position(d.pos),
+					Analyzer: "lint",
+					Message:  "malformed ignore directive: want //lint:ignore <analyzer> <reason>",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run applies the analyzer to one package and returns its surviving
+// diagnostics sorted by position. Ignore directives are honored here so
+// every caller (driver, self-check, harness) sees identical behavior.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, isLocal func(*types.Package) bool) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		PkgPath:  pkgPath,
+		IsLocal:  isLocal,
+		diags:    &diags,
+	}
+	a.Run(pass)
+	diags = applyIgnores(a.Name, fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i].Pos, diags[j].Pos
+		if di.Filename != dj.Filename {
+			return di.Filename < dj.Filename
+		}
+		if di.Line != dj.Line {
+			return di.Line < dj.Line
+		}
+		return di.Column < dj.Column
+	})
+	return dedupe(diags)
+}
+
+// dedupe collapses identical diagnostics; nested map ranges, for example,
+// attribute one effect to several enclosing loops.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// applyIgnores drops diagnostics covered by a valid //lint:ignore directive
+// on the same line or the line directly above.
+func applyIgnores(analyzer string, fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	byFile := parseIgnores(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range byFile[d.Pos.Filename] {
+			if !ig.valid || (ig.analyzer != d.Analyzer && ig.analyzer != "*") {
+				continue
+			}
+			if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Analyzers returns every analyzer sdflint runs, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		BannedCall,
+		CheckedMul,
+		ErrAttrib,
+		Exhaustive,
+	}
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks every package of one Go module without
+// shelling out to the go command: module-internal import paths map directly
+// onto directories under the module root, and everything else resolves
+// through the standard library's source importer. The result is a
+// deterministic, hermetic load — exactly what a lint pass that polices
+// determinism should be built on.
+type Loader struct {
+	Fset *token.FileSet
+
+	root    string
+	modpath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // memoized by import path
+	loading map[string]bool     // import cycle detection
+}
+
+// NewLoader prepares a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	modpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modpath: modpath,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module's import path prefix.
+func (l *Loader) ModulePath() string { return l.modpath }
+
+// IsLocal reports whether p belongs to the loaded module.
+func (l *Loader) IsLocal(p *types.Package) bool {
+	return p != nil && (p.Path() == l.modpath || strings.HasPrefix(p.Path(), l.modpath+"/"))
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadAll walks the module and loads every package that contains non-test Go
+// files, in deterministic (sorted path) order. Test files are not linted:
+// the invariants the analyzers protect are production-code contracts.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if fs, err := sourceFiles(path); err == nil && len(fs) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modpath
+		if rel != "." {
+			path = l.modpath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// sourceFiles lists the non-test .go files of a directory, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// load parses and type-checks one module-internal package by import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modpath), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter resolves imports during type checking: module paths load
+// recursively from source, everything else goes to the stdlib source
+// importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// RunAll applies every in-scope analyzer to every package and returns the
+// combined diagnostics in package, then position order. Malformed ignore
+// directives are reported once per package.
+func RunAll(analyzers []*Analyzer, l *Loader, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, CheckIgnoreDirectives(l.Fset, pkg.Files)...)
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			out = append(out, Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path, l.IsLocal)...)
+		}
+	}
+	return out
+}

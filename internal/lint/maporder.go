@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose bodies have
+// order-dependent effects: appending to a slice, or writing to an io.Writer
+// / fmt print stream. Go randomizes map iteration order per range, so any
+// output assembled inside such a loop differs run to run — the exact
+// nondeterminism class that breaks the pipeline's byte-identical golden
+// outputs and the deterministic merge in internal/par.
+//
+// An append is accepted when the destination slice is passed to a sort.* or
+// slices.Sort* call later in the same function (the collect-keys-then-sort
+// idiom); writes to an output stream inside the loop are always flagged
+// because no after-the-fact sort can reorder bytes already written.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map must not produce order-dependent output",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, body := enclosingFuncBody(n)
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn, body)
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody unwraps function declarations and literals.
+func enclosingFuncBody(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn, fn.Body
+	case *ast.FuncLit:
+		return fn, fn.Body
+	}
+	return nil, nil
+}
+
+// checkMapRanges finds every range-over-map inside fn's body (excluding
+// nested function literals, which get their own visit) and validates it.
+func checkMapRanges(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		checkOneMapRange(pass, body, rs)
+	}
+}
+
+func checkOneMapRange(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	appendTargets := map[types.Object]bool{}
+	writes := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if obj := appendDest(pass, rhs); obj != nil {
+					appendTargets[obj] = true
+				} else if isAppendCall(pass, rhs) && i < len(n.Lhs) {
+					// append to something unresolvable (field, index):
+					// conservatively treat as unsorted output.
+					pass.Reportf(n.Pos(), "append inside range over map builds order-dependent output")
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputWrite(pass, n) {
+				writes = true
+			}
+		}
+		return true
+	})
+	if writes {
+		pass.Reportf(rs.Pos(), "range over map writes output in nondeterministic order")
+	}
+	for obj := range appendTargets {
+		if !sortedAfter(pass, funcBody, rs, obj) {
+			pass.Reportf(rs.Pos(), "range over map appends to %q without a sort before use; iteration order is nondeterministic", obj.Name())
+		}
+	}
+}
+
+// appendDest returns the object of the slice being appended to when rhs is
+// append(x, ...) with x a plain identifier, nil otherwise.
+func appendDest(pass *Pass, rhs ast.Expr) types.Object {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		return pass.Info.Uses[id]
+	}
+	return nil
+}
+
+func isAppendCall(pass *Pass, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	return ok && isBuiltin(pass, call.Fun, "append")
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isOutputWrite reports whether the call emits bytes to an output stream: a
+// method named Write/WriteString/WriteByte/WriteRune/Fprint* on any
+// receiver, or an fmt print function.
+func isOutputWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn := pkgFunc(pass, sel); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Only count it when it is a method call, not e.g. a local func.
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a selector to a package-level function, nil otherwise.
+func pkgFunc(pass *Pass, sel *ast.SelectorExpr) *types.Func {
+	if _, isSel := pass.Info.Selections[sel]; isSel {
+		return nil // method or field, not a package function
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort* call
+// positioned after the range statement within the same function body.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFunc(pass, sel)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

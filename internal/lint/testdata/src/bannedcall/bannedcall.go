@@ -1,0 +1,40 @@
+package bannedcall
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now is banned"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since is banned"
+}
+
+func fromEnv() string {
+	return os.Getenv("SDF_DEBUG") // want "os.Getenv is banned"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand source"
+}
+
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func useSeeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func constTime(d time.Duration) string {
+	return d.String()
+}
+
+func suppressed() string {
+	//lint:ignore bannedcall diagnostic file path is operator-facing, not part of pipeline output
+	return os.Getenv("TMPDIR")
+}

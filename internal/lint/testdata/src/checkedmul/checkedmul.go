@@ -1,0 +1,57 @@
+package checkedmul
+
+// Self-contained doubles of the sdf types the analyzer recognizes by shape:
+// the real tree's sdf.Repetitions and sdf.Edge match identically.
+
+type Repetitions []int64
+
+type Edge struct {
+	Prod, Cons, Delay, Words int64
+}
+
+func TNSE(e Edge, q Repetitions, src int) int64 {
+	//lint:ignore checkedmul reference implementation, factors pre-validated
+	return e.Prod * q[src]
+}
+
+func rawProduct(e Edge, q Repetitions, src int) int64 {
+	return e.Prod * q[src] // want "use num.CheckedMul"
+}
+
+func rawSum(e Edge, x int64) int64 {
+	return x + e.Delay // want "use num.CheckedAdd"
+}
+
+func tnsePlus(e Edge, q Repetitions) int64 {
+	return TNSE(e, q, 0) + 1 // want "unchecked \"+\""
+}
+
+func compound(e Edge, total int64) int64 {
+	total += e.Words // want "unchecked \"+\""
+	return total
+}
+
+func scaled(q Repetitions, i int) int64 {
+	return 2 * q[i] // want "unchecked \"*\""
+}
+
+func viaLocal(e Edge, n int64) int64 {
+	prod := e.Prod
+	return n * prod
+}
+
+func rangeSum(q Repetitions) int64 {
+	var n int64
+	for _, v := range q {
+		n += v
+	}
+	return n
+}
+
+func subtraction(e Edge) int64 {
+	return e.Prod - e.Cons
+}
+
+func division(e Edge) int64 {
+	return e.Prod / e.Cons
+}

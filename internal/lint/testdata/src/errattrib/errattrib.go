@@ -1,0 +1,38 @@
+package errattrib
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Violation struct {
+	Stage, Rule, Msg string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s/%s: %s", v.Stage, v.Rule, v.Msg)
+}
+
+func bare() error {
+	return errors.New("boom") // want "errors.New loses stage attribution"
+}
+
+func formatted(x int) error {
+	return fmt.Errorf("x = %d", x) // want "fmt.Errorf without %w"
+}
+
+func dynamicFormat(format string, x int) error {
+	return fmt.Errorf(format, x) // want "fmt.Errorf without %w"
+}
+
+func attributed() error {
+	return &Violation{Stage: "order", Rule: "precedence", Msg: "out of order"}
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("while validating schedule: %w", err)
+}
+
+func sprintfIsFine(x int) string {
+	return fmt.Sprintf("x = %d", x)
+}

@@ -1,0 +1,92 @@
+package exhaustive
+
+type Strategy int
+
+const (
+	APGAN Strategy = iota
+	RPMC
+	Custom
+)
+
+type Policy string
+
+const (
+	Keep Policy = "keep"
+	Drop Policy = "drop"
+)
+
+func missingOne(s Strategy) string {
+	switch s { // want "missing Custom"
+	case APGAN:
+		return "a"
+	case RPMC:
+		return "r"
+	}
+	return ""
+}
+
+func covered(s Strategy) string {
+	switch s {
+	case APGAN:
+		return "a"
+	case RPMC:
+		return "r"
+	case Custom:
+		return "c"
+	default:
+		return "?"
+	}
+}
+
+func panickingDefault(s Strategy) string {
+	switch s {
+	case APGAN:
+		return "a"
+	default:
+		panic("unhandled strategy")
+	}
+}
+
+func softDefault(s Strategy) string {
+	switch s { // want "missing Custom, RPMC"
+	case APGAN:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+func stringEnum(p Policy) bool {
+	switch p { // want "missing Drop"
+	case Keep:
+		return true
+	}
+	return false
+}
+
+type plain int
+
+func notAnEnum(n plain) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func untagged(s Strategy) string {
+	switch {
+	case s == APGAN:
+		return "a"
+	}
+	return ""
+}
+
+func suppressed(s Strategy) string {
+	//lint:ignore exhaustive only APGAN reaches this path by construction
+	switch s {
+	case APGAN:
+		return "a"
+	}
+	return ""
+}

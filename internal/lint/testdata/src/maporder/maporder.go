@@ -1,0 +1,81 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to \"keys\" without a sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keysSortedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func printAll(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "writes output in nondeterministic order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func buildString(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want "writes output in nondeterministic order"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sums(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+type holder struct{ items []string }
+
+func fieldAppend(h *holder, m map[string]bool) {
+	for k := range m {
+		h.items = append(h.items, k) // want "order-dependent output"
+	}
+}
+
+func ignored(m map[string]int) []string {
+	var keys []string
+	//lint:ignore maporder keys feed a set; order is irrelevant here
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
