@@ -190,7 +190,9 @@ func BenchmarkDPPO(b *testing.B) {
 			order, _ := g.TopologicalSort(q)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				looping.DPPO(g, q, order)
+				if _, err := looping.DPPO(g, q, order); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -204,7 +206,9 @@ func BenchmarkSDPPO(b *testing.B) {
 			order, _ := g.TopologicalSort(q)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				looping.SDPPO(g, q, order)
+				if _, err := looping.SDPPO(g, q, order); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

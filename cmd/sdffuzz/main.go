@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/num"
 	"repro/internal/randsdf"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
@@ -156,18 +158,9 @@ func classify(err error) verdict {
 }
 
 func isOverflow(err error) bool {
-	// errors.Is on the sentinel, tolerating wrapping anywhere in the chain.
-	for e := err; e != nil; {
-		if e == sdf.ErrOverflow {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
+	// num.ErrOverflow is the root sentinel every package-level overflow error
+	// (sdf.ErrOverflow, TNSE, bufmem, bound overflows) wraps.
+	return errors.Is(err, num.ErrOverflow)
 }
 
 // bucketOf derives the crash bucket: stage/rule for oracle violations, the

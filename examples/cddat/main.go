@@ -36,9 +36,17 @@ func main() {
 			la, res.Metrics.NonSharedBufMem, res.Metrics.SharedTotal, inBuf, res.Schedule)
 	}
 
+	bmlb, err := g.BMLB()
+	if err != nil {
+		panic(err)
+	}
+	minAll, err := g.MinBufferAllSchedules()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nlower bounds:")
-	fmt.Printf("  BMLB (best over all SASs, non-shared)   : %d\n", g.BMLB())
-	fmt.Printf("  min over ALL schedules (dynamic, greedy): %d\n", g.MinBufferAllSchedules())
+	fmt.Printf("  BMLB (best over all SASs, non-shared)   : %d\n", bmlb)
+	fmt.Printf("  min over ALL schedules (dynamic, greedy): %d\n", minAll)
 	fmt.Println("\nThe nested schedules cut both total memory and the real-time input")
 	fmt.Println("buffer (the paper's 65-vs-11 observation, Sec. 11.1.3).")
 }

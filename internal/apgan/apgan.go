@@ -9,6 +9,7 @@ package apgan
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/num"
@@ -65,7 +66,10 @@ func Run(g *sdf.Graph, q sdf.Repetitions) (*Result, error) {
 	alive := n
 
 	for alive > 1 {
-		pair, ok := pickPair(g, q, clusterOf, clusters)
+		pair, ok, err := pickPair(g, q, clusterOf, clusters)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			return nil, ErrNotClusterable
 		}
@@ -105,7 +109,7 @@ type candidate struct {
 // preferred; if none is legal, a pair of clusters from different weakly
 // connected components (if any) is merged; failing that, the guaranteed-legal
 // edge whose sink is the earliest actor with any incoming precedence edge.
-func pickPair(g *sdf.Graph, q sdf.Repetitions, clusterOf []int, clusters []*Hierarchy) (candidate, bool) {
+func pickPair(g *sdf.Graph, q sdf.Repetitions, clusterOf []int, clusters []*Hierarchy) (candidate, bool, error) {
 	// Gather adjacent cluster pairs with aggregate stats.
 	type key struct{ a, b int }
 	agg := make(map[key]*candidate)
@@ -133,7 +137,14 @@ func pickPair(g *sdf.Graph, q sdf.Repetitions, clusterOf []int, clusters []*Hier
 				c.hasPrec = true
 			}
 		}
-		c.tnse += sdf.TNSE(g, q, e.ID)
+		t, err := sdf.TNSE(g, q, e.ID)
+		if err != nil {
+			return candidate{}, false, err
+		}
+		if c.tnse, err = num.CheckedAdd(c.tnse, t); err != nil {
+			return candidate{}, false, fmt.Errorf("apgan: aggregate traffic of pair (%d,%d) overflows: %w",
+				c.src, c.dst, num.ErrOverflow)
+		}
 	}
 	cands := make([]*candidate, 0, len(agg))
 	for _, c := range agg {
@@ -155,16 +166,16 @@ func pickPair(g *sdf.Graph, q sdf.Repetitions, clusterOf []int, clusters []*Hier
 	adj := clusterAdjacency(g, q, clusterOf)
 	for _, c := range cands {
 		if !introducesCycle(adj, c.src, c.dst) {
-			return *c, true
+			return *c, true, nil
 		}
 	}
 	// No adjacent pair is legal. Merge across components if possible
 	// (cannot create a cycle).
 	comp := components(adj, clusterOf, clusters)
 	if len(comp) > 1 {
-		return candidate{src: comp[0], dst: comp[1]}, true
+		return candidate{src: comp[0], dst: comp[1]}, true, nil
 	}
-	return candidate{}, false
+	return candidate{}, false, nil
 }
 
 // clusterAdjacency builds the precedence digraph between live clusters.
@@ -200,6 +211,7 @@ func pathAvoidingDirect(adj map[int]map[int]bool, src, dst int) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		//lint:ignore maporder DFS visit order cannot change the boolean reachability answer
 		for v := range adj[u] {
 			if u == src && v == dst {
 				continue // skip the direct edge (src is visited exactly once)
@@ -219,10 +231,15 @@ func pathAvoidingDirect(adj map[int]map[int]bool, src, dst int) bool {
 // components returns one representative live cluster per weakly connected
 // component, in ascending id order.
 func components(adj map[int]map[int]bool, clusterOf []int, clusters []*Hierarchy) []int {
+	// The adjacency lists below are built in map order, but they are only
+	// ever traversed with a seen-set (order-independent reachability); the
+	// representative order comes from the sorted clusters slice scan below.
 	und := make(map[int][]int)
 	for u, m := range adj {
 		for v := range m {
+			//lint:ignore maporder und is only traversed with a seen-set; element order never escapes
 			und[u] = append(und[u], v)
+			//lint:ignore maporder und is only traversed with a seen-set; element order never escapes
 			und[v] = append(und[v], u)
 		}
 	}

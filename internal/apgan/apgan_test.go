@@ -277,8 +277,12 @@ func TestAPGANOptimalOnUniformFilterbanks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if bm != g.BMLB() {
-			t.Errorf("qmf12_%dd: APGAN bufmem %d != BMLB %d", depth, bm, g.BMLB())
+		bmlb, err := g.BMLB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bm != bmlb {
+			t.Errorf("qmf12_%dd: APGAN bufmem %d != BMLB %d", depth, bm, bmlb)
 		}
 	}
 }

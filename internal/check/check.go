@@ -289,14 +289,23 @@ func Schedule(g *sdf.Graph, q sdf.Repetitions, s *sched.Schedule, opt Options) e
 	if s.IsSingleAppearance() {
 		var bufmem int64
 		for _, e := range g.Edges() {
-			bufmem += res.MaxTokens[e.ID] * e.Words
-			if res.MaxTokens[e.ID]*e.Words < sdf.BMLBEdge(e) {
+			words := res.MaxTokens[e.ID] * e.Words
+			bufmem += words
+			lb, err := sdf.BMLBEdge(e)
+			if err != nil {
+				return fmt.Errorf("check: per-edge BMLB: %w", err)
+			}
+			if words < lb {
 				return violationf(StageSchedule, "bmlb",
 					"edge %s->%s: max_tokens %d words below the per-edge BMLB %d",
-					g.Actor(e.Src).Name, g.Actor(e.Dst).Name, res.MaxTokens[e.ID]*e.Words, sdf.BMLBEdge(e))
+					g.Actor(e.Src).Name, g.Actor(e.Dst).Name, words, lb)
 			}
 		}
-		if bmlb := g.BMLB(); bufmem < bmlb {
+		bmlb, err := g.BMLB()
+		if err != nil {
+			return fmt.Errorf("check: graph BMLB: %w", err)
+		}
+		if bufmem < bmlb {
 			return violationf(StageSchedule, "bmlb",
 				"bufmem(S) = %d below the graph BMLB %d", bufmem, bmlb)
 		}

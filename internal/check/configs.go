@@ -32,7 +32,7 @@ func (c PipelineConfig) Options() core.Options {
 // Run compiles the graph under this configuration and runs the full Pipeline
 // oracle on the result. A returned *Violation is an oracle failure; any other
 // non-nil error is a compilation failure (which, for a consistent acyclic
-// graph, is itself suspect unless it wraps sdf.ErrOverflow).
+// graph, is itself suspect unless it wraps num.ErrOverflow).
 func (c PipelineConfig) Run(g *sdf.Graph, opt Options) error {
 	res, err := core.Compile(g, c.Options())
 	if err != nil {

@@ -282,7 +282,11 @@ func Pipeline(res *core.Result, opt Options) error {
 		return violationf(StageAllocation, "metrics",
 			"merging grew the allocation: merged %d > shared %d", res.Metrics.MergedTotal, res.Metrics.SharedTotal)
 	}
-	if want := g.BMLB(); res.Metrics.BMLB != want {
+	want, err := g.BMLB()
+	if err != nil {
+		return fmt.Errorf("check: recomputing BMLB: %w", err)
+	}
+	if res.Metrics.BMLB != want {
 		return violationf(StageSchedule, "metrics", "Metrics.BMLB %d != recomputed %d", res.Metrics.BMLB, want)
 	}
 	if bm, err := res.Schedule.BufMem(); err == nil && res.Metrics.NonSharedBufMem != bm {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/num"
 	"repro/internal/randsdf"
 	"repro/internal/sdf"
 )
@@ -47,8 +48,8 @@ func FuzzPipeline(f *testing.F) {
 		if err == nil {
 			return
 		}
-		if errors.Is(err, sdf.ErrOverflow) {
-			t.Skip("repetitions overflow int64")
+		if errors.Is(err, num.ErrOverflow) {
+			t.Skip("exact arithmetic overflows int64")
 		}
 		t.Fatalf("config %v on %d-actor graph (seed %d): %v", cfg, g.NumActors(), seed, err)
 	})

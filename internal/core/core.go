@@ -207,7 +207,11 @@ func Compile(g *sdf.Graph, opts Options) (*Result, error) {
 	res.Metrics.SharedTotal = res.Best.Total
 	res.Metrics.MCO = lifetime.MCWOptimistic(intervals)
 	res.Metrics.MCP = lifetime.MCWPessimistic(intervals)
-	res.Metrics.BMLB = g.BMLB()
+	bmlb, err := g.BMLB()
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.BMLB = bmlb
 	bm, err := s.BufMem()
 	if err != nil {
 		return nil, err
@@ -304,10 +308,16 @@ func makeOrder(g *sdf.Graph, q sdf.Repetitions, opts Options) ([]sdf.ActorID, er
 func makeLoops(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID, la LoopAlg) (*sched.Schedule, int64, error) {
 	switch la {
 	case SDPPOLoops:
-		r := looping.SDPPO(g, q, order)
+		r, err := looping.SDPPO(g, q, order)
+		if err != nil {
+			return nil, 0, err
+		}
 		return r.Schedule, r.Cost, nil
 	case DPPOLoops:
-		r := looping.DPPO(g, q, order)
+		r, err := looping.DPPO(g, q, order)
+		if err != nil {
+			return nil, 0, err
+		}
 		return r.Schedule, r.Cost, nil
 	case ChainPreciseLoops:
 		if g.IsChain(order) {
@@ -317,7 +327,10 @@ func makeLoops(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID, la LoopAlg)
 			}
 			return r.Schedule, r.Cost, nil
 		}
-		r := looping.SDPPO(g, q, order)
+		r, err := looping.SDPPO(g, q, order)
+		if err != nil {
+			return nil, 0, err
+		}
 		return r.Schedule, r.Cost, nil
 	case FlatLoops:
 		s := sched.FlatSAS(g, q, order)

@@ -189,7 +189,11 @@ func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
 	res.Metrics.SharedTotal = res.Best.Total
 	res.Metrics.MCO = lifetime.MCWOptimistic(intervals)
 	res.Metrics.MCP = lifetime.MCWPessimistic(intervals)
-	res.Metrics.BMLB = g.BMLB()
+	bmlb, err := g.BMLB()
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.BMLB = bmlb
 	res.Metrics.AllocTotals = make(map[string]int64, len(allocators))
 	for s, a := range res.Allocations {
 		res.Metrics.AllocTotals[s.String()] = a.Total

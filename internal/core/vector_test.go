@@ -57,7 +57,11 @@ func TestVectorTokensChain(t *testing.T) {
 		t.Errorf("scalar edge unexpectedly scaled: %d", res.Intervals[e1].Size)
 	}
 	// BMLB scales: edge0 eta = 2 tokens * 8 words = 16, edge1 = 3.
-	if got := g.BMLB(); got != 16+3 {
+	got, err := g.BMLB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16+3 {
 		t.Errorf("BMLB = %d, want 19", got)
 	}
 }

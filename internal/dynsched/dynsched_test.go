@@ -25,13 +25,24 @@ func TestChainReachesAllSchedulesBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := g.MinBufferAllSchedules(); res.BufMem != want {
+	if want := mustBound(t, g.MinBufferAllSchedules); res.BufMem != want {
 		t.Errorf("greedy bufmem = %d, want all-schedules minimum %d", res.BufMem, want)
 	}
 	// The bound is strictly below the BMLB (best SAS) here.
-	if res.BufMem >= g.BMLB() {
-		t.Errorf("greedy %d not below BMLB %d", res.BufMem, g.BMLB())
+	if bmlb := mustBound(t, g.BMLB); res.BufMem >= bmlb {
+		t.Errorf("greedy %d not below BMLB %d", res.BufMem, bmlb)
 	}
+}
+
+// mustBound unwraps a (bound, error) pair from BMLB/MinBufferAllSchedules,
+// failing the test on error.
+func mustBound(t *testing.T, f func() (int64, error)) int64 {
+	t.Helper()
+	v, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }
 
 func TestScheduleIsValidPeriod(t *testing.T) {
@@ -81,9 +92,9 @@ func TestGreedyNeverWorseThanAllSchedulesBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.BufMem < g.MinBufferAllSchedules() {
+		if bound := mustBound(t, g.MinBufferAllSchedules); res.BufMem < bound {
 			t.Errorf("trial %d: greedy %d below the theoretical minimum %d",
-				trial, res.BufMem, g.MinBufferAllSchedules())
+				trial, res.BufMem, bound)
 		}
 	}
 }

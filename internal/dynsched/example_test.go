@@ -24,8 +24,12 @@ func ExampleSchedule() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	bmlb, err := g.BMLB()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("greedy buffer:", res.BufMem)
-	fmt.Println("best-SAS bound (BMLB):", g.BMLB())
+	fmt.Println("best-SAS bound (BMLB):", bmlb)
 	fmt.Println("schedule:", res.AsSchedule(g))
 	// Output:
 	// greedy buffer: 4

@@ -19,8 +19,8 @@ func TestCDDATGreedyMatchesBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.BufMem != g.MinBufferAllSchedules() {
-		t.Errorf("greedy %d, want bound %d", res.BufMem, g.MinBufferAllSchedules())
+	if bound := mustBound(t, g.MinBufferAllSchedules); res.BufMem != bound {
+		t.Errorf("greedy %d, want bound %d", res.BufMem, bound)
 	}
 	if res.Length != q.TotalFirings() {
 		t.Errorf("length %d, want %d", res.Length, q.TotalFirings())
@@ -35,9 +35,9 @@ func TestSatrecGreedyMatchesBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.BufMem != g.MinBufferAllSchedules() {
+	if bound := mustBound(t, g.MinBufferAllSchedules); res.BufMem != bound {
 		t.Errorf("greedy %d, want bound %d (demand-driven should be optimal here)",
-			res.BufMem, g.MinBufferAllSchedules())
+			res.BufMem, bound)
 	}
 }
 

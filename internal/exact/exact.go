@@ -30,7 +30,11 @@ type Result struct {
 // graphs), up to maxOrders enumerated sorts (0 means unlimited).
 func BestNonShared(g *sdf.Graph, q sdf.Repetitions, maxOrders int) (Result, error) {
 	return search(g, q, maxOrders, func(order []sdf.ActorID) (int64, error) {
-		return looping.DPPO(g, q, order).Schedule.BufMem()
+		r, err := looping.DPPO(g, q, order)
+		if err != nil {
+			return 0, err
+		}
+		return r.Schedule.BufMem()
 	})
 }
 
@@ -39,7 +43,11 @@ func BestNonShared(g *sdf.Graph, q sdf.Repetitions, maxOrders int) (Result, erro
 // shared-memory result this framework can produce per order.
 func BestShared(g *sdf.Graph, q sdf.Repetitions, maxOrders int) (Result, error) {
 	return search(g, q, maxOrders, func(order []sdf.ActorID) (int64, error) {
-		s := looping.SDPPO(g, q, order).Schedule
+		r, err := looping.SDPPO(g, q, order)
+		if err != nil {
+			return 0, err
+		}
+		s := r.Schedule
 		tree, err := schedtree.FromSchedule(s)
 		if err != nil {
 			return 0, err

@@ -24,10 +24,19 @@ func TestChainHasSingleOrder(t *testing.T) {
 	}
 	// With a single order, exact == DPPO on that order.
 	order, _ := g.TopologicalSort(q)
-	bm, _ := looping.DPPO(g, q, order).Schedule.BufMem()
+	bm, _ := mustDPPO(t, g, q, order).Schedule.BufMem()
 	if res.Best != bm {
 		t.Errorf("exact %d != DPPO %d", res.Best, bm)
 	}
+}
+
+func mustDPPO(t *testing.T, g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *looping.Result {
+	t.Helper()
+	r, err := looping.DPPO(g, q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 func TestCapStopsEarly(t *testing.T) {
@@ -64,12 +73,12 @@ func TestHeuristicsNeverBeatExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		abm, _ := looping.DPPO(g, q, ar.Order).Schedule.BufMem()
+		abm, _ := mustDPPO(t, g, q, ar.Order).Schedule.BufMem()
 		rOrder, err := rpmc.Order(g, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rbm, _ := looping.DPPO(g, q, rOrder).Schedule.BufMem()
+		rbm, _ := mustDPPO(t, g, q, rOrder).Schedule.BufMem()
 		if abm < ex.Best || rbm < ex.Best {
 			t.Errorf("trial %d: heuristic (%d/%d) beat the exact optimum %d",
 				trial, abm, rbm, ex.Best)

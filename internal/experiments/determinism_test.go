@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/systems"
+)
+
+// TestPipelineOutputDeterministic runs a representative slice of the pipeline
+// twice in the same process — experiment tables (parallel compilation) and C
+// code generation — and asserts the rendered output is byte-identical. Go
+// randomizes map iteration per range statement, so any map-ordered loop on
+// the output path flips this test even within one run.
+func TestPipelineOutputDeterministic(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		rows, err := Table1(smallSet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(FormatTable1(rows))
+		dyn, err := DynamicVsStatic(smallSet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(FormatDynamic(dyn))
+		res, err := core.Compile(systems.SatelliteReceiver(), core.Options{
+			Strategy:   core.APGAN,
+			Looping:    core.SDPPOLoops,
+			Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(codegen.GenerateC(res))
+		return b.String()
+	}
+	first := render()
+	for run := 1; run <= 2; run++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d produced different output than run 0:\nfirst:\n%s\n\ngot:\n%s", run, first, got)
+		}
+	}
+}

@@ -86,7 +86,11 @@ func exactRow(g *sdf.Graph, i, maxOrders int) (ExactRow, bool, error) {
 	if err != nil {
 		return row, false, err
 	}
-	row.APGANNS, err = looping.DPPO(g, q, ar.Order).Schedule.BufMem()
+	ad, err := looping.DPPO(g, q, ar.Order)
+	if err != nil {
+		return row, false, err
+	}
+	row.APGANNS, err = ad.Schedule.BufMem()
 	if err != nil {
 		return row, false, err
 	}
@@ -94,7 +98,11 @@ func exactRow(g *sdf.Graph, i, maxOrders int) (ExactRow, bool, error) {
 	if err != nil {
 		return row, false, err
 	}
-	row.RPMCNS, err = looping.DPPO(g, q, rOrder).Schedule.BufMem()
+	rd, err := looping.DPPO(g, q, rOrder)
+	if err != nil {
+		return row, false, err
+	}
+	row.RPMCNS, err = rd.Schedule.BufMem()
 	if err != nil {
 		return row, false, err
 	}

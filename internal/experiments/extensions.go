@@ -40,11 +40,15 @@ func DynamicVsStatic(graphs []*sdf.Graph) ([]DynamicRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: dynamic %s: %w", g.Name, err)
 		}
+		bound, err := g.MinBufferAllSchedules()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dynamic %s: %w", g.Name, err)
+		}
 		row := DynamicRow{
 			System:            g.Name,
 			GreedyBufMem:      greedy.BufMem,
 			GreedyLength:      greedy.Length,
-			AllSchedulesBound: g.MinBufferAllSchedules(),
+			AllSchedulesBound: bound,
 			SASNonShared:      -1,
 			SASShared:         -1,
 		}

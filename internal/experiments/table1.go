@@ -55,7 +55,11 @@ func Table1(graphs []*sdf.Graph) ([]Table1Row, error) {
 }
 
 func table1Row(g *sdf.Graph) (Table1Row, error) {
-	row := Table1Row{System: g.Name, Actors: g.NumActors(), BMLB: g.BMLB()}
+	bmlb, err := g.BMLB()
+	if err != nil {
+		return Table1Row{System: g.Name}, err
+	}
+	row := Table1Row{System: g.Name, Actors: g.NumActors(), BMLB: bmlb}
 	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
 		// Non-shared reference: DPPO looping, bufmem metric.
 		ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsLintClean runs every analyzer over the whole module and
+// requires zero findings: the invariants sdflint enforces must hold for the
+// tree that ships it. A failure here means either a regression slipped in or
+// an analyzer got stricter without the accompanying sweep.
+func TestRepositoryIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from the module root")
+	}
+	for _, d := range RunAll(Analyzers(), loader, pkgs) {
+		t.Errorf("%s", d.String())
+	}
+}

@@ -39,7 +39,7 @@ type edgeSpan struct {
 	delay  int64
 }
 
-func newChain(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *chain {
+func newChain(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) (*chain, error) {
 	n := len(order)
 	c := &chain{g: g, q: q, order: order, pos: make([]int, g.NumActors())}
 	for i, a := range order {
@@ -64,16 +64,20 @@ func newChain(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *chain {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
+		tnse, err := sdf.TNSE(g, q, e.ID)
+		if err != nil {
+			return nil, err
+		}
 		idx := len(c.spans)
 		c.spans = append(c.spans, edgeSpan{
 			lo: lo, hi: hi,
-			tnse:  sdf.TNSE(g, q, e.ID),
+			tnse:  tnse,
 			delay: e.Delay,
 		})
 		c.byLo[lo] = append(c.byLo[lo], idx)
 		c.byHi[hi] = append(c.byHi[hi], idx)
 	}
-	return c
+	return c, nil
 }
 
 // crossing returns the summed TNSE and delay of edges crossing the split
@@ -170,12 +174,17 @@ type Result struct {
 // DPPO computes an order-optimal nested SAS under the non-shared buffer
 // model (EQ 2/3). The returned cost is the buffer memory requirement
 // bufmem(S) of the schedule for delayless graphs; with delays it is an upper
-// bound (delay tokens are charged on every crossing edge).
-func DPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
-	c := newChain(g, q, order)
+// bound (delay tokens are charged on every crossing edge). A typed overflow
+// error (wrapping num.ErrOverflow) is returned when an edge's TNSE exceeds
+// int64.
+func DPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) (*Result, error) {
+	c, err := newChain(g, q, order)
+	if err != nil {
+		return nil, err
+	}
 	n := len(order)
 	if n == 0 {
-		return &Result{Schedule: &sched.Schedule{Graph: g}}
+		return &Result{Schedule: &sched.Schedule{Graph: g}}, nil
 	}
 	b := make([][]int64, n)
 	split := make([][]int, n)
@@ -199,23 +208,28 @@ func DPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
 		}
 	}
 	if n == 1 {
-		return &Result{Cost: 0, Schedule: sched.FlatSAS(g, q, order)}
+		return &Result{Cost: 0, Schedule: sched.FlatSAS(g, q, order)}, nil
 	}
-	return &Result{Cost: b[0][n-1], Schedule: c.buildSchedule(split, c.alwaysFactor)}
+	return &Result{Cost: b[0][n-1], Schedule: c.buildSchedule(split, c.alwaysFactor)}, nil
 }
 
 // SDPPO computes a nested SAS under the shared (coarse-grained) buffer model
 // using the heuristic DP of EQ 5: the two halves of a split are assumed to
 // overlay perfectly (max instead of sum) and the crossing buffers are charged
-// in full. Loop factors follow the Sec. 5.1 internal-edge heuristic.
-func SDPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
-	c := newChain(g, q, order)
+// in full. Loop factors follow the Sec. 5.1 internal-edge heuristic. A typed
+// overflow error (wrapping num.ErrOverflow) is returned when an edge's TNSE
+// exceeds int64.
+func SDPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) (*Result, error) {
+	c, err := newChain(g, q, order)
+	if err != nil {
+		return nil, err
+	}
 	n := len(order)
 	if n == 0 {
-		return &Result{Schedule: &sched.Schedule{Graph: g}}
+		return &Result{Schedule: &sched.Schedule{Graph: g}}, nil
 	}
 	if n == 1 {
-		return &Result{Cost: 0, Schedule: sched.FlatSAS(g, q, order)}
+		return &Result{Cost: 0, Schedule: sched.FlatSAS(g, q, order)}, nil
 	}
 	b := make([][]int64, n)
 	split := make([][]int, n)
@@ -242,7 +256,7 @@ func SDPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
 			split[i][j] = bestK
 		}
 	}
-	return &Result{Cost: b[0][n-1], Schedule: c.buildSchedule(split, c.factorIfInternalEdges(split))}
+	return &Result{Cost: b[0][n-1], Schedule: c.buildSchedule(split, c.factorIfInternalEdges(split))}, nil
 }
 
 // ErrNotChain reports that the precise DP was applied to a lexical ordering

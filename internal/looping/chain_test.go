@@ -8,6 +8,24 @@ import (
 	"repro/internal/sdf"
 )
 
+func mustDPPO(t testing.TB, g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
+	t.Helper()
+	r, err := DPPO(g, q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustSDPPO(t testing.TB, g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) *Result {
+	t.Helper()
+	r, err := SDPPO(g, q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // buildChainGraph makes a chain x0 -> x1 -> ... with the given (prod, cons)
 // rate pairs per edge.
 func buildChainGraph(t testing.TB, name string, rates [][2]int64) (*sdf.Graph, sdf.Repetitions, []sdf.ActorID) {
@@ -33,7 +51,7 @@ func TestDPPOKnownChain(t *testing.T) {
 	// (3A(2B))(2C) with bufmem 2+6 = 8 (delayless variant of the paper's
 	// Sec. 4 example).
 	g, q, ids := buildChainGraph(t, "fig1", [][2]int64{{2, 1}, {1, 3}})
-	res := DPPO(g, q, ids)
+	res := mustDPPO(t, g, q, ids)
 	if res.Cost != 8 {
 		t.Errorf("DPPO cost = %d, want 8", res.Cost)
 	}
@@ -57,7 +75,10 @@ func TestDPPOKnownChain(t *testing.T) {
 // order-optimality.
 func enumerateFactored(t *testing.T, g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) []int64 {
 	t.Helper()
-	c := newChain(g, q, order)
+	c, err := newChain(g, q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var build func(i, j int, outer int64) []*sched.Node
 	build = func(i, j int, outer int64) []*sched.Node {
 		if i == j {
@@ -100,7 +121,7 @@ func TestDPPOOrderOptimalBruteForce(t *testing.T) {
 			rates[i] = [2]int64{1 + int64(rng.Intn(4)), 1 + int64(rng.Intn(4))}
 		}
 		g, q, ids := buildChainGraph(t, "rand", rates)
-		res := DPPO(g, q, ids)
+		res := mustDPPO(t, g, q, ids)
 		costs := enumerateFactored(t, g, q, ids)
 		best := costs[0]
 		for _, c := range costs {
@@ -122,7 +143,7 @@ func TestDPPOSingleActor(t *testing.T) {
 	g := sdf.New("one")
 	a := g.AddActor("A")
 	q, _ := g.Repetitions()
-	res := DPPO(g, q, []sdf.ActorID{a})
+	res := mustDPPO(t, g, q, []sdf.ActorID{a})
 	if res.Cost != 0 {
 		t.Errorf("cost = %d", res.Cost)
 	}
@@ -143,7 +164,7 @@ func TestSDPPOFactoringHeuristic(t *testing.T) {
 	g.AddEdge(y, b, 1, 1, 0)
 	q := sdf.Repetitions{2, 2, 2, 2}
 	order := []sdf.ActorID{x, a, y, b}
-	res := SDPPO(g, q, order)
+	res := mustSDPPO(t, g, q, order)
 	if err := res.Schedule.Validate(q); err != nil {
 		t.Fatalf("invalid: %v", err)
 	}
@@ -156,7 +177,7 @@ func TestSDPPOFactoringHeuristic(t *testing.T) {
 		t.Errorf("top loop factored to %d despite no crossing edges: %s", root.Count, res.Schedule)
 	}
 	// DPPO (non-shared) by contrast factors fully.
-	res2 := DPPO(g, q, order)
+	res2 := mustDPPO(t, g, q, order)
 	if res2.Schedule.Body[0].Count != 2 {
 		t.Errorf("DPPO should factor the top loop: %s", res2.Schedule)
 	}
@@ -165,7 +186,7 @@ func TestSDPPOFactoringHeuristic(t *testing.T) {
 func TestSDPPOChainEstimate(t *testing.T) {
 	// Chain A-(1,2)->B-(1,2)->C: q=(4,2,1). All buffers share via overlay.
 	g, q, ids := buildChainGraph(t, "sh", [][2]int64{{1, 2}, {1, 2}})
-	res := SDPPO(g, q, ids)
+	res := mustSDPPO(t, g, q, ids)
 	if err := res.Schedule.Validate(q); err != nil {
 		t.Fatalf("invalid: %v", err)
 	}
@@ -207,7 +228,7 @@ func TestChainSDPPOValidAndBounded(t *testing.T) {
 		if err := precise.Schedule.Validate(q); err != nil {
 			t.Fatalf("trial %d: invalid schedule %s: %v", trial, precise.Schedule, err)
 		}
-		heur := SDPPO(g, q, ids)
+		heur := mustSDPPO(t, g, q, ids)
 		// The triple accounting never charges more than the EQ 5 worst-case
 		// assumption, so the precise optimum is at most the heuristic's.
 		if precise.Cost > heur.Cost {
@@ -318,7 +339,7 @@ func TestDPPOWithDelays(t *testing.T) {
 	b := g.AddActor("B")
 	g.AddEdge(a, b, 2, 1, 1)
 	q, _ := g.Repetitions()
-	res := DPPO(g, q, []sdf.ActorID{a, b})
+	res := mustDPPO(t, g, q, []sdf.ActorID{a, b})
 	if err := res.Schedule.Validate(q); err != nil {
 		t.Fatalf("invalid: %v", err)
 	}
@@ -383,7 +404,7 @@ func TestChainSDPPOAllocationQuality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		heur := SDPPO(g, q, ids)
+		heur := mustSDPPO(t, g, q, ids)
 		pa := allocSchedule(t, g, q, precise.Schedule)
 		ha := allocSchedule(t, g, q, heur.Schedule)
 		if pa > ha {

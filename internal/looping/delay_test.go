@@ -38,7 +38,7 @@ func TestDPPOSingleEdge(t *testing.T) {
 	b := g.AddActor("B")
 	g.AddEdge(a, b, 3, 2, 0)
 	q, _ := g.Repetitions() // (2, 3)
-	res := DPPO(g, q, []sdf.ActorID{a, b})
+	res := mustDPPO(t, g, q, []sdf.ActorID{a, b})
 	// One window, one split: cost = TNSE/gcd(2,3) = 6.
 	if res.Cost != 6 {
 		t.Errorf("cost = %d, want 6", res.Cost)
@@ -57,7 +57,7 @@ func TestDPPOFactorsCommonDivisor(t *testing.T) {
 	b := g.AddActor("B")
 	g.AddEdge(a, b, 1, 1, 0)
 	q := sdf.Repetitions{6, 6}
-	res := DPPO(g, q, []sdf.ActorID{a, b})
+	res := mustDPPO(t, g, q, []sdf.ActorID{a, b})
 	// gcd 6: schedule (6AB), buffer 1.
 	if res.Cost != 1 {
 		t.Errorf("cost = %d, want 1", res.Cost)
@@ -76,7 +76,7 @@ func TestParallelEdgesBothCharged(t *testing.T) {
 	g.AddEdge(a, b, 2, 2, 0)
 	g.AddEdge(a, b, 3, 3, 0)
 	q := sdf.Repetitions{1, 1}
-	res := DPPO(g, q, []sdf.ActorID{a, b})
+	res := mustDPPO(t, g, q, []sdf.ActorID{a, b})
 	if res.Cost != 5 {
 		t.Errorf("cost = %d, want 5 (2 + 3)", res.Cost)
 	}
@@ -102,8 +102,8 @@ func TestSDPPOOverlayBeatsSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sd := SDPPO(g, q, ids)
-	dp := DPPO(g, q, ids)
+	sd := mustSDPPO(t, g, q, ids)
+	dp := mustDPPO(t, g, q, ids)
 	if sd.Cost > dp.Cost {
 		t.Errorf("sdppo estimate %d above dppo %d — overlay model should never charge more", sd.Cost, dp.Cost)
 	}

@@ -118,7 +118,10 @@ func ChainSDPPO(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID) (*Result, 
 	if !g.IsChain(order) {
 		return nil, ErrNotChain
 	}
-	c := newChain(g, q, order)
+	c, err := newChain(g, q, order)
+	if err != nil {
+		return nil, err
+	}
 	n := len(order)
 	if n == 0 {
 		return &Result{Schedule: &sched.Schedule{Graph: g}}, nil

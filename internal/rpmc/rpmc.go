@@ -11,7 +11,9 @@ package rpmc
 
 import (
 	"errors"
+	"fmt"
 
+	"repro/internal/num"
 	"repro/internal/sdf"
 )
 
@@ -25,13 +27,31 @@ func Order(g *sdf.Graph, q sdf.Repetitions) ([]sdf.ActorID, error) {
 	for i := range all {
 		all[i] = sdf.ActorID(i)
 	}
-	p := &partitioner{g: g, q: q}
+	p, err := newPartitioner(g, q)
+	if err != nil {
+		return nil, err
+	}
 	return p.recurse(all)
+}
+
+func newPartitioner(g *sdf.Graph, q sdf.Repetitions) (*partitioner, error) {
+	p := &partitioner{g: g, q: q, tnse: make([]int64, g.NumEdges())}
+	for _, e := range g.Edges() {
+		t, err := sdf.TNSE(g, q, e.ID)
+		if err != nil {
+			return nil, err
+		}
+		p.tnse[e.ID] = t
+	}
+	return p, nil
 }
 
 type partitioner struct {
 	g *sdf.Graph
 	q sdf.Repetitions
+	// tnse[e] caches TNSE(e) so the cut search never recomputes (or re-checks)
+	// the product.
+	tnse []int64
 }
 
 func (p *partitioner) recurse(actors []sdf.ActorID) ([]sdf.ActorID, error) {
@@ -87,9 +107,13 @@ func (p *partitioner) minLegalCut(actors []sdf.ActorID) (left, right []sdf.Actor
 		if !inSet[e.Src] || !inSet[e.Dst] || e.Src == e.Dst {
 			continue
 		}
+		w, werr := num.CheckedAdd(p.tnse[e.ID], e.Delay)
+		if werr != nil {
+			return nil, nil, fmt.Errorf("rpmc: cut weight of edge %d overflows: %w", e.ID, num.ErrOverflow)
+		}
 		edges = append(edges, localEdge{
 			src: e.Src, dst: e.Dst,
-			w:    sdf.TNSE(p.g, p.q, e.ID) + e.Delay,
+			w:    w,
 			prec: sdf.PrecedenceEdge(p.g, p.q, e.ID),
 		})
 	}
@@ -230,13 +254,13 @@ func (p *partitioner) localTopo(actors []sdf.ActorID, inSet map[sdf.ActorID]bool
 		for _, eid := range p.g.In(a) {
 			e := p.g.Edge(eid)
 			if placed[e.Src] {
-				t += sdf.TNSE(p.g, p.q, eid)
+				t += p.tnse[eid]
 			}
 		}
 		for _, eid := range p.g.Out(a) {
 			e := p.g.Edge(eid)
 			if placed[e.Dst] {
-				t += sdf.TNSE(p.g, p.q, eid)
+				t += p.tnse[eid]
 			}
 		}
 		return t

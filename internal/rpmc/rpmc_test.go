@@ -59,7 +59,10 @@ func TestCutPrefersCheapEdge(t *testing.T) {
 	g.AddEdge(b, c, 1, 1, 0)
 	g.AddEdge(c, d, 10, 10, 0)
 	q, _ := g.Repetitions()
-	p := &partitioner{g: g, q: q}
+	p, err := newPartitioner(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	left, right, err := p.minLegalCut([]sdf.ActorID{a, b, c, d})
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +81,10 @@ func TestCutLegality(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 30; trial++ {
 		g, q := randomDAG(t, rng, 4+rng.Intn(8))
-		p := &partitioner{g: g, q: q}
+		p, err := newPartitioner(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
 		all := make([]sdf.ActorID, g.NumActors())
 		for i := range all {
 			all[i] = sdf.ActorID(i)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/num"
 	"repro/internal/sdf"
 )
 
@@ -82,10 +83,15 @@ func leafInto(buf []edgeAcc, g *sdf.Graph, n *Node) []edgeAcc {
 		if e.Dst == n.Actor {
 			continue // self loop, already summarized from the In list
 		}
+		// Rates are copied to locals before multiplying: the closed forms in
+		// this file deliberately use raw arithmetic (see the package doc on
+		// the final fold in SimulateLoopAware, where the results are
+		// overflow-checked against the edge delay).
+		prod := e.Prod
 		buf = append(buf, edgeAcc{
 			e:      eid,
-			net:    n.Count * e.Prod,
-			peak:   n.Count * e.Prod,
+			net:    n.Count * prod,
+			peak:   n.Count * prod,
 			trough: unobservedTrough,
 		})
 	}
@@ -336,15 +342,37 @@ func (s *Schedule) SimulateLoopAware() (*SimResult, error) {
 	}
 	for _, a := range acc {
 		e := g.Edge(a.e)
-		if a.trough != unobservedTrough && e.Delay+a.trough < 0 {
-			return nil, fmt.Errorf("sched: firing %s needs %d more tokens on edge %d (%s->%s)",
-				g.Actor(e.Dst).Name, -(e.Delay + a.trough), e.ID,
-				g.Actor(e.Src).Name, g.Actor(e.Dst).Name)
+		if a.trough != unobservedTrough {
+			lvl, err := num.CheckedAdd(e.Delay, a.trough)
+			if err != nil {
+				return nil, overflowEdge(g, e)
+			}
+			if lvl < 0 {
+				return nil, fmt.Errorf("sched: firing %s needs %d more tokens on edge %d (%s->%s)",
+					g.Actor(e.Dst).Name, -lvl, e.ID,
+					g.Actor(e.Src).Name, g.Actor(e.Dst).Name)
+			}
 		}
-		if a.peak != unobservedPeak && e.Delay+a.peak > res.MaxTokens[e.ID] {
-			res.MaxTokens[e.ID] = e.Delay + a.peak
+		if a.peak != unobservedPeak {
+			lvl, err := num.CheckedAdd(e.Delay, a.peak)
+			if err != nil {
+				return nil, overflowEdge(g, e)
+			}
+			if lvl > res.MaxTokens[e.ID] {
+				res.MaxTokens[e.ID] = lvl
+			}
 		}
-		res.FinalTokens[e.ID] = e.Delay + a.net
+		final, err := num.CheckedAdd(e.Delay, a.net)
+		if err != nil {
+			return nil, overflowEdge(g, e)
+		}
+		res.FinalTokens[e.ID] = final
 	}
 	return res, nil
+}
+
+// overflowEdge is the typed error for a token count exceeding int64 range.
+func overflowEdge(g *sdf.Graph, e sdf.Edge) error {
+	return fmt.Errorf("sched: token count on edge %d (%s->%s) overflows: %w",
+		e.ID, g.Actor(e.Src).Name, g.Actor(e.Dst).Name, num.ErrOverflow)
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"repro/internal/num"
 	"repro/internal/sdf"
 )
 
@@ -48,9 +49,14 @@ func (s *Schedule) SimulateByExpansion() (*SimResult, error) {
 		}
 		for _, eid := range g.Out(a) {
 			e := g.Edge(eid)
-			tokens[eid] += e.Prod
-			if tokens[eid] > maxTok[eid] {
-				maxTok[eid] = tokens[eid]
+			t, err := num.CheckedAdd(tokens[eid], e.Prod)
+			if err != nil {
+				failure = overflowEdge(g, e)
+				return false
+			}
+			tokens[eid] = t
+			if t > maxTok[eid] {
+				maxTok[eid] = t
 			}
 		}
 		firings[a]++
@@ -96,7 +102,13 @@ func (s *Schedule) BufMem() (int64, error) {
 	}
 	var total int64
 	for _, e := range s.Graph.Edges() {
-		total += res.MaxTokens[e.ID] * e.Words
+		words, err := num.CheckedMul(res.MaxTokens[e.ID], e.Words)
+		if err != nil {
+			return 0, overflowEdge(s.Graph, e)
+		}
+		if total, err = num.CheckedAdd(total, words); err != nil {
+			return 0, fmt.Errorf("sched: bufmem of %s overflows: %w", s, num.ErrOverflow)
+		}
 	}
 	return total, nil
 }

@@ -1,6 +1,15 @@
 package sdf
 
-import "repro/internal/num"
+import (
+	"fmt"
+
+	"repro/internal/num"
+)
+
+// overflowEdge wraps num.ErrOverflow with the edge whose bound overflowed.
+func overflowEdge(what string, e Edge) error {
+	return fmt.Errorf("sdf: %s of edge %d overflows: %w", what, e.ID, num.ErrOverflow)
+}
 
 // BMLBEdge returns the buffer memory lower bound for a single edge over all
 // valid single appearance schedules under the non-shared buffer model [3]:
@@ -9,14 +18,24 @@ import "repro/internal/num"
 //	BMLB(e) = eta + d   if d < eta
 //	          d         otherwise
 //
-// where d = del(e).
-func BMLBEdge(e Edge) int64 {
-	eta := e.Prod / num.GCD(e.Prod, e.Cons) * e.Cons
+// where d = del(e). The typed overflow error (wrapping num.ErrOverflow) is
+// returned when the bound itself exceeds int64.
+func BMLBEdge(e Edge) (int64, error) {
+	eta, err := num.CheckedMul(e.Prod/num.GCD(e.Prod, e.Cons), e.Cons)
+	if err != nil {
+		return 0, overflowEdge("BMLB", e)
+	}
 	bound := e.Delay
 	if e.Delay < eta {
-		bound = eta + e.Delay
+		if bound, err = num.CheckedAdd(eta, e.Delay); err != nil {
+			return 0, overflowEdge("BMLB", e)
+		}
 	}
-	return bound * wordsOf(e)
+	words, err := num.CheckedMul(bound, wordsOf(e))
+	if err != nil {
+		return 0, overflowEdge("BMLB", e)
+	}
+	return words, nil
 }
 
 // wordsOf returns the per-token footprint, treating unset (zero) as one
@@ -30,12 +49,18 @@ func wordsOf(e Edge) int64 {
 
 // BMLB returns the buffer memory lower bound of the whole graph: the sum of
 // BMLBEdge over all edges. It is the "bmlb" column of Table 1.
-func (g *Graph) BMLB() int64 {
+func (g *Graph) BMLB() (int64, error) {
 	var total int64
 	for _, e := range g.edges {
-		total += BMLBEdge(e)
+		b, err := BMLBEdge(e)
+		if err != nil {
+			return 0, err
+		}
+		if total, err = num.CheckedAdd(total, b); err != nil {
+			return 0, fmt.Errorf("sdf: graph BMLB overflows: %w", num.ErrOverflow)
+		}
 	}
-	return total
+	return total, nil
 }
 
 // MinBufferEdge returns the minimum buffer size required on edge e over all
@@ -46,23 +71,40 @@ func (g *Graph) BMLB() int64 {
 //	d                     otherwise
 //
 // with a = prd(e), b = cns(e), c = gcd(a, b), d = del(e).
-func MinBufferEdge(e Edge) int64 {
+func MinBufferEdge(e Edge) (int64, error) {
 	a, b, d := e.Prod, e.Cons, e.Delay
 	c := num.GCD(a, b)
-	bound := d
-	if d < a+b-c {
-		bound = a + b - c + d%c
+	abc, err := num.CheckedAdd(a, b)
+	if err != nil {
+		return 0, overflowEdge("min buffer bound", e)
 	}
-	return bound * wordsOf(e)
+	abc -= c // c <= min(a, b), so this cannot underflow
+	bound := d
+	if d < abc {
+		if bound, err = num.CheckedAdd(abc, d%c); err != nil {
+			return 0, overflowEdge("min buffer bound", e)
+		}
+	}
+	words, err := num.CheckedMul(bound, wordsOf(e))
+	if err != nil {
+		return 0, overflowEdge("min buffer bound", e)
+	}
+	return words, nil
 }
 
 // MinBufferAllSchedules sums MinBufferEdge over all edges: a lower bound on
 // non-shared buffering over every valid schedule, used in the dynamic
 // scheduling comparison of Sec. 11.1.3.
-func (g *Graph) MinBufferAllSchedules() int64 {
+func (g *Graph) MinBufferAllSchedules() (int64, error) {
 	var total int64
 	for _, e := range g.edges {
-		total += MinBufferEdge(e)
+		b, err := MinBufferEdge(e)
+		if err != nil {
+			return 0, err
+		}
+		if total, err = num.CheckedAdd(total, b); err != nil {
+			return 0, fmt.Errorf("sdf: min-buffer bound overflows: %w", num.ErrOverflow)
+		}
 	}
-	return total
+	return total, nil
 }

@@ -111,10 +111,18 @@ func TestRepetitionsNormalized(t *testing.T) {
 
 func TestTNSE(t *testing.T) {
 	g, q := fig1(t)
-	if got := TNSE(g, q, 0); got != 6 {
+	tnse := func(e EdgeID) int64 {
+		t.Helper()
+		v, err := TNSE(g, q, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := tnse(0); got != 6 {
 		t.Errorf("TNSE(AB) = %d, want 6", got)
 	}
-	if got := TNSE(g, q, 1); got != 6 {
+	if got := tnse(1); got != 6 {
 		t.Errorf("TNSE(BC) = %d, want 6", got)
 	}
 }
@@ -250,33 +258,47 @@ func TestIsChain(t *testing.T) {
 	}
 }
 
+// mustBound returns a closure that unwraps (int64, error) bound results,
+// failing the test on error; call as must(BMLBEdge(e)).
+func mustBound(t *testing.T) func(int64, error) int64 {
+	return func(v int64, err error) int64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+}
+
 func TestBMLB(t *testing.T) {
+	must := mustBound(t)
 	// Edge (2,3), no delay: eta = 6, BMLB = 6.
 	e := Edge{Prod: 2, Cons: 3}
-	if got := BMLBEdge(e); got != 6 {
+	if got := must(BMLBEdge(e)); got != 6 {
 		t.Errorf("BMLBEdge(2,3,0) = %d, want 6", got)
 	}
 	// With delay 2 < eta: 6+2 = 8.
 	e.Delay = 2
-	if got := BMLBEdge(e); got != 8 {
+	if got := must(BMLBEdge(e)); got != 8 {
 		t.Errorf("BMLBEdge(2,3,2) = %d, want 8", got)
 	}
 	// Delay >= eta dominates.
 	e.Delay = 9
-	if got := BMLBEdge(e); got != 9 {
+	if got := must(BMLBEdge(e)); got != 9 {
 		t.Errorf("BMLBEdge(2,3,9) = %d, want 9", got)
 	}
 }
 
 func TestMinBufferEdge(t *testing.T) {
+	must := mustBound(t)
 	// a=2, b=3, c=1, d=0: min over all schedules = a+b-c = 4 (< BMLB 6).
 	e := Edge{Prod: 2, Cons: 3}
-	if got := MinBufferEdge(e); got != 4 {
+	if got := must(MinBufferEdge(e)); got != 4 {
 		t.Errorf("MinBufferEdge(2,3,0) = %d, want 4", got)
 	}
 	// Large delay dominates.
 	e.Delay = 10
-	if got := MinBufferEdge(e); got != 10 {
+	if got := must(MinBufferEdge(e)); got != 10 {
 		t.Errorf("MinBufferEdge(2,3,10) = %d, want 10", got)
 	}
 }

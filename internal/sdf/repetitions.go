@@ -13,7 +13,9 @@ import (
 var ErrInconsistent = errors.New("sdf: graph is sample-rate inconsistent")
 
 // ErrOverflow reports that an exact integer computation exceeded int64 range.
-var ErrOverflow = errors.New("sdf: arithmetic overflow computing repetitions")
+// It wraps num.ErrOverflow, so errors.Is(err, num.ErrOverflow) classifies
+// every overflow in the pipeline regardless of which package detected it.
+var ErrOverflow = fmt.Errorf("sdf: arithmetic overflow computing repetitions: %w", num.ErrOverflow)
 
 // Repetitions is a repetitions vector q: the minimum positive number of
 // firings of each actor in one schedule period, indexed by ActorID.
@@ -46,20 +48,14 @@ func lcm64(a, b int64) (int64, error) {
 		return 0, nil
 	}
 	g := num.GCD(a, b)
-	q := a / g
-	if q != 0 && b > (1<<62)/q {
-		return 0, ErrOverflow
-	}
-	return q * b, nil
+	return mulCheck(a/g, b)
 }
 
-// mulCheck multiplies with overflow detection for non-negative operands.
+// mulCheck multiplies exactly, mapping num's overflow sentinel onto the
+// package-level ErrOverflow the callers of Repetitions test for.
 func mulCheck(a, b int64) (int64, error) {
-	if a == 0 || b == 0 {
-		return 0, nil
-	}
-	r := a * b
-	if r/b != a || r < 0 {
+	r, err := num.CheckedMul(a, b)
+	if err != nil {
 		return 0, ErrOverflow
 	}
 	return r, nil
@@ -171,10 +167,18 @@ func (g *Graph) Repetitions() (Repetitions, error) {
 }
 
 // TNSE returns the total number of samples exchanged on edge e in one
-// schedule period: prd(e) * q(src(e)).
-func TNSE(g *Graph, q Repetitions, e EdgeID) int64 {
+// schedule period: prd(e) * q(src(e)). On large multirate graphs the product
+// can exceed int64 even though the repetitions vector itself fits; the typed
+// overflow error (wrapping num.ErrOverflow) surfaces that instead of
+// silently wrapping.
+func TNSE(g *Graph, q Repetitions, e EdgeID) (int64, error) {
 	ed := g.Edge(e)
-	return ed.Prod * q[ed.Src]
+	t, err := num.CheckedMul(ed.Prod, q[ed.Src])
+	if err != nil {
+		return 0, fmt.Errorf("sdf: TNSE of edge %d (%s->%s) overflows: %w",
+			e, g.actors[ed.Src].Name, g.actors[ed.Dst].Name, num.ErrOverflow)
+	}
+	return t, nil
 }
 
 // Consistent reports whether the graph has a valid repetitions vector.

@@ -3,6 +3,8 @@ package sdf
 import (
 	"errors"
 	"math/rand"
+
+	"repro/internal/num"
 )
 
 // ErrCyclic reports that an operation requiring an acyclic graph was applied
@@ -15,7 +17,13 @@ var ErrCyclic = errors.New("sdf: graph has a cycle")
 // lexical positions of its endpoints (see Bhattacharyya et al. [3]).
 func PrecedenceEdge(g *Graph, q Repetitions, e EdgeID) bool {
 	ed := g.Edge(e)
-	return ed.Delay < ed.Cons*q[ed.Dst]
+	consumed, err := num.CheckedMul(ed.Cons, q[ed.Dst])
+	if err != nil {
+		// The true product exceeds MaxInt64 and therefore any delay, so the
+		// delay cannot cover a full period's consumption.
+		return true
+	}
+	return ed.Delay < consumed
 }
 
 // IsAcyclic reports whether the precedence graph (edges filtered by

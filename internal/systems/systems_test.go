@@ -95,7 +95,11 @@ func TestHomogeneousShape(t *testing.T) {
 		}
 	}
 	// Non-shared cost from the paper: M(N-1) + 2M.
-	if got, want := g.BMLB(), int64(m*(n-1)+2*m); got != want {
+	got, err := g.BMLB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(m*(n-1) + 2*m); got != want {
 		t.Errorf("BMLB = %d, want %d", got, want)
 	}
 }
