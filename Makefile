@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 bench bench-json fuzz-short
+.PHONY: all build vet lint test race race-full tier1 bench bench-json fuzz-short
 
 all: tier1
 
@@ -11,14 +11,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint is the static gate: the repo-specific analyzers (docs/LINTING.md),
+# go vet, and gofmt cleanliness.
+lint: vet
+	$(GO) run ./cmd/sdflint ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race -short ./...
 
+# race-full runs the concurrency-heavy packages under the race detector
+# without -short (parallel experiment driver, oracle, fuzz harness).
+race-full:
+	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/check/...
+
 # tier1 is the merge gate: everything must pass before a change lands.
-tier1: vet build test race
+tier1: lint build test race
 
 bench:
 	$(GO) test -bench=. -benchmem -short ./...

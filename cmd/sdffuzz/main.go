@@ -68,12 +68,12 @@ func main() {
 }
 
 type fuzzer struct {
-	rng       *rand.Rand
-	maxActors int
-	crashDir  string
-	verbose   bool
-	configs   []check.PipelineConfig
-	seen      map[string]bool // violation buckets already minimized
+	rng        *rand.Rand
+	maxActors  int
+	crashDir   string
+	verbose    bool
+	configs    []check.PipelineConfig
+	seen       map[string]bool // violation buckets already minimized
 	violations int
 	skipped    int
 }

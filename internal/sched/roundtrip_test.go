@@ -30,18 +30,18 @@ func TestRoundTripCanonical(t *testing.T) {
 	}{
 		{"A", "A"},
 		{"AB", "AB"},
-		{" A \tB\nC ", "ABC"},                         // whitespace is ignored
-		{"(1A)", "A"},                                 // unit counts vanish
+		{" A \tB\nC ", "ABC"}, // whitespace is ignored
+		{"(1A)", "A"},         // unit counts vanish
 		{"(3A)", "(3A)"},
-		{"3A", "(3A)"},                                // inline count binds to the name
+		{"3A", "(3A)"}, // inline count binds to the name
 		{"(3A)(6B)(2C)", "(3A)(6B)(2C)"},
 		{"(3A(2B))(2C)", "(3A(2B))(2C)"},
-		{"(3(A(2B)))(2C)", "(3A(2B))(2C)"},            // singleton group folds into its child
-		{"(1(1(1A)))", "A"},                           // nested unit loops collapse
+		{"(3(A(2B)))(2C)", "(3A(2B))(2C)"}, // singleton group folds into its child
+		{"(1(1(1A)))", "A"},                // nested unit loops collapse
 		{"(2(3B)(5C))(7A)", "(2(3B)(5C))(7A)"},
-		{"(2(2(2(2A))))", "(2(2(2(2A))))"},            // deep nesting survives verbatim
-		{"10(AB)", "(10AB)"},                          // inline count absorbs the group
-		{"(10(ABC))(DEF)", "(10ABC)(DEF)"},            // singleton bodies fold away
+		{"(2(2(2(2A))))", "(2(2(2(2A))))"}, // deep nesting survives verbatim
+		{"10(AB)", "(10AB)"},               // inline count absorbs the group
+		{"(10(ABC))(DEF)", "(10ABC)(DEF)"}, // singleton bodies fold away
 	}
 	for _, tc := range cases {
 		t.Run(tc.in, func(t *testing.T) {
@@ -109,8 +109,8 @@ func TestParseErrorMessages(t *testing.T) {
 		{"3A)", "unbalanced"},
 		{"(3X)", "unknown actor"},
 		{"()", "empty"},
-		{"3", "count"},                     // dangling count with nothing to bind
-		{"(0A)", "count"},                  // zero loop count is invalid
+		{"3", "count"},                          // dangling count with nothing to bind
+		{"(0A)", "count"},                       // zero loop count is invalid
 		{"99999999999999999999A", "bad number"}, // overflows int64
 	}
 	g := lettersGraph(t, "ABC")
