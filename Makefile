@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race race-full tier1 bench bench-json fuzz-short
+.PHONY: all build vet lint test race race-full race-service tier1 bench bench-json fuzz-short serve
 
 all: tier1
 
@@ -30,6 +30,15 @@ race:
 # without -short (parallel experiment driver, oracle, fuzz harness).
 race-full:
 	$(GO) test -race ./internal/par/... ./internal/experiments/... ./internal/check/...
+
+# race-service exercises the sdfd daemon stack (singleflight, cache,
+# admission pool) under the race detector.
+race-service:
+	$(GO) test -race -count=2 ./internal/service/...
+
+# serve runs the compilation daemon on its default port.
+serve:
+	$(GO) run ./cmd/sdfd
 
 # tier1 is the merge gate: everything must pass before a change lands.
 tier1: lint build test race

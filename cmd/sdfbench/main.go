@@ -61,6 +61,9 @@ type benchReport struct {
 	// AllocFirstFitNS times first-fit allocation on a 150-actor random
 	// graph's lifetime intervals.
 	AllocFirstFitNS int64 `json:"alloc_first_fit_ns,omitempty"`
+	// Service benchmarks the sdfd daemon over a loopback listener: cold vs
+	// warm compile latency per system and warm requests/sec at saturation.
+	Service *benchService `json:"service,omitempty"`
 }
 
 type benchPhase struct {
@@ -354,6 +357,12 @@ func writeBenchFile(report *benchReport, path string, quick bool) error {
 	report.AllocFirstFitNS = timeNsPerOp(microBudget, func() {
 		alloc.Allocate(res.Intervals, alloc.FirstFitDuration)
 	})
+
+	svc, err := benchServiceSection(quick)
+	if err != nil {
+		return err
+	}
+	report.Service = svc
 
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))

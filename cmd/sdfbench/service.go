@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+	"repro/internal/service"
+	"repro/internal/systems"
+)
+
+// benchService is the sdfd daemon micro-section of the trajectory file:
+// cold (pipeline) versus warm (cache hit) compile latency per system, and
+// sustained request throughput with the cache hot and every client slot
+// busy.
+type benchService struct {
+	Systems []benchServiceSystem `json:"systems"`
+	// SaturationRPS is warm requests/sec with SaturationClients concurrent
+	// clients hammering one digest.
+	SaturationRPS      float64 `json:"saturation_rps"`
+	SaturationClients  int     `json:"saturation_clients"`
+	SaturationRequests int64   `json:"saturation_requests"`
+}
+
+type benchServiceSystem struct {
+	System string `json:"system"`
+	ColdNS int64  `json:"cold_ns"`
+	WarmNS int64  `json:"warm_ns"`
+}
+
+// benchServiceSection runs the service benchmarks against an in-process
+// sdfd over a loopback HTTP listener, so the numbers include the real JSON
+// and HTTP overhead a deployment pays but no scheduling noise from a
+// separate process.
+func benchServiceSection(quick bool) (*benchService, error) {
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	client := &service.Client{BaseURL: ts.URL}
+
+	budget := 100 * time.Millisecond
+	saturation := 500 * time.Millisecond
+	clients := 16
+	if quick {
+		budget = 10 * time.Millisecond
+		saturation = 50 * time.Millisecond
+		clients = 4
+	}
+
+	out := &benchService{SaturationClients: clients}
+	var warmReq service.CompileRequest
+	for _, g := range []benchServiceGraph{
+		{"cddat", systems.CDDAT()},
+		{"satrec", systems.SatelliteReceiver()},
+		{"homog4x4", systems.Homogeneous(4, 4)},
+	} {
+		text, err := sdfio.CanonicalString(g.graph)
+		if err != nil {
+			return nil, err
+		}
+		req := service.CompileRequest{Graph: text}
+		// Cold: first request for this digest runs the pipeline.
+		start := time.Now()
+		if _, err := client.Compile(req, false); err != nil {
+			return nil, fmt.Errorf("cold compile %s: %w", g.name, err)
+		}
+		cold := time.Since(start).Nanoseconds()
+		// Warm: every further request is a cache hit.
+		warm := timeNsPerOp(budget, func() {
+			if _, err := client.Compile(req, false); err != nil {
+				panic(err)
+			}
+		})
+		out.Systems = append(out.Systems, benchServiceSystem{System: g.name, ColdNS: cold, WarmNS: warm})
+		warmReq = req
+	}
+
+	// Saturation: concurrent clients re-requesting a hot digest for a fixed
+	// wall budget. Counts only completed requests.
+	var done atomic.Int64
+	deadline := time.Now().Add(saturation)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, err := client.Compile(warmReq, false); err != nil {
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	out.SaturationRequests = done.Load()
+	if elapsed > 0 {
+		out.SaturationRPS = float64(done.Load()) / elapsed.Seconds()
+	}
+	return out, nil
+}
+
+type benchServiceGraph struct {
+	name  string
+	graph *sdf.Graph
+}

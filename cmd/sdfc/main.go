@@ -9,9 +9,15 @@
 //	sdfc -system satrec
 //	sdfc -graph mygraph.sdf -strategy apgan -looping dppo
 //	sdfc -system cddat -emit-c out.c
+//	sdfc -system cddat -server localhost:8347
+//
+// With -server ADDR the compilation is delegated to a running sdfd daemon
+// (start one with `sdfd` or `make serve`), which caches artifacts by
+// content address so repeated compilations of the same graph are free.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,26 +31,31 @@ import (
 	"repro/internal/regularity"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
+	"repro/internal/service"
 	"repro/internal/systems"
 )
 
 func main() {
+	fs := flag.NewFlagSet("sdfc", flag.ContinueOnError)
 	var (
-		graphFile = flag.String("graph", "", "path to a .sdf graph file")
-		system    = flag.String("system", "", "built-in benchmark system name (see -list)")
-		list      = flag.Bool("list", false, "list built-in systems and exit")
-		strategy  = flag.String("strategy", "rpmc", "lexical order strategy: rpmc | apgan")
-		loopingF  = flag.String("looping", "sdppo", "loop hierarchy: sdppo | dppo | chain | flat")
-		allocF    = flag.String("alloc", "ffdur,ffstart", "comma-separated allocators: ffdur | ffstart | bfdur")
-		emitC     = flag.String("emit-c", "", "write generated C implementation to this file")
-		emitVHDL  = flag.String("emit-vhdl", "", "write generated behavioral VHDL to this file")
-		verify    = flag.Bool("verify", true, "run the token-level shared-memory simulator")
-		doMerge   = flag.Bool("merge", false, "apply the Sec. 12 buffer-merging extension")
-		chart     = flag.Bool("chart", false, "print the buffer lifetime chart and memory map")
-		dotOut    = flag.String("dot", "", "write the graph in Graphviz DOT form to this file")
-		quiet     = flag.Bool("q", false, "print only the final metrics line")
+		graphFile = fs.String("graph", "", "path to a .sdf graph file")
+		system    = fs.String("system", "", "built-in benchmark system name (see -list)")
+		list      = fs.Bool("list", false, "list built-in systems and exit")
+		strategy  = fs.String("strategy", "rpmc", "lexical order strategy: rpmc | apgan")
+		loopingF  = fs.String("looping", "sdppo", "loop hierarchy: sdppo | dppo | chain | flat")
+		allocF    = fs.String("alloc", "ffdur,ffstart", "comma-separated allocators: ffdur | ffstart | bfdur")
+		emitC     = fs.String("emit-c", "", "write generated C implementation to this file")
+		emitVHDL  = fs.String("emit-vhdl", "", "write generated behavioral VHDL to this file")
+		verify    = fs.Bool("verify", true, "run the token-level shared-memory simulator")
+		doMerge   = fs.Bool("merge", false, "apply the Sec. 12 buffer-merging extension")
+		chart     = fs.Bool("chart", false, "print the buffer lifetime chart and memory map")
+		dotOut    = fs.String("dot", "", "write the graph in Graphviz DOT form to this file")
+		quiet     = fs.Bool("q", false, "print only the final metrics line")
+		server    = fs.String("server", "", "delegate compilation to an sdfd daemon at this address (e.g. localhost:8347)")
 	)
-	flag.Parse()
+	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+		os.Exit(code)
+	}
 
 	if *list {
 		names := builtinNames()
@@ -54,6 +65,21 @@ func main() {
 	g, err := loadGraph(*graphFile, *system)
 	if err != nil {
 		fatal(err)
+	}
+	if *server != "" {
+		if *chart || *dotOut != "" {
+			fatal(fmt.Errorf("-chart and -dot are local-only; drop them or drop -server"))
+		}
+		runRemote(*server, g, service.CompileOptions{
+			Strategy:   *strategy,
+			Looping:    *loopingF,
+			Allocators: splitAllocators(*allocF),
+			Verify:     *verify,
+			Merging:    *doMerge,
+			EmitC:      *emitC != "",
+			EmitVHDL:   *emitVHDL != "",
+		}, *emitC, *emitVHDL, *quiet)
+		return
 	}
 	opts := core.Options{Verify: *verify, Merging: *doMerge}
 	switch *strategy {
@@ -76,15 +102,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown looping %q", *loopingF))
 	}
-	for _, a := range strings.Split(*allocF, ",") {
-		switch strings.TrimSpace(a) {
+	for _, a := range splitAllocators(*allocF) {
+		switch a {
 		case "ffdur":
 			opts.Allocators = append(opts.Allocators, alloc.FirstFitDuration)
 		case "ffstart":
 			opts.Allocators = append(opts.Allocators, alloc.FirstFitStart)
 		case "bfdur":
 			opts.Allocators = append(opts.Allocators, alloc.BestFitDuration)
-		case "":
 		default:
 			fatal(fmt.Errorf("unknown allocator %q", a))
 		}
@@ -152,6 +177,77 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *emitVHDL, len(src))
+	}
+}
+
+// splitAllocators turns the -alloc flag value into a clean name list.
+func splitAllocators(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runRemote delegates the compilation to an sdfd daemon and prints the same
+// summary the local path does, reconstructed from the JSON artifact.
+func runRemote(addr string, g *sdf.Graph, opts service.CompileOptions, emitC, emitVHDL string, quiet bool) {
+	text, err := sdfio.CanonicalString(g)
+	if err != nil {
+		fatal(err)
+	}
+	client := &service.Client{BaseURL: addr}
+	resp, err := client.Compile(service.CompileRequest{Graph: text, Options: opts}, false)
+	if err != nil {
+		fatal(err)
+	}
+	var art service.Artifact
+	if err := json.Unmarshal(resp.Artifact, &art); err != nil {
+		fatal(fmt.Errorf("decoding artifact: %w", err))
+	}
+	if !quiet {
+		fmt.Printf("graph      : %s (%d actors, %d edges)\n", art.Graph, art.Actors, art.Edges)
+		fmt.Printf("order      : %s + %s\n", art.Options.Strategy, art.Options.Looping)
+		fmt.Printf("schedule   : %s\n", art.Schedule)
+		fmt.Printf("bmlb       : %d\n", art.Metrics.BMLB)
+		fmt.Printf("non-shared : %d  (bufmem of this schedule, EQ 1)\n", art.Metrics.NonSharedBufMem)
+		fmt.Printf("dp estimate: %d\n", art.Metrics.DPCost)
+		fmt.Printf("mco / mcp  : %d / %d\n", art.Metrics.MCO, art.Metrics.MCP)
+		for _, a := range art.Allocations {
+			fmt.Printf("alloc %-7s: %d\n", a.Allocator, a.Total)
+		}
+		cached := "compiled"
+		if resp.Cached {
+			cached = "cache hit"
+		} else if resp.Coalesced {
+			cached = "coalesced"
+		}
+		fmt.Printf("server     : %s, %s, digest %s\n", addr, cached, resp.Digest)
+	}
+	impr := 0.0
+	if art.Metrics.NonSharedBufMem > 0 {
+		impr = 100 * float64(art.Metrics.NonSharedBufMem-art.Metrics.SharedTotal) /
+			float64(art.Metrics.NonSharedBufMem)
+	}
+	fmt.Printf("shared memory: %d cells (%s), %.1f%% below non-shared\n",
+		art.Metrics.SharedTotal, art.Best, impr)
+	if opts.Merging && art.Metrics.Merges > 0 {
+		fmt.Printf("with merging : %d cells (%d buffer pairs folded)\n",
+			art.Metrics.MergedTotal, art.Metrics.Merges)
+	}
+	if emitC != "" {
+		if err := os.WriteFile(emitC, []byte(art.C), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", emitC, len(art.C))
+	}
+	if emitVHDL != "" {
+		if err := os.WriteFile(emitVHDL, []byte(art.VHDL), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", emitVHDL, len(art.VHDL))
 	}
 }
 

@@ -1,0 +1,93 @@
+// Command sdfd serves the SDF shared-memory synthesis pipeline over HTTP.
+//
+// It is a long-running daemon wrapping the same compilation pipeline as
+// sdfc: POST an .sdf program to /v1/compile and receive the schedule,
+// allocation table, buffer-memory statistics, and (optionally) generated
+// C/VHDL as a JSON artifact. Identical requests are collapsed onto one
+// pipeline run and served from a content-addressed cache; see
+// docs/SERVICE.md for the API and cache semantics.
+//
+// Usage:
+//
+//	sdfd [-addr :8347] [-workers N] [-queue N] [-cache-mb N]
+//	     [-request-timeout D] [-compile-timeout D] [-max-request-kb N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sdfd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8347", "listen address")
+	workers := fs.Int("workers", 0, "compile worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+	cacheMB := fs.Int64("cache-mb", 64, "artifact cache budget in MiB (negative disables)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	compTimeout := fs.Duration("compile-timeout", 60*time.Second, "per-pipeline-run deadline")
+	maxKB := fs.Int64("max-request-kb", 1024, "request body limit in KiB")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
+	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+		os.Exit(code)
+	}
+
+	cacheBudget := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBudget = -1
+	}
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBudget:     cacheBudget,
+		RequestTimeout:  *reqTimeout,
+		CompileTimeout:  *compTimeout,
+		MaxRequestBytes: *maxKB << 10,
+		RetryAfter:      *retryAfter,
+	})
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Generous versus RequestTimeout: the handler enforces the real
+		// deadline; these only bound pathological slow-loris clients.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sdfd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sdfd: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "sdfd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "sdfd: shutdown: %v\n", err)
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "sdfd: %v\n", err)
+		os.Exit(1)
+	}
+}

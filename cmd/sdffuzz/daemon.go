@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+	"repro/internal/service"
+)
+
+// daemonReplay drives the crasher corpus (plus n fresh random graphs) through
+// a running sdfd daemon and asserts, for every (graph, configuration) pair,
+// that the daemon's artifact bytes are identical to what the in-process
+// pipeline produces. Both sides render through service.CompileArtifact, so
+// any divergence means the daemon cache or singleflight layer corrupted a
+// result — exactly the bug class a differential fuzzer is for.
+//
+// Returns the number of divergences found.
+func daemonReplay(addr string, f *fuzzer, n int) int {
+	client := &service.Client{BaseURL: addr}
+	if err := client.Healthz(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdffuzz: daemon %s unreachable: %v\n", addr, err)
+		return 1
+	}
+	graphs := corpusGraphs(f.crashDir)
+	fmt.Printf("sdffuzz: replaying %d corpus graphs + %d random graphs against %s\n",
+		len(graphs), n, addr)
+	for i := 0; i < n; i++ {
+		graphs = append(graphs, f.randomGraph())
+	}
+
+	opts := wireConfigs(f.configs)
+	divergences, skipped, compared := 0, 0, 0
+	for _, g := range graphs {
+		for _, o := range opts {
+			switch ok, skip, err := compareOnce(client, g, o); {
+			case err != nil:
+				divergences++
+				fmt.Fprintf(os.Stderr, "sdffuzz: DIVERGENCE [%s+%s] on %s: %v\n",
+					o.Strategy, o.Looping, g.Name, err)
+			case skip:
+				skipped++
+			case ok:
+				compared++
+			}
+		}
+	}
+	fmt.Printf("sdffuzz: %d comparisons identical, %d overflow skips, %d divergences\n",
+		compared, skipped, divergences)
+	return divergences
+}
+
+// corpusGraphs loads every .sdf reproducer in the crasher directory, sorted
+// by name for a deterministic replay order.
+func corpusGraphs(dir string) []*sdf.Graph {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".sdf") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var graphs []*sdf.Graph
+	for _, name := range names {
+		fh, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdffuzz: %v\n", err)
+			continue
+		}
+		g, err := sdfio.Parse(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdffuzz: %s: %v\n", name, err)
+			continue
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs
+}
+
+// wireConfigs translates the oracle grid into wire options via the canonical
+// spelling functions, so the replay sweeps exactly the configurations the
+// offline fuzzer does.
+func wireConfigs(configs []check.PipelineConfig) []service.CompileOptions {
+	var out []service.CompileOptions
+	for _, cfg := range configs {
+		strat, err := service.StrategyName(cfg.Strategy)
+		if err != nil {
+			continue // custom orders are library-only
+		}
+		looping, err := service.LoopingName(cfg.Looping)
+		if err != nil {
+			continue
+		}
+		var allocators []string
+		for _, a := range cfg.Allocators {
+			name, err := service.AllocatorName(a)
+			if err != nil {
+				continue
+			}
+			allocators = append(allocators, name)
+		}
+		out = append(out, service.CompileOptions{
+			Strategy: strat, Looping: looping, Allocators: allocators,
+		})
+	}
+	return out
+}
+
+// compareOnce compiles g under o both in-process and via the daemon and
+// compares outcomes. ok reports a byte-identical success pair, skip an
+// agreed-on failure (overflow on extreme random rates shows up on both
+// sides); err is a divergence: exactly one side failed, or bytes differ.
+func compareOnce(client *service.Client, g *sdf.Graph, o service.CompileOptions) (ok, skip bool, err error) {
+	// Round-trip through the canonical text so both sides compile the
+	// graph the daemon actually parses.
+	text, err := sdfio.CanonicalString(g)
+	if err != nil {
+		return false, true, nil // unservable graph (e.g. zero edges)
+	}
+	local, err := sdfio.Parse(strings.NewReader(text))
+	if err != nil {
+		return false, false, fmt.Errorf("canonical text does not re-parse: %w", err)
+	}
+	want, _, localErr := service.CompileArtifact(local, o)
+	resp, remoteErr := client.Compile(service.CompileRequest{Graph: text, Options: o}, false)
+	switch {
+	case localErr != nil && remoteErr != nil:
+		return false, true, nil
+	case localErr != nil:
+		return false, false, fmt.Errorf("daemon succeeded where local pipeline failed: %v", localErr)
+	case remoteErr != nil:
+		return false, false, fmt.Errorf("daemon failed where local pipeline succeeded: %v", remoteErr)
+	case string(want) != string(resp.Artifact):
+		return false, false, fmt.Errorf("artifact bytes differ (digest %s)", resp.Digest)
+	}
+	return true, false, nil
+}
+
+// newReplayFuzzer builds the fuzzer state daemonReplay needs without the
+// crash-reporting machinery.
+func newReplayFuzzer(seed int64, maxActors int, crashDir string) *fuzzer {
+	return &fuzzer{
+		rng:       rand.New(rand.NewSource(seed)),
+		maxActors: maxActors,
+		crashDir:  crashDir,
+		configs:   check.PipelineConfigs(),
+		seen:      make(map[string]bool),
+	}
+}

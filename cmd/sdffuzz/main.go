@@ -8,6 +8,11 @@
 //
 //	sdffuzz -n 500 -seed 1          # 500 graphs through the full grid
 //	sdffuzz -repro testdata/crashers/crasher-xyz.sdf
+//	sdffuzz -daemon localhost:8347  # differential replay against sdfd
+//
+// With -daemon ADDR the fuzzer replays the crasher corpus plus -n random
+// graphs against a running sdfd daemon and asserts the daemon's artifact
+// bytes match the in-process pipeline for every configuration.
 //
 // Exit status: 0 when every graph passes the oracle under every
 // configuration, 1 when violations were found, 2 on flag errors.
@@ -40,6 +45,7 @@ func main() {
 		maxActors = fs.Int("actors", 10, "maximum actors per generated graph")
 		crashDir  = fs.String("crashers", filepath.Join("testdata", "crashers"), "directory for minimized reproducers")
 		repro     = fs.String("repro", "", "re-run the oracle grid on one .sdf reproducer and exit")
+		daemon    = fs.String("daemon", "", "replay corpus + random graphs against an sdfd daemon at this address")
 		verbose   = fs.Bool("v", false, "log every generated graph")
 	)
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
@@ -48,6 +54,12 @@ func main() {
 
 	if *repro != "" {
 		os.Exit(reproduce(*repro))
+	}
+	if *daemon != "" {
+		if daemonReplay(*daemon, newReplayFuzzer(*seed, *maxActors, *crashDir), *n) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	f := &fuzzer{

@@ -13,6 +13,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/randsdf"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
@@ -20,13 +21,16 @@ import (
 )
 
 func main() {
+	fs := flag.NewFlagSet("sdfgen", flag.ContinueOnError)
 	var (
-		system = flag.String("system", "", "built-in system name (see -list)")
-		list   = flag.Bool("list", false, "list built-in systems and exit")
-		random = flag.Int("random", 0, "generate a random graph with this many actors")
-		seed   = flag.Int64("seed", 1, "seed for -random")
+		system = fs.String("system", "", "built-in system name (see -list)")
+		list   = fs.Bool("list", false, "list built-in systems and exit")
+		random = fs.Int("random", 0, "generate a random graph with this many actors")
+		seed   = fs.Int64("seed", 1, "seed for -random")
 	)
-	flag.Parse()
+	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
+		os.Exit(code)
+	}
 
 	all := map[string]*sdf.Graph{}
 	for _, g := range systems.Table1Systems() {

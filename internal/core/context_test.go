@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+func chainGraph() *sdf.Graph {
+	g := sdf.New("ctxchain")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	c := g.AddActor("C")
+	g.AddEdge(a, b, 3, 2, 0)
+	g.AddEdge(b, c, 5, 7, 0)
+	return g
+}
+
+func TestCompileContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileContext(ctx, chainGraph(), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled compile returned %v, want context.Canceled", err)
+	}
+}
+
+func TestCompileContextMidPipelineCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{OnStage: func(stage string) {
+		if stage == StageAlloc {
+			cancel()
+		}
+	}}
+	// The hook fires at the start of the alloc stage, so the very next
+	// stage boundary must observe the cancellation.
+	opts.Verify = true
+	if _, err := CompileContext(ctx, chainGraph(), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-pipeline cancel returned %v, want context.Canceled", err)
+	}
+}
+
+func TestCompileContextStageSequence(t *testing.T) {
+	var stages []string
+	opts := Options{
+		Verify:  true,
+		Merging: true,
+		OnStage: func(stage string) { stages = append(stages, stage) },
+	}
+	if _, err := CompileContext(context.Background(), chainGraph(), opts); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{StageSchedule, StageLoopDP, StageLifetime, StageAlloc, StageVerify, StageMerge, StageDone}
+	if len(stages) != len(want) {
+		t.Fatalf("stage sequence %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stage sequence %v, want %v", stages, want)
+		}
+	}
+}
+
+func TestCompileGeneralContextCyclicStages(t *testing.T) {
+	// A two-actor feedback pair with enough delay to be schedulable.
+	g := sdf.New("ctxcycle")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 1)
+	var stages []string
+	opts := Options{Verify: true, OnStage: func(stage string) { stages = append(stages, stage) }}
+	if _, err := CompileGeneralContext(context.Background(), g, opts); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{StageSchedule, StageLoopDP, StageLifetime, StageAlloc, StageVerify, StageDone}
+	if len(stages) != len(want) {
+		t.Fatalf("cyclic stage sequence %v, want %v", stages, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileGeneralContext(ctx, g, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled cyclic compile returned %v, want context.Canceled", err)
+	}
+}

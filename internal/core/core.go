@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -109,6 +110,13 @@ type Options struct {
 	// inputs (merge.Overlap); nil treats every actor as consume-before-
 	// produce.
 	MergePolicy func(sdf.ActorID) merge.Policy
+	// OnStage, when non-nil, is invoked at the start of every pipeline
+	// stage (the Stage* constants, in order) and once with StageDone when
+	// compilation succeeds. The hook lets callers attribute wall time to
+	// stages without putting clock reads inside the deterministic core:
+	// sdfd times the interval between consecutive calls. The hook must not
+	// influence compilation — it sees stage names only.
+	OnStage func(stage string)
 }
 
 // Result is the outcome of a compilation.
@@ -152,14 +160,58 @@ type Metrics struct {
 	BMLB int64
 }
 
+// Pipeline stage names reported through Options.OnStage and used in
+// deadline-exceeded errors. They follow the Fig. 21 flow: the schedule stage
+// covers the repetitions vector and the topological sort, loopdp is the
+// loop-hierarchy DP, then lifetime extraction and storage allocation;
+// verify and merge fire only when the corresponding option is set.
+const (
+	StageSchedule = "schedule"
+	StageLoopDP   = "loopdp"
+	StageLifetime = "lifetime"
+	StageAlloc    = "alloc"
+	StageVerify   = "verify"
+	StageMerge    = "merge"
+	StageDone     = "done"
+)
+
 // Compile runs the full flow on a consistent SDF graph.
 func Compile(g *sdf.Graph, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), g, opts)
+}
+
+// stageStart is the per-stage checkpoint of the context-aware entry points:
+// it aborts promptly once ctx is cancelled or past its deadline (wrapping
+// the context error so callers can errors.Is on it) and notifies the
+// OnStage hook. Cancellation is checked between stages, not inside them —
+// the individual algorithms stay pure functions with no context plumbing.
+func stageStart(ctx context.Context, opts Options, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: aborted before %s stage: %w", stage, err)
+	}
+	if opts.OnStage != nil {
+		opts.OnStage(stage)
+	}
+	return nil
+}
+
+// CompileContext is Compile with cooperative cancellation: the deadline or
+// cancellation of ctx is observed at every stage boundary, and the OnStage
+// hook (if any) sees each stage begin. A cancelled compilation returns an
+// error wrapping ctx.Err() and no Result.
+func CompileContext(ctx context.Context, g *sdf.Graph, opts Options) (*Result, error) {
+	if err := stageStart(ctx, opts, StageSchedule); err != nil {
+		return nil, err
+	}
 	q, err := g.Repetitions()
 	if err != nil {
 		return nil, err
 	}
 	order, err := makeOrder(g, q, opts)
 	if err != nil {
+		return nil, err
+	}
+	if err := stageStart(ctx, opts, StageLoopDP); err != nil {
 		return nil, err
 	}
 	s, dpCost, err := makeLoops(g, q, order, opts.Looping)
@@ -169,12 +221,18 @@ func Compile(g *sdf.Graph, opts Options) (*Result, error) {
 	if err := s.Validate(q); err != nil {
 		return nil, fmt.Errorf("core: generated schedule %s is invalid: %w", s, err)
 	}
+	if err := stageStart(ctx, opts, StageLifetime); err != nil {
+		return nil, err
+	}
 	tree, err := schedtree.FromSchedule(s)
 	if err != nil {
 		return nil, err
 	}
 	intervals, err := tree.Lifetimes(q)
 	if err != nil {
+		return nil, err
+	}
+	if err := stageStart(ctx, opts, StageAlloc); err != nil {
 		return nil, err
 	}
 	allocators := opts.Allocators
@@ -219,6 +277,9 @@ func Compile(g *sdf.Graph, opts Options) (*Result, error) {
 	res.Metrics.NonSharedBufMem = bm
 
 	if opts.Verify {
+		if err := stageStart(ctx, opts, StageVerify); err != nil {
+			return nil, err
+		}
 		periods := opts.VerifyPeriods
 		if periods <= 0 {
 			periods = 2
@@ -230,12 +291,18 @@ func Compile(g *sdf.Graph, opts Options) (*Result, error) {
 
 	res.Metrics.MergedTotal = res.Metrics.SharedTotal
 	if opts.Merging {
+		if err := stageStart(ctx, opts, StageMerge); err != nil {
+			return nil, err
+		}
 		total, merges, err := applyMerging(res, opts, allocators)
 		if err != nil {
 			return nil, err
 		}
 		res.Metrics.MergedTotal = total
 		res.Metrics.Merges = merges
+	}
+	if err := stageStart(ctx, opts, StageDone); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

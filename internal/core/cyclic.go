@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -33,12 +34,25 @@ import (
 // cyclic graphs are generally not single appearance (the paper's SAS theory
 // applies to the acyclic condensation).
 func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
+	return CompileGeneralContext(context.Background(), g, opts)
+}
+
+// CompileGeneralContext is CompileGeneral with cooperative cancellation, on
+// the same contract as CompileContext: ctx is checked at stage boundaries
+// (and between per-component demand-driven scheduling runs on the cyclic
+// path), and the OnStage hook sees the coarse stage sequence. On the cyclic
+// path the condensation's internal sub-compilation reports no stages of its
+// own; the outer call attributes its work to the schedule stage.
+func CompileGeneralContext(ctx context.Context, g *sdf.Graph, opts Options) (*Result, error) {
 	q, err := g.Repetitions()
 	if err != nil {
 		return nil, err
 	}
 	if g.IsAcyclic(q) {
-		return Compile(g, opts)
+		return CompileContext(ctx, g, opts)
+	}
+	if err := stageStart(ctx, opts, StageSchedule); err != nil {
+		return nil, err
 	}
 	if opts.Strategy == CustomOrder {
 		return nil, fmt.Errorf("core: custom lexical orders are defined over actors, not over the SCC condensation; use APGAN or RPMC for cyclic graphs")
@@ -92,20 +106,28 @@ func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
 	}
 
 	// Compile the acyclic condensation; verification happens below on the
-	// expanded schedule instead.
+	// expanded schedule instead. The sub-compilation shares ctx but keeps
+	// its stage reporting quiet — this outer call owns the stage sequence.
 	sub := opts
 	sub.Verify = false
-	condRes, err := Compile(cond, sub)
+	sub.OnStage = nil
+	condRes, err := CompileContext(ctx, cond, sub)
 	if err != nil {
 		return nil, fmt.Errorf("core: condensation: %w", err)
 	}
 
 	// Internal schedules for nontrivial components.
+	if err := stageStart(ctx, opts, StageLoopDP); err != nil {
+		return nil, err
+	}
 	bodies := make([][]*sched.Node, len(sccs))
 	for ci, comp := range sccs {
 		if len(comp) == 1 {
 			bodies[ci] = []*sched.Node{sched.Leaf(1, comp[0])}
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: aborted scheduling component %d: %w", ci, err)
 		}
 		subG, back := g.Subgraph(comp)
 		ql := make(sdf.Repetitions, subG.NumActors())
@@ -142,6 +164,9 @@ func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
 	// Intervals per original edge: inter-component edges inherit the
 	// condensed lifetimes; intra-component edges become dedicated
 	// whole-period buffers sized at their simulated peak.
+	if err := stageStart(ctx, opts, StageLifetime); err != nil {
+		return nil, err
+	}
 	intervals := make([]*lifetime.Interval, g.NumEdges())
 	totalDur := condRes.Tree.TotalDur
 	for _, e := range g.Edges() {
@@ -161,6 +186,9 @@ func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
 		}
 	}
 
+	if err := stageStart(ctx, opts, StageAlloc); err != nil {
+		return nil, err
+	}
 	allocators := opts.Allocators
 	if len(allocators) == 0 {
 		allocators = []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart}
@@ -205,6 +233,9 @@ func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
 	res.Metrics.NonSharedBufMem = bm
 
 	if opts.Verify {
+		if err := stageStart(ctx, opts, StageVerify); err != nil {
+			return nil, err
+		}
 		periods := opts.VerifyPeriods
 		if periods <= 0 {
 			periods = 2
@@ -212,6 +243,9 @@ func CompileGeneral(g *sdf.Graph, opts Options) (*Result, error) {
 		if err := sim.Run(full, q, intervals, res.Best, periods); err != nil {
 			return nil, fmt.Errorf("core: cyclic verification failed: %w", err)
 		}
+	}
+	if err := stageStart(ctx, opts, StageDone); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -17,7 +17,7 @@ var BannedCall = &Analyzer{
 	Doc:  "no ambient time/env/global-rand calls in deterministic pipeline packages",
 	Packages: []string{
 		"internal/sdf", "internal/sched", "internal/looping", "internal/lifetime",
-		"internal/alloc", "internal/codegen", "internal/check",
+		"internal/alloc", "internal/codegen", "internal/check", "internal/core",
 	},
 	Run: runBannedCall,
 }

@@ -1,0 +1,89 @@
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool admission errors. Both are returned by TrySubmit; a server maps them
+// to load-shedding responses (429 for a full queue, 503 for shutdown).
+var (
+	// ErrPoolFull means the submission queue is at capacity.
+	ErrPoolFull = errors.New("par: pool queue full")
+	// ErrPoolClosed means Close has been called.
+	ErrPoolClosed = errors.New("par: pool closed")
+)
+
+// Pool is a long-lived bounded worker pool for serving workloads, the
+// service-shaped counterpart of the batch helpers (ForEach, Map): a fixed
+// number of workers drain a bounded submission queue, and submissions beyond
+// the queue's capacity are rejected immediately instead of blocking — the
+// admission-control primitive behind sdfd's 429/503 load shedding.
+//
+// Unlike the batch helpers, Pool makes no ordering or determinism promises:
+// tasks run as workers free up. Determinism of the work itself is the
+// task's concern (the compile pipeline is a pure function of its inputs, so
+// execution order cannot change any artifact).
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines draining a queue of capacity queue.
+// workers < 1 is clamped to 1; queue < 0 is clamped to 0 (hand-off only:
+// a submission is accepted only while a worker is ready to take it).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		task()
+	}
+}
+
+// TrySubmit enqueues task without blocking. It returns ErrPoolFull when the
+// queue is at capacity and ErrPoolClosed after Close; nil means a worker
+// will run the task.
+func (p *Pool) TrySubmit(task func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Queued reports how many accepted tasks are waiting for a worker.
+func (p *Pool) Queued() int { return len(p.tasks) }
+
+// Close rejects further submissions, waits for every accepted task to
+// finish, and returns. It is safe to call once; subsequent calls panic
+// (close of closed channel) — callers own the pool's lifecycle.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

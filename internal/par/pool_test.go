@@ -1,0 +1,73 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 16)
+	var n atomic.Int64
+	for i := 0; i < 16; i++ {
+		for {
+			if err := p.TrySubmit(func() { n.Add(1) }); err == nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 16 {
+		t.Fatalf("ran %d tasks, want 16", got)
+	}
+}
+
+func TestPoolSheds(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() { close(started); <-block }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // worker is now busy
+	if err := p.TrySubmit(func() {}); err != nil {
+		t.Fatalf("queue slot submit: %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("saturated submit: got %v, want ErrPoolFull", err)
+	}
+	if got := p.Queued(); got != 1 {
+		t.Fatalf("Queued = %d, want 1", got)
+	}
+	close(block)
+	p.Close()
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close: got %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolConcurrentSubmit(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.TrySubmit(func() { ran.Add(1) }) == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("ran %d of %d accepted tasks", ran.Load(), accepted.Load())
+	}
+}

@@ -1,0 +1,35 @@
+package sdfio
+
+import (
+	"strings"
+
+	"repro/internal/sdf"
+)
+
+// CanonicalString renders g in the canonical textual .sdf form used for
+// content-addressed cache keys: exactly the bytes Write produces — a graph
+// line, every actor declared explicitly in ID order, every edge in ID order
+// with the delay always spelled out and the word width present only when
+// it is > 1. The form is a pure function of the graph, so two semantically
+// identical inputs canonicalize to identical bytes regardless of comments,
+// whitespace, implicit actor declarations, or omitted optional fields in
+// their source text.
+func CanonicalString(g *sdf.Graph) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, g); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Canonicalize parses .sdf text and re-renders it canonically. It is the
+// first step of sdfd's cache-key derivation: the SHA-256 digest is taken
+// over the canonical form, so requests that differ only in formatting or
+// comments deduplicate onto one cache entry.
+func Canonicalize(text string) (string, error) {
+	g, err := Parse(strings.NewReader(text))
+	if err != nil {
+		return "", err
+	}
+	return CanonicalString(g)
+}

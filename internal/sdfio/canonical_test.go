@@ -1,0 +1,59 @@
+package sdfio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalizeNormalizes(t *testing.T) {
+	// Three spellings of the same graph: explicit actors, implicit actors
+	// with comments and ragged whitespace, and omitted optional delay.
+	variants := []string{
+		"graph g\nactor A\nactor B\nedge A B 2 3 0\n",
+		"# header comment\n graph   g\n\nedge A B 2 3 0  # trailing\n",
+		"graph g\nedge A B 2 3\n",
+	}
+	first, err := Canonicalize(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		got, err := Canonicalize(v)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", v, err)
+		}
+		if got != first {
+			t.Errorf("Canonicalize(%q) = %q, want %q", v, got, first)
+		}
+	}
+	if want := "graph g\nactor A\nactor B\nedge A B 2 3 0\n"; first != want {
+		t.Errorf("canonical form = %q, want %q", first, want)
+	}
+}
+
+func TestCanonicalizeIsFixpoint(t *testing.T) {
+	text := "graph fix\nedge X Y 4 6 2 3\nedge Y Z 1 1 0\n"
+	once, err := Canonicalize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Canonicalize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Errorf("canonicalization is not idempotent:\nonce:  %q\ntwice: %q", once, twice)
+	}
+	if !strings.Contains(once, "edge X Y 4 6 2 3\n") {
+		t.Errorf("word width lost in canonical form: %q", once)
+	}
+}
+
+func TestCanonicalizeRejectsBadInput(t *testing.T) {
+	if _, err := Canonicalize("bogus directive\n"); err == nil {
+		t.Fatal("bad input canonicalized without error")
+	}
+	if _, err := Canonicalize(""); err == nil {
+		t.Fatal("empty input canonicalized without error")
+	}
+}

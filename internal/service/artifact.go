@@ -1,0 +1,154 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/sdf"
+)
+
+// Artifact is the JSON compilation product stored in the cache and served
+// by GET /v1/artifact/{digest}. Its encoding is deterministic — slices in
+// fixed orders, never maps — because the digest contract promises that
+// every observer of one digest sees byte-identical bytes (the pipeline
+// itself is determinism-linted, so one compile per digest is enough).
+type Artifact struct {
+	Graph   string         `json:"graph"`
+	Actors  int            `json:"actors"`
+	Edges   int            `json:"edges"`
+	Options CompileOptions `json:"options"`
+	// Schedule is the looped single appearance schedule in the paper's
+	// textual form; Order is the lexical actor order behind it (empty for
+	// cyclic graphs, whose schedule comes from the SCC condensation).
+	Schedule string   `json:"schedule"`
+	Order    []string `json:"order,omitempty"`
+	// Repetitions is q(a) per actor, in actor order.
+	Repetitions []ActorRepetition `json:"repetitions"`
+	Metrics     ArtifactMetrics   `json:"metrics"`
+	// Allocations reports every attempted allocator; Best names the one
+	// whose placements follow.
+	Allocations []AllocatorTotal `json:"allocations"`
+	Best        string           `json:"best"`
+	Placements  []Placement      `json:"placements"`
+	C           string           `json:"c,omitempty"`
+	VHDL        string           `json:"vhdl,omitempty"`
+}
+
+// ActorRepetition is one entry of the repetitions vector.
+type ActorRepetition struct {
+	Actor string `json:"actor"`
+	Q     int64  `json:"q"`
+}
+
+// ArtifactMetrics mirrors core.Metrics in wire-stable form: the buffer
+// memory bounds and totals the paper's tables report.
+type ArtifactMetrics struct {
+	BMLB            int64 `json:"bmlb"`
+	NonSharedBufMem int64 `json:"non_shared_bufmem"`
+	DPCost          int64 `json:"dp_cost"`
+	MCO             int64 `json:"mco"`
+	MCP             int64 `json:"mcp"`
+	SharedTotal     int64 `json:"shared_total"`
+	MergedTotal     int64 `json:"merged_total"`
+	Merges          int   `json:"merges"`
+}
+
+// AllocatorTotal is one allocator's achieved total.
+type AllocatorTotal struct {
+	Allocator string `json:"allocator"`
+	Total     int64  `json:"total"`
+}
+
+// Placement is one buffer's position in the best shared memory image.
+type Placement struct {
+	Buffer string `json:"buffer"`
+	Offset int64  `json:"offset"`
+	Size   int64  `json:"size"`
+}
+
+// buildArtifact renders a compilation result as the wire artifact.
+func buildArtifact(res *core.Result, o CompileOptions) *Artifact {
+	g := res.Graph
+	art := &Artifact{
+		Graph:    g.Name,
+		Actors:   g.NumActors(),
+		Edges:    g.NumEdges(),
+		Options:  o,
+		Schedule: res.Schedule.String(),
+		Best:     res.BestBy.String(),
+		Metrics: ArtifactMetrics{
+			BMLB:            res.Metrics.BMLB,
+			NonSharedBufMem: res.Metrics.NonSharedBufMem,
+			DPCost:          res.Metrics.DPCost,
+			MCO:             res.Metrics.MCO,
+			MCP:             res.Metrics.MCP,
+			SharedTotal:     res.Metrics.SharedTotal,
+			MergedTotal:     res.Metrics.MergedTotal,
+			Merges:          res.Metrics.Merges,
+		},
+	}
+	for _, a := range res.Order {
+		art.Order = append(art.Order, g.Actor(a).Name)
+	}
+	for _, a := range g.Actors() {
+		art.Repetitions = append(art.Repetitions, ActorRepetition{
+			Actor: a.Name, Q: res.Repetitions.Q(a.ID),
+		})
+	}
+	totals := make([]AllocatorTotal, 0, len(res.Metrics.AllocTotals))
+	for name, total := range res.Metrics.AllocTotals {
+		totals = append(totals, AllocatorTotal{Allocator: name, Total: total})
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i].Allocator < totals[j].Allocator })
+	art.Allocations = totals
+	for _, p := range res.Best.Placements {
+		art.Placements = append(art.Placements, Placement{
+			Buffer: p.Interval.Name, Offset: p.Offset, Size: p.Interval.Size,
+		})
+	}
+	if o.EmitC {
+		art.C = codegen.GenerateC(res)
+	}
+	if o.EmitVHDL {
+		art.VHDL = codegen.GenerateVHDL(res)
+	}
+	return art
+}
+
+// CompileArtifact runs the in-process pipeline on g under opts and returns
+// the marshaled artifact bytes plus the compilation result. It is the
+// single code path shared by the daemon's worker jobs and by offline
+// clients that need a reference artifact to compare server responses
+// against (sdffuzz -daemon): both sides producing bytes through this one
+// function is what makes "server response == in-process output" a
+// byte-equality assertion.
+func CompileArtifact(g *sdf.Graph, opts CompileOptions) ([]byte, *core.Result, error) {
+	return compileArtifactContext(context.Background(), g, opts, nil)
+}
+
+// compileArtifactContext is CompileArtifact with cancellation and an
+// optional per-stage hook.
+func compileArtifactContext(ctx context.Context, g *sdf.Graph, opts CompileOptions, onStage func(string)) ([]byte, *core.Result, error) {
+	norm, err := normalize(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	copts, err := coreOptions(norm)
+	if err != nil {
+		return nil, nil, err
+	}
+	copts.OnStage = onStage
+	res, err := core.CompileGeneralContext(ctx, g, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := json.Marshal(buildArtifact(res, norm))
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: marshal artifact: %w", err)
+	}
+	return data, res, nil
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// artifactCache is the content-addressed compile cache: digest -> artifact
+// bytes, LRU-evicted against a byte budget. Entries are immutable (the
+// digest covers everything that determines the bytes) and only complete,
+// successfully compiled artifacts are ever inserted — a failed or abandoned
+// compilation leaves no trace, so there is no such thing as a partial or
+// poisoned entry to invalidate.
+type artifactCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	lru    *list.List               // front = most recently used
+	index  map[string]*list.Element // digest -> element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	digest string
+	data   []byte
+}
+
+// newArtifactCache builds a cache holding at most budget bytes of artifact
+// data. budget <= 0 disables caching entirely (every Get misses, every Put
+// is dropped) — useful for benchmarking the cold path.
+func newArtifactCache(budget int64) *artifactCache {
+	return &artifactCache{
+		budget: budget,
+		lru:    list.New(),
+		index:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the artifact bytes for digest, refreshing its recency. The
+// returned slice is the cached backing array; callers must not mutate it.
+func (c *artifactCache) get(digest string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[digest]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts a complete artifact, evicting least-recently-used entries
+// until the budget holds. Artifacts larger than the whole budget are not
+// cached (inserting one would just evict everything and then itself).
+// Re-inserting an existing digest only refreshes recency: bytes for one
+// digest are immutable by construction.
+func (c *artifactCache) put(digest string, data []byte) {
+	size := int64(len(data))
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[digest]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[digest] = c.lru.PushFront(&cacheEntry{digest: digest, data: data})
+	c.bytes += size
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.index, e.digest)
+		c.bytes -= int64(len(e.data))
+	}
+}
+
+// stats returns the current entry count and byte footprint.
+func (c *artifactCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.bytes
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newArtifactCache(30)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("d%d", i), make([]byte, 10))
+	}
+	entries, bytes := c.stats()
+	if entries != 3 || bytes != 30 {
+		t.Fatalf("stats = (%d, %d), want (3, 30)", entries, bytes)
+	}
+	// Touch d0 so d1 is the least recently used, then push it out.
+	if _, ok := c.get("d0"); !ok {
+		t.Fatal("d0 missing")
+	}
+	c.put("d3", make([]byte, 10))
+	if _, ok := c.get("d1"); ok {
+		t.Error("d1 survived eviction despite being LRU")
+	}
+	for _, d := range []string{"d0", "d2", "d3"} {
+		if _, ok := c.get(d); !ok {
+			t.Errorf("%s evicted unexpectedly", d)
+		}
+	}
+	if entries, bytes = c.stats(); entries != 3 || bytes != 30 {
+		t.Errorf("post-eviction stats = (%d, %d), want (3, 30)", entries, bytes)
+	}
+}
+
+func TestCacheOversizedArtifactSkipped(t *testing.T) {
+	c := newArtifactCache(10)
+	c.put("small", make([]byte, 8))
+	c.put("big", make([]byte, 11))
+	if _, ok := c.get("big"); ok {
+		t.Error("over-budget artifact was cached")
+	}
+	if _, ok := c.get("small"); !ok {
+		t.Error("inserting an over-budget artifact evicted existing entries")
+	}
+}
+
+func TestCacheDuplicatePutRefreshesRecency(t *testing.T) {
+	c := newArtifactCache(20)
+	c.put("a", make([]byte, 10))
+	c.put("b", make([]byte, 10))
+	c.put("a", make([]byte, 10)) // refresh, not double-count
+	if _, bytes := c.stats(); bytes != 20 {
+		t.Fatalf("duplicate put double-counted bytes: %d", bytes)
+	}
+	c.put("c", make([]byte, 10)) // evicts b, the true LRU
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived; duplicate put did not refresh a's recency")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite refreshed recency")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newArtifactCache(-1)
+	c.put("d", []byte("x"))
+	if _, ok := c.get("d"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	if entries, bytes := c.stats(); entries != 0 || bytes != 0 {
+		t.Errorf("disabled cache stats = (%d, %d)", entries, bytes)
+	}
+}

@@ -1,0 +1,284 @@
+// Package metrics is a minimal, stdlib-only instrumentation registry that
+// renders in the Prometheus text exposition format. It exists so sdfd can
+// expose counters, gauges, and latency histograms on /metrics without
+// pulling the Prometheus client library into a repository that is otherwise
+// dependency-free.
+//
+// Supported shapes are exactly what the service needs: monotone counters
+// (optionally split by one or more label keys), gauges computed at scrape
+// time from a callback, and cumulative histograms with fixed upper bounds.
+// Rendering is deterministic: families print in registration order and
+// labeled children print sorted by label values, so two scrapes of the same
+// state are byte-identical.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds a set of metric families and renders them on demand.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+type family struct {
+	name, help, typ string
+	labels          []string // label keys for vec families, nil otherwise
+
+	mu       sync.Mutex
+	children map[string]renderer // canonical label string -> child
+	solo     renderer            // unlabeled families
+	gauge    func() float64      // gauge families
+}
+
+type renderer interface {
+	render(w io.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.fams {
+		if g.name == f.name {
+			panic(fmt.Sprintf("metrics: duplicate family %q", f.name))
+		}
+	}
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu  sync.Mutex
+	val float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative.
+func (c *Counter) Add(v float64) {
+	c.mu.Lock()
+	c.val += v
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}
+
+func (c *Counter) render(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(c.Value()))
+}
+
+// Counter registers an unlabeled counter family and returns its counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, typ: "counter", solo: c})
+	return c
+}
+
+// CounterVec is a counter family split by a fixed set of label keys.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	if len(labelKeys) == 0 {
+		panic("metrics: CounterVec needs at least one label key")
+	}
+	f := &family{name: name, help: help, typ: "counter",
+		labels: labelKeys, children: map[string]renderer{}}
+	r.add(f)
+	return &CounterVec{f: f}
+}
+
+// With returns the counter for the given label values (one per key, in
+// registration order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	child := v.f.child(labelValues, func() renderer { return &Counter{} })
+	return child.(*Counter)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, typ: "gauge", gauge: fn})
+}
+
+// Histogram is a cumulative histogram with fixed upper bounds.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds, excluding +Inf
+	buckets []uint64  // observation counts per bound (non-cumulative)
+	count   uint64
+	sum     float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) render(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", formatFloat(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", "+Inf"), h.count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count)
+}
+
+// DefLatencyBuckets are upper bounds (seconds) tuned for compile latencies:
+// sub-millisecond cache hits through multi-second pipeline runs.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]uint64, len(b))}
+}
+
+// Histogram registers an unlabeled histogram family.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.add(&family{name: name, help: help, typ: "histogram", solo: h})
+	return h
+}
+
+// HistogramVec is a histogram family split by a fixed set of label keys.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelKeys ...string) *HistogramVec {
+	if len(labelKeys) == 0 {
+		panic("metrics: HistogramVec needs at least one label key")
+	}
+	f := &family{name: name, help: help, typ: "histogram",
+		labels: labelKeys, children: map[string]renderer{}}
+	r.add(f)
+	return &HistogramVec{f: f, bounds: bounds}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	child := v.f.child(labelValues, func() renderer { return newHistogram(v.bounds) })
+	return child.(*Histogram)
+}
+
+func (f *family) child(labelValues []string, make func() renderer) renderer {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: family %q wants %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := labelString(f.labels, labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	return c
+}
+
+// WritePrometheus renders every family in the Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		switch {
+		case f.gauge != nil:
+			fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.gauge()))
+		case f.solo != nil:
+			f.solo.render(w, f.name, "")
+		default:
+			f.mu.Lock()
+			keys := make([]string, 0, len(f.children))
+			for k := range f.children {
+				keys = append(keys, k)
+			}
+			children := make([]renderer, 0, len(keys))
+			sort.Strings(keys)
+			for _, k := range keys {
+				children = append(children, f.children[k])
+			}
+			f.mu.Unlock()
+			for i, k := range keys {
+				children[i].render(w, f.name, k)
+			}
+		}
+	}
+}
+
+// labelString renders {k1="v1",k2="v2"} with values escaped.
+func labelString(keys, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels inserts one extra pair into an existing rendered label string.
+func mergeLabels(labels, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatFloat renders values the way Prometheus expects: integers without a
+// decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "total requests")
+	c.Inc()
+	c.Add(2)
+	r.GaugeFunc("queue_depth", "queued tasks", func() float64 { return 7 })
+	out := scrape(r)
+	for _, want := range []string{
+		"# HELP reqs_total total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 3",
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "by route and code", "route", "code")
+	v.With("compile", "200").Add(5)
+	v.With("artifact", "404").Inc()
+	v.With("compile", "429").Inc()
+	out := scrape(r)
+	a := strings.Index(out, `http_requests_total{route="artifact",code="404"} 1`)
+	b := strings.Index(out, `http_requests_total{route="compile",code="200"} 5`)
+	c := strings.Index(out, `http_requests_total{route="compile",code="429"} 1`)
+	if a < 0 || b < 0 || c < 0 || !(a < b && b < c) {
+		t.Fatalf("children missing or out of sorted order (%d %d %d):\n%s", a, b, c, out)
+	}
+	if scrape(r) != out {
+		t.Fatal("two scrapes of identical state differ")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("stage_seconds", "per-stage latency", []float64{0.01, 0.1, 1}, "stage")
+	h.With("alloc").Observe(0.005)
+	h.With("alloc").Observe(0.05)
+	h.With("alloc").Observe(5)
+	out := scrape(r)
+	for _, want := range []string{
+		`stage_seconds_bucket{stage="alloc",le="0.01"} 1`,
+		`stage_seconds_bucket{stage="alloc",le="0.1"} 2`,
+		`stage_seconds_bucket{stage="alloc",le="1"} 2`,
+		`stage_seconds_bucket{stage="alloc",le="+Inf"} 3`,
+		`stage_seconds_sum{stage="alloc"} 5.055`,
+		`stage_seconds_count{stage="alloc"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	if h.With("alloc").Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.With("alloc").Count())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	v := r.CounterVec("v_total", "v", "k")
+	h := r.Histogram("h_seconds", "h", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				v.With([]string{"a", "b"}[g%2]).Inc()
+				h.Observe(float64(i) / 100)
+				if i%50 == 0 {
+					scrape(r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Value() != 1600 {
+		t.Fatalf("counter = %v, want 1600", c.Value())
+	}
+	if h.Count() != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", h.Count())
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	r.Counter("x_total", "again")
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// CompileOptions is the wire form of the pipeline configuration accepted by
+// POST /v1/compile. Every field participates in the content-addressed cache
+// key — see cacheKey below, whose struct-conversion guard makes forgetting
+// a new field a compile error rather than a silent cache-poisoning bug.
+//
+// Zero values select the paper's recommended configuration: RPMC ordering,
+// SDPPO looping, first-fit-by-duration + first-fit-by-start allocation.
+type CompileOptions struct {
+	// Strategy is the lexical ordering heuristic: "rpmc" (default) or
+	// "apgan". Custom orders are a library-only feature; the service
+	// rejects them.
+	Strategy string `json:"strategy,omitempty"`
+	// Looping is the loop-hierarchy post-optimization: "sdppo" (default),
+	// "dppo", "chain", or "flat".
+	Looping string `json:"looping,omitempty"`
+	// Allocators lists storage allocators to try ("ffdur", "ffstart",
+	// "bfdur"); the smallest feasible result wins. Default: ffdur,ffstart.
+	Allocators []string `json:"allocators,omitempty"`
+	// Verify runs the token-level shared-memory simulator for
+	// VerifyPeriods periods (default 2) during compilation.
+	Verify        bool `json:"verify,omitempty"`
+	VerifyPeriods int  `json:"verify_periods,omitempty"`
+	// Merging applies the Sec. 12 buffer-merging extension.
+	Merging bool `json:"merging,omitempty"`
+	// EmitC / EmitVHDL include generated code in the artifact.
+	EmitC    bool `json:"emit_c,omitempty"`
+	EmitVHDL bool `json:"emit_vhdl,omitempty"`
+}
+
+// cacheKey is the serialized form of CompileOptions inside the cache
+// digest. Field-list completeness is enforced by construction twice over:
+//
+//   - the conversion in digestOptions fails to compile the moment
+//     CompileOptions gains a field that cacheKey lacks (Go struct
+//     conversion requires identical field names, types, and order), and
+//   - the JSON encoding of cacheKey marshals every exported field, so a
+//     field present in both structs cannot be dropped from the digest.
+//
+// On top of that, the enum spellings stored here flow through the
+// exhaustive-checked switches below (StrategyName, LoopingName,
+// AllocatorName), so adding a pipeline knob *value* without deciding its
+// cache-key spelling fails sdflint's exhaustive analyzer.
+type cacheKey struct {
+	Strategy      string
+	Looping       string
+	Allocators    []string
+	Verify        bool
+	VerifyPeriods int
+	Merging       bool
+	EmitC         bool
+	EmitVHDL      bool
+}
+
+// digestOptions serializes normalized options for the cache digest.
+func digestOptions(o CompileOptions) []byte {
+	data, err := json.Marshal(cacheKey(o))
+	if err != nil {
+		// cacheKey contains only strings, bools, ints and string slices;
+		// Marshal cannot fail on it.
+		panic(fmt.Sprintf("service: marshal cache key: %v", err))
+	}
+	return data
+}
+
+// Digest computes the content address of one (canonical graph text,
+// normalized options) pair: hex SHA-256 over a versioned frame. Change the
+// version prefix whenever the artifact schema changes incompatibly so stale
+// cache entries (and external stores keyed on the digest) cannot alias.
+func Digest(canonicalGraph string, normalized CompileOptions) string {
+	h := sha256.New()
+	h.Write([]byte("sdfd/v1\n"))
+	h.Write([]byte(canonicalGraph))
+	h.Write([]byte{0})
+	h.Write(digestOptions(normalized))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StrategyName is the canonical wire spelling of an ordering strategy. The
+// switch is exhaustive-checked by sdflint: adding a core.OrderStrategy
+// constant without deciding its service spelling fails the lint gate.
+func StrategyName(s core.OrderStrategy) (string, error) {
+	switch s {
+	case core.RPMC:
+		return "rpmc", nil
+	case core.APGAN:
+		return "apgan", nil
+	case core.CustomOrder:
+		return "", fmt.Errorf("service: custom lexical orders are not servable")
+	default:
+		panic(fmt.Sprintf("service: unknown order strategy %v", s))
+	}
+}
+
+// LoopingName is the canonical wire spelling of a looping algorithm
+// (exhaustive-checked, see StrategyName).
+func LoopingName(l core.LoopAlg) (string, error) {
+	switch l {
+	case core.SDPPOLoops:
+		return "sdppo", nil
+	case core.DPPOLoops:
+		return "dppo", nil
+	case core.ChainPreciseLoops:
+		return "chain", nil
+	case core.FlatLoops:
+		return "flat", nil
+	default:
+		panic(fmt.Sprintf("service: unknown looping algorithm %v", l))
+	}
+}
+
+// AllocatorName is the canonical wire spelling of an allocation strategy
+// (exhaustive-checked, see StrategyName).
+func AllocatorName(s alloc.Strategy) (string, error) {
+	switch s {
+	case alloc.FirstFitDuration:
+		return "ffdur", nil
+	case alloc.FirstFitStart:
+		return "ffstart", nil
+	case alloc.BestFitDuration:
+		return "bfdur", nil
+	default:
+		panic(fmt.Sprintf("service: unknown allocator %v", s))
+	}
+}
+
+func parseStrategy(s string) (core.OrderStrategy, error) {
+	switch s {
+	case "", "rpmc":
+		return core.RPMC, nil
+	case "apgan":
+		return core.APGAN, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want rpmc or apgan)", s)
+	}
+}
+
+func parseLooping(s string) (core.LoopAlg, error) {
+	switch s {
+	case "", "sdppo":
+		return core.SDPPOLoops, nil
+	case "dppo":
+		return core.DPPOLoops, nil
+	case "chain":
+		return core.ChainPreciseLoops, nil
+	case "flat":
+		return core.FlatLoops, nil
+	default:
+		return 0, fmt.Errorf("unknown looping %q (want sdppo, dppo, chain, or flat)", s)
+	}
+}
+
+func parseAllocator(s string) (alloc.Strategy, error) {
+	switch s {
+	case "ffdur":
+		return alloc.FirstFitDuration, nil
+	case "ffstart":
+		return alloc.FirstFitStart, nil
+	case "bfdur":
+		return alloc.BestFitDuration, nil
+	default:
+		return 0, fmt.Errorf("unknown allocator %q (want ffdur, ffstart, or bfdur)", s)
+	}
+}
+
+// normalize validates o and rewrites it to canonical form: every enum
+// spelling round-tripped through its typed constant (so aliases and
+// defaults collapse onto one spelling), allocators deduplicated with first
+// occurrence deciding tie-break priority, and defaulted numeric fields made
+// explicit. Two requests normalize equal iff they configure the identical
+// pipeline, which is what makes the digest a true content address.
+func normalize(o CompileOptions) (CompileOptions, error) {
+	strat, err := parseStrategy(o.Strategy)
+	if err != nil {
+		return CompileOptions{}, err
+	}
+	if o.Strategy, err = StrategyName(strat); err != nil {
+		return CompileOptions{}, err
+	}
+	looping, err := parseLooping(o.Looping)
+	if err != nil {
+		return CompileOptions{}, err
+	}
+	if o.Looping, err = LoopingName(looping); err != nil {
+		return CompileOptions{}, err
+	}
+	in := o.Allocators
+	if len(in) == 0 {
+		in = []string{"ffdur", "ffstart"}
+	}
+	seen := map[alloc.Strategy]bool{}
+	canon := make([]string, 0, len(in))
+	for _, a := range in {
+		strat, err := parseAllocator(a)
+		if err != nil {
+			return CompileOptions{}, err
+		}
+		if seen[strat] {
+			continue
+		}
+		seen[strat] = true
+		name, err := AllocatorName(strat)
+		if err != nil {
+			return CompileOptions{}, err
+		}
+		canon = append(canon, name)
+	}
+	o.Allocators = canon
+	if o.VerifyPeriods < 0 {
+		return CompileOptions{}, fmt.Errorf("verify_periods must be >= 0, got %d", o.VerifyPeriods)
+	}
+	if o.Verify && o.VerifyPeriods == 0 {
+		o.VerifyPeriods = 2
+	}
+	if !o.Verify {
+		o.VerifyPeriods = 0
+	}
+	return o, nil
+}
+
+// coreOptions converts normalized options into the library configuration.
+func coreOptions(o CompileOptions) (core.Options, error) {
+	strat, err := parseStrategy(o.Strategy)
+	if err != nil {
+		return core.Options{}, err
+	}
+	looping, err := parseLooping(o.Looping)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.Options{
+		Strategy:      strat,
+		Looping:       looping,
+		Verify:        o.Verify,
+		VerifyPeriods: o.VerifyPeriods,
+		Merging:       o.Merging,
+	}
+	for _, a := range o.Allocators {
+		s, err := parseAllocator(a)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opts.Allocators = append(opts.Allocators, s)
+	}
+	return opts, nil
+}

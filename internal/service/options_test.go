@@ -1,0 +1,135 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	got, err := normalize(CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CompileOptions{
+		Strategy:   "rpmc",
+		Looping:    "sdppo",
+		Allocators: []string{"ffdur", "ffstart"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("normalize zero = %+v, want %+v", got, want)
+	}
+}
+
+func TestDigestStableAcrossSpellings(t *testing.T) {
+	const graph = "graph g\nedge A B 3 2 0\n"
+	base, err := normalize(CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spelled-out defaults, including duplicated allocators, digest the
+	// same as the zero value.
+	explicit, err := normalize(CompileOptions{
+		Strategy:   "rpmc",
+		Looping:    "sdppo",
+		Allocators: []string{"ffdur", "ffstart", "ffdur"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(graph, base) != Digest(graph, explicit) {
+		t.Error("explicit defaults digest differently from zero options")
+	}
+	// Every knob must move the digest.
+	variants := []CompileOptions{
+		{Strategy: "apgan"},
+		{Looping: "flat"},
+		{Allocators: []string{"bfdur"}},
+		{Allocators: []string{"ffstart", "ffdur"}}, // order is priority, so it matters
+		{Verify: true},
+		{Verify: true, VerifyPeriods: 5},
+		{Merging: true},
+		{EmitC: true},
+		{EmitVHDL: true},
+	}
+	seen := map[string]int{Digest(graph, base): -1}
+	for i, v := range variants {
+		n, err := normalize(v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		d := Digest(graph, n)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("variant %d digests identically to variant %d", i, prev)
+		}
+		seen[d] = i
+	}
+	if Digest(graph, base) == Digest(graph+" ", base) {
+		t.Error("graph text does not move the digest")
+	}
+}
+
+func TestNormalizeVerifyPeriods(t *testing.T) {
+	got, err := normalize(CompileOptions{Verify: true})
+	if err != nil || got.VerifyPeriods != 2 {
+		t.Errorf("verify default periods = %d, err %v; want 2", got.VerifyPeriods, err)
+	}
+	// VerifyPeriods without Verify is dropped so it cannot split the cache.
+	got, err = normalize(CompileOptions{VerifyPeriods: 7})
+	if err != nil || got.VerifyPeriods != 0 {
+		t.Errorf("periods without verify = %d, err %v; want 0", got.VerifyPeriods, err)
+	}
+	if _, err := normalize(CompileOptions{VerifyPeriods: -1}); err == nil {
+		t.Error("negative verify_periods accepted")
+	}
+}
+
+func TestNormalizeRejectsUnknownEnums(t *testing.T) {
+	for _, o := range []CompileOptions{
+		{Strategy: "zigzag"},
+		{Looping: "unrolled"},
+		{Allocators: []string{"stack"}},
+	} {
+		if _, err := normalize(o); err == nil {
+			t.Errorf("normalize(%+v) accepted an unknown enum", o)
+		}
+	}
+}
+
+func TestWireNamesRoundTrip(t *testing.T) {
+	for _, s := range []core.OrderStrategy{core.RPMC, core.APGAN} {
+		name, err := StrategyName(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := parseStrategy(name)
+		if err != nil || back != s {
+			t.Errorf("strategy %v -> %q -> %v (%v)", s, name, back, err)
+		}
+	}
+	if _, err := StrategyName(core.CustomOrder); err == nil {
+		t.Error("custom order has a wire name; it must not be servable")
+	}
+	for _, l := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops, core.ChainPreciseLoops, core.FlatLoops} {
+		name, err := LoopingName(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := parseLooping(name)
+		if err != nil || back != l {
+			t.Errorf("looping %v -> %q -> %v (%v)", l, name, back, err)
+		}
+	}
+	for _, a := range []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart, alloc.BestFitDuration} {
+		name, err := AllocatorName(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := parseAllocator(name)
+		if err != nil || back != a {
+			t.Errorf("allocator %v -> %q -> %v (%v)", a, name, back, err)
+		}
+	}
+}

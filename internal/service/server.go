@@ -1,0 +1,501 @@
+// Package service turns the shared-memory SDF synthesis pipeline into a
+// long-running compilation service: a net/http API over the Fig. 21 flow
+// (graph -> APGAN/RPMC -> loop DP -> lifetimes -> allocation -> C/VHDL)
+// with a content-addressed compile cache, request coalescing, admission
+// control, and Prometheus-format metrics. cmd/sdfd is the daemon wrapper;
+// docs/SERVICE.md documents the HTTP API and the operational knobs.
+//
+// Determinism note: the service deliberately lives *outside* the
+// bannedcall deterministic-core package list — a server needs wall clocks
+// for latency metrics and deadlines. All compilation work still happens in
+// the linted core, which is what makes artifacts for one digest
+// byte-identical no matter which worker, flight, or process produced them.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+	"repro/internal/service/metrics"
+)
+
+// Config holds the operational knobs of a compile server. The zero value of
+// every field selects a production-reasonable default (see each field).
+type Config struct {
+	// Workers is the size of the compile worker pool. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many admitted compilations may wait for a
+	// worker; submissions beyond it are shed with 429. Default 2×Workers.
+	QueueDepth int
+	// CacheBudget is the artifact cache size in bytes. Negative disables
+	// caching; 0 means the 64 MiB default.
+	CacheBudget int64
+	// RequestTimeout bounds how long one HTTP request waits for its
+	// artifact (queue time included) before 408. Default 30s.
+	RequestTimeout time.Duration
+	// CompileTimeout bounds one pipeline run, enforced via
+	// core.CompileGeneralContext stage deadlines. Default 60s.
+	CompileTimeout time.Duration
+	// MaxRequestBytes bounds the request body. Default 1 MiB.
+	MaxRequestBytes int64
+	// RetryAfter is the Retry-After hint on 429/503 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheBudget == 0 {
+		c.CacheBudget = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CompileTimeout <= 0 {
+		c.CompileTimeout = 60 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	// Graph is the SDF graph in .sdf text form (docs/SERVICE.md).
+	Graph string `json:"graph"`
+	// Options selects the pipeline configuration; zero values are the
+	// paper's recommended defaults.
+	Options CompileOptions `json:"options"`
+}
+
+// CompileResponse is the success body of POST /v1/compile.
+type CompileResponse struct {
+	// Digest is the content address of Artifact; GET /v1/artifact/{digest}
+	// returns exactly these bytes for as long as the entry stays cached.
+	Digest string `json:"digest"`
+	// Cached is true when the artifact came straight from the cache;
+	// Coalesced when this request piggy-backed on another request's
+	// in-flight compilation.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Verified is true when ?verify=1 ran the stage-by-stage invariant
+	// oracle over this compilation.
+	Verified bool            `json:"verified,omitempty"`
+	Artifact json.RawMessage `json:"artifact"`
+}
+
+// APIError is the structured error body every non-2xx response carries
+// (wrapped as {"error": {...}}).
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int `json:"status"`
+	// Reason is a stable machine-readable cause: bad_request, not_found,
+	// too_large, compile_failed, verify_failed, deadline, queue_full,
+	// shutting_down.
+	Reason  string `json:"reason"`
+	Message string `json:"message"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// Error implements the error interface (the client returns *APIError).
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sdfd: %d %s: %s", e.Status, e.Reason, e.Message)
+}
+
+// Server is a compile service instance. Create with New, expose via
+// Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	pool    *par.Pool
+	cache   *artifactCache
+	flights *flightGroup
+	start   time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	reg          *metrics.Registry
+	reqs         *metrics.CounterVec
+	reqSeconds   *metrics.HistogramVec
+	stageSeconds *metrics.HistogramVec
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	pipelineRuns *metrics.Counter
+	shed         *metrics.CounterVec
+
+	// testHookCompileStart, when set, runs at the start of every pipeline
+	// job (inside the worker). Tests use it to hold workers busy so the
+	// load-shedding and deadline paths become deterministic.
+	testHookCompileStart func()
+}
+
+// New builds a Server from cfg (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		pool:    par.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:   newArtifactCache(cfg.CacheBudget),
+		flights: newFlightGroup(),
+		start:   time.Now(),
+		baseCtx: ctx,
+		stop:    cancel,
+		reg:     metrics.NewRegistry(),
+	}
+	s.reqs = s.reg.CounterVec("sdfd_http_requests_total",
+		"HTTP requests by route and status code", "route", "code")
+	s.reqSeconds = s.reg.HistogramVec("sdfd_request_seconds",
+		"end-to-end request latency by route", metrics.DefLatencyBuckets, "route")
+	s.stageSeconds = s.reg.HistogramVec("sdfd_stage_seconds",
+		"pipeline stage latency (schedule, loopdp, lifetime, alloc, verify, merge, codegen)",
+		metrics.DefLatencyBuckets, "stage")
+	s.cacheHits = s.reg.Counter("sdfd_cache_hits_total", "compile cache hits")
+	s.cacheMisses = s.reg.Counter("sdfd_cache_misses_total", "compile cache misses")
+	s.pipelineRuns = s.reg.Counter("sdfd_pipeline_runs_total",
+		"actual pipeline executions (misses that were not coalesced)")
+	s.shed = s.reg.CounterVec("sdfd_load_shed_total",
+		"requests shed by the admission layer, by reason", "reason")
+	s.reg.GaugeFunc("sdfd_queue_depth", "admitted compilations waiting for a worker",
+		func() float64 { return float64(s.pool.Queued()) })
+	s.reg.GaugeFunc("sdfd_cache_entries", "artifacts currently cached",
+		func() float64 { n, _ := s.cache.stats(); return float64(n) })
+	s.reg.GaugeFunc("sdfd_cache_bytes", "artifact cache footprint in bytes",
+		func() float64 { _, b := s.cache.stats(); return float64(b) })
+	return s
+}
+
+// Close stops accepting work, cancels in-flight compilations' contexts, and
+// waits for the worker pool to drain.
+func (s *Server) Close() {
+	s.stop()
+	s.pool.Close()
+}
+
+// Registry exposes the server's metrics registry (also served on /metrics).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/compile              compile (or fetch from cache) a graph
+//	GET  /v1/artifact/{digest}    re-fetch a cached artifact by digest
+//	GET  /healthz                 liveness probe
+//	GET  /metrics                 Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("GET /v1/artifact/{digest}", s.instrument("artifact", s.handleArtifact))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter records the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.reqSeconds.With(route).Observe(time.Since(start).Seconds())
+		s.reqs.With(route, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, apiErr *APIError) {
+	if apiErr.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(apiErr.RetryAfterSeconds))
+	}
+	s.writeJSON(w, apiErr.Status, map[string]*APIError{"error": apiErr})
+}
+
+func (s *Server) retryAfterSeconds() int {
+	sec := int(s.cfg.RetryAfter / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	data, ok := s.cache.get(digest)
+	if !ok {
+		s.writeError(w, &APIError{
+			Status: http.StatusNotFound, Reason: "not_found",
+			Message: fmt.Sprintf("no cached artifact for digest %s (it may have been evicted; re-POST /v1/compile)", digest),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sdfd-Digest", digest)
+	_, _ = w.Write(data)
+}
+
+// parseCompileRequest decodes and validates the request, returning the
+// parsed graph, normalized options, and the content digest.
+func (s *Server) parseCompileRequest(w http.ResponseWriter, r *http.Request) (*sdf.Graph, CompileOptions, string, *APIError) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req CompileRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, CompileOptions{}, "", &APIError{
+				Status: http.StatusRequestEntityTooLarge, Reason: "too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes),
+			}
+		}
+		return nil, CompileOptions{}, "", &APIError{
+			Status: http.StatusBadRequest, Reason: "bad_request",
+			Message: fmt.Sprintf("decoding request: %v", err),
+		}
+	}
+	canonical, err := sdfio.Canonicalize(req.Graph)
+	if err != nil {
+		return nil, CompileOptions{}, "", &APIError{
+			Status: http.StatusBadRequest, Reason: "bad_request",
+			Message: fmt.Sprintf("parsing graph: %v", err),
+		}
+	}
+	g, err := sdfio.Parse(strings.NewReader(canonical))
+	if err != nil {
+		// Canonical text always re-parses; this is unreachable short of a
+		// serializer bug, but fail loudly rather than compile garbage.
+		return nil, CompileOptions{}, "", &APIError{
+			Status: http.StatusInternalServerError, Reason: "bad_request",
+			Message: fmt.Sprintf("re-parsing canonical graph: %v", err),
+		}
+	}
+	norm, err := normalize(req.Options)
+	if err != nil {
+		return nil, CompileOptions{}, "", &APIError{
+			Status: http.StatusBadRequest, Reason: "bad_request",
+			Message: fmt.Sprintf("options: %v", err),
+		}
+	}
+	return g, norm, Digest(canonical, norm), nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	g, norm, digest, apiErr := s.parseCompileRequest(w, r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	verify := r.URL.Query().Get("verify") == "1"
+
+	// Warm path: cache hit, no pipeline, no queueing. Verification always
+	// recompiles (the oracle needs the in-memory result), so it skips this.
+	if !verify {
+		if data, ok := s.cache.get(digest); ok {
+			s.cacheHits.Inc()
+			s.writeJSON(w, http.StatusOK, &CompileResponse{
+				Digest: digest, Cached: true, Artifact: data,
+			})
+			return
+		}
+		s.cacheMisses.Inc()
+	}
+
+	// Cold path: join (or open) the flight for this digest. Verifying
+	// flights are keyed separately so a plain request never waits on the
+	// slower compile+oracle run of a concurrent verify request.
+	key := digest
+	if verify {
+		key = "verify:" + digest
+	}
+	f, leader := s.flights.join(key)
+	if leader {
+		job := func() { s.runCompileJob(key, f, g, norm, digest, verify) }
+		if err := s.pool.TrySubmit(job); err != nil {
+			// The flight never started: fail it so concurrent joiners see
+			// the same shed instead of waiting forever.
+			s.flights.finish(key, f, nil, err)
+		}
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.shed.With("deadline").Inc()
+		s.writeError(w, &APIError{
+			Status: http.StatusRequestTimeout, Reason: "deadline",
+			Message: fmt.Sprintf("request deadline expired after %v while waiting for compilation (the compile itself may still complete and populate the cache)", s.cfg.RequestTimeout),
+		})
+		return
+	}
+	if f.err != nil {
+		s.writeError(w, s.classifyCompileError(f.err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, &CompileResponse{
+		Digest: digest, Cached: false, Coalesced: !leader, Verified: verify,
+		Artifact: f.data,
+	})
+}
+
+// runCompileJob executes one pipeline run inside a worker: compile with the
+// server-side deadline, optionally run the invariant oracle, insert the
+// complete artifact into the cache, and publish the outcome to every
+// request waiting on the flight. Cache insertion happens only on full
+// success — a deadline, compile error, or oracle violation leaves no entry.
+func (s *Server) runCompileJob(key string, f *flight, g *sdf.Graph, norm CompileOptions, digest string, verify bool) {
+	if s.testHookCompileStart != nil {
+		s.testHookCompileStart()
+	}
+	data, err := func() (data []byte, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: pipeline panic: %v", r)
+			}
+		}()
+		// A request that missed the cache can become leader of a fresh
+		// flight just after the previous leader finished and cached; the
+		// re-check here keeps "one pipeline run per digest" exact instead
+		// of merely likely.
+		if !verify {
+			if cached, ok := s.cache.get(digest); ok {
+				return cached, nil
+			}
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.CompileTimeout)
+		defer cancel()
+		s.pipelineRuns.Inc()
+		data, res, err := compileArtifactContext(ctx, g, norm, s.stageTimer())
+		if err != nil {
+			return nil, err
+		}
+		if verify {
+			if verr := check.Pipeline(res, check.Options{}); verr != nil {
+				return nil, fmt.Errorf("%w: %w", errVerifyFailed, verr)
+			}
+			// The digest contract says one digest -> one byte sequence. If
+			// a cached artifact exists it must match the fresh compile;
+			// anything else is cache poisoning or lost determinism.
+			if cached, ok := s.cache.get(digest); ok && !bytes.Equal(cached, data) {
+				return nil, fmt.Errorf("%w: cached artifact for digest %s differs from recompilation", errVerifyFailed, digest)
+			}
+		}
+		s.cache.put(digest, data)
+		return data, nil
+	}()
+	s.flights.finish(key, f, data, err)
+}
+
+// stageTimer adapts core's OnStage hook into the per-stage latency
+// histogram: each hook call closes the previous stage's interval.
+func (s *Server) stageTimer() func(string) {
+	var (
+		last      string
+		lastStart time.Time
+	)
+	return func(stage string) {
+		now := time.Now()
+		if last != "" {
+			s.stageSeconds.With(last).Observe(now.Sub(lastStart).Seconds())
+		}
+		last, lastStart = stage, now
+		if stage == core.StageDone {
+			last = ""
+		}
+	}
+}
+
+var errVerifyFailed = errors.New("verification failed")
+
+// classifyCompileError maps a flight failure onto the structured error
+// vocabulary: admission shedding (429/503), deadlines (408), oracle
+// violations (500), and everything else — inconsistent graphs, deadlocks,
+// overflow, infeasible allocations — as 422 compile_failed.
+func (s *Server) classifyCompileError(err error) *APIError {
+	switch {
+	case errors.Is(err, par.ErrPoolFull):
+		s.shed.With("queue_full").Inc()
+		return &APIError{
+			Status: http.StatusTooManyRequests, Reason: "queue_full",
+			Message:           fmt.Sprintf("compile queue is full (%d queued, %d workers); retry shortly", s.cfg.QueueDepth, s.cfg.Workers),
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		}
+	case errors.Is(err, par.ErrPoolClosed) || errors.Is(err, context.Canceled):
+		s.shed.With("shutting_down").Inc()
+		return &APIError{
+			Status: http.StatusServiceUnavailable, Reason: "shutting_down",
+			Message:           "server is shutting down",
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.shed.With("deadline").Inc()
+		return &APIError{
+			Status: http.StatusRequestTimeout, Reason: "deadline",
+			Message: fmt.Sprintf("compilation exceeded the server's %v compile deadline: %v", s.cfg.CompileTimeout, err),
+		}
+	case errors.Is(err, errVerifyFailed):
+		return &APIError{
+			Status: http.StatusInternalServerError, Reason: "verify_failed",
+			Message: err.Error(),
+		}
+	default:
+		return &APIError{
+			Status: http.StatusUnprocessableEntity, Reason: "compile_failed",
+			Message: err.Error(),
+		}
+	}
+}
