@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race race-full race-service tier1 bench bench-json fuzz-short serve
+.PHONY: all build vet lint test race race-full race-service grid tier1 bench bench-json fuzz-short serve
 
 all: tier1
 
@@ -35,6 +35,14 @@ race-full:
 # admission pool) under the race detector.
 race-service:
 	$(GO) test -race -count=2 ./internal/service/...
+
+# grid validates the prefix-sharing plan executor: the planner-vs-direct
+# differential property test under the race detector, plus the fuzzer's
+# planner-path grid sweep over random graphs and the crasher corpus.
+grid:
+	$(GO) test -race -run 'TestPlan|TestPlannerDifferential|TestGrid' ./internal/pass/... ./internal/service/...
+	$(GO) run ./cmd/sdffuzz -n 50 -seed 1
+	cd cmd/sdffuzz && $(GO) run . -corpus
 
 # serve runs the compilation daemon on its default port.
 serve:

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,7 +36,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/par"
+	"repro/internal/pass"
 	"repro/internal/randsdf"
+	"repro/internal/regularity"
 	"repro/internal/sdf"
 	"repro/internal/systems"
 
@@ -61,6 +64,10 @@ type benchReport struct {
 	// AllocFirstFitNS times first-fit allocation on a 150-actor random
 	// graph's lifetime intervals.
 	AllocFirstFitNS int64 `json:"alloc_first_fit_ns,omitempty"`
+	// Grid compares the prefix-sharing plan executor against naive
+	// per-configuration compilation over the full option grid on the six
+	// example systems.
+	Grid []benchGrid `json:"grid,omitempty"`
 	// Service benchmarks the sdfd daemon over a loopback listener: cold vs
 	// warm compile latency per system and warm requests/sec at saturation.
 	Service *benchService `json:"service,omitempty"`
@@ -88,6 +95,20 @@ type benchMaxTokens struct {
 	LoopAwareNS int64   `json:"loop_aware_ns"`
 	FiringNS    int64   `json:"firing_ns"`
 	Speedup     float64 `json:"speedup"`
+}
+
+type benchGrid struct {
+	System  string `json:"system"`
+	Configs int    `json:"configs"`
+	// NaiveNS compiles every grid point with core.Compile, one full pipeline
+	// each; PlannedNS runs the same points as one prefix-sharing plan.
+	NaiveNS   int64   `json:"naive_ns"`
+	PlannedNS int64   `json:"planned_ns"`
+	Speedup   float64 `json:"speedup"`
+	// PlannedNodes/NaiveNodes count executed pass nodes with and without
+	// deduplication — the structural (machine-independent) sharing win.
+	PlannedNodes int `json:"planned_nodes"`
+	NaiveNodes   int `json:"naive_nodes"`
 }
 
 func main() {
@@ -358,6 +379,10 @@ func writeBenchFile(report *benchReport, path string, quick bool) error {
 		alloc.Allocate(res.Intervals, alloc.FirstFitDuration)
 	})
 
+	if err := benchGridSection(report, microBudget); err != nil {
+		return err
+	}
+
 	svc, err := benchServiceSection(quick)
 	if err != nil {
 		return err
@@ -376,6 +401,85 @@ func writeBenchFile(report *benchReport, path string, quick bool) error {
 	}
 	fmt.Fprintln(os.Stderr, "sdfbench: wrote", path)
 	return nil
+}
+
+// benchGridSection times the full (strategy x looping x allocator) grid —
+// one single-allocator point per combination, 24 points — on the six example
+// systems, compiled naively (core.Compile per point, sequential, each point a
+// full pipeline) and as one prefix-sharing plan (shared passes, parallel
+// branches). The speedup trajectory is the tentpole's headline number.
+func benchGridSection(report *benchReport, budget time.Duration) error {
+	points := gridPoints()
+	for _, g := range gridSystems() {
+		// One dry run of both paths: surfaces compile errors before timing and
+		// yields the structural node counts.
+		plan, err := pass.NewPlan(g, points, pass.PlanConfig{})
+		if err != nil {
+			return fmt.Errorf("grid %s: %w", g.Name, err)
+		}
+		row := benchGrid{System: g.Name, Configs: len(points)}
+		for _, kc := range plan.Stats() {
+			row.PlannedNodes += kc.Nodes
+			row.NaiveNodes += kc.Naive
+		}
+		for _, pt := range points {
+			if _, err := core.Compile(g, pt); err != nil {
+				return fmt.Errorf("grid %s: %w", g.Name, err)
+			}
+		}
+		row.NaiveNS = timeNsPerOp(budget, func() {
+			for _, pt := range points {
+				if _, err := core.Compile(g, pt); err != nil {
+					panic(err)
+				}
+			}
+		})
+		row.PlannedNS = timeNsPerOp(budget, func() {
+			if _, err := pass.RunGrid(context.Background(), g, points, pass.PlanConfig{}); err != nil {
+				panic(err)
+			}
+		})
+		if row.PlannedNS > 0 {
+			row.Speedup = float64(row.NaiveNS) / float64(row.PlannedNS)
+		}
+		report.Grid = append(report.Grid, row)
+	}
+	return nil
+}
+
+// gridPoints enumerates the full grid with one allocator per point, so the
+// naive path pays one compilation per (order, looping, allocator) triple and
+// the planner gets the widest allocator fan-out to share lifetimes across.
+func gridPoints() []pass.Options {
+	var pts []pass.Options
+	for _, strat := range []core.OrderStrategy{core.APGAN, core.RPMC} {
+		for _, la := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops, core.ChainPreciseLoops, core.FlatLoops} {
+			for _, a := range []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart, alloc.BestFitDuration} {
+				pts = append(pts, pass.Options{
+					Strategy: strat, Looping: la, Allocators: []alloc.Strategy{a},
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// gridSystems is the six-system example set the service quickstart uses.
+func gridSystems() []*sdf.Graph {
+	quick := sdf.New("quickstart")
+	a := quick.AddActor("A")
+	b := quick.AddActor("B")
+	c := quick.AddActor("C")
+	quick.AddEdge(a, b, 3, 2, 0)
+	quick.AddEdge(b, c, 5, 7, 0)
+	return []*sdf.Graph{
+		quick,
+		regularity.FIR(8),
+		systems.OneSidedFilterbank(4, systems.Ratio23),
+		systems.SatelliteReceiver(),
+		systems.Homogeneous(4, 4),
+		systems.CDDAT(),
+	}
 }
 
 // timeNsPerOp measures f's per-call wall time, doubling the iteration count

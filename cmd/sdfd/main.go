@@ -38,6 +38,7 @@ func main() {
 	compTimeout := fs.Duration("compile-timeout", 60*time.Second, "per-pipeline-run deadline")
 	maxKB := fs.Int64("max-request-kb", 1024, "request body limit in KiB")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
+	gridMax := fs.Int("grid-max-entries", 64, "maximum option entries per /v1/grid request")
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
 		os.Exit(code)
 	}
@@ -54,6 +55,7 @@ func main() {
 		CompileTimeout:  *compTimeout,
 		MaxRequestBytes: *maxKB << 10,
 		RetryAfter:      *retryAfter,
+		GridMaxEntries:  *gridMax,
 	})
 
 	httpSrv := &http.Server{

@@ -2,12 +2,15 @@
 // shared-memory synthesis pipeline: it draws random consistent acyclic SDF
 // graphs, compiles each one under every (topological sort x loop
 // post-optimization x allocator) configuration, and runs the stage-by-stage
-// invariant oracle of internal/check on every result. Failing graphs are
-// shrunk to minimal reproducers and written to -crashers (default
+// invariant oracle of internal/check on every result. Each graph's grid is
+// compiled through the prefix-sharing plan executor (internal/pass), so the
+// sweep also continuously exercises the planner against the oracle. Failing
+// graphs are shrunk to minimal reproducers and written to -crashers (default
 // testdata/crashers/) as commented .sdf files.
 //
 //	sdffuzz -n 500 -seed 1          # 500 graphs through the full grid
 //	sdffuzz -repro testdata/crashers/crasher-xyz.sdf
+//	sdffuzz -corpus                 # replay the crasher corpus, planner grid
 //	sdffuzz -daemon localhost:8347  # differential replay against sdfd
 //
 // With -daemon ADDR the fuzzer replays the crasher corpus plus -n random
@@ -19,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -32,6 +36,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/num"
+	"repro/internal/pass"
 	"repro/internal/randsdf"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
@@ -45,6 +50,7 @@ func main() {
 		maxActors = fs.Int("actors", 10, "maximum actors per generated graph")
 		crashDir  = fs.String("crashers", filepath.Join("testdata", "crashers"), "directory for minimized reproducers")
 		repro     = fs.String("repro", "", "re-run the oracle grid on one .sdf reproducer and exit")
+		corpus    = fs.Bool("corpus", false, "replay the whole crasher corpus through the planner grid and exit")
 		daemon    = fs.String("daemon", "", "replay corpus + random graphs against an sdfd daemon at this address")
 		verbose   = fs.Bool("v", false, "log every generated graph")
 	)
@@ -54,6 +60,9 @@ func main() {
 
 	if *repro != "" {
 		os.Exit(reproduce(*repro))
+	}
+	if *corpus {
+		os.Exit(corpusReplay(*crashDir))
 	}
 	if *daemon != "" {
 		if daemonReplay(*daemon, newReplayFuzzer(*seed, *maxActors, *crashDir), *n) > 0 {
@@ -112,18 +121,46 @@ func (f *fuzzer) run(n int) {
 		if f.verbose {
 			fmt.Printf("graph %d: %d actors, %d edges\n", i, g.NumActors(), g.NumEdges())
 		}
-		for _, cfg := range f.configs {
-			err := cfg.Run(g, check.Options{})
+		for ci, err := range planGrid(g, f.configs) {
 			switch classify(err) {
 			case verdictOK:
 			case verdictSkip:
 				f.skipped++
 			case verdictFail:
 				f.violations++
-				f.report(g, cfg, err)
+				f.report(g, f.configs[ci], err)
 			}
 		}
 	}
+}
+
+// planGrid compiles g's full configuration grid through the prefix-sharing
+// plan executor and runs the invariant oracle on every successful result. It
+// returns one error slot per configuration: nil for a pass, the compile error
+// or the oracle violation otherwise. Plan-time failures (a repetitions vector
+// that does not exist or overflows) poison every configuration, exactly as
+// point-at-a-time compilation would fail each point with the same error.
+func planGrid(g *sdf.Graph, configs []check.PipelineConfig) []error {
+	points := make([]pass.Options, len(configs))
+	for i, cfg := range configs {
+		points[i] = cfg.Options()
+	}
+	errs := make([]error, len(configs))
+	outs, err := pass.RunGridOutcomes(context.Background(), g, points, pass.PlanConfig{})
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			errs[i] = o.Err
+			continue
+		}
+		errs[i] = check.Pipeline(o.Result, check.Options{})
+	}
+	return errs
 }
 
 // report shrinks a failing graph to a minimal reproducer and writes it,
@@ -224,7 +261,7 @@ func writeCrasher(dir, bucket string, g *sdf.Graph, cfg check.PipelineConfig, er
 }
 
 // reproduce loads one crasher and re-runs the whole configuration grid on
-// it, reporting every configuration's verdict.
+// it through the planner, reporting every configuration's verdict.
 func reproduce(path string) int {
 	fh, err := os.Open(path)
 	if err != nil {
@@ -237,9 +274,17 @@ func reproduce(path string) int {
 		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
 		return 1
 	}
+	return replayGraph(g)
+}
+
+// replayGraph sweeps one graph's grid through the planner and prints each
+// configuration's verdict; the return value is 1 when any config failed.
+func replayGraph(g *sdf.Graph) int {
+	configs := check.PipelineConfigs()
 	failures := 0
-	for _, cfg := range check.PipelineConfigs() {
-		switch err := cfg.Run(g, check.Options{}); classify(err) {
+	for ci, err := range planGrid(g, configs) {
+		cfg := configs[ci]
+		switch classify(err) {
 		case verdictOK:
 			fmt.Printf("%-20s ok\n", cfg)
 		case verdictSkip:
@@ -253,4 +298,24 @@ func reproduce(path string) int {
 		return 1
 	}
 	return 0
+}
+
+// corpusReplay re-runs every crasher in the corpus through the planner grid,
+// a regression sweep over all historically minimized reproducers. Returns 1
+// when any configuration of any corpus graph still fails.
+func corpusReplay(dir string) int {
+	graphs := corpusGraphs(dir)
+	if len(graphs) == 0 {
+		fmt.Printf("sdffuzz: no corpus graphs under %s\n", dir)
+		return 0
+	}
+	fmt.Printf("sdffuzz: replaying %d corpus graphs through the planner grid\n", len(graphs))
+	code := 0
+	for _, g := range graphs {
+		fmt.Printf("-- %s\n", g.Name)
+		if replayGraph(g) != 0 {
+			code = 1
+		}
+	}
+	return code
 }

@@ -50,6 +50,10 @@ type Placement struct {
 type Allocation struct {
 	Placements []Placement
 	Total      int64
+	// wig is the intersection graph of the enumerated instance, indexed like
+	// Placements; Verify walks its adjacency instead of re-deriving the
+	// pairwise intersection tests.
+	wig *lifetime.WIG
 }
 
 // OffsetOf returns the assigned offset of the given interval.
@@ -68,6 +72,13 @@ type memRange struct{ lo, hi int64 }
 // Allocate packs the intervals into shared memory with the given strategy.
 // The input slice is not modified.
 func Allocate(intervals []*lifetime.Interval, strat Strategy) *Allocation {
+	order := Enumerate(intervals, strat)
+	return AllocateEnumerated(order, lifetime.BuildWIG(order), strat)
+}
+
+// Enumerate returns a copy of intervals in strat's enumeration order
+// (decreasing duration for ffdur/bfdur, increasing start time for ffstart).
+func Enumerate(intervals []*lifetime.Interval, strat Strategy) []*lifetime.Interval {
 	order := append([]*lifetime.Interval(nil), intervals...)
 	switch strat {
 	case FirstFitStart:
@@ -75,7 +86,14 @@ func Allocate(intervals []*lifetime.Interval, strat Strategy) *Allocation {
 	case FirstFitDuration, BestFitDuration:
 		lifetime.SortByDuration(order)
 	}
-	w := lifetime.BuildWIG(order)
+	return order
+}
+
+// AllocateEnumerated packs an already-enumerated instance over its
+// intersection graph. Both order and w are only read, so callers compiling a
+// grid may share one (order, WIG) pair across every strategy with the same
+// enumeration — ffdur and bfdur both enumerate by decreasing duration.
+func AllocateEnumerated(order []*lifetime.Interval, w *lifetime.WIG, strat Strategy) *Allocation {
 	offsets := make([]int64, len(order))
 	placed := make([]bool, len(order))
 	var total int64
@@ -115,7 +133,7 @@ func Allocate(intervals []*lifetime.Interval, strat Strategy) *Allocation {
 			total = off + iv.Size
 		}
 	}
-	res := &Allocation{Total: total, Placements: make([]Placement, len(order))}
+	res := &Allocation{Total: total, Placements: make([]Placement, len(order)), wig: w}
 	for i, iv := range order {
 		res.Placements[i] = Placement{Interval: iv, Offset: offsets[i]}
 	}
@@ -170,20 +188,49 @@ func bestFit(busy []memRange, size int64) int64 {
 }
 
 // Verify checks that no two time-intersecting intervals overlap in memory.
-// It returns nil for a feasible allocation.
+// It returns nil for a feasible allocation. When the allocation carries its
+// intersection graph the intersecting pairs are read off the adjacency lists
+// (same pairs, same scan order); re-deriving them is the fallback for
+// allocations assembled without one.
 func (a *Allocation) Verify() error {
+	if a.wig != nil && len(a.wig.Intervals) == len(a.Placements) {
+		for i := range a.Placements {
+			for _, j := range a.wig.Adj[i] {
+				if j <= i {
+					continue
+				}
+				if err := a.checkPair(i, j); err != nil {
+					return err
+				}
+			}
+		}
+		return a.checkBounds()
+	}
 	for i := 0; i < len(a.Placements); i++ {
 		for j := i + 1; j < len(a.Placements); j++ {
-			pi, pj := a.Placements[i], a.Placements[j]
-			if !lifetime.Intersects(pi.Interval, pj.Interval) {
+			if !lifetime.Intersects(a.Placements[i].Interval, a.Placements[j].Interval) {
 				continue
 			}
-			if pi.Offset < pj.Offset+pj.Interval.Size && pj.Offset < pi.Offset+pi.Interval.Size {
-				return fmt.Errorf("alloc: %s @%d and %s @%d overlap in time and memory",
-					pi.Interval.Name, pi.Offset, pj.Interval.Name, pj.Offset)
+			if err := a.checkPair(i, j); err != nil {
+				return err
 			}
 		}
 	}
+	return a.checkBounds()
+}
+
+// checkPair reports the memory-overlap error of the time-intersecting pair
+// (i, j), or nil when their address ranges are disjoint.
+func (a *Allocation) checkPair(i, j int) error {
+	pi, pj := a.Placements[i], a.Placements[j]
+	if pi.Offset < pj.Offset+pj.Interval.Size && pj.Offset < pi.Offset+pi.Interval.Size {
+		return fmt.Errorf("alloc: %s @%d and %s @%d overlap in time and memory",
+			pi.Interval.Name, pi.Offset, pj.Interval.Name, pj.Offset)
+	}
+	return nil
+}
+
+func (a *Allocation) checkBounds() error {
 	for _, p := range a.Placements {
 		if p.Offset < 0 || p.Offset+p.Interval.Size > a.Total {
 			return fmt.Errorf("alloc: %s @%d exceeds total %d", p.Interval.Name, p.Offset, a.Total)

@@ -8,157 +8,62 @@
 //
 // Compile is the single entry point a downstream user needs; the individual
 // phases remain available in their own packages.
+//
+// Since the pass-graph refactor the pipeline body lives in internal/pass:
+// each Fig. 21 stage is a typed pass with an explicit artifact struct and a
+// content key, and pass.Plan executes whole configuration grids with
+// memoized prefix sharing. This package re-exports the option/result types
+// as aliases and keeps Compile as the thin sequential assembly, so existing
+// callers are untouched. See docs/PIPELINE.md.
 package core
 
 import (
 	"context"
-	"fmt"
 
-	"repro/internal/alloc"
-	"repro/internal/apgan"
-	"repro/internal/lifetime"
-	"repro/internal/looping"
-	"repro/internal/merge"
-	"repro/internal/rpmc"
-	"repro/internal/sched"
-	"repro/internal/schedtree"
+	"repro/internal/pass"
 	"repro/internal/sdf"
-	"repro/internal/sim"
 )
 
 // OrderStrategy selects how the lexical ordering (topological sort) is
 // generated.
-type OrderStrategy int
+type OrderStrategy = pass.OrderStrategy
 
 const (
 	// APGAN clusters adjacent actors bottom-up by maximum repetition gcd.
-	APGAN OrderStrategy = iota
+	APGAN = pass.APGAN
 	// RPMC partitions the graph top-down by minimum legal cuts.
-	RPMC
+	RPMC = pass.RPMC
 	// CustomOrder uses Options.Order verbatim.
-	CustomOrder
+	CustomOrder = pass.CustomOrder
 )
 
-// String names the strategy as in the paper's tables ("(A)" / "(R)").
-func (s OrderStrategy) String() string {
-	switch s {
-	case APGAN:
-		return "APGAN"
-	case RPMC:
-		return "RPMC"
-	case CustomOrder:
-		return "custom"
-	default:
-		return fmt.Sprintf("OrderStrategy(%d)", int(s))
-	}
-}
-
 // LoopAlg selects the loop-hierarchy post-optimization.
-type LoopAlg int
+type LoopAlg = pass.LoopAlg
 
 const (
 	// SDPPOLoops is the shared-model heuristic DP (EQ 5) — the paper's
 	// default for shared-memory synthesis.
-	SDPPOLoops LoopAlg = iota
+	SDPPOLoops = pass.SDPPOLoops
 	// DPPOLoops is the non-shared-model DP (EQ 2/3).
-	DPPOLoops
+	DPPOLoops = pass.DPPOLoops
 	// ChainPreciseLoops uses the exact triple-cost DP of Sec. 6 when the
 	// graph is chain-structured under the chosen order, falling back to
 	// SDPPO otherwise.
-	ChainPreciseLoops
+	ChainPreciseLoops = pass.ChainPreciseLoops
 	// FlatLoops skips post-optimization and keeps the flat SAS.
-	FlatLoops
+	FlatLoops = pass.FlatLoops
 )
-
-// String names the looping algorithm.
-func (l LoopAlg) String() string {
-	switch l {
-	case SDPPOLoops:
-		return "sdppo"
-	case DPPOLoops:
-		return "dppo"
-	case ChainPreciseLoops:
-		return "chain-sdppo"
-	case FlatLoops:
-		return "flat"
-	default:
-		return fmt.Sprintf("LoopAlg(%d)", int(l))
-	}
-}
 
 // Options configures Compile. The zero value is the paper's recommended
 // configuration: RPMC ordering, SDPPO looping, first-fit-by-duration and
 // first-fit-by-start allocation with the better result selected.
-type Options struct {
-	Strategy OrderStrategy
-	Order    []sdf.ActorID // used only with CustomOrder
-	Looping  LoopAlg
-	// Allocators to try; the smallest feasible result is selected. Default:
-	// ffdur and ffstart.
-	Allocators []alloc.Strategy
-	// Verify runs the token-level shared-memory simulator for VerifyPeriods
-	// periods (default 2) and fails compilation on any safety violation.
-	Verify        bool
-	VerifyPeriods int
-	// Merging enables the Sec. 12 buffer-merging extension: input/output
-	// buffer pairs across consume-before-produce actors are folded into one
-	// array when that provably shrinks the packed total. Merged buffers use
-	// a combined memory image that the token-level simulator cannot check,
-	// so Verify covers the unmerged allocation and merging is applied after.
-	Merging bool
-	// MergePolicy optionally marks actors whose outputs overlap their
-	// inputs (merge.Overlap); nil treats every actor as consume-before-
-	// produce.
-	MergePolicy func(sdf.ActorID) merge.Policy
-	// OnStage, when non-nil, is invoked at the start of every pipeline
-	// stage (the Stage* constants, in order) and once with StageDone when
-	// compilation succeeds. The hook lets callers attribute wall time to
-	// stages without putting clock reads inside the deterministic core:
-	// sdfd times the interval between consecutive calls. The hook must not
-	// influence compilation — it sees stage names only.
-	OnStage func(stage string)
-}
+type Options = pass.Options
 
 // Result is the outcome of a compilation.
-type Result struct {
-	Graph       *sdf.Graph
-	Repetitions sdf.Repetitions
-	Order       []sdf.ActorID
-	// Schedule is the post-optimized nested single appearance schedule.
-	Schedule *sched.Schedule
-	Tree     *schedtree.Tree
-	// Intervals holds one buffer lifetime per edge (indexed by edge ID).
-	Intervals []*lifetime.Interval
-	// Allocations per strategy, and the best (smallest) one.
-	Allocations map[alloc.Strategy]*alloc.Allocation
-	Best        *alloc.Allocation
-	BestBy      alloc.Strategy
-	Metrics     Metrics
-}
+type Result = pass.Result
 
 // Metrics gathers every number the paper's tables report for one run.
-type Metrics struct {
-	// DPCost is the looping DP's objective value (bufmem for DPPO, the
-	// shared overlay estimate for SDPPO / chain DP).
-	DPCost int64
-	// NonSharedBufMem is the simulated bufmem (EQ 1) of the final schedule:
-	// what a non-shared implementation of this same schedule would need.
-	NonSharedBufMem int64
-	// MCO and MCP are the optimistic and pessimistic maximum-clique-weight
-	// estimates over the extracted lifetimes.
-	MCO, MCP int64
-	// AllocTotals maps allocator name to achieved total memory.
-	AllocTotals map[string]int64
-	// SharedTotal is the best allocation total.
-	SharedTotal int64
-	// MergedTotal is the best allocation total after buffer merging; equal
-	// to SharedTotal unless Options.Merging found profitable merges.
-	MergedTotal int64
-	// Merges is the number of buffer pairs folded by Options.Merging.
-	Merges int
-	// BMLB is the non-shared buffer memory lower bound over all SASs.
-	BMLB int64
-}
+type Metrics = pass.Metrics
 
 // Pipeline stage names reported through Options.OnStage and used in
 // deadline-exceeded errors. They follow the Fig. 21 flow: the schedule stage
@@ -166,33 +71,18 @@ type Metrics struct {
 // loop-hierarchy DP, then lifetime extraction and storage allocation;
 // verify and merge fire only when the corresponding option is set.
 const (
-	StageSchedule = "schedule"
-	StageLoopDP   = "loopdp"
-	StageLifetime = "lifetime"
-	StageAlloc    = "alloc"
-	StageVerify   = "verify"
-	StageMerge    = "merge"
-	StageDone     = "done"
+	StageSchedule = pass.StageSchedule
+	StageLoopDP   = pass.StageLoopDP
+	StageLifetime = pass.StageLifetime
+	StageAlloc    = pass.StageAlloc
+	StageVerify   = pass.StageVerify
+	StageMerge    = pass.StageMerge
+	StageDone     = pass.StageDone
 )
 
 // Compile runs the full flow on a consistent SDF graph.
 func Compile(g *sdf.Graph, opts Options) (*Result, error) {
-	return CompileContext(context.Background(), g, opts)
-}
-
-// stageStart is the per-stage checkpoint of the context-aware entry points:
-// it aborts promptly once ctx is cancelled or past its deadline (wrapping
-// the context error so callers can errors.Is on it) and notifies the
-// OnStage hook. Cancellation is checked between stages, not inside them —
-// the individual algorithms stay pure functions with no context plumbing.
-func stageStart(ctx context.Context, opts Options, stage string) error {
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("core: aborted before %s stage: %w", stage, err)
-	}
-	if opts.OnStage != nil {
-		opts.OnStage(stage)
-	}
-	return nil
+	return pass.Compile(g, opts)
 }
 
 // CompileContext is Compile with cooperative cancellation: the deadline or
@@ -200,213 +90,5 @@ func stageStart(ctx context.Context, opts Options, stage string) error {
 // hook (if any) sees each stage begin. A cancelled compilation returns an
 // error wrapping ctx.Err() and no Result.
 func CompileContext(ctx context.Context, g *sdf.Graph, opts Options) (*Result, error) {
-	if err := stageStart(ctx, opts, StageSchedule); err != nil {
-		return nil, err
-	}
-	q, err := g.Repetitions()
-	if err != nil {
-		return nil, err
-	}
-	order, err := makeOrder(g, q, opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := stageStart(ctx, opts, StageLoopDP); err != nil {
-		return nil, err
-	}
-	s, dpCost, err := makeLoops(g, q, order, opts.Looping)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.Validate(q); err != nil {
-		return nil, fmt.Errorf("core: generated schedule %s is invalid: %w", s, err)
-	}
-	if err := stageStart(ctx, opts, StageLifetime); err != nil {
-		return nil, err
-	}
-	tree, err := schedtree.FromSchedule(s)
-	if err != nil {
-		return nil, err
-	}
-	intervals, err := tree.Lifetimes(q)
-	if err != nil {
-		return nil, err
-	}
-	if err := stageStart(ctx, opts, StageAlloc); err != nil {
-		return nil, err
-	}
-	allocators := opts.Allocators
-	if len(allocators) == 0 {
-		allocators = []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart}
-	}
-	res := &Result{
-		Graph:       g,
-		Repetitions: q,
-		Order:       order,
-		Schedule:    s,
-		Tree:        tree,
-		Intervals:   intervals,
-		Allocations: make(map[alloc.Strategy]*alloc.Allocation, len(allocators)),
-	}
-	res.Metrics.DPCost = dpCost
-	res.Metrics.AllocTotals = make(map[string]int64, len(allocators))
-	for _, strat := range allocators {
-		a := alloc.Allocate(intervals, strat)
-		if err := a.Verify(); err != nil {
-			return nil, fmt.Errorf("core: %v allocation infeasible: %w", strat, err)
-		}
-		res.Allocations[strat] = a
-		res.Metrics.AllocTotals[strat.String()] = a.Total
-		if res.Best == nil || a.Total < res.Best.Total {
-			res.Best = a
-			res.BestBy = strat
-		}
-	}
-	res.Metrics.SharedTotal = res.Best.Total
-	res.Metrics.MCO = lifetime.MCWOptimistic(intervals)
-	res.Metrics.MCP = lifetime.MCWPessimistic(intervals)
-	bmlb, err := g.BMLB()
-	if err != nil {
-		return nil, err
-	}
-	res.Metrics.BMLB = bmlb
-	bm, err := s.BufMem()
-	if err != nil {
-		return nil, err
-	}
-	res.Metrics.NonSharedBufMem = bm
-
-	if opts.Verify {
-		if err := stageStart(ctx, opts, StageVerify); err != nil {
-			return nil, err
-		}
-		periods := opts.VerifyPeriods
-		if periods <= 0 {
-			periods = 2
-		}
-		if err := sim.Run(s, q, intervals, res.Best, periods); err != nil {
-			return nil, fmt.Errorf("core: verification failed: %w", err)
-		}
-	}
-
-	res.Metrics.MergedTotal = res.Metrics.SharedTotal
-	if opts.Merging {
-		if err := stageStart(ctx, opts, StageMerge); err != nil {
-			return nil, err
-		}
-		total, merges, err := applyMerging(res, opts, allocators)
-		if err != nil {
-			return nil, err
-		}
-		res.Metrics.MergedTotal = total
-		res.Metrics.Merges = merges
-	}
-	if err := stageStart(ctx, opts, StageDone); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// applyMerging grows an allocation-aware merge plan (Sec. 12): candidates
-// with non-periodic lifetimes are folded one by one, keeping each merge only
-// if the packed total shrinks.
-func applyMerging(res *Result, opts Options, allocators []alloc.Strategy) (int64, int, error) {
-	cands := merge.Candidates(res.Schedule, opts.MergePolicy)
-	var solid []merge.Candidate
-	for _, c := range cands {
-		if len(res.Intervals[c.In].Periods) == 0 && len(res.Intervals[c.Out].Periods) == 0 {
-			solid = append(solid, c)
-		}
-	}
-	allocBest := func(ivs []*lifetime.Interval) (int64, error) {
-		best := int64(-1)
-		for _, s := range allocators {
-			a := alloc.Allocate(ivs, s)
-			if err := a.Verify(); err != nil {
-				return 0, fmt.Errorf("core: merged allocation infeasible: %w", err)
-			}
-			if best < 0 || a.Total < best {
-				best = a.Total
-			}
-		}
-		return best, nil
-	}
-	best := res.Metrics.SharedTotal
-	used := map[sdf.EdgeID]bool{}
-	var plan []merge.Candidate
-	for _, c := range solid {
-		if c.Gain <= 0 || used[c.In] || used[c.Out] {
-			continue
-		}
-		trial, err := allocBest(merge.Apply(res.Intervals, append(plan, c)))
-		if err != nil {
-			return 0, 0, err
-		}
-		if trial < best {
-			plan = append(plan, c)
-			used[c.In], used[c.Out] = true, true
-			best = trial
-		}
-	}
-	return best, len(plan), nil
-}
-
-func makeOrder(g *sdf.Graph, q sdf.Repetitions, opts Options) ([]sdf.ActorID, error) {
-	switch opts.Strategy {
-	case APGAN:
-		res, err := apgan.Run(g, q)
-		if err != nil {
-			return nil, err
-		}
-		return res.Order, nil
-	case RPMC:
-		return rpmc.Order(g, q)
-	case CustomOrder:
-		if len(opts.Order) != g.NumActors() {
-			return nil, fmt.Errorf("core: custom order has %d actors, graph has %d",
-				len(opts.Order), g.NumActors())
-		}
-		return opts.Order, nil
-	default:
-		return nil, fmt.Errorf("core: unknown order strategy %v", opts.Strategy)
-	}
-}
-
-func makeLoops(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID, la LoopAlg) (*sched.Schedule, int64, error) {
-	switch la {
-	case SDPPOLoops:
-		r, err := looping.SDPPO(g, q, order)
-		if err != nil {
-			return nil, 0, err
-		}
-		return r.Schedule, r.Cost, nil
-	case DPPOLoops:
-		r, err := looping.DPPO(g, q, order)
-		if err != nil {
-			return nil, 0, err
-		}
-		return r.Schedule, r.Cost, nil
-	case ChainPreciseLoops:
-		if g.IsChain(order) {
-			r, err := looping.ChainSDPPO(g, q, order)
-			if err != nil {
-				return nil, 0, err
-			}
-			return r.Schedule, r.Cost, nil
-		}
-		r, err := looping.SDPPO(g, q, order)
-		if err != nil {
-			return nil, 0, err
-		}
-		return r.Schedule, r.Cost, nil
-	case FlatLoops:
-		s := sched.FlatSAS(g, q, order)
-		bm, err := s.BufMem()
-		if err != nil {
-			return nil, 0, err
-		}
-		return s, bm, nil
-	default:
-		return nil, 0, fmt.Errorf("core: unknown looping algorithm %v", la)
-	}
+	return pass.CompileContext(ctx, g, opts)
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/sdf"
+)
+
+// TestBestAllocatorNameTieBreak: when two allocators achieve the same total,
+// the best must be chosen by allocator name, not by the caller's slice order.
+// A single-edge graph forces the tie — every allocator packs the one buffer
+// identically.
+func TestBestAllocatorNameTieBreak(t *testing.T) {
+	g := sdf.New("tie")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 2, 3, 0)
+
+	orders := [][]alloc.Strategy{
+		{alloc.FirstFitDuration, alloc.FirstFitStart},
+		{alloc.FirstFitStart, alloc.FirstFitDuration},
+	}
+	var totals [2]int64
+	for i, allocators := range orders {
+		res, err := Compile(g, Options{Allocators: allocators})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := [2]int64{
+			res.Allocations[alloc.FirstFitDuration].Total,
+			res.Allocations[alloc.FirstFitStart].Total,
+		}
+		if tot[0] != tot[1] {
+			t.Fatalf("expected a tie, got ffdur %d vs ffstart %d", tot[0], tot[1])
+		}
+		if res.BestBy != alloc.FirstFitDuration {
+			t.Errorf("allocators %v: BestBy = %v, want ffdur (name tie-break)",
+				allocators, res.BestBy)
+		}
+		totals[i] = res.Best.Total
+	}
+	if totals[0] != totals[1] {
+		t.Errorf("best total depends on allocator slice order: %d vs %d", totals[0], totals[1])
+	}
+}
+
+// The cyclic path shares the same tie-break.
+func TestBestAllocatorNameTieBreakCyclic(t *testing.T) {
+	g := sdf.New("tiecycle")
+	a := g.AddActor("A")
+	b := g.AddActor("B")
+	g.AddEdge(a, b, 3, 2, 0)
+	g.AddEdge(b, a, 2, 3, 4) // constrains precedence: {A, B} stay strongly connected
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsAcyclic(q) {
+		t.Fatal("test graph should be cyclic")
+	}
+	for _, allocators := range [][]alloc.Strategy{
+		{alloc.FirstFitDuration, alloc.FirstFitStart},
+		{alloc.FirstFitStart, alloc.FirstFitDuration},
+	} {
+		res, err := CompileGeneral(g, Options{Allocators: allocators})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := res.Allocations[alloc.FirstFitDuration].Total
+		s := res.Allocations[alloc.FirstFitStart].Total
+		if d == s && res.BestBy != alloc.FirstFitDuration {
+			t.Errorf("allocators %v: BestBy = %v on tied totals, want ffdur",
+				allocators, res.BestBy)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/par"
+	"repro/internal/pass"
 	"repro/internal/sched"
 	"repro/internal/sdf"
 	"repro/internal/systems"
@@ -24,17 +26,21 @@ type HomogeneousRow struct {
 }
 
 // Homogeneous runs the study over the given (M, N) grid, one grid cell per
-// worker, results in grid order.
+// worker, results in grid order. Within one cell the two ordering strategies
+// compile as a planned grid, sharing the repetitions pass.
 func Homogeneous(ms, ns []int) ([]HomogeneousRow, error) {
 	return par.Map(len(ms)*len(ns), func(i int) (HomogeneousRow, error) {
 		m, n := ms[i/len(ns)], ns[i%len(ns)]
 		g := systems.Homogeneous(m, n)
+		results, err := pass.RunGrid(context.Background(), g, []pass.Options{
+			{Strategy: core.RPMC, Verify: true},
+			{Strategy: core.APGAN, Verify: true},
+		}, pass.PlanConfig{})
+		if err != nil {
+			return HomogeneousRow{}, fmt.Errorf("experiments: homogeneous %dx%d: %w", m, n, err)
+		}
 		best := int64(-1)
-		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
-			c, err := core.Compile(g, core.Options{Strategy: strat, Verify: true})
-			if err != nil {
-				return HomogeneousRow{}, fmt.Errorf("experiments: homogeneous %dx%d: %w", m, n, err)
-			}
+		for _, c := range results {
 			if best < 0 || c.Best.Total < best {
 				best = c.Best.Total
 			}
@@ -68,27 +74,33 @@ type SdppoVsDppoRow struct {
 
 // SdppoVsDppo runs the ablation over the given systems with both order
 // strategies, keeping the better result of each looping algorithm. One
-// system per worker, results in input order.
+// system per worker, results in input order; within a system the four
+// (strategy, looping) points compile as one planned grid, sharing the
+// repetitions vector and each strategy's lexical order.
 func SdppoVsDppo(graphs []*sdf.Graph) ([]SdppoVsDppoRow, error) {
 	return par.MapSlice(graphs, func(_ int, g *sdf.Graph) (SdppoVsDppoRow, error) {
 		row := SdppoVsDppoRow{System: g.Name, AllocSdppo: -1, AllocDppo: -1}
+		var points []pass.Options
 		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
 			for _, la := range []core.LoopAlg{core.SDPPOLoops, core.DPPOLoops} {
-				c, err := core.Compile(g, core.Options{
+				points = append(points, pass.Options{
 					Strategy: strat, Looping: la,
 					Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
 				})
-				if err != nil {
-					return row, fmt.Errorf("experiments: sdppo-vs-dppo %s: %w", g.Name, err)
+			}
+		}
+		results, err := pass.RunGrid(context.Background(), g, points, pass.PlanConfig{})
+		if err != nil {
+			return row, fmt.Errorf("experiments: sdppo-vs-dppo %s: %w", g.Name, err)
+		}
+		for i, c := range results {
+			if points[i].Looping == core.SDPPOLoops {
+				if row.AllocSdppo < 0 || c.Best.Total < row.AllocSdppo {
+					row.AllocSdppo = c.Best.Total
 				}
-				if la == core.SDPPOLoops {
-					if row.AllocSdppo < 0 || c.Best.Total < row.AllocSdppo {
-						row.AllocSdppo = c.Best.Total
-					}
-				} else {
-					if row.AllocDppo < 0 || c.Best.Total < row.AllocDppo {
-						row.AllocDppo = c.Best.Total
-					}
+			} else {
+				if row.AllocDppo < 0 || c.Best.Total < row.AllocDppo {
+					row.AllocDppo = c.Best.Total
 				}
 			}
 		}
@@ -135,19 +147,23 @@ func Satrec() (SatrecComparison, error) {
 	}
 	g := systems.SatelliteReceiver()
 	cmp.NonShared, cmp.Shared, cmp.FlatShared = -1, -1, -1
+	// Six grid points — both strategies times the three schedule classes —
+	// planned together: each strategy's lexical order is computed once and
+	// shared by its three loopings.
+	var points []pass.Options
 	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
-		ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
-		if err != nil {
-			return cmp, err
-		}
-		sh, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops, Verify: true})
-		if err != nil {
-			return cmp, err
-		}
-		fl, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.FlatLoops, Verify: true})
-		if err != nil {
-			return cmp, err
-		}
+		points = append(points,
+			pass.Options{Strategy: strat, Looping: core.DPPOLoops},
+			pass.Options{Strategy: strat, Looping: core.SDPPOLoops, Verify: true},
+			pass.Options{Strategy: strat, Looping: core.FlatLoops, Verify: true},
+		)
+	}
+	results, err := pass.RunGrid(context.Background(), g, points, pass.PlanConfig{})
+	if err != nil {
+		return cmp, err
+	}
+	for i := 0; i < len(results); i += 3 {
+		ns, sh, fl := results[i], results[i+1], results[i+2]
 		if cmp.NonShared < 0 || ns.Metrics.NonSharedBufMem < cmp.NonShared {
 			cmp.NonShared = ns.Metrics.NonSharedBufMem
 		}
@@ -232,14 +248,19 @@ func CDDAT() ([]CDDATRow, error) {
 		return nil, err
 	}
 	src, _ := g.ActorByName("cd")
+	loopings := []core.LoopAlg{core.FlatLoops, core.DPPOLoops}
+	points := make([]pass.Options, len(loopings))
+	for i, la := range loopings {
+		points[i] = pass.Options{Strategy: core.APGAN, Looping: la}
+	}
+	results, err := pass.RunGrid(context.Background(), g, points, pass.PlanConfig{})
+	if err != nil {
+		return nil, err
+	}
 	var rows []CDDATRow
-	for _, la := range []core.LoopAlg{core.FlatLoops, core.DPPOLoops} {
-		c, err := core.Compile(g, core.Options{Strategy: core.APGAN, Looping: la})
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range results {
 		rows = append(rows, CDDATRow{
-			Schedule:    fmt.Sprintf("%s: %s", la, c.Schedule),
+			Schedule:    fmt.Sprintf("%s: %s", loopings[i], c.Schedule),
 			InputBuffer: InputBuffering(c.Schedule, q, src.ID),
 			BufMem:      c.Metrics.NonSharedBufMem,
 		})

@@ -7,12 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/par"
+	"repro/internal/pass"
 	"repro/internal/sdf"
 	"repro/internal/systems"
 )
@@ -60,23 +62,28 @@ func table1Row(g *sdf.Graph) (Table1Row, error) {
 		return Table1Row{System: g.Name}, err
 	}
 	row := Table1Row{System: g.Name, Actors: g.NumActors(), BMLB: bmlb}
-	for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
-		// Non-shared reference: DPPO looping, bufmem metric.
-		ns, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
-		if err != nil {
-			return row, err
-		}
-		// Shared implementation: SDPPO looping, both first-fit orders,
-		// verified end to end by the token simulator.
-		sh, err := core.Compile(g, core.Options{
-			Strategy:   strat,
-			Looping:    core.SDPPOLoops,
-			Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
-			Verify:     true,
-		})
-		if err != nil {
-			return row, err
-		}
+	// All four compilations — per strategy, the non-shared DPPO reference
+	// and the verified SDPPO shared implementation — as one planned grid:
+	// the repetitions vector and each strategy's lexical order are shared.
+	strats := []core.OrderStrategy{core.RPMC, core.APGAN}
+	var points []pass.Options
+	for _, strat := range strats {
+		points = append(points,
+			pass.Options{Strategy: strat, Looping: core.DPPOLoops},
+			pass.Options{
+				Strategy:   strat,
+				Looping:    core.SDPPOLoops,
+				Allocators: []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart},
+				Verify:     true,
+			},
+		)
+	}
+	results, err := pass.RunGrid(context.Background(), g, points, pass.PlanConfig{})
+	if err != nil {
+		return row, err
+	}
+	for si, strat := range strats {
+		ns, sh := results[2*si], results[2*si+1]
 		dppo := ns.Metrics.NonSharedBufMem
 		sdppo := sh.Metrics.DPCost
 		ffdur := sh.Metrics.AllocTotals[alloc.FirstFitDuration.String()]

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dynsched"
+	"repro/internal/pass"
 	"repro/internal/sdf"
 )
 
@@ -36,19 +38,22 @@ func Tradeoff(graphs []*sdf.Graph) ([]TradeoffRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Six points per system (2 strategies × 3 schedule classes), planned
+		// together so the loopings share each strategy's lexical order.
+		var points []pass.Options
 		for _, strat := range []core.OrderStrategy{core.RPMC, core.APGAN} {
-			flat, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.FlatLoops})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: tradeoff %s: %w", g.Name, err)
-			}
-			nested, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.DPPOLoops})
-			if err != nil {
-				return nil, err
-			}
-			shared, err := core.Compile(g, core.Options{Strategy: strat, Looping: core.SDPPOLoops})
-			if err != nil {
-				return nil, err
-			}
+			points = append(points,
+				pass.Options{Strategy: strat, Looping: core.FlatLoops},
+				pass.Options{Strategy: strat, Looping: core.DPPOLoops},
+				pass.Options{Strategy: strat, Looping: core.SDPPOLoops},
+			)
+		}
+		results, err := pass.RunGrid(context.Background(), g, points, pass.PlanConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tradeoff %s: %w", g.Name, err)
+		}
+		for i := 0; i < len(results); i += 3 {
+			flat, nested, shared := results[i], results[i+1], results[i+2]
 			if row.FlatBuf < 0 || flat.Metrics.NonSharedBufMem < row.FlatBuf {
 				row.FlatBuf = flat.Metrics.NonSharedBufMem
 				row.FlatCode = flat.Schedule.CodeSize(1)

@@ -32,6 +32,20 @@ func TestAppliesTo(t *testing.T) {
 	}
 }
 
+// TestBannedCallCoversDeterministicSet pins the package list of the
+// determinism analyzer: every package the pass graph's purity argument rests
+// on must be in the set, internal/pass itself included.
+func TestBannedCallCoversDeterministicSet(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/core", "repro/internal/pass", "repro/internal/alloc",
+		"repro/internal/lifetime", "repro/internal/check",
+	} {
+		if !BannedCall.AppliesTo(path) {
+			t.Errorf("BannedCall does not apply to %s", path)
+		}
+	}
+}
+
 func TestMalformedIgnoreDirective(t *testing.T) {
 	src := `package p
 

@@ -18,6 +18,7 @@ var BannedCall = &Analyzer{
 	Packages: []string{
 		"internal/sdf", "internal/sched", "internal/looping", "internal/lifetime",
 		"internal/alloc", "internal/codegen", "internal/check", "internal/core",
+		"internal/pass",
 	},
 	Run: runBannedCall,
 }

@@ -90,3 +90,52 @@ func suppressed(s Strategy) string {
 	}
 	return ""
 }
+
+// Kind mirrors the pass-kind enum of internal/pass: a named int whose
+// constants name the pipeline's pass graph nodes. Switches over it dispatch
+// plan execution and stage attribution, so they must stay exhaustive.
+type Kind int
+
+const (
+	KindRepetitions Kind = iota
+	KindOrder
+	KindSchedule
+	KindLifetimes
+	KindAlloc
+	KindAssemble
+)
+
+func kindMissing(k Kind) string {
+	switch k { // want "missing KindAssemble"
+	case KindRepetitions:
+		return "repetitions"
+	case KindOrder:
+		return "order"
+	case KindSchedule:
+		return "schedule"
+	case KindLifetimes:
+		return "lifetimes"
+	case KindAlloc:
+		return "alloc"
+	}
+	return ""
+}
+
+func kindCovered(k Kind) string {
+	switch k {
+	case KindRepetitions:
+		return "repetitions"
+	case KindOrder:
+		return "order"
+	case KindSchedule:
+		return "schedule"
+	case KindLifetimes:
+		return "lifetimes"
+	case KindAlloc:
+		return "alloc"
+	case KindAssemble:
+		return "assemble"
+	default:
+		panic("unknown pass kind")
+	}
+}

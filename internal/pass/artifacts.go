@@ -1,0 +1,128 @@
+package pass
+
+import (
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+	"repro/internal/schedtree"
+	"repro/internal/sdf"
+)
+
+// Repetitions is the artifact of the q pass: the balanced minimal
+// repetitions vector of the graph.
+type Repetitions struct {
+	Q sdf.Repetitions
+}
+
+// Order is the artifact of the topological-sort pass: the lexical actor
+// ordering the schedule is built over.
+type Order struct {
+	Actors []sdf.ActorID
+}
+
+// LoopedSchedule is the artifact of the loop-hierarchy pass: the
+// post-optimized nested single appearance schedule plus the DP's objective
+// value (bufmem for DPPO, the shared overlay estimate for SDPPO / chain DP).
+type LoopedSchedule struct {
+	Schedule *sched.Schedule
+	DPCost   int64
+}
+
+// Lifetimes is the artifact of the lifetime-extraction pass: the schedule
+// tree and one buffer lifetime interval per edge (indexed by edge ID). The
+// intervals are shared read-only by every downstream allocator node.
+type Lifetimes struct {
+	Tree      *schedtree.Tree
+	Intervals []*lifetime.Interval
+	// packs lazily caches the enumerated instance (sorted order + weighted
+	// intersection graph) per enumeration, so allocator leaves sharing this
+	// artifact build each WIG once instead of once per strategy.
+	packs *packCache
+}
+
+// packCache holds one lazily-built enumerated instance per enumeration order.
+// The alloc package defines two: decreasing duration (ffdur, bfdur) and
+// increasing start time (ffstart).
+type packCache struct {
+	dur, start packOnce
+}
+
+type packOnce struct {
+	once  sync.Once
+	order []*lifetime.Interval
+	wig   *lifetime.WIG
+}
+
+// enumerated returns the cached (order, WIG) pair for strat, building it on
+// first use. ok is false when the artifact carries no cache or the strategy's
+// enumeration is unknown; callers then fall back to alloc.Allocate.
+func (lf Lifetimes) enumerated(strat alloc.Strategy) (order []*lifetime.Interval, w *lifetime.WIG, ok bool) {
+	if lf.packs == nil {
+		return nil, nil, false
+	}
+	var p *packOnce
+	switch strat {
+	case alloc.FirstFitDuration, alloc.BestFitDuration:
+		p = &lf.packs.dur
+	case alloc.FirstFitStart:
+		p = &lf.packs.start
+	default:
+		return nil, nil, false
+	}
+	p.once.Do(func() {
+		p.order = alloc.Enumerate(lf.Intervals, strat)
+		p.wig = lifetime.BuildWIG(p.order)
+	})
+	return p.order, p.wig, true
+}
+
+// Allocation is the artifact of one allocator leaf: the packed shared
+// memory image produced by one alloc.Strategy.
+type Allocation struct {
+	Strategy alloc.Strategy
+	Alloc    *alloc.Allocation
+}
+
+// Result is the outcome of a compilation (one grid point, fully assembled).
+type Result struct {
+	Graph       *sdf.Graph
+	Repetitions sdf.Repetitions
+	Order       []sdf.ActorID
+	// Schedule is the post-optimized nested single appearance schedule.
+	Schedule *sched.Schedule
+	Tree     *schedtree.Tree
+	// Intervals holds one buffer lifetime per edge (indexed by edge ID).
+	Intervals []*lifetime.Interval
+	// Allocations per strategy, and the best (smallest) one; equal totals
+	// are broken deterministically by allocator name.
+	Allocations map[alloc.Strategy]*alloc.Allocation
+	Best        *alloc.Allocation
+	BestBy      alloc.Strategy
+	Metrics     Metrics
+}
+
+// Metrics gathers every number the paper's tables report for one run.
+type Metrics struct {
+	// DPCost is the looping DP's objective value (bufmem for DPPO, the
+	// shared overlay estimate for SDPPO / chain DP).
+	DPCost int64
+	// NonSharedBufMem is the simulated bufmem (EQ 1) of the final schedule:
+	// what a non-shared implementation of this same schedule would need.
+	NonSharedBufMem int64
+	// MCO and MCP are the optimistic and pessimistic maximum-clique-weight
+	// estimates over the extracted lifetimes.
+	MCO, MCP int64
+	// AllocTotals maps allocator name to achieved total memory.
+	AllocTotals map[string]int64
+	// SharedTotal is the best allocation total.
+	SharedTotal int64
+	// MergedTotal is the best allocation total after buffer merging; equal
+	// to SharedTotal unless Options.Merging found profitable merges.
+	MergedTotal int64
+	// Merges is the number of buffer pairs folded by Options.Merging.
+	Merges int
+	// BMLB is the non-shared buffer memory lower bound over all SASs.
+	BMLB int64
+}

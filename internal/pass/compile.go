@@ -1,0 +1,58 @@
+package pass
+
+import (
+	"context"
+
+	"repro/internal/sdf"
+)
+
+// Compile runs the full flow on a consistent acyclic SDF graph: the thin
+// sequential assembly of the pass graph.
+func Compile(g *sdf.Graph, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), g, opts)
+}
+
+// CompileContext is Compile with cooperative cancellation: the deadline or
+// cancellation of ctx is observed at every stage boundary, and the OnStage
+// hook (if any) sees each stage begin. A cancelled compilation returns an
+// error wrapping ctx.Err() and no Result.
+func CompileContext(ctx context.Context, g *sdf.Graph, opts Options) (*Result, error) {
+	if err := stageStart(ctx, opts, StageSchedule); err != nil {
+		return nil, err
+	}
+	rep, err := RunRepetitions(g)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := RunOrder(g, rep, opts.Strategy, opts.Order)
+	if err != nil {
+		return nil, err
+	}
+	if err := stageStart(ctx, opts, StageLoopDP); err != nil {
+		return nil, err
+	}
+	ls, err := RunSchedule(g, rep, ord, opts.Looping)
+	if err != nil {
+		return nil, err
+	}
+	if err := stageStart(ctx, opts, StageLifetime); err != nil {
+		return nil, err
+	}
+	lf, err := RunLifetimes(rep, ls)
+	if err != nil {
+		return nil, err
+	}
+	if err := stageStart(ctx, opts, StageAlloc); err != nil {
+		return nil, err
+	}
+	allocators := defaultAllocators(opts.Allocators)
+	allocs := make([]Allocation, 0, len(allocators))
+	for _, strat := range allocators {
+		a, err := RunAlloc(lf, strat)
+		if err != nil {
+			return nil, err
+		}
+		allocs = append(allocs, a)
+	}
+	return finishResult(ctx, g, opts, rep, ord.Actors, ls, lf, allocs)
+}

@@ -1,0 +1,411 @@
+package pass
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/par"
+	"repro/internal/sdf"
+)
+
+// PlanConfig parameterizes plan construction and observation.
+type PlanConfig struct {
+	// GraphKey is the content identity of the graph embedded in node keys
+	// (the service passes its canonical digest). It is observability only —
+	// deduplication happens within one plan over one graph, so any stable
+	// string works; empty defaults to the graph name.
+	GraphKey string
+	// OnEvent, when non-nil, receives an Enter and a Leave event for every
+	// pass node the executor actually runs. Nodes at one level run in
+	// parallel, so the handler must be safe for concurrent use.
+	OnEvent func(Event)
+}
+
+// Outcome is one grid point's terminal state: exactly one of Result and Err
+// is non-nil. Err for a point is the same error a direct CompileContext of
+// that point would return (shared prefix nodes propagate their failure to
+// every point that depends on them).
+type Outcome struct {
+	Result *Result
+	Err    error
+}
+
+// KindCount reports the deduplication achieved for one pass kind: Nodes is
+// how many nodes of that kind the plan holds, Naive is how many executions
+// the point-at-a-time pipeline would have performed for the same grid.
+type KindCount struct {
+	Kind  Kind
+	Nodes int
+	Naive int
+}
+
+// Plan is a memoized pass graph over one SDF graph and a grid of option
+// points. Construction dedups grid points into a prefix-sharing DAG — the
+// repetitions vector once per graph, each lexical order once per strategy,
+// each looped schedule once per (order, looping), lifetimes once per
+// schedule, and each allocator leaf once per (lifetimes, strategy) — so a
+// full strategy × looping × allocator sweep executes O(distinct nodes)
+// passes instead of O(points × pipeline length). A Plan is single-use:
+// build with NewPlan, execute with Run once.
+//
+// Graphs whose precedence relation is cyclic take a fallback: every point
+// runs CompileGeneralContext independently (the SCC condensation path has no
+// shareable prefix structure), still in parallel, with one Assemble node per
+// point.
+type Plan struct {
+	g      *sdf.Graph
+	cfg    PlanConfig
+	points []Options
+	cyclic bool
+
+	rep        repNode
+	orders     []*orderNode
+	scheds     []*schedNode
+	lifes      []*lifeNode
+	allocs     []*allocNode
+	assemblies []*assembleNode
+}
+
+type repNode struct {
+	key Key
+	out Repetitions
+	err error
+}
+
+type orderNode struct {
+	key      Key
+	strategy OrderStrategy
+	custom   []sdf.ActorID
+	out      Order
+	err      error
+}
+
+type schedNode struct {
+	key     Key
+	order   *orderNode
+	looping LoopAlg
+	out     LoopedSchedule
+	err     error
+}
+
+type lifeNode struct {
+	key   Key
+	sched *schedNode
+	out   Lifetimes
+	err   error
+}
+
+type allocNode struct {
+	key   Key
+	life  *lifeNode
+	strat alloc.Strategy
+	out   Allocation
+	err   error
+}
+
+// assembleNode is one grid point's leaf: verify/merge/metrics assembly over
+// the shared artifacts. Never shared — Verify, VerifyPeriods, Merging and
+// MergePolicy are per-point.
+type assembleNode struct {
+	key    Key
+	opts   Options
+	life   *lifeNode // nil on the cyclic fallback
+	allocs []*allocNode
+	out    *Result
+	err    error
+}
+
+// NewPlan builds the deduplicated pass graph for compiling g at every point
+// of the grid. Points may repeat (identical points share every node and
+// yield independent identical outcomes).
+func NewPlan(g *sdf.Graph, points []Options, cfg PlanConfig) (*Plan, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pass: plan needs a graph")
+	}
+	if cfg.GraphKey == "" {
+		cfg.GraphKey = g.Name
+	}
+	p := &Plan{g: g, cfg: cfg, points: make([]Options, len(points))}
+	copy(p.points, points)
+	// The Plan executor owns sequencing; per-point stage hooks are
+	// meaningless on shared nodes (see Options.OnStage).
+	for i := range p.points {
+		p.points[i].OnStage = nil
+	}
+
+	q, err := g.Repetitions()
+	if err != nil {
+		// The direct pipeline reports inconsistency identically at every
+		// point; surface it once at plan time.
+		return nil, err
+	}
+	if !g.IsAcyclic(q) {
+		p.cyclic = true
+		for i, pt := range p.points {
+			p.assemblies = append(p.assemblies, &assembleNode{
+				key:  Key(fmt.Sprintf("assemble|g:%s|cyclic|pt:%d", cfg.GraphKey, i)),
+				opts: pt,
+			})
+		}
+		return p, nil
+	}
+
+	p.rep = repNode{key: repetitionsKey(cfg.GraphKey)}
+	orderIdx := map[Key]*orderNode{}
+	schedIdx := map[Key]*schedNode{}
+	lifeOf := map[*schedNode]*lifeNode{}
+	allocIdx := map[Key]*allocNode{}
+	for i, pt := range p.points {
+		ok := orderKey(cfg.GraphKey, pt.Strategy, pt.Order)
+		on := orderIdx[ok]
+		if on == nil {
+			on = &orderNode{key: ok, strategy: pt.Strategy, custom: pt.Order}
+			orderIdx[ok] = on
+			p.orders = append(p.orders, on)
+		}
+		sk := scheduleKey(ok, pt.Looping)
+		sn := schedIdx[sk]
+		if sn == nil {
+			sn = &schedNode{key: sk, order: on, looping: pt.Looping}
+			schedIdx[sk] = sn
+			p.scheds = append(p.scheds, sn)
+			ln := &lifeNode{key: lifetimesKey(sk), sched: sn}
+			lifeOf[sn] = ln
+			p.lifes = append(p.lifes, ln)
+		}
+		ln := lifeOf[sn]
+		as := &assembleNode{
+			key:  Key(fmt.Sprintf("assemble|%s|pt:%d", ln.key, i)),
+			opts: pt,
+			life: ln,
+		}
+		for _, strat := range defaultAllocators(pt.Allocators) {
+			ak := allocKey(ln.key, strat)
+			an := allocIdx[ak]
+			if an == nil {
+				an = &allocNode{key: ak, life: ln, strat: strat}
+				allocIdx[ak] = an
+				p.allocs = append(p.allocs, an)
+			}
+			as.allocs = append(as.allocs, an)
+		}
+		p.assemblies = append(p.assemblies, as)
+	}
+	return p, nil
+}
+
+// Stats reports, per pass kind, how many nodes the plan executes versus how
+// many the naive point-at-a-time pipeline would have. On the cyclic fallback
+// there is no sharing: only Assemble nodes exist and Nodes == Naive.
+func (p *Plan) Stats() []KindCount {
+	n := len(p.points)
+	if p.cyclic {
+		return []KindCount{{Kind: KindAssemble, Nodes: n, Naive: n}}
+	}
+	naiveAllocs := 0
+	for _, pt := range p.points {
+		naiveAllocs += len(defaultAllocators(pt.Allocators))
+	}
+	return []KindCount{
+		{Kind: KindRepetitions, Nodes: 1, Naive: n},
+		{Kind: KindOrder, Nodes: len(p.orders), Naive: n},
+		{Kind: KindSchedule, Nodes: len(p.scheds), Naive: n},
+		{Kind: KindLifetimes, Nodes: len(p.lifes), Naive: n},
+		{Kind: KindAlloc, Nodes: len(p.allocs), Naive: naiveAllocs},
+		{Kind: KindAssemble, Nodes: n, Naive: n},
+	}
+}
+
+// NodeCount returns total executed nodes and the naive execution count,
+// summed over kinds.
+func (p *Plan) NodeCount() (nodes, naive int) {
+	for _, kc := range p.Stats() {
+		nodes += kc.Nodes
+		naive += kc.Naive
+	}
+	return nodes, naive
+}
+
+func (p *Plan) emit(k Kind, key Key, enter bool) {
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(Event{Kind: k, Key: key, Enter: enter})
+	}
+}
+
+// abortErr mirrors the stage-boundary cancellation message of the direct
+// pipeline for a node of kind k.
+func abortErr(ctx context.Context, k Kind) error {
+	stage := ""
+	switch k {
+	case KindRepetitions, KindOrder:
+		stage = StageSchedule
+	case KindSchedule:
+		stage = StageLoopDP
+	case KindLifetimes:
+		stage = StageLifetime
+	case KindAlloc, KindAssemble:
+		stage = StageAlloc
+	default:
+		panic(fmt.Sprintf("pass: abortErr: unknown kind %d", int(k)))
+	}
+	return fmt.Errorf("core: aborted before %s stage: %w", stage, ctx.Err())
+}
+
+// Run executes the plan: level by level down the DAG, independent nodes of a
+// level in parallel on the deterministic par pool, each node exactly once.
+// The returned slice has one Outcome per input point, in input order. A
+// failing shared node fails every dependent point with the same error; the
+// remaining branches still execute. Run never returns an overall error —
+// cancellation of ctx surfaces as per-point abort errors.
+func (p *Plan) Run(ctx context.Context) []Outcome {
+	if p.cyclic {
+		_ = par.ForEach(len(p.assemblies), func(i int) error {
+			as := p.assemblies[i]
+			p.emit(KindAssemble, as.key, true)
+			as.out, as.err = CompileGeneralContext(ctx, p.g, as.opts)
+			p.emit(KindAssemble, as.key, false)
+			return nil
+		})
+		return p.outcomes()
+	}
+
+	// Level 0: repetitions (single node).
+	if err := ctx.Err(); err != nil {
+		p.rep.err = abortErr(ctx, KindRepetitions)
+	} else {
+		p.emit(KindRepetitions, p.rep.key, true)
+		p.rep.out, p.rep.err = RunRepetitions(p.g)
+		p.emit(KindRepetitions, p.rep.key, false)
+	}
+
+	// Level 1: lexical orders.
+	_ = par.ForEach(len(p.orders), func(i int) error {
+		n := p.orders[i]
+		if p.rep.err != nil {
+			n.err = p.rep.err
+			return nil
+		}
+		if ctx.Err() != nil {
+			n.err = abortErr(ctx, KindOrder)
+			return nil
+		}
+		p.emit(KindOrder, n.key, true)
+		n.out, n.err = RunOrder(p.g, p.rep.out, n.strategy, n.custom)
+		p.emit(KindOrder, n.key, false)
+		return nil
+	})
+
+	// Level 2: looped schedules.
+	_ = par.ForEach(len(p.scheds), func(i int) error {
+		n := p.scheds[i]
+		if n.order.err != nil {
+			n.err = n.order.err
+			return nil
+		}
+		if ctx.Err() != nil {
+			n.err = abortErr(ctx, KindSchedule)
+			return nil
+		}
+		p.emit(KindSchedule, n.key, true)
+		n.out, n.err = RunSchedule(p.g, p.rep.out, n.order.out, n.looping)
+		p.emit(KindSchedule, n.key, false)
+		return nil
+	})
+
+	// Level 3: lifetimes (1:1 with schedules).
+	_ = par.ForEach(len(p.lifes), func(i int) error {
+		n := p.lifes[i]
+		if n.sched.err != nil {
+			n.err = n.sched.err
+			return nil
+		}
+		if ctx.Err() != nil {
+			n.err = abortErr(ctx, KindLifetimes)
+			return nil
+		}
+		p.emit(KindLifetimes, n.key, true)
+		n.out, n.err = RunLifetimes(p.rep.out, n.sched.out)
+		p.emit(KindLifetimes, n.key, false)
+		return nil
+	})
+
+	// Level 4: allocator leaves. Many leaves read one Lifetimes artifact
+	// concurrently; RunAlloc never writes it.
+	_ = par.ForEach(len(p.allocs), func(i int) error {
+		n := p.allocs[i]
+		if n.life.err != nil {
+			n.err = n.life.err
+			return nil
+		}
+		if ctx.Err() != nil {
+			n.err = abortErr(ctx, KindAlloc)
+			return nil
+		}
+		p.emit(KindAlloc, n.key, true)
+		n.out, n.err = RunAlloc(n.life.out, n.strat)
+		p.emit(KindAlloc, n.key, false)
+		return nil
+	})
+
+	// Level 5: per-point assembly (verify, merge, metrics). Allocator errors
+	// are reported in the point's allocator order, matching the first-error
+	// behavior of the sequential pipeline.
+	_ = par.ForEach(len(p.assemblies), func(i int) error {
+		as := p.assemblies[i]
+		if as.life.err != nil {
+			as.err = as.life.err
+			return nil
+		}
+		allocs := make([]Allocation, 0, len(as.allocs))
+		for _, an := range as.allocs {
+			if an.err != nil {
+				as.err = an.err
+				return nil
+			}
+			allocs = append(allocs, an.out)
+		}
+		p.emit(KindAssemble, as.key, true)
+		as.out, as.err = finishResult(ctx, p.g, as.opts, p.rep.out,
+			as.life.sched.order.out.Actors, as.life.sched.out, as.life.out, allocs)
+		p.emit(KindAssemble, as.key, false)
+		return nil
+	})
+	return p.outcomes()
+}
+
+func (p *Plan) outcomes() []Outcome {
+	out := make([]Outcome, len(p.assemblies))
+	for i, as := range p.assemblies {
+		out[i] = Outcome{Result: as.out, Err: as.err}
+	}
+	return out
+}
+
+// RunGridOutcomes plans and executes g across the option grid, returning one
+// Outcome per point in input order.
+func RunGridOutcomes(ctx context.Context, g *sdf.Graph, points []Options, cfg PlanConfig) ([]Outcome, error) {
+	p, err := NewPlan(g, points, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx), nil
+}
+
+// RunGrid is RunGridOutcomes with fail-fast semantics: the error of the
+// lowest-indexed failing point (or the plan-time error) aborts the whole
+// grid, mirroring a sequential loop of CompileContext calls.
+func RunGrid(ctx context.Context, g *sdf.Graph, points []Options, cfg PlanConfig) ([]*Result, error) {
+	outs, err := RunGridOutcomes(ctx, g, points, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]*Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		res[i] = o.Result
+	}
+	return res, nil
+}

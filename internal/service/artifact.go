@@ -119,6 +119,20 @@ func buildArtifact(res *core.Result, o CompileOptions) *Artifact {
 	return art
 }
 
+// ArtifactBytes marshals an already-computed compilation result as the wire
+// artifact for normalized options opts. It is the same rendering
+// CompileArtifact performs after compiling, split out so the grid planner —
+// which produces many Results from one shared pass graph — can cache each
+// entry under the identical bytes a direct /v1/compile of that entry would
+// produce.
+func ArtifactBytes(res *core.Result, opts CompileOptions) ([]byte, error) {
+	data, err := json.Marshal(buildArtifact(res, opts))
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal artifact: %w", err)
+	}
+	return data, nil
+}
+
 // CompileArtifact runs the in-process pipeline on g under opts and returns
 // the marshaled artifact bytes plus the compilation result. It is the
 // single code path shared by the daemon's worker jobs and by offline

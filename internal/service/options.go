@@ -176,10 +176,11 @@ func parseAllocator(s string) (alloc.Strategy, error) {
 
 // normalize validates o and rewrites it to canonical form: every enum
 // spelling round-tripped through its typed constant (so aliases and
-// defaults collapse onto one spelling), allocators deduplicated with first
-// occurrence deciding tie-break priority, and defaulted numeric fields made
-// explicit. Two requests normalize equal iff they configure the identical
-// pipeline, which is what makes the digest a true content address.
+// defaults collapse onto one spelling), allocators deduplicated preserving
+// first occurrence (order no longer affects results — equal totals are
+// tie-broken by allocator name in the core), and defaulted numeric fields
+// made explicit. Two requests normalize equal iff they configure the
+// identical pipeline, which is what makes the digest a true content address.
 func normalize(o CompileOptions) (CompileOptions, error) {
 	strat, err := parseStrategy(o.Strategy)
 	if err != nil {

@@ -53,6 +53,9 @@ type Config struct {
 	MaxRequestBytes int64
 	// RetryAfter is the Retry-After hint on 429/503 responses. Default 1s.
 	RetryAfter time.Duration
+	// GridMaxEntries bounds how many option sets one POST /v1/grid request
+	// may carry. Default 64.
+	GridMaxEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.GridMaxEntries <= 0 {
+		c.GridMaxEntries = 64
 	}
 	return c
 }
@@ -144,6 +150,9 @@ type Server struct {
 	cacheMisses  *metrics.Counter
 	pipelineRuns *metrics.Counter
 	shed         *metrics.CounterVec
+	gridRuns     *metrics.Counter
+	gridNodes    *metrics.CounterVec
+	gridSaved    *metrics.Counter
 
 	// testHookCompileStart, when set, runs at the start of every pipeline
 	// job (inside the worker). Tests use it to hold workers busy so the
@@ -178,6 +187,12 @@ func New(cfg Config) *Server {
 		"actual pipeline executions (misses that were not coalesced)")
 	s.shed = s.reg.CounterVec("sdfd_load_shed_total",
 		"requests shed by the admission layer, by reason", "reason")
+	s.gridRuns = s.reg.Counter("sdfd_grid_runs_total",
+		"planned grid executions (POST /v1/grid requests that ran a plan)")
+	s.gridNodes = s.reg.CounterVec("sdfd_grid_pass_nodes_total",
+		"pass nodes executed by grid plans, by pass kind", "kind")
+	s.gridSaved = s.reg.Counter("sdfd_grid_shared_nodes_total",
+		"pass executions avoided by grid prefix sharing (naive minus planned)")
 	s.reg.GaugeFunc("sdfd_queue_depth", "admitted compilations waiting for a worker",
 		func() float64 { return float64(s.pool.Queued()) })
 	s.reg.GaugeFunc("sdfd_cache_entries", "artifacts currently cached",
@@ -200,12 +215,14 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // Handler returns the HTTP API:
 //
 //	POST /v1/compile              compile (or fetch from cache) a graph
+//	POST /v1/grid                 compile one graph across many option sets
 //	GET  /v1/artifact/{digest}    re-fetch a cached artifact by digest
 //	GET  /healthz                 liveness probe
 //	GET  /metrics                 Prometheus text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/grid", s.instrument("grid", s.handleGrid))
 	mux.HandleFunc("GET /v1/artifact/{digest}", s.instrument("artifact", s.handleArtifact))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
