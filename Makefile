@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race race-full race-service grid tier1 bench bench-json fuzz-short serve
+.PHONY: all build vet lint test race race-full race-service grid incremental tier1 bench bench-json fuzz-short serve
 
 all: tier1
 
@@ -43,6 +43,15 @@ grid:
 	$(GO) test -race -run 'TestPlan|TestPlannerDifferential|TestGrid' ./internal/pass/... ./internal/service/...
 	$(GO) run ./cmd/sdffuzz -n 50 -seed 1
 	cd cmd/sdffuzz && $(GO) run . -corpus
+
+# incremental validates the persistent pass-node store: the 200-edit
+# store-vs-cold differential property test and the store/durability suites
+# under the race detector, plus the fuzzer's two-pass shared-store replay
+# (second pass must be byte-identical with nonzero store hits).
+incremental:
+	$(GO) test -race -run 'TestStore|TestNodeStore|TestCodec|TestKind|TestDecode|TestPlanSecondRun|TestPlanGarbage' ./internal/pass/... ./internal/service/...
+	$(GO) test -race -count=2 ./internal/nodestore/...
+	cd cmd/sdffuzz && $(GO) run . -store -n 25 -seed 1
 
 # serve runs the compilation daemon on its default port.
 serve:

@@ -1,0 +1,214 @@
+package main
+
+// sdfbench -compare old.json new.json: diff two BENCH_*.json trajectory
+// files phase by phase and system by system, render a markdown report, and
+// gate on a wall-time regression threshold so CI (or a human before
+// merging) can tell "this PR made the pipeline slower" from noise.
+//
+// Exit codes: 0 no regressions, 1 operational error (unreadable or
+// malformed file), 3 at least one comparable series regressed beyond the
+// threshold. Only series present in BOTH files are compared — growing the
+// trajectory schema never breaks old baselines.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// compareRow is one comparable wall-time series across the two reports.
+type compareRow struct {
+	Section string
+	Key     string
+	OldNS   int64
+	NewNS   int64
+}
+
+// ratio is new/old; 0 when the old side is empty (incomparable).
+func (r compareRow) ratio() float64 {
+	if r.OldNS <= 0 {
+		return 0
+	}
+	return float64(r.NewNS) / float64(r.OldNS)
+}
+
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareRows pairs every wall-time series the two reports share. Keys are
+// stable names, so rows line up even when the experiment order changed.
+func compareRows(oldRep, newRep *benchReport) []compareRow {
+	var rows []compareRow
+	add := func(section, key string, oldNS, newNS int64, ok bool) {
+		if ok {
+			rows = append(rows, compareRow{Section: section, Key: key, OldNS: oldNS, NewNS: newNS})
+		}
+	}
+
+	newPhase := map[string]int64{}
+	for _, p := range newRep.Phases {
+		newPhase[p.Name] = p.WallNS
+	}
+	for _, p := range oldRep.Phases {
+		ns, ok := newPhase[p.Name]
+		add("phase", p.Name, p.WallNS, ns, ok)
+	}
+
+	newSys := map[string]int64{}
+	for _, s := range newRep.Table1Systems {
+		newSys[s.System] = s.WallNS
+	}
+	for _, s := range oldRep.Table1Systems {
+		ns, ok := newSys[s.System]
+		add("table1", s.System, s.WallNS, ns, ok)
+	}
+
+	newFig := map[int]int64{}
+	for _, f := range newRep.Fig27 {
+		newFig[f.Size] = f.NSPerGraph
+	}
+	for _, f := range oldRep.Fig27 {
+		ns, ok := newFig[f.Size]
+		add("fig27", fmt.Sprintf("size=%d", f.Size), f.NSPerGraph, ns, ok)
+	}
+
+	newSim := map[string]benchMaxTokens{}
+	for _, m := range newRep.MaxTokens {
+		newSim[m.System] = m
+	}
+	for _, m := range oldRep.MaxTokens {
+		n, ok := newSim[m.System]
+		add("sim", m.System+"/loop_aware", m.LoopAwareNS, n.LoopAwareNS, ok)
+		add("sim", m.System+"/firing", m.FiringNS, n.FiringNS, ok)
+	}
+
+	add("alloc", "first_fit_150", oldRep.AllocFirstFitNS, newRep.AllocFirstFitNS,
+		oldRep.AllocFirstFitNS > 0 && newRep.AllocFirstFitNS > 0)
+
+	newGrid := map[string]benchGrid{}
+	for _, g := range newRep.Grid {
+		newGrid[g.System] = g
+	}
+	for _, g := range oldRep.Grid {
+		n, ok := newGrid[g.System]
+		add("grid", g.System+"/planned", g.PlannedNS, n.PlannedNS, ok)
+		add("grid", g.System+"/naive", g.NaiveNS, n.NaiveNS, ok)
+	}
+
+	if oldRep.Service != nil && newRep.Service != nil {
+		newSvc := map[string]benchServiceSystem{}
+		for _, s := range newRep.Service.Systems {
+			newSvc[s.System] = s
+		}
+		for _, s := range oldRep.Service.Systems {
+			n, ok := newSvc[s.System]
+			add("service", s.System+"/cold", s.ColdNS, n.ColdNS, ok)
+			add("service", s.System+"/warm", s.WarmNS, n.WarmNS, ok)
+		}
+	}
+
+	if oldRep.Incremental != nil && newRep.Incremental != nil {
+		add("incremental", "cold", oldRep.Incremental.ColdNS, newRep.Incremental.ColdNS, true)
+		add("incremental", "warm", oldRep.Incremental.WarmNS, newRep.Incremental.WarmNS, true)
+	}
+	return rows
+}
+
+// formatCompareMarkdown renders the comparison as a markdown document:
+// every shared series with old/new times and ratio, regressions flagged,
+// and a short verdict line CI logs surface well.
+func formatCompareMarkdown(oldPath, newPath string, rows []compareRow, threshold float64) (string, []compareRow) {
+	var regressions []compareRow
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Benchmark comparison\n\n")
+	fmt.Fprintf(&b, "Old: `%s`\nNew: `%s`\nThreshold: %.2fx\n\n", oldPath, newPath, threshold)
+	fmt.Fprintf(&b, "| section | series | old | new | ratio | |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		ratio := r.ratio()
+		flag := ""
+		switch {
+		case ratio == 0:
+			flag = "n/a"
+		case ratio > threshold:
+			flag = "REGRESSION"
+			regressions = append(regressions, r)
+		case ratio < 1/threshold:
+			flag = "improved"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.2f | %s |\n",
+			r.Section, r.Key, formatNS(r.OldNS), formatNS(r.NewNS), ratio, flag)
+	}
+	fmt.Fprintf(&b, "\n")
+	if len(regressions) == 0 {
+		fmt.Fprintf(&b, "No regressions beyond %.2fx across %d shared series.\n", threshold, len(rows))
+	} else {
+		fmt.Fprintf(&b, "%d of %d shared series regressed beyond %.2fx:\n\n", len(regressions), len(rows), threshold)
+		for _, r := range regressions {
+			fmt.Fprintf(&b, "- %s/%s: %s -> %s (%.2fx)\n", r.Section, r.Key, formatNS(r.OldNS), formatNS(r.NewNS), r.ratio())
+		}
+	}
+	return b.String(), regressions
+}
+
+// formatNS prints a nanosecond count with a human unit, stable enough for
+// tables (three significant-ish digits).
+func formatNS(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// runCompare is the -compare entry point; returns the process exit code.
+func runCompare(oldPath, newPath, mdPath string, threshold float64) int {
+	if threshold <= 1 {
+		fmt.Fprintf(os.Stderr, "sdfbench: -threshold must be > 1 (got %v)\n", threshold)
+		return 2
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdfbench:", err)
+		return 1
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdfbench:", err)
+		return 1
+	}
+	rows := compareRows(oldRep, newRep)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "sdfbench: the two trajectory files share no comparable series")
+		return 1
+	}
+	md, regressions := formatCompareMarkdown(oldPath, newPath, rows, threshold)
+	if mdPath == "" {
+		fmt.Print(md)
+	} else {
+		if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sdfbench:", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "sdfbench: wrote", mdPath)
+	}
+	if len(regressions) > 0 {
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport(scale int64) *benchReport {
+	return &benchReport{
+		Date: "2026-01-01T00:00:00Z",
+		Phases: []benchPhase{
+			{Name: "table1", WallNS: 100_000 * scale},
+			{Name: "fig27", WallNS: 900_000 * scale},
+		},
+		Table1Systems: []benchSystem{{System: "satrec", WallNS: 40_000 * scale}},
+		Fig27:         []benchFig27{{Size: 50, Graphs: 10, WallNS: 500_000 * scale, NSPerGraph: 50_000 * scale}},
+		MaxTokens:     []benchMaxTokens{{System: "satrec", LoopAwareNS: 2_000 * scale, FiringNS: 90_000 * scale}},
+		Grid:          []benchGrid{{System: "cddat", Configs: 24, NaiveNS: 700_000 * scale, PlannedNS: 200_000 * scale}},
+		Service: &benchService{Systems: []benchServiceSystem{
+			{System: "cddat", ColdNS: 3_000_000 * scale, WarmNS: 80_000 * scale},
+		}},
+		Incremental:     &benchIncremental{Actors: 150, ColdNS: 5_000_000 * scale, WarmNS: 400_000 * scale},
+		AllocFirstFitNS: 30_000 * scale,
+	}
+}
+
+func writeReport(t *testing.T, rep *benchReport, name string) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	oldPath := writeReport(t, sampleReport(1), "old.json")
+	newPath := writeReport(t, sampleReport(1), "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 0 {
+		t.Fatalf("identical reports: exit %d, want 0", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(out)
+	if !strings.Contains(report, "No regressions") {
+		t.Errorf("report missing the no-regression verdict:\n%s", report)
+	}
+	for _, series := range []string{"table1", "size=50", "satrec/loop_aware", "cddat/planned", "cddat/warm", "incremental"} {
+		if !strings.Contains(report, series) {
+			t.Errorf("report missing series %q", series)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldPath := writeReport(t, sampleReport(1), "old.json")
+	slow := sampleReport(1)
+	slow.Incremental.WarmNS *= 3 // 3x warm-path regression
+	newPath := writeReport(t, sampleReport(1), "unused.json")
+	newPath = writeReport(t, slow, "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 3 {
+		t.Fatalf("3x regression: exit %d, want 3", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "REGRESSION") || !strings.Contains(string(out), "incremental/warm") {
+		t.Errorf("report does not flag the incremental/warm regression:\n%s", out)
+	}
+}
+
+func TestCompareImprovementStaysGreen(t *testing.T) {
+	oldPath := writeReport(t, sampleReport(3), "old.json")
+	newPath := writeReport(t, sampleReport(1), "new.json")
+	if code := runCompare(oldPath, newPath, "", 1.25); code != 0 {
+		t.Fatalf("uniform 3x improvement: exit %d, want 0", code)
+	}
+}
+
+func TestCompareSchemaSkew(t *testing.T) {
+	// An old baseline with no incremental/service sections still compares
+	// cleanly against a new report that has them.
+	oldRep := sampleReport(1)
+	oldRep.Incremental = nil
+	oldRep.Service = nil
+	oldPath := writeReport(t, oldRep, "old.json")
+	newPath := writeReport(t, sampleReport(1), "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 0 {
+		t.Fatalf("schema skew: exit %d, want 0", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "incremental") {
+		t.Error("report compares an incremental section the old baseline lacks")
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	good := writeReport(t, sampleReport(1), "good.json")
+	if code := runCompare(filepath.Join(t.TempDir(), "missing.json"), good, "", 1.25); code != 1 {
+		t.Error("missing old file should exit 1")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(good, bad, "", 1.25); code != 1 {
+		t.Error("malformed new file should exit 1")
+	}
+	if code := runCompare(good, good, "", 0.5); code != 2 {
+		t.Error("threshold <= 1 should exit 2")
+	}
+}

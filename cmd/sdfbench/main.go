@@ -35,6 +35,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/nodestore"
 	"repro/internal/par"
 	"repro/internal/pass"
 	"repro/internal/randsdf"
@@ -71,6 +72,10 @@ type benchReport struct {
 	// Service benchmarks the sdfd daemon over a loopback listener: cold vs
 	// warm compile latency per system and warm requests/sec at saturation.
 	Service *benchService `json:"service,omitempty"`
+	// Incremental measures the persistent pass-node store on the
+	// single-actor-edit scenario: cold compile of a 150-actor random graph
+	// into an empty store versus warm recompile after renaming one actor.
+	Incremental *benchIncremental `json:"incremental,omitempty"`
 }
 
 type benchPhase struct {
@@ -111,17 +116,43 @@ type benchGrid struct {
 	NaiveNodes   int `json:"naive_nodes"`
 }
 
+type benchIncremental struct {
+	Actors int `json:"actors"`
+	// ColdNS is one full compile into an empty store; WarmNS recompiles
+	// after a single-actor rename against the populated store.
+	ColdNS int64 `json:"cold_ns"`
+	WarmNS int64 `json:"warm_ns"`
+	// Executed/loaded pass-node counts: the machine-independent work ratio.
+	ColdExecuted int     `json:"cold_executed_nodes"`
+	WarmExecuted int     `json:"warm_executed_nodes"`
+	WarmLoaded   int     `json:"warm_loaded_nodes"`
+	WorkRatio    float64 `json:"work_ratio"` // cold executed / warm executed
+	Speedup      float64 `json:"speedup"`    // cold ns / warm ns
+}
+
 func main() {
 	fs := flag.NewFlagSet("sdfbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "which experiment to run")
-		quick    = fs.Bool("quick", false, "reduced population sizes")
-		seed     = fs.Int64("seed", 2000, "random seed for stochastic studies")
-		jsonOut  = fs.Bool("json", false, "emit results as JSON and write a BENCH_<date>.json trajectory")
-		benchOut = fs.String("benchout", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
+		exp       = fs.String("experiment", "all", "which experiment to run")
+		quick     = fs.Bool("quick", false, "reduced population sizes")
+		seed      = fs.Int64("seed", 2000, "random seed for stochastic studies")
+		jsonOut   = fs.Bool("json", false, "emit results as JSON and write a BENCH_<date>.json trajectory")
+		benchOut  = fs.String("benchout", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
+		compare   = fs.Bool("compare", false, "compare two trajectory files (sdfbench -compare old.json new.json) instead of running experiments")
+		threshold = fs.Float64("threshold", 1.25, "for -compare: flag a regression when new/old wall time exceeds this ratio")
+		mdOut     = fs.String("md", "", "for -compare: write the markdown report to this file (default stdout)")
 	)
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
 		os.Exit(code)
+	}
+
+	if *compare {
+		args := fs.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "sdfbench: -compare needs exactly two trajectory files: sdfbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(args[0], args[1], *mdOut, *threshold))
 	}
 
 	report := &benchReport{
@@ -383,6 +414,10 @@ func writeBenchFile(report *benchReport, path string, quick bool) error {
 		return err
 	}
 
+	if err := benchIncrementalSection(report); err != nil {
+		return err
+	}
+
 	svc, err := benchServiceSection(quick)
 	if err != nil {
 		return err
@@ -444,6 +479,94 @@ func benchGridSection(report *benchReport, budget time.Duration) error {
 		}
 		report.Grid = append(report.Grid, row)
 	}
+	return nil
+}
+
+// benchIncrementalSection times the persistent pass-node store on the
+// paper-pipeline edit loop: compile a 150-actor random graph cold (empty
+// store, every pass executes), rename one actor, recompile warm. Actor
+// names appear in no store key and no stored payload, so the warm run loads
+// every pipeline stage from the store and executes only the final assembly
+// — the work ratio is structural (executed-node counts), the speedup is
+// this machine's wall-time echo of it.
+func benchIncrementalSection(report *benchReport) error {
+	const actors = 150
+	g := randsdf.Graph(rand.New(rand.NewSource(151)), randsdf.Config{Actors: actors})
+	dir, err := os.MkdirTemp("", "sdfbench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := nodestore.Open(dir, 256<<20)
+	if err != nil {
+		return err
+	}
+	points := []pass.Options{{}}
+
+	runOnce := func(g *sdf.Graph) (time.Duration, []pass.KindCount, error) {
+		start := time.Now()
+		plan, err := pass.NewPlan(g, points, pass.PlanConfig{Store: st})
+		if err != nil {
+			return 0, nil, err
+		}
+		outs := plan.Run(context.Background())
+		elapsed := time.Since(start)
+		if outs[0].Err != nil {
+			return 0, nil, outs[0].Err
+		}
+		return elapsed, plan.Stats(), nil
+	}
+
+	cold, coldStats, err := runOnce(g)
+	if err != nil {
+		return fmt.Errorf("incremental cold: %w", err)
+	}
+
+	// The edit: rename one actor, rebuild, recompile.
+	edited := sdf.New(g.Name)
+	for i, a := range g.Actors() {
+		name := a.Name
+		if i == 0 {
+			name = "renamed_" + name
+		}
+		edited.AddActor(name)
+	}
+	for _, e := range g.Edges() {
+		id := edited.AddEdge(e.Src, e.Dst, e.Prod, e.Cons, e.Delay)
+		edited.SetWords(id, e.Words)
+	}
+
+	warm, warmStats, err := runOnce(edited)
+	if err != nil {
+		return fmt.Errorf("incremental warm: %w", err)
+	}
+	// A few more warm runs, keeping the fastest: the first one pays cold
+	// page-cache and allocator noise that is not the store's cost.
+	for i := 0; i < 4; i++ {
+		again, _, err := runOnce(edited)
+		if err != nil {
+			return fmt.Errorf("incremental warm: %w", err)
+		}
+		if again < warm {
+			warm = again
+		}
+	}
+
+	inc := &benchIncremental{Actors: actors, ColdNS: cold.Nanoseconds(), WarmNS: warm.Nanoseconds()}
+	for _, kc := range coldStats {
+		inc.ColdExecuted += kc.Executed
+	}
+	for _, kc := range warmStats {
+		inc.WarmExecuted += kc.Executed
+		inc.WarmLoaded += kc.Loaded
+	}
+	if inc.WarmExecuted > 0 {
+		inc.WorkRatio = float64(inc.ColdExecuted) / float64(inc.WarmExecuted)
+	}
+	if inc.WarmNS > 0 {
+		inc.Speedup = float64(inc.ColdNS) / float64(inc.WarmNS)
+	}
+	report.Incremental = inc
 	return nil
 }
 

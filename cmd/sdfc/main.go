@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,8 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/lifetime"
+	"repro/internal/nodestore"
+	"repro/internal/pass"
 	"repro/internal/regularity"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
@@ -52,6 +55,8 @@ func main() {
 		dotOut    = fs.String("dot", "", "write the graph in Graphviz DOT form to this file")
 		quiet     = fs.Bool("q", false, "print only the final metrics line")
 		server    = fs.String("server", "", "delegate compilation to an sdfd daemon at this address (e.g. localhost:8347)")
+		storeDir  = fs.String("store", "", "local persistent pass-node store directory; recompilations reuse unaffected pipeline stages (local-only)")
+		storeMB   = fs.Int64("store-mb", 256, "pass-node store budget in MiB (<= 0 disables)")
 	)
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
 		os.Exit(code)
@@ -69,6 +74,9 @@ func main() {
 	if *server != "" {
 		if *chart || *dotOut != "" {
 			fatal(fmt.Errorf("-chart and -dot are local-only; drop them or drop -server"))
+		}
+		if *storeDir != "" {
+			fatal(fmt.Errorf("-store is local-only (the daemon has its own -store flag); drop it or drop -server"))
 		}
 		runRemote(*server, g, service.CompileOptions{
 			Strategy:   *strategy,
@@ -115,7 +123,12 @@ func main() {
 		}
 	}
 
-	res, err := core.CompileGeneral(g, opts)
+	var res *core.Result
+	if *storeDir != "" {
+		res, err = compileWithStore(g, opts, *storeDir, *storeMB<<20)
+	} else {
+		res, err = core.CompileGeneral(g, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -178,6 +191,23 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *emitVHDL, len(src))
 	}
+}
+
+// compileWithStore compiles through the pass planner backed by a persistent
+// on-disk node store: stages whose inputs are unchanged since an earlier
+// sdfc (or sdfd) run against the same store directory are loaded instead of
+// executed. Results are identical to the direct path — the store is a pure
+// cache keyed by what each pass actually reads.
+func compileWithStore(g *sdf.Graph, opts core.Options, dir string, budget int64) (*core.Result, error) {
+	st, err := nodestore.Open(dir, budget)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := pass.RunGridOutcomes(context.Background(), g, []core.Options{opts}, pass.PlanConfig{Store: st})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0].Result, outs[0].Err
 }
 
 // splitAllocators turns the -alloc flag value into a clean name list.

@@ -11,6 +11,12 @@
 //
 //	sdfd [-addr :8347] [-workers N] [-queue N] [-cache-mb N]
 //	     [-request-timeout D] [-compile-timeout D] [-max-request-kb N]
+//	     [-store DIR] [-store-mb N]
+//
+// With -store, compiled pass-stage artifacts persist in a content-addressed
+// on-disk store and survive daemon restarts: recompiling a graph after a
+// small edit loads every unaffected pipeline stage from disk instead of
+// executing it (docs/PIPELINE.md, "Incremental recompilation").
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nodestore"
 	"repro/internal/service"
 )
 
@@ -39,6 +46,8 @@ func main() {
 	maxKB := fs.Int64("max-request-kb", 1024, "request body limit in KiB")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
 	gridMax := fs.Int("grid-max-entries", 64, "maximum option entries per /v1/grid request")
+	storeDir := fs.String("store", "", "persistent pass-node store directory (empty disables)")
+	storeMB := fs.Int64("store-mb", 256, "pass-node store budget in MiB (<= 0 disables)")
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
 		os.Exit(code)
 	}
@@ -46,6 +55,17 @@ func main() {
 	cacheBudget := *cacheMB << 20
 	if *cacheMB < 0 {
 		cacheBudget = -1
+	}
+	var store *nodestore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = nodestore.Open(*storeDir, *storeMB<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdfd: opening pass-node store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sdfd: pass-node store at %s (%d frames, %d bytes)\n",
+			*storeDir, store.Stats().Entries, store.Stats().Bytes)
 	}
 	srv := service.New(service.Config{
 		Workers:         *workers,
@@ -56,6 +76,7 @@ func main() {
 		MaxRequestBytes: *maxKB << 10,
 		RetryAfter:      *retryAfter,
 		GridMaxEntries:  *gridMax,
+		NodeStore:       store,
 	})
 
 	httpSrv := &http.Server{

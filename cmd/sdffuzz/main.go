@@ -11,6 +11,7 @@
 //	sdffuzz -n 500 -seed 1          # 500 graphs through the full grid
 //	sdffuzz -repro testdata/crashers/crasher-xyz.sdf
 //	sdffuzz -corpus                 # replay the crasher corpus, planner grid
+//	sdffuzz -store                  # corpus twice through a shared pass-node store
 //	sdffuzz -daemon localhost:8347  # differential replay against sdfd
 //
 // With -daemon ADDR the fuzzer replays the crasher corpus plus -n random
@@ -51,6 +52,7 @@ func main() {
 		crashDir  = fs.String("crashers", filepath.Join("testdata", "crashers"), "directory for minimized reproducers")
 		repro     = fs.String("repro", "", "re-run the oracle grid on one .sdf reproducer and exit")
 		corpus    = fs.Bool("corpus", false, "replay the whole crasher corpus through the planner grid and exit")
+		storeRun  = fs.Bool("store", false, "replay the crasher corpus twice through a shared temp pass-node store, asserting second-pass byte-identity and store hits")
 		daemon    = fs.String("daemon", "", "replay corpus + random graphs against an sdfd daemon at this address")
 		verbose   = fs.Bool("v", false, "log every generated graph")
 	)
@@ -63,6 +65,9 @@ func main() {
 	}
 	if *corpus {
 		os.Exit(corpusReplay(*crashDir))
+	}
+	if *storeRun {
+		os.Exit(storeReplay(newReplayFuzzer(*seed, *maxActors, *crashDir), *n))
 	}
 	if *daemon != "" {
 		if daemonReplay(*daemon, newReplayFuzzer(*seed, *maxActors, *crashDir), *n) > 0 {

@@ -1,0 +1,151 @@
+package main
+
+// sdffuzz -store: the persistent pass-node store regression sweep. The
+// whole crasher corpus — every graph that ever broke the pipeline — is
+// compiled twice across the full configuration grid through ONE shared
+// on-disk store: the first pass populates it, the second pass must load
+// what the first stored and still produce byte-identical artifacts. Any
+// divergence means a store key is too coarse (two different computations
+// aliased) or a codec lost information; either would silently poison
+// every store-assisted compilation, so this gate runs in CI.
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/nodestore"
+	"repro/internal/pass"
+	"repro/internal/sdf"
+	"repro/internal/service"
+)
+
+// storePoint pairs a plan grid point with its wire spelling (needed to
+// render artifact bytes exactly as /v1/compile would).
+type storePoint struct {
+	popt pass.Options
+	wopt service.CompileOptions
+}
+
+// storePoints translates the oracle grid, skipping configurations the wire
+// format cannot express (custom orders are library-only).
+func storePoints(configs []check.PipelineConfig) []storePoint {
+	var out []storePoint
+	for _, cfg := range configs {
+		strat, err := service.StrategyName(cfg.Strategy)
+		if err != nil {
+			continue
+		}
+		looping, err := service.LoopingName(cfg.Looping)
+		if err != nil {
+			continue
+		}
+		var allocators []string
+		for _, a := range cfg.Allocators {
+			name, err := service.AllocatorName(a)
+			if err != nil {
+				continue
+			}
+			allocators = append(allocators, name)
+		}
+		out = append(out, storePoint{
+			popt: cfg.Options(),
+			wopt: service.CompileOptions{Strategy: strat, Looping: looping, Allocators: allocators},
+		})
+	}
+	return out
+}
+
+// renderSweep compiles every corpus graph across points through st and
+// renders each outcome: artifact bytes on success, the error text
+// otherwise (failures must be stable across passes too).
+func renderSweep(graphs []*sdf.Graph, points []storePoint, st *nodestore.Store) ([][]string, error) {
+	popts := make([]pass.Options, len(points))
+	for i, pt := range points {
+		popts[i] = pt.popt
+	}
+	out := make([][]string, len(graphs))
+	for gi, g := range graphs {
+		out[gi] = make([]string, len(points))
+		outs, err := pass.RunGridOutcomes(context.Background(), g, popts, pass.PlanConfig{Store: st})
+		if err != nil {
+			for ci := range points {
+				out[gi][ci] = "plan error: " + err.Error()
+			}
+			continue
+		}
+		for ci, o := range outs {
+			if o.Err != nil {
+				out[gi][ci] = "compile error: " + o.Err.Error()
+				continue
+			}
+			data, err := service.ArtifactBytes(o.Result, points[ci].wopt)
+			if err != nil {
+				return nil, fmt.Errorf("%s config %d: rendering artifact: %w", g.Name, ci, err)
+			}
+			out[gi][ci] = string(data)
+		}
+	}
+	return out, nil
+}
+
+// storeReplay runs the two-pass sweep over the crasher corpus plus n fresh
+// random graphs (the corpus is empty on a healthy tree, so the generated
+// graphs keep the gate meaningful). Returns the process exit code: 0 when
+// the second pass is byte-identical with nonzero store hits, 1 on any
+// divergence.
+func storeReplay(f *fuzzer, n int) int {
+	graphs := corpusGraphs(f.crashDir)
+	fmt.Printf("sdffuzz: store replay over %d corpus graphs + %d random graphs\n", len(graphs), n)
+	for i := 0; i < n; i++ {
+		graphs = append(graphs, f.randomGraph())
+	}
+	if len(graphs) == 0 {
+		fmt.Println("sdffuzz: nothing to replay (-n 0 and empty corpus)")
+		return 0
+	}
+	points := storePoints(check.PipelineConfigs())
+	tmp, err := os.MkdirTemp("", "sdffuzz-store-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
+		return 1
+	}
+	defer os.RemoveAll(tmp)
+	st, err := nodestore.Open(tmp, 256<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
+		return 1
+	}
+
+	first, err := renderSweep(graphs, points, st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
+		return 1
+	}
+	second, err := renderSweep(graphs, points, st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdffuzz:", err)
+		return 1
+	}
+
+	code := 0
+	diverged := 0
+	for gi := range graphs {
+		for ci := range points {
+			if first[gi][ci] != second[gi][ci] {
+				diverged++
+				code = 1
+				fmt.Fprintf(os.Stderr, "sdffuzz: STORE DIVERGENCE %s config %d:\n  cold: %.200s\n  warm: %.200s\n",
+					graphs[gi].Name, ci, first[gi][ci], second[gi][ci])
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.Hits == 0 {
+		code = 1
+		fmt.Fprintln(os.Stderr, "sdffuzz: second pass never hit the store; incremental reuse is broken")
+	}
+	fmt.Printf("sdffuzz: store replay: %d divergences, store %+v\n", diverged, stats)
+	return code
+}

@@ -246,22 +246,26 @@ func (iv *Interval) String() string {
 }
 
 // SortByStart sorts intervals by ascending start time (ties: longer duration
-// first, then name for determinism).
+// first). The sort is stable, so remaining ties keep the caller's slice
+// order — every caller enumerates intervals in edge-ID order, which makes
+// the result deterministic without consulting interval names. Keeping names
+// out of the comparison is deliberate: it makes allocation invariant under
+// actor renames, which the persistent pass-node store relies on (renaming
+// an actor must not invalidate stored allocations).
 func SortByStart(ivs []*Interval) {
 	sort.SliceStable(ivs, func(i, j int) bool {
 		a, b := ivs[i], ivs[j]
 		if a.Start != b.Start {
 			return a.Start < b.Start
 		}
-		if a.Dur != b.Dur {
-			return a.Dur > b.Dur
-		}
-		return a.Name < b.Name
+		return a.Dur > b.Dur
 	})
 }
 
 // SortByDuration sorts intervals by descending total live span (envelope
-// length), the "ffdur" ordering; ties broken by start then name.
+// length), the "ffdur" ordering; ties broken by ascending start, then by
+// the caller's slice order (stable sort; see SortByStart on why names are
+// excluded from the comparison).
 func SortByDuration(ivs []*Interval) {
 	sort.SliceStable(ivs, func(i, j int) bool {
 		a, b := ivs[i], ivs[j]
@@ -269,9 +273,6 @@ func SortByDuration(ivs []*Interval) {
 		if da != db {
 			return da > db
 		}
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		return a.Name < b.Name
+		return a.Start < b.Start
 	})
 }

@@ -139,3 +139,43 @@ func kindCovered(k Kind) string {
 		panic("unknown pass kind")
 	}
 }
+
+// kindTagStyle mirrors the persistent store's kindTag switch in
+// internal/pass: every Kind is listed, one case panics because that kind is
+// never stored, and there is deliberately NO default clause — so when a new
+// Kind constant appears, it is this analyzer (at build time, via make lint)
+// rather than a runtime panic that forces the author to decide the new
+// kind's store-key tag. The analyzer must accept the default-free form.
+func kindTagStyle(k Kind) string {
+	switch k {
+	case KindRepetitions:
+		return "rep"
+	case KindOrder:
+		return "order"
+	case KindSchedule:
+		return "sched"
+	case KindLifetimes:
+		return "life"
+	case KindAlloc:
+		return "allocpt"
+	case KindAssemble:
+		panic("assembled results are never stored")
+	}
+	panic("unreachable: exhaustive switch above")
+}
+
+// kindTagMissing is the failure mode the guard exists for: a new kind (or a
+// forgotten one) with no tag case and no default.
+func kindTagMissing(k Kind) string {
+	switch k { // want "missing KindAssemble, KindLifetimes"
+	case KindRepetitions:
+		return "rep"
+	case KindOrder:
+		return "order"
+	case KindSchedule:
+		return "sched"
+	case KindAlloc:
+		return "allocpt"
+	}
+	panic("unreachable")
+}

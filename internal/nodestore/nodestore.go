@@ -1,0 +1,381 @@
+// Package nodestore is a disk-backed, versioned, size-bounded
+// content-addressed store for pass-node artifacts: the persistent layer
+// behind incremental recompilation (docs/PIPELINE.md, "Incremental
+// recompilation").
+//
+// Keys are opaque content addresses computed by internal/pass (hex SHA-256
+// over a versioned frame covering exactly the inputs each pass reads), so an
+// entry is immutable by construction: two writers of one key always carry
+// identical payload bytes, and a key whose inputs change is a different key.
+// That immutability is what keeps the store's concurrency story simple —
+// publishing is idempotent, duplicate publishes collapse onto one file, and
+// there is no such thing as a stale entry to invalidate, only an unused one
+// to evict.
+//
+// On disk each entry is a single file written via temp-file + atomic rename,
+// so a crash mid-write never leaves a partial frame under a final name. Each
+// frame carries a magic string, the key, the payload, and a SHA-256 checksum
+// over both; Get verifies the checksum on every read and evicts (rather than
+// serves) anything corrupted or truncated out-of-band. An LRU byte budget
+// bounds the footprint; reopening a directory rebuilds the index (recency
+// approximated by file modification time) and re-enforces the budget.
+package nodestore
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// magic identifies a node-store frame. Bump the trailing digit whenever the
+// frame layout changes incompatibly: old files then read as corrupt and are
+// evicted instead of misdecoded.
+const magic = "sdfnode1"
+
+// maxKeyLen bounds the key length accepted by Put and trusted during frame
+// parsing; pass-node keys are 64-character hex digests, so the bound is
+// generous while still rejecting absurd length fields in corrupted frames.
+const maxKeyLen = 256
+
+// Stats is a point-in-time snapshot of the store's counters and footprint.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Puts counts entries actually
+	// written (re-publishing an existing key only refreshes recency).
+	Hits, Misses, Puts int64
+	// Evictions counts entries removed to satisfy the byte budget; Corrupt
+	// counts frames dropped because they failed validation (bad magic,
+	// truncation, checksum or key mismatch, or an unreadable file).
+	Evictions, Corrupt int64
+	// Entries and Bytes are the current index size and on-disk footprint
+	// (frame bytes, not just payload bytes).
+	Entries int
+	Bytes   int64
+}
+
+// Store is a content-addressed artifact store rooted at one directory. All
+// methods are safe for concurrent use; the zero value is not usable — build
+// with Open.
+type Store struct {
+	dir    string
+	budget int64
+
+	mu    sync.Mutex
+	lru   *list.List               // front = most recently used
+	index map[string]*list.Element // key -> element holding *entry
+	bytes int64
+
+	hits, misses, puts, evictions, corrupt int64
+}
+
+// entry is the in-memory index record for one on-disk frame.
+type entry struct {
+	key  string
+	size int64 // frame size on disk
+}
+
+// Open creates (or reopens) a store rooted at dir holding at most budget
+// bytes of frames. An existing directory is rescanned: every plausible frame
+// is indexed with recency approximated by file modification time, anything
+// unreadable is deleted, and the budget is re-enforced immediately. budget
+// <= 0 disables the store (every Get misses, every Put is dropped) without
+// touching existing files.
+func Open(dir string, budget int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nodestore: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		budget: budget,
+		lru:    list.New(),
+		index:  make(map[string]*list.Element),
+	}
+	if budget <= 0 {
+		return s, nil
+	}
+	if err := s.rescan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// rescan rebuilds the index from the directory contents. Only the frame
+// header (magic + key) is read per file — checksum validation is deferred to
+// Get, which is where a corrupted payload would otherwise escape. Files that
+// fail even header validation are removed on the spot.
+func (s *Store) rescan() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("nodestore: %w", err)
+	}
+	type found struct {
+		e     entry
+		mtime int64
+	}
+	var frames []found
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.dir, de.Name())
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent removal
+		}
+		key, ok := readFrameKey(path)
+		if !ok || fileName(key) != de.Name() {
+			// Leftover temp file, foreign file, or a frame whose name no
+			// longer matches its key: never servable, so reclaim it.
+			_ = os.Remove(path)
+			s.corrupt++
+			continue
+		}
+		frames = append(frames, found{
+			e:     entry{key: key, size: info.Size()},
+			mtime: info.ModTime().UnixNano(),
+		})
+	}
+	// Oldest first: pushing in ascending mtime order leaves the most
+	// recently written frames at the LRU front.
+	sort.Slice(frames, func(i, j int) bool {
+		if frames[i].mtime != frames[j].mtime {
+			return frames[i].mtime < frames[j].mtime
+		}
+		return frames[i].e.key < frames[j].e.key
+	})
+	for _, f := range frames {
+		e := f.e
+		s.index[e.key] = s.lru.PushFront(&entry{key: e.key, size: e.size})
+		s.bytes += e.size
+	}
+	return nil
+}
+
+// Get returns the payload stored under key, refreshing its recency. The
+// frame checksum is verified on every read; a frame that fails validation is
+// evicted and reported as a miss, never served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	payload, err := readFrame(filepath.Join(s.dir, fileName(key)), key)
+	if err != nil {
+		s.dropLocked(el)
+		s.corrupt++
+		s.misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.hits++
+	return payload, true
+}
+
+// Put publishes payload under key. Publishing is idempotent — an existing
+// key only has its recency refreshed (bytes for one key are immutable by
+// construction) — and atomic: the frame is written to a temp file and
+// renamed into place, so no reader or rescanning reopener ever observes a
+// partial frame. Frames larger than the whole budget are dropped rather
+// than evicting everything else. Errors writing the frame are swallowed:
+// the store is a cache, and a failed publish only costs a future recompute.
+func (s *Store) Put(key string, payload []byte) {
+	if key == "" || len(key) > maxKeyLen {
+		return
+	}
+	size := frameSize(key, payload)
+	if size > s.budget {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	if err := writeFrame(s.dir, fileName(key), key, payload); err != nil {
+		return
+	}
+	s.index[key] = s.lru.PushFront(&entry{key: key, size: size})
+	s.bytes += size
+	s.puts++
+	s.evictLocked()
+}
+
+// evictLocked removes least-recently-used frames until the byte budget
+// holds. Callers hold s.mu.
+func (s *Store) evictLocked() {
+	for s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		s.dropLocked(back)
+		s.evictions++
+	}
+}
+
+// dropLocked removes one entry from the index and from disk.
+func (s *Store) dropLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.lru.Remove(el)
+	delete(s.index, e.key)
+	s.bytes -= e.size
+	_ = os.Remove(filepath.Join(s.dir, fileName(e.key)))
+}
+
+// Stats returns a snapshot of the store's counters and footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		Evictions: s.evictions, Corrupt: s.corrupt,
+		Entries: s.lru.Len(), Bytes: s.bytes,
+	}
+}
+
+// fileName maps a key onto its on-disk file name. Pass-node keys are hex
+// digests and usable verbatim; anything else (foreign callers, tests) is
+// flattened onto a hex digest so the name is always filesystem-safe.
+func fileName(key string) string {
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			sum := sha256.Sum256([]byte(key))
+			return fmt.Sprintf("%x.node", sum)
+		}
+	}
+	return key + ".node"
+}
+
+// Frame layout:
+//
+//	magic (8 bytes) | keyLen (u32 BE) | key | payloadLen (u32 BE) | payload |
+//	sha256(key || payload) (32 bytes)
+//
+// The key inside the frame makes a renamed or cross-linked file detectable,
+// and the trailing checksum makes any truncation or bit rot detectable: a
+// truncated frame either fails a length check or fails the checksum.
+
+func frameSize(key string, payload []byte) int64 {
+	return int64(len(magic) + 4 + len(key) + 4 + len(payload) + sha256.Size)
+}
+
+func writeFrame(dir, name, key string, payload []byte) error {
+	buf := make([]byte, 0, frameSize(key, payload))
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write(payload)
+	buf = h.Sum(buf)
+
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// readFrame reads and fully validates the frame at path, returning its
+// payload. wantKey must match the embedded key.
+func readFrame(path, wantKey string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	key, payload, err := parseFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if key != wantKey {
+		return nil, fmt.Errorf("nodestore: frame holds key %q, want %q", key, wantKey)
+	}
+	return payload, nil
+}
+
+// readFrameKey reads just enough of the frame at path to recover its key;
+// used by rescan so reopening a large store stays cheap.
+func readFrameKey(path string) (string, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false
+	}
+	defer f.Close()
+	head := make([]byte, len(magic)+4+maxKeyLen)
+	n, _ := f.Read(head)
+	head = head[:n]
+	if len(head) < len(magic)+4 || string(head[:len(magic)]) != magic {
+		return "", false
+	}
+	keyLen := binary.BigEndian.Uint32(head[len(magic):])
+	if keyLen == 0 || keyLen > maxKeyLen || len(head) < len(magic)+4+int(keyLen) {
+		return "", false
+	}
+	return string(head[len(magic)+4 : len(magic)+4+int(keyLen)]), true
+}
+
+// parseFrame validates everything except the key match: magic, length
+// fields, and the trailing checksum.
+func parseFrame(data []byte) (key string, payload []byte, err error) {
+	rest := data
+	if len(rest) < len(magic) || string(rest[:len(magic)]) != magic {
+		return "", nil, fmt.Errorf("nodestore: bad magic")
+	}
+	rest = rest[len(magic):]
+	if len(rest) < 4 {
+		return "", nil, fmt.Errorf("nodestore: truncated key length")
+	}
+	keyLen := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if keyLen == 0 || keyLen > maxKeyLen || uint32(len(rest)) < keyLen {
+		return "", nil, fmt.Errorf("nodestore: bad key length %d", keyLen)
+	}
+	key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	if len(rest) < 4 {
+		return "", nil, fmt.Errorf("nodestore: truncated payload length")
+	}
+	payloadLen := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(len(rest)) != uint64(payloadLen)+sha256.Size {
+		return "", nil, fmt.Errorf("nodestore: frame length mismatch")
+	}
+	payload = rest[:payloadLen]
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write(payload)
+	if !bytes.Equal(h.Sum(nil), rest[payloadLen:]) {
+		return "", nil, fmt.Errorf("nodestore: checksum mismatch")
+	}
+	return key, payload, nil
+}

@@ -18,8 +18,19 @@ type PlanConfig struct {
 	GraphKey string
 	// OnEvent, when non-nil, receives an Enter and a Leave event for every
 	// pass node the executor actually runs. Nodes at one level run in
-	// parallel, so the handler must be safe for concurrent use.
+	// parallel, so the handler must be safe for concurrent use. Nodes whose
+	// artifact is loaded from Store are not run and emit no events; Stats
+	// reports them as Loaded.
 	OnEvent func(Event)
+	// Store, when non-nil, is the persistent pass-node store: before
+	// executing a node the executor probes it under the node's projected
+	// content key (store.go) and decodes the artifact on a hit; after a
+	// successful execution it publishes the encoded artifact. Keys cover
+	// exactly the graph fields each pass reads, chained through upstream
+	// artifact hashes, so an edit invalidates only the DAG suffix that can
+	// observe it. Assemble nodes and the cyclic fallback never touch the
+	// store. The store must be safe for concurrent use.
+	Store Store
 }
 
 // Outcome is one grid point's terminal state: exactly one of Result and Err
@@ -34,10 +45,15 @@ type Outcome struct {
 // KindCount reports the deduplication achieved for one pass kind: Nodes is
 // how many nodes of that kind the plan holds, Naive is how many executions
 // the point-at-a-time pipeline would have performed for the same grid.
+// After Run, Executed counts the nodes whose pass actually ran and Loaded
+// the nodes satisfied from the persistent store instead (nodes that only
+// propagated an upstream failure count for neither).
 type KindCount struct {
-	Kind  Kind
-	Nodes int
-	Naive int
+	Kind     Kind
+	Nodes    int
+	Naive    int
+	Executed int
+	Loaded   int
 }
 
 // Plan is a memoized pass graph over one SDF graph and a grid of option
@@ -67,10 +83,29 @@ type Plan struct {
 	assemblies []*assembleNode
 }
 
+// nodeState tracks how one pass node was satisfied: ran is set around the
+// actual pass execution, loaded when the artifact came from the persistent
+// store. At most one of the two is set; neither on upstream failure.
+type nodeState struct {
+	ran    bool
+	loaded bool
+}
+
+func (ns nodeState) counts() (executed, loaded int) {
+	if ns.ran {
+		return 1, 0
+	}
+	if ns.loaded {
+		return 0, 1
+	}
+	return 0, 0
+}
+
 type repNode struct {
 	key Key
 	out Repetitions
 	err error
+	nodeState
 }
 
 type orderNode struct {
@@ -79,6 +114,8 @@ type orderNode struct {
 	custom   []sdf.ActorID
 	out      Order
 	err      error
+	hash     []byte // payload hash chaining into the schedule store key
+	nodeState
 }
 
 type schedNode struct {
@@ -87,6 +124,8 @@ type schedNode struct {
 	looping LoopAlg
 	out     LoopedSchedule
 	err     error
+	hash    []byte // payload hash chaining into the lifetimes store key
+	nodeState
 }
 
 type lifeNode struct {
@@ -94,6 +133,8 @@ type lifeNode struct {
 	sched *schedNode
 	out   Lifetimes
 	err   error
+	hash  []byte // payload hash chaining into the allocator store keys
+	nodeState
 }
 
 type allocNode struct {
@@ -102,6 +143,7 @@ type allocNode struct {
 	strat alloc.Strategy
 	out   Allocation
 	err   error
+	nodeState
 }
 
 // assembleNode is one grid point's leaf: verify/merge/metrics assembly over
@@ -114,6 +156,7 @@ type assembleNode struct {
 	allocs []*allocNode
 	out    *Result
 	err    error
+	nodeState
 }
 
 // NewPlan builds the deduplicated pass graph for compiling g at every point
@@ -196,18 +239,28 @@ func NewPlan(g *sdf.Graph, points []Options, cfg PlanConfig) (*Plan, error) {
 }
 
 // Stats reports, per pass kind, how many nodes the plan executes versus how
-// many the naive point-at-a-time pipeline would have. On the cyclic fallback
-// there is no sharing: only Assemble nodes exist and Nodes == Naive.
+// many the naive point-at-a-time pipeline would have, plus — once Run has
+// happened — how many nodes actually ran (Executed) versus were satisfied
+// from the persistent store (Loaded). On the cyclic fallback there is no
+// sharing: only Assemble nodes exist and Nodes == Naive.
 func (p *Plan) Stats() []KindCount {
 	n := len(p.points)
+	asmState := func() (executed, loaded int) {
+		for _, as := range p.assemblies {
+			e, l := as.counts()
+			executed, loaded = executed+e, loaded+l
+		}
+		return
+	}
 	if p.cyclic {
-		return []KindCount{{Kind: KindAssemble, Nodes: n, Naive: n}}
+		e, l := asmState()
+		return []KindCount{{Kind: KindAssemble, Nodes: n, Naive: n, Executed: e, Loaded: l}}
 	}
 	naiveAllocs := 0
 	for _, pt := range p.points {
 		naiveAllocs += len(defaultAllocators(pt.Allocators))
 	}
-	return []KindCount{
+	out := []KindCount{
 		{Kind: KindRepetitions, Nodes: 1, Naive: n},
 		{Kind: KindOrder, Nodes: len(p.orders), Naive: n},
 		{Kind: KindSchedule, Nodes: len(p.scheds), Naive: n},
@@ -215,6 +268,26 @@ func (p *Plan) Stats() []KindCount {
 		{Kind: KindAlloc, Nodes: len(p.allocs), Naive: naiveAllocs},
 		{Kind: KindAssemble, Nodes: n, Naive: n},
 	}
+	tally := func(kc *KindCount, ns nodeState) {
+		e, l := ns.counts()
+		kc.Executed += e
+		kc.Loaded += l
+	}
+	tally(&out[0], p.rep.nodeState)
+	for _, nd := range p.orders {
+		tally(&out[1], nd.nodeState)
+	}
+	for _, nd := range p.scheds {
+		tally(&out[2], nd.nodeState)
+	}
+	for _, nd := range p.lifes {
+		tally(&out[3], nd.nodeState)
+	}
+	for _, nd := range p.allocs {
+		tally(&out[4], nd.nodeState)
+	}
+	out[5].Executed, out[5].Loaded = asmState()
+	return out
 }
 
 // NodeCount returns total executed nodes and the naive execution count,
@@ -260,9 +333,12 @@ func abortErr(ctx context.Context, k Kind) error {
 // cancellation of ctx surfaces as per-point abort errors.
 func (p *Plan) Run(ctx context.Context) []Outcome {
 	if p.cyclic {
+		// The SCC condensation path has no shareable prefix structure, so the
+		// store is not consulted: every point compiles directly.
 		_ = par.ForEach(len(p.assemblies), func(i int) error {
 			as := p.assemblies[i]
 			p.emit(KindAssemble, as.key, true)
+			as.ran = true
 			as.out, as.err = CompileGeneralContext(ctx, p.g, as.opts)
 			p.emit(KindAssemble, as.key, false)
 			return nil
@@ -270,13 +346,33 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 		return p.outcomes()
 	}
 
+	// The store keys project exactly the graph fields each pass reads
+	// (store.go); the projections are computed once per run.
+	var sk *storeKeys
+	if p.cfg.Store != nil {
+		sk = newStoreKeys(p.g)
+	}
+
 	// Level 0: repetitions (single node).
 	if err := ctx.Err(); err != nil {
 		p.rep.err = abortErr(ctx, KindRepetitions)
 	} else {
-		p.emit(KindRepetitions, p.rep.key, true)
-		p.rep.out, p.rep.err = RunRepetitions(p.g)
-		p.emit(KindRepetitions, p.rep.key, false)
+		if sk != nil {
+			if data, ok := p.cfg.Store.Get(sk.repKey()); ok {
+				if out, err := decodeRep(p.g, data); err == nil {
+					p.rep.out, p.rep.loaded = out, true
+				}
+			}
+		}
+		if !p.rep.loaded {
+			p.emit(KindRepetitions, p.rep.key, true)
+			p.rep.ran = true
+			p.rep.out, p.rep.err = RunRepetitions(p.g)
+			p.emit(KindRepetitions, p.rep.key, false)
+			if sk != nil && p.rep.err == nil {
+				p.cfg.Store.Put(sk.repKey(), encodeRep(p.rep.out))
+			}
+		}
 	}
 
 	// Level 1: lexical orders.
@@ -290,9 +386,25 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 			n.err = abortErr(ctx, KindOrder)
 			return nil
 		}
+		if sk != nil {
+			key := sk.orderKey(n.strategy, n.custom)
+			if data, ok := p.cfg.Store.Get(key); ok {
+				if out, err := decodeOrder(p.g, data); err == nil {
+					n.out, n.loaded = out, true
+					n.hash = payloadHash(data)
+					return nil
+				}
+			}
+		}
 		p.emit(KindOrder, n.key, true)
+		n.ran = true
 		n.out, n.err = RunOrder(p.g, p.rep.out, n.strategy, n.custom)
 		p.emit(KindOrder, n.key, false)
+		if sk != nil && n.err == nil {
+			data := encodeOrder(n.out)
+			n.hash = payloadHash(data)
+			p.cfg.Store.Put(sk.orderKey(n.strategy, n.custom), data)
+		}
 		return nil
 	})
 
@@ -307,9 +419,25 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 			n.err = abortErr(ctx, KindSchedule)
 			return nil
 		}
+		if sk != nil {
+			key := sk.schedKey(n.order.hash, n.looping)
+			if data, ok := p.cfg.Store.Get(key); ok {
+				if out, err := decodeSched(p.g, data); err == nil {
+					n.out, n.loaded = out, true
+					n.hash = payloadHash(data)
+					return nil
+				}
+			}
+		}
 		p.emit(KindSchedule, n.key, true)
+		n.ran = true
 		n.out, n.err = RunSchedule(p.g, p.rep.out, n.order.out, n.looping)
 		p.emit(KindSchedule, n.key, false)
+		if sk != nil && n.err == nil {
+			data := encodeSched(n.out)
+			n.hash = payloadHash(data)
+			p.cfg.Store.Put(sk.schedKey(n.order.hash, n.looping), data)
+		}
 		return nil
 	})
 
@@ -324,9 +452,25 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 			n.err = abortErr(ctx, KindLifetimes)
 			return nil
 		}
+		if sk != nil {
+			key := sk.lifeKey(n.sched.hash)
+			if data, ok := p.cfg.Store.Get(key); ok {
+				if out, err := decodeLife(p.g, n.sched.out, data); err == nil {
+					n.out, n.loaded = out, true
+					n.hash = payloadHash(data)
+					return nil
+				}
+			}
+		}
 		p.emit(KindLifetimes, n.key, true)
+		n.ran = true
 		n.out, n.err = RunLifetimes(p.rep.out, n.sched.out)
 		p.emit(KindLifetimes, n.key, false)
+		if sk != nil && n.err == nil {
+			data := encodeLife(n.out)
+			n.hash = payloadHash(data)
+			p.cfg.Store.Put(sk.lifeKey(n.sched.hash), data)
+		}
 		return nil
 	})
 
@@ -342,15 +486,32 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 			n.err = abortErr(ctx, KindAlloc)
 			return nil
 		}
+		if sk != nil {
+			key := allocStoreKey(n.life.hash, n.strat)
+			if data, ok := p.cfg.Store.Get(key); ok {
+				if out, err := decodeAlloc(n.life.out, n.strat, data); err == nil {
+					n.out, n.loaded = out, true
+					return nil
+				}
+			}
+		}
 		p.emit(KindAlloc, n.key, true)
+		n.ran = true
 		n.out, n.err = RunAlloc(n.life.out, n.strat)
 		p.emit(KindAlloc, n.key, false)
+		if sk != nil && n.err == nil {
+			if data, err := encodeAlloc(n.life.out, n.out); err == nil {
+				p.cfg.Store.Put(allocStoreKey(n.life.hash, n.strat), data)
+			}
+		}
 		return nil
 	})
 
 	// Level 5: per-point assembly (verify, merge, metrics). Allocator errors
 	// are reported in the point's allocator order, matching the first-error
-	// behavior of the sequential pipeline.
+	// behavior of the sequential pipeline. Assembly is never stored: its
+	// inputs include per-point options (verify, merging) and its output
+	// includes the graph pointer itself.
 	_ = par.ForEach(len(p.assemblies), func(i int) error {
 		as := p.assemblies[i]
 		if as.life.err != nil {
@@ -366,6 +527,7 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 			allocs = append(allocs, an.out)
 		}
 		p.emit(KindAssemble, as.key, true)
+		as.ran = true
 		as.out, as.err = finishResult(ctx, p.g, as.opts, p.rep.out,
 			as.life.sched.order.out.Actors, as.life.sched.out, as.life.out, allocs)
 		p.emit(KindAssemble, as.key, false)

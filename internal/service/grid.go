@@ -172,8 +172,13 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.CompileTimeout)
 			defer cancel()
 			s.gridRuns.Inc()
+			// With a node store, loaded nodes emit no events, so
+			// sdfd_grid_pass_nodes_total keeps counting only pass work that
+			// actually executed; store reuse shows up in
+			// sdfd_nodestore_loads_total instead.
 			plan, err := pass.NewPlan(g, points, pass.PlanConfig{
 				GraphKey: Digest(canonical, CompileOptions{}),
+				Store:    s.planStore(),
 				OnEvent: func(e pass.Event) {
 					if e.Enter {
 						s.gridNodes.With(e.Kind.String()).Inc()
@@ -185,6 +190,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			outs := plan.Run(ctx)
+			s.countLoads(plan.Stats())
 			done <- gridRun{outs: outs, stats: plan.Stats()}
 		}
 		if err := s.pool.TrySubmit(job); err != nil {

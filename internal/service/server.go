@@ -22,11 +22,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/nodestore"
 	"repro/internal/par"
+	"repro/internal/pass"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
 	"repro/internal/service/metrics"
@@ -56,6 +59,14 @@ type Config struct {
 	// GridMaxEntries bounds how many option sets one POST /v1/grid request
 	// may carry. Default 64.
 	GridMaxEntries int
+	// NodeStore is an already-opened persistent pass-node store
+	// (internal/nodestore). When non-nil, /v1/compile and /v1/grid consult
+	// it before executing each pass node and publish freshly computed
+	// artifacts into it, so recompilations after small edits reuse every
+	// unaffected stage across requests AND daemon restarts. Nil disables
+	// store-assisted compilation. The caller owns the store's lifetime;
+	// cmd/sdfd opens it from -store / -store-mb.
+	NodeStore *nodestore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +164,7 @@ type Server struct {
 	gridRuns     *metrics.Counter
 	gridNodes    *metrics.CounterVec
 	gridSaved    *metrics.Counter
+	storeLoads   *metrics.CounterVec
 
 	// testHookCompileStart, when set, runs at the start of every pipeline
 	// job (inside the worker). Tests use it to hold workers busy so the
@@ -199,7 +211,92 @@ func New(cfg Config) *Server {
 		func() float64 { n, _ := s.cache.stats(); return float64(n) })
 	s.reg.GaugeFunc("sdfd_cache_bytes", "artifact cache footprint in bytes",
 		func() float64 { _, b := s.cache.stats(); return float64(b) })
+	if ns := cfg.NodeStore; ns != nil {
+		s.storeLoads = s.reg.CounterVec("sdfd_nodestore_loads_total",
+			"pass nodes loaded from the persistent store instead of executed, by pass kind", "kind")
+		s.reg.GaugeFunc("sdfd_nodestore_hits_total", "persistent pass-node store hits",
+			func() float64 { return float64(ns.Stats().Hits) })
+		s.reg.GaugeFunc("sdfd_nodestore_misses_total", "persistent pass-node store misses",
+			func() float64 { return float64(ns.Stats().Misses) })
+		s.reg.GaugeFunc("sdfd_nodestore_evictions_total", "persistent pass-node store frames evicted for budget",
+			func() float64 { return float64(ns.Stats().Evictions) })
+		s.reg.GaugeFunc("sdfd_nodestore_corrupt_total", "persistent pass-node store frames dropped as corrupt",
+			func() float64 { return float64(ns.Stats().Corrupt) })
+		s.reg.GaugeFunc("sdfd_nodestore_entries", "persistent pass-node store frames on disk",
+			func() float64 { return float64(ns.Stats().Entries) })
+		s.reg.GaugeFunc("sdfd_nodestore_bytes", "persistent pass-node store footprint in bytes",
+			func() float64 { return float64(ns.Stats().Bytes) })
+	}
 	return s
+}
+
+// planStore returns the node store as the pass.Store interface, or a nil
+// interface when the store is disabled (a typed-nil *nodestore.Store inside
+// a non-nil interface would defeat the planner's nil check).
+func (s *Server) planStore() pass.Store {
+	if s.cfg.NodeStore == nil {
+		return nil
+	}
+	return s.cfg.NodeStore
+}
+
+// stageEvents adapts plan node events into the stage latency histogram for
+// the store-assisted single-compile path: each executed node's enter/leave
+// pair is timed under its stage name. Loaded nodes emit no events and so
+// cost no observations — the histogram keeps meaning "the pipeline actually
+// did this work".
+func (s *Server) stageEvents() func(pass.Event) {
+	var mu sync.Mutex
+	starts := map[string]time.Time{}
+	return func(e pass.Event) {
+		key := e.Kind.String() + "\x00" + string(e.Key)
+		if e.Enter {
+			mu.Lock()
+			starts[key] = time.Now()
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		t0, ok := starts[key]
+		delete(starts, key)
+		mu.Unlock()
+		if ok {
+			s.stageSeconds.With(stageOfKind(e.Kind)).Observe(time.Since(t0).Seconds())
+		}
+	}
+}
+
+// countLoads feeds post-run plan stats into the store-load counter.
+func (s *Server) countLoads(stats []pass.KindCount) {
+	if s.storeLoads == nil {
+		return
+	}
+	for _, kc := range stats {
+		if kc.Loaded > 0 {
+			s.storeLoads.With(kc.Kind.String()).Add(float64(kc.Loaded))
+		}
+	}
+}
+
+// stageOfKind maps plan node kinds onto the OnStage latency vocabulary so
+// store-assisted compilations land in the same sdfd_stage_seconds series as
+// direct ones (repetitions+order together form the schedule stage; the
+// assemble node covers selection, verify, and merge).
+func stageOfKind(k pass.Kind) string {
+	switch k {
+	case pass.KindRepetitions, pass.KindOrder:
+		return core.StageSchedule
+	case pass.KindSchedule:
+		return core.StageLoopDP
+	case pass.KindLifetimes:
+		return core.StageLifetime
+	case pass.KindAlloc:
+		return core.StageAlloc
+	case pass.KindAssemble:
+		return "assemble"
+	default:
+		return "unknown"
+	}
 }
 
 // Close stops accepting work, cancels in-flight compilations' contexts, and
@@ -436,7 +533,7 @@ func (s *Server) runCompileJob(key string, f *flight, g *sdf.Graph, norm Compile
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.CompileTimeout)
 		defer cancel()
 		s.pipelineRuns.Inc()
-		data, res, err := compileArtifactContext(ctx, g, norm, s.stageTimer())
+		data, res, err := s.compileArtifact(ctx, g, norm)
 		if err != nil {
 			return nil, err
 		}
@@ -455,6 +552,39 @@ func (s *Server) runCompileJob(key string, f *flight, g *sdf.Graph, norm Compile
 		return data, nil
 	}()
 	s.flights.finish(key, f, data, err)
+}
+
+// compileArtifact runs one normalized compilation through whichever path
+// the configuration selects: with a node store, a single-point planned run
+// that probes the store before each pass and publishes after (warm stages
+// are loaded, not executed); without one, the direct pipeline. Both paths
+// render through the identical artifact encoder, so the bytes for a digest
+// do not depend on which path — or which process lifetime — produced them.
+func (s *Server) compileArtifact(ctx context.Context, g *sdf.Graph, norm CompileOptions) ([]byte, *core.Result, error) {
+	if s.cfg.NodeStore == nil {
+		return compileArtifactContext(ctx, g, norm, s.stageTimer())
+	}
+	copts, err := coreOptions(norm)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := pass.NewPlan(g, []core.Options{copts}, pass.PlanConfig{
+		Store:   s.planStore(),
+		OnEvent: s.stageEvents(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := p.Run(ctx)
+	s.countLoads(p.Stats())
+	if outs[0].Err != nil {
+		return nil, nil, outs[0].Err
+	}
+	data, err := ArtifactBytes(outs[0].Result, norm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, outs[0].Result, nil
 }
 
 // stageTimer adapts core's OnStage hook into the per-stage latency
