@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race race-full race-service grid incremental tier1 bench bench-json fuzz-short serve
+.PHONY: all build vet lint test race race-full race-service grid incremental tier1 bench bench-json fuzz-short serve load load-short bench-compare
 
 all: tier1
 
@@ -56,6 +56,36 @@ incremental:
 # serve runs the compilation daemon on its default port.
 serve:
 	$(GO) run ./cmd/sdfd
+
+# load-short is the saturation-harness smoke gate: the harness's unit and
+# property suites under the race detector, then a real sdfload ramp against
+# a race-enabled sdfd spawned on an ephemeral port, with -selfcheck gating
+# on the open-loop invariants (monotone percentiles, every request accounted
+# for, zero unclassified errors below the knee). Finally the written report
+# must self-compare clean through sdfbench -compare.
+load-short:
+	$(GO) test -race ./internal/load/... ./internal/hdr/...
+	$(GO) build -race -o bin/sdfd.race ./cmd/sdfd
+	$(GO) build -o bin/sdfload ./cmd/sdfload
+	./bin/sdfload -spawn ./bin/sdfd.race -short -selfcheck -label short -out LOAD_short.json
+	$(GO) run ./cmd/sdfbench -compare LOAD_short.json LOAD_short.json >/dev/null
+
+# load runs the full staged ramp against a locally spawned release-build
+# sdfd and writes LOAD_dev.json (tune with LOAD_FLAGS, e.g.
+# LOAD_FLAGS="-start-rps 100 -step-rps 100 -steps 10 -hold 15s").
+LOAD_FLAGS ?=
+load:
+	$(GO) build -o bin/sdfd ./cmd/sdfd
+	$(GO) build -o bin/sdfload ./cmd/sdfload
+	./bin/sdfload -spawn ./bin/sdfd -selfcheck $(LOAD_FLAGS)
+
+# bench-compare diffs a fresh quick trajectory against the committed
+# baseline and fails on regressions beyond the (generous, cross-machine)
+# threshold. BASELINE defaults to the checked-in file.
+BASELINE ?= BENCH_2026-08-06.json
+bench-compare:
+	$(GO) run ./cmd/sdfbench -quick -json -out BENCH_ci.json >/dev/null
+	$(GO) run ./cmd/sdfbench -compare -threshold 5 $(BASELINE) BENCH_ci.json
 
 # tier1 is the merge gate: everything must pass before a change lands.
 tier1: lint build test race

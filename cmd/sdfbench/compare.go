@@ -1,36 +1,63 @@
 package main
 
 // sdfbench -compare old.json new.json: diff two BENCH_*.json trajectory
-// files phase by phase and system by system, render a markdown report, and
-// gate on a wall-time regression threshold so CI (or a human before
-// merging) can tell "this PR made the pipeline slower" from noise.
+// files phase by phase and system by system — or two LOAD_*.json saturation
+// reports from sdfload (recognized by their "version":"load/..." field) —
+// render a markdown report, and gate on a regression threshold so CI (or a
+// human before merging) can tell "this PR made the pipeline slower" from
+// noise.
 //
 // Exit codes: 0 no regressions, 1 operational error (unreadable or
-// malformed file), 3 at least one comparable series regressed beyond the
-// threshold. Only series present in BOTH files are compared — growing the
-// trajectory schema never breaks old baselines.
+// malformed file, or mixing a load report with a bench trajectory), 3 at
+// least one comparable series regressed beyond the threshold. Only series
+// present in BOTH files are compared — growing the trajectory schema never
+// breaks old baselines.
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/load"
 )
 
-// compareRow is one comparable wall-time series across the two reports.
+// compareRow is one comparable series across the two reports: a wall-time
+// series (OldNS/NewNS, lower is better) or, with HigherBetter set, a
+// throughput series (OldRPS/NewRPS — the saturation knee).
 type compareRow struct {
 	Section string
 	Key     string
 	OldNS   int64
 	NewNS   int64
+	// HigherBetter marks a throughput series carried in OldRPS/NewRPS; its
+	// ratio inverts so that >1 still reads "worse".
+	HigherBetter   bool
+	OldRPS, NewRPS float64
 }
 
-// ratio is new/old; 0 when the old side is empty (incomparable).
+// ratio normalizes both series kinds so that ratio > threshold always means
+// regression: new/old for wall times, old/new for throughput. 0 when the
+// baseline side is empty (incomparable).
 func (r compareRow) ratio() float64 {
+	if r.HigherBetter {
+		if r.NewRPS <= 0 {
+			return 0
+		}
+		return r.OldRPS / r.NewRPS
+	}
 	if r.OldNS <= 0 {
 		return 0
 	}
 	return float64(r.NewNS) / float64(r.OldNS)
+}
+
+// values renders both sides for the markdown table.
+func (r compareRow) values() (string, string) {
+	if r.HigherBetter {
+		return fmt.Sprintf("%.4g rps", r.OldRPS), fmt.Sprintf("%.4g rps", r.NewRPS)
+	}
+	return formatNS(r.OldNS), formatNS(r.NewNS)
 }
 
 func loadReport(path string) (*benchReport, error) {
@@ -43,6 +70,73 @@ func loadReport(path string) (*benchReport, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &rep, nil
+}
+
+// isLoadReport sniffs whether path holds a sdfload LOAD_*.json report
+// (version "load/...") rather than a bench trajectory.
+func isLoadReport(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var sniff struct {
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(data, &sniff); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	return strings.HasPrefix(sniff.Version, "load/"), nil
+}
+
+func loadLoadReport(path string) (*load.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep load.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Version != load.ReportVersion {
+		return nil, fmt.Errorf("%s: load report version %q, this sdfbench understands %q",
+			path, rep.Version, load.ReportVersion)
+	}
+	return &rep, nil
+}
+
+// compareLoadRows pairs the two saturation reports: per shared ramp step
+// (matched by offered RPS) the open-loop p50/p99, and the sustained knee
+// RPS as a higher-is-better throughput row. Violating steps are excluded —
+// their latency measures where the knee is, not how fast the server runs.
+func compareLoadRows(oldRep, newRep *load.Report) []compareRow {
+	var rows []compareRow
+	newSteps := map[float64]load.StepResult{}
+	for _, st := range newRep.Steps {
+		if len(st.Violations) == 0 {
+			newSteps[st.TargetRPS] = st
+		}
+	}
+	for _, st := range oldRep.Steps {
+		if len(st.Violations) > 0 {
+			continue
+		}
+		n, ok := newSteps[st.TargetRPS]
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%.4g rps", st.TargetRPS)
+		rows = append(rows,
+			compareRow{Section: "step", Key: key + "/p50", OldNS: st.Latency.P50, NewNS: n.Latency.P50},
+			compareRow{Section: "step", Key: key + "/p99", OldNS: st.Latency.P99, NewNS: n.Latency.P99},
+		)
+	}
+	if oldRep.Knee.RPS > 0 || newRep.Knee.RPS > 0 {
+		rows = append(rows, compareRow{
+			Section: "knee", Key: "sustained_rps",
+			HigherBetter: true, OldRPS: oldRep.Knee.RPS, NewRPS: newRep.Knee.RPS,
+		})
+	}
+	return rows
 }
 
 // compareRows pairs every wall-time series the two reports share. Keys are
@@ -127,10 +221,10 @@ func compareRows(oldRep, newRep *benchReport) []compareRow {
 // formatCompareMarkdown renders the comparison as a markdown document:
 // every shared series with old/new times and ratio, regressions flagged,
 // and a short verdict line CI logs surface well.
-func formatCompareMarkdown(oldPath, newPath string, rows []compareRow, threshold float64) (string, []compareRow) {
+func formatCompareMarkdown(title, oldPath, newPath string, rows []compareRow, threshold float64) (string, []compareRow) {
 	var regressions []compareRow
 	var b strings.Builder
-	fmt.Fprintf(&b, "# Benchmark comparison\n\n")
+	fmt.Fprintf(&b, "# %s\n\n", title)
 	fmt.Fprintf(&b, "Old: `%s`\nNew: `%s`\nThreshold: %.2fx\n\n", oldPath, newPath, threshold)
 	fmt.Fprintf(&b, "| section | series | old | new | ratio | |\n")
 	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---|\n")
@@ -146,8 +240,9 @@ func formatCompareMarkdown(oldPath, newPath string, rows []compareRow, threshold
 		case ratio < 1/threshold:
 			flag = "improved"
 		}
+		oldV, newV := r.values()
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.2f | %s |\n",
-			r.Section, r.Key, formatNS(r.OldNS), formatNS(r.NewNS), ratio, flag)
+			r.Section, r.Key, oldV, newV, ratio, flag)
 	}
 	fmt.Fprintf(&b, "\n")
 	if len(regressions) == 0 {
@@ -155,7 +250,8 @@ func formatCompareMarkdown(oldPath, newPath string, rows []compareRow, threshold
 	} else {
 		fmt.Fprintf(&b, "%d of %d shared series regressed beyond %.2fx:\n\n", len(regressions), len(rows), threshold)
 		for _, r := range regressions {
-			fmt.Fprintf(&b, "- %s/%s: %s -> %s (%.2fx)\n", r.Section, r.Key, formatNS(r.OldNS), formatNS(r.NewNS), r.ratio())
+			oldV, newV := r.values()
+			fmt.Fprintf(&b, "- %s/%s: %s -> %s (%.2fx)\n", r.Section, r.Key, oldV, newV, r.ratio())
 		}
 	}
 	return b.String(), regressions
@@ -182,22 +278,54 @@ func runCompare(oldPath, newPath, mdPath string, threshold float64) int {
 		fmt.Fprintf(os.Stderr, "sdfbench: -threshold must be > 1 (got %v)\n", threshold)
 		return 2
 	}
-	oldRep, err := loadReport(oldPath)
+	oldIsLoad, err := isLoadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdfbench:", err)
 		return 1
 	}
-	newRep, err := loadReport(newPath)
+	newIsLoad, err := isLoadReport(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdfbench:", err)
 		return 1
 	}
-	rows := compareRows(oldRep, newRep)
+	if oldIsLoad != newIsLoad {
+		fmt.Fprintln(os.Stderr, "sdfbench: cannot compare a load report against a bench trajectory")
+		return 1
+	}
+
+	var rows []compareRow
+	title := "Benchmark comparison"
+	if oldIsLoad {
+		title = "Load comparison"
+		oldRep, err := loadLoadReport(oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdfbench:", err)
+			return 1
+		}
+		newRep, err := loadLoadReport(newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdfbench:", err)
+			return 1
+		}
+		rows = compareLoadRows(oldRep, newRep)
+	} else {
+		oldRep, err := loadReport(oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdfbench:", err)
+			return 1
+		}
+		newRep, err := loadReport(newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdfbench:", err)
+			return 1
+		}
+		rows = compareRows(oldRep, newRep)
+	}
 	if len(rows) == 0 {
-		fmt.Fprintln(os.Stderr, "sdfbench: the two trajectory files share no comparable series")
+		fmt.Fprintln(os.Stderr, "sdfbench: the two reports share no comparable series")
 		return 1
 	}
-	md, regressions := formatCompareMarkdown(oldPath, newPath, rows, threshold)
+	md, regressions := formatCompareMarkdown(title, oldPath, newPath, rows, threshold)
 	if mdPath == "" {
 		fmt.Print(md)
 	} else {

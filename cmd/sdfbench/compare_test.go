@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/goldentest"
+	"repro/internal/load"
 )
 
 func sampleReport(scale int64) *benchReport {
@@ -125,4 +128,169 @@ func TestCompareBadInputs(t *testing.T) {
 	if code := runCompare(good, good, "", 0.5); code != 2 {
 		t.Error("threshold <= 1 should exit 2")
 	}
+}
+
+func sampleLoadReport(latScale int64, kneeRPS float64) *load.Report {
+	step := func(rps float64, p50, p99 int64) load.StepResult {
+		var st load.StepResult
+		st.TargetRPS = rps
+		st.AchievedRPS = rps
+		st.Sent, st.OK = 100, 100
+		st.Latency.Count = 100
+		st.Latency.P50, st.Latency.P90 = p50, (p50+p99)/2
+		st.Latency.P99, st.Latency.P999, st.Latency.Max = p99, p99, p99
+		return st
+	}
+	return &load.Report{
+		Version: load.ReportVersion,
+		Label:   "sample",
+		Seed:    1,
+		Workers: 8,
+		Mix:     load.Mix{Cold: 1, Warm: 6, Edit: 2, Grid: 1},
+		Steps: []load.StepResult{
+			step(50, 2_000_000*latScale, 9_000_000*latScale),
+			step(100, 3_000_000*latScale, 20_000_000*latScale),
+		},
+		Knee: load.Knee{RPS: kneeRPS, Saturated: false, Reason: "completed"},
+	}
+}
+
+func writeLoadReport(t *testing.T, rep *load.Report, name string) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareLoadReports(t *testing.T) {
+	oldPath := writeLoadReport(t, sampleLoadReport(1, 100), "old.json")
+	newPath := writeLoadReport(t, sampleLoadReport(1, 100), "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 0 {
+		t.Fatalf("identical load reports: exit %d, want 0", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(out)
+	for _, want := range []string{"Load comparison", "50 rps/p50", "100 rps/p99", "sustained_rps"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("load report comparison missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareLoadLatencyRegression(t *testing.T) {
+	oldPath := writeLoadReport(t, sampleLoadReport(1, 100), "old.json")
+	newPath := writeLoadReport(t, sampleLoadReport(3, 100), "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 3 {
+		t.Fatalf("3x latency regression: exit %d, want 3", code)
+	}
+}
+
+func TestCompareLoadKneeRegression(t *testing.T) {
+	// The knee dropping from 100 to 50 rps is a regression even though every
+	// shared step's latency is unchanged: the throughput ratio inverts.
+	oldPath := writeLoadReport(t, sampleLoadReport(1, 100), "old.json")
+	newPath := writeLoadReport(t, sampleLoadReport(1, 50), "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 3 {
+		t.Fatalf("knee halved: exit %d, want 3", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "knee/sustained_rps") {
+		t.Errorf("knee regression not named:\n%s", out)
+	}
+	// A knee that RISES must stay green.
+	better := writeLoadReport(t, sampleLoadReport(1, 200), "better.json")
+	if code := runCompare(oldPath, better, "", 1.25); code != 0 {
+		t.Error("knee doubling flagged as regression")
+	}
+}
+
+func TestCompareMixedReportTypes(t *testing.T) {
+	bench := writeReport(t, sampleReport(1), "bench.json")
+	loadp := writeLoadReport(t, sampleLoadReport(1, 100), "load.json")
+	if code := runCompare(bench, loadp, "", 1.25); code != 1 {
+		t.Error("bench-vs-load should be an operational error (exit 1)")
+	}
+	if code := runCompare(loadp, bench, "", 1.25); code != 1 {
+		t.Error("load-vs-bench should be an operational error (exit 1)")
+	}
+}
+
+func TestCompareEmptySeriesOneSide(t *testing.T) {
+	// A baseline with no sections at all shares nothing with a full report:
+	// that is an operational error, not a silent green.
+	empty := writeReport(t, &benchReport{Date: "2026-01-01"}, "empty.json")
+	full := writeReport(t, sampleReport(1), "full.json")
+	if code := runCompare(empty, full, "", 1.25); code != 1 {
+		t.Error("no shared series should exit 1")
+	}
+	// An empty load baseline shares no steps; only the knee row remains,
+	// incomparable (old side 0) — reported n/a, never a regression.
+	emptyLoad := writeLoadReport(t, &load.Report{Version: load.ReportVersion}, "empty_load.json")
+	fullLoad := writeLoadReport(t, sampleLoadReport(1, 100), "full_load.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(emptyLoad, fullLoad, md, 1.25); code != 0 {
+		t.Errorf("empty load baseline: exit %d, want 0 (knee row incomparable)", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "n/a") {
+		t.Errorf("incomparable knee row not marked n/a:\n%s", out)
+	}
+}
+
+func TestCompareZeroBaselineIncomparable(t *testing.T) {
+	zero := sampleReport(1)
+	zero.Phases[0].WallNS = 0 // dead series in the baseline
+	oldPath := writeReport(t, zero, "old.json")
+	newPath := writeReport(t, sampleReport(1), "new.json")
+	md := filepath.Join(t.TempDir(), "report.md")
+	if code := runCompare(oldPath, newPath, md, 1.25); code != 0 {
+		t.Fatalf("zero baseline series: exit %d, want 0 (incomparable, not a regression)", code)
+	}
+	out, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "NaN") || strings.Contains(string(out), "Inf") {
+		t.Errorf("zero baseline leaked NaN/Inf into the report:\n%s", out)
+	}
+	if !strings.Contains(string(out), "n/a") {
+		t.Errorf("zero-baseline row not marked n/a:\n%s", out)
+	}
+}
+
+func TestCompareGoldenMarkdown(t *testing.T) {
+	// Pin the exact rendering: a regression, an improvement, and an
+	// incomparable row in one deterministic bench comparison.
+	oldRep := sampleReport(1)
+	newRep := sampleReport(1)
+	newRep.Incremental.WarmNS *= 3 // regression
+	newRep.AllocFirstFitNS /= 2    // improvement
+	oldRep.Phases[1].WallNS = 0    // n/a row
+	md, _ := formatCompareMarkdown("Benchmark comparison", "old.json", "new.json",
+		compareRows(oldRep, newRep), 1.25)
+	goldentest.Compare(t, filepath.Join("testdata", "compare_bench.golden.md"), md)
+
+	oldLoad := sampleLoadReport(1, 100)
+	newLoad := sampleLoadReport(2, 50) // latency doubled, knee halved
+	mdLoad, _ := formatCompareMarkdown("Load comparison", "old.json", "new.json",
+		compareLoadRows(oldLoad, newLoad), 1.25)
+	goldentest.Compare(t, filepath.Join("testdata", "compare_load.golden.md"), mdLoad)
 }

@@ -19,8 +19,13 @@
 // With -json, results go to stdout as JSON and a benchmark trajectory file
 // BENCH_<date>.json (per-phase wall times, per-system and per-population
 // ns/op, loop-aware vs firing-expansion simulator micro timings) is written
-// so successive PRs can track performance regressions; -benchout overrides
-// the file path.
+// so successive PRs can track performance regressions; -out overrides the
+// file path (a stable name, e.g. -out BENCH_baseline.json, lets CI find it
+// without globbing; -benchout is a deprecated alias).
+//
+// sdfbench -compare old.json new.json diffs two trajectory files — or two
+// LOAD_*.json saturation reports from sdfload — and gates on a regression
+// threshold; see compare.go.
 package main
 
 import (
@@ -137,7 +142,8 @@ func main() {
 		quick     = fs.Bool("quick", false, "reduced population sizes")
 		seed      = fs.Int64("seed", 2000, "random seed for stochastic studies")
 		jsonOut   = fs.Bool("json", false, "emit results as JSON and write a BENCH_<date>.json trajectory")
-		benchOut  = fs.String("benchout", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
+		out       = fs.String("out", "", "trajectory file path (default BENCH_<date>.json; implies nothing unless -json)")
+		benchOut  = fs.String("benchout", "", "deprecated alias for -out")
 		compare   = fs.Bool("compare", false, "compare two trajectory files (sdfbench -compare old.json new.json) instead of running experiments")
 		threshold = fs.Float64("threshold", 1.25, "for -compare: flag a regression when new/old wall time exceeds this ratio")
 		mdOut     = fs.String("md", "", "for -compare: write the markdown report to this file (default stdout)")
@@ -350,7 +356,11 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := writeBenchFile(report, *benchOut, *quick); err != nil {
+		path := *out
+		if path == "" {
+			path = *benchOut // deprecated alias; -out wins when both are set
+		}
+		if err := writeBenchFile(report, path, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "sdfbench: bench trajectory:", err)
 			os.Exit(1)
 		}

@@ -13,6 +13,14 @@
 //	     [-request-timeout D] [-compile-timeout D] [-max-request-kb N]
 //	     [-store DIR] [-store-mb N]
 //
+// On startup the daemon prints one machine-readable line to stdout:
+//
+//	SDFD_READY addr=<host:port>
+//
+// carrying the resolved listen address. Pass "-addr 127.0.0.1:0" to bind an
+// ephemeral port and read the line to find it — sdfload -spawn and
+// make load-short rely on this.
+//
 // With -store, compiled pass-stage artifacts persist in a content-addressed
 // on-disk store and survive daemon restarts: recompiling a graph after a
 // small edit loads every unaffected pipeline stage from disk instead of
@@ -24,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -80,19 +89,30 @@ func main() {
 	})
 
 	httpSrv := &http.Server{
-		Addr:    *addr,
 		Handler: srv.Handler(),
 		// Generous versus RequestTimeout: the handler enforces the real
 		// deadline; these only bound pathological slow-loris clients.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Listen explicitly (rather than ListenAndServe) so -addr with port 0
+	// works: the resolved address goes to stdout as a machine-readable
+	// readiness line that supervisors — sdfload -spawn, make load-short —
+	// parse to find the daemon on an ephemeral port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdfd: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sdfd: listening on %s\n", *addr)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("SDFD_READY addr=%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "sdfd: listening on %s\n", ln.Addr())
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,280 @@
+// Command sdfload is the open-loop saturation load harness for sdfd.
+//
+// It drives a live daemon through staged RPS ramps with a deterministic
+// workload mix — cold compiles, warm cache hits, single-actor edits, and
+// /v1/grid bursts — scrapes /metrics between steps, and stops at the first
+// step that violates an SLO: the saturation knee. The run is written as a
+// versioned LOAD_<label>.json report that sdfbench -compare can diff
+// against a baseline (docs/EXPERIMENTS.md documents the schema and
+// methodology; docs/SERVICE.md the server side).
+//
+// Usage:
+//
+//	sdfload -addr 127.0.0.1:8347 [flags]
+//	sdfload -spawn ./bin/sdfd [flags]        # launch sdfd itself on port 0
+//
+// With -spawn, sdfload execs the given sdfd binary with -addr 127.0.0.1:0
+// (plus any -spawn-args), waits for its SDFD_READY stdout line to learn the
+// ephemeral port, runs the ramp, and shuts the daemon down afterwards —
+// no fixed ports, safe for parallel CI jobs.
+//
+// Key flags:
+//
+//	-label s        report label; output defaults to LOAD_<label>.json
+//	-out path       explicit output path ("-" for stdout only)
+//	-seed n         workload seed (same seed => byte-identical traffic)
+//	-mix c,w,e,g    op mix weights cold,warm,edit,grid (default 1,6,2,1)
+//	-start-rps f    first ramp step's offered RPS
+//	-step-rps f     RPS added per step
+//	-steps n        maximum number of ramp steps
+//	-hold d         duration each step holds its rate
+//	-workers n      client-side concurrency bound
+//	-slo-p99 d      p99 latency SLO (0 disables)
+//	-slo-achieved f achieved/offered RPS floor (default 0.9)
+//	-selfcheck      verify harness invariants over the finished report;
+//	                exit 3 when they fail
+//	-short          preset: tiny smoke ramp for make load-short
+//
+// Exit codes: 0 run completed (saturated or not — the knee is data),
+// 1 operational error, 2 flag error, 3 selfcheck failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+)
+
+// realClock injects the wall clock into the load engine. The engine itself
+// is in the bannedcall lint set and cannot construct this.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sdfload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "address of a running sdfd (host:port)")
+	spawn := fs.String("spawn", "", "path to an sdfd binary to launch on an ephemeral port")
+	spawnArgs := fs.String("spawn-args", "", "extra space-separated flags for the spawned sdfd")
+	label := fs.String("label", "dev", "report label")
+	out := fs.String("out", "", `output path (default "LOAD_<label>.json", "-" for stdout only)`)
+	seed := fs.Int64("seed", 1, "workload seed")
+	mixFlag := fs.String("mix", "1,6,2,1", "op mix weights: cold,warm,edit,grid")
+	gridEntries := fs.Int("grid-entries", 6, "option entries per /v1/grid burst")
+	workers := fs.Int("workers", 64, "client-side concurrency bound")
+	startRPS := fs.Float64("start-rps", 50, "first step's offered RPS")
+	stepRPS := fs.Float64("step-rps", 50, "RPS added per step")
+	steps := fs.Int("steps", 8, "maximum ramp steps")
+	hold := fs.Duration("hold", 10*time.Second, "hold duration per step")
+	sloP99 := fs.Duration("slo-p99", 0, "p99 latency SLO (0 disables)")
+	sloAchieved := fs.Float64("slo-achieved", 0.9, "achieved/offered RPS floor")
+	selfcheck := fs.Bool("selfcheck", false, "verify harness invariants; exit 3 on failure")
+	short := fs.Bool("short", false, "preset: tiny smoke ramp (overrides ramp flags)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	if code := core.ParseCLI(fs, args); code >= 0 {
+		return code
+	}
+	if *short {
+		*startRPS, *stepRPS, *steps, *hold = 20, 20, 2, 1500*time.Millisecond
+	}
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "sdfload: %v\n", err)
+		return 2
+	}
+	if (*addr == "") == (*spawn == "") {
+		fmt.Fprintln(stderr, "sdfload: need exactly one of -addr or -spawn")
+		return 2
+	}
+
+	base := "http://" + *addr
+	if *spawn != "" {
+		daemon, readyAddr, err := spawnDaemon(*spawn, *spawnArgs, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "sdfload: %v\n", err)
+			return 1
+		}
+		defer daemon.stop()
+		base = "http://" + readyAddr
+	}
+
+	wl, err := load.NewWorkload(*seed, mix, *gridEntries)
+	if err != nil {
+		fmt.Fprintf(stderr, "sdfload: %v\n", err)
+		return 1
+	}
+	sender := &load.HTTPSender{BaseURL: base, Client: &http.Client{Timeout: *timeout}}
+	if _, err := sender.Metrics(); err != nil {
+		fmt.Fprintf(stderr, "sdfload: target %s not scrapeable: %v\n", base, err)
+		return 1
+	}
+
+	fmt.Fprintf(stderr, "sdfload: ramping %s: %d steps x %v from %.4g rps (+%.4g/step), mix %+v, seed %d\n",
+		base, *steps, *hold, *startRPS, *stepRPS, mix, *seed)
+	rep, err := load.Run(load.Config{
+		Label:    *label,
+		Seed:     *seed,
+		Clock:    realClock{},
+		Sender:   sender,
+		Workload: wl,
+		Workers:  *workers,
+		SLO:      load.SLO{MaxP99: *sloP99, MinAchievedFrac: *sloAchieved},
+		OnStep: func(st load.StepResult) {
+			fmt.Fprintf(stderr, "sdfload: %8.4g rps offered, %8.1f achieved | p50 %v p99 %v max %v | ok %d shed %d err %d%s\n",
+				st.TargetRPS, st.AchievedRPS,
+				time.Duration(st.Latency.P50), time.Duration(st.Latency.P99), time.Duration(st.Latency.Max),
+				st.OK, st.Shed, st.Errors, violationNote(st.Violations))
+		},
+	}, load.Steps(*startRPS, *stepRPS, *steps, *hold))
+	if err != nil {
+		fmt.Fprintf(stderr, "sdfload: %v\n", err)
+		return 1
+	}
+	rep.Date = time.Now().UTC().Format("2006-01-02T15:04:05Z")
+
+	if rep.Knee.Saturated {
+		fmt.Fprintf(stderr, "sdfload: saturated — knee at %.4g rps (%s)\n", rep.Knee.RPS, rep.Knee.Reason)
+	} else {
+		fmt.Fprintf(stderr, "sdfload: not saturated — sustained %.4g rps (%s)\n", rep.Knee.RPS, rep.Knee.Reason)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "sdfload: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	path := *out
+	if path == "" {
+		path = "LOAD_" + *label + ".json"
+	}
+	if path == "-" {
+		stdout.Write(data)
+	} else {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "sdfload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "sdfload: wrote %s\n", path)
+	}
+
+	if *selfcheck {
+		if errs := rep.SelfCheck(); len(errs) != 0 {
+			for _, e := range errs {
+				fmt.Fprintf(stderr, "sdfload: selfcheck: %v\n", e)
+			}
+			return 3
+		}
+		fmt.Fprintln(stderr, "sdfload: selfcheck passed")
+	}
+	return 0
+}
+
+func violationNote(v []string) string {
+	if len(v) == 0 {
+		return ""
+	}
+	return " | SLO VIOLATION: " + strings.Join(v, "; ")
+}
+
+// parseMix parses "c,w,e,g" into mix weights.
+func parseMix(s string) (load.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return load.Mix{}, fmt.Errorf("-mix wants 4 comma-separated weights (cold,warm,edit,grid), got %q", s)
+	}
+	var w [4]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return load.Mix{}, fmt.Errorf("-mix weight %q must be a non-negative integer", p)
+		}
+		w[i] = n
+	}
+	return load.Mix{Cold: w[0], Warm: w[1], Edit: w[2], Grid: w[3]}, nil
+}
+
+// daemon is a spawned sdfd under sdfload's supervision.
+type daemon struct {
+	cmd *exec.Cmd
+}
+
+func (d *daemon) stop() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Signal(os.Interrupt)
+	}
+	done := make(chan struct{})
+	go func() { _ = d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// spawnDaemon launches the sdfd binary on an ephemeral port and waits for
+// its SDFD_READY readiness line to learn the resolved address.
+func spawnDaemon(bin, extraArgs string, stderr *os.File) (*daemon, string, error) {
+	args := []string{"-addr", "127.0.0.1:0"}
+	if extraArgs != "" {
+		args = append(args, strings.Fields(extraArgs)...)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("spawning %s: %w", bin, err)
+	}
+	d := &daemon{cmd: cmd}
+
+	type ready struct {
+		addr string
+		err  error
+	}
+	ch := make(chan ready, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "SDFD_READY addr="); ok {
+				ch <- ready{addr: strings.TrimSpace(rest)}
+				// Keep draining so the child never blocks on a full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- ready{err: fmt.Errorf("%s exited before printing SDFD_READY", bin)}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			d.stop()
+			return nil, "", r.err
+		}
+		return d, r.addr, nil
+	case <-time.After(30 * time.Second):
+		d.stop()
+		return nil, "", fmt.Errorf("timed out waiting for SDFD_READY from %s", bin)
+	}
+}

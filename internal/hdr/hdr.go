@@ -1,0 +1,187 @@
+// Package hdr is a log-bucketed ("HDR-style") histogram for latency-like
+// non-negative int64 values. Buckets are laid out log-linearly: 64 unit
+// buckets for values below 64, then 32 sub-buckets per power of two above
+// it, so every recorded value lands in a bucket whose width is at most
+// 1/32 (~3.1%) of its lower bound. Quantile queries therefore carry a
+// bounded *relative* error regardless of the value range — sub-millisecond
+// cache hits and multi-second saturation stalls coexist in one histogram
+// without tuning bucket bounds per workload.
+//
+// Histograms are plain value-recording state with no clocks, no
+// allocation after construction, and a Merge operation that is exactly
+// equivalent to having recorded both input streams into one histogram.
+// That makes them safe to keep per-worker during a load run and fold
+// together afterwards, and keeps the package inside the repository's
+// deterministic bannedcall lint set: callers time operations with their
+// own (injected) clock and record plain integers here.
+//
+// The zero value is NOT ready to use; construct with New.
+package hdr
+
+import "math/bits"
+
+const (
+	// subBits fixes the resolution: 2^subBits sub-buckets per power of two
+	// above the unit range, giving a relative bucket width of 2^-(subBits-1).
+	subBits = 6
+	full    = 1 << subBits // unit buckets covering [0, full)
+	half    = full / 2     // sub-buckets per octave above the unit range
+	// maxExp is the largest shift an int64 value can need: values have at
+	// most 63 significant bits, so bits.Len64 - subBits <= 63 - subBits.
+	maxExp     = 63 - subBits
+	numBuckets = full + maxExp*half
+)
+
+// Histogram counts non-negative int64 observations in log-linear buckets.
+// It is not goroutine-safe: give each worker its own and Merge.
+type Histogram struct {
+	counts [numBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value onto its bucket. Values below full map to unit
+// buckets; above, the top subBits bits select a sub-bucket within the
+// value's octave.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < full {
+		return int(u)
+	}
+	e := bits.Len64(u) - subBits // >= 1
+	return full + (e-1)*half + int(u>>uint(e)) - half
+}
+
+// bucketUpper is the largest value mapping into bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < full {
+		return int64(idx)
+	}
+	b := idx - full
+	e := b/half + 1
+	sub := int64(b%half + half)
+	return (sub+1)<<uint(e) - 1
+}
+
+// Record adds one observation. Negative values are clamped to zero (a
+// latency below the clock's resolution, not an error).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 < q <= 1): the
+// upper bound of the bucket holding the ceil(q*count)-th smallest
+// observation, capped at the recorded maximum. The estimate is never below
+// the exact order statistic and exceeds it by at most one bucket width
+// (<= 1/32 of the value). Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q*float64(h.count) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max // unreachable: cum reaches count
+}
+
+// Merge folds o into h. The result is exactly what h would hold had it
+// recorded o's observation stream too; o is left untouched.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Snapshot is a fixed set of report-friendly percentiles.
+type Snapshot struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot extracts the standard percentile set.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.count,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.max,
+	}
+}

@@ -1,0 +1,187 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// quantiles under test: the report set plus awkward interior points.
+var testQs = []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}
+
+// exactQuantile is the oracle: the ceil(q*n)-th smallest value.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// streams generates value distributions that stress different bucket
+// regimes: unit-range, mid-range, heavy-tailed, and mixed-magnitude.
+func streams(rng *rand.Rand) [][]int64 {
+	var out [][]int64
+	sizes := []int{1, 2, 3, 17, 100, 1000, 5000}
+	for _, n := range sizes {
+		uniformSmall := make([]int64, n)
+		uniformWide := make([]int64, n)
+		heavyTail := make([]int64, n)
+		for i := range uniformSmall {
+			uniformSmall[i] = int64(rng.Intn(64))
+			uniformWide[i] = rng.Int63n(10_000_000_000) // up to 10s in ns
+			// Log-uniform magnitudes: every octave equally likely.
+			heavyTail[i] = int64(math.Exp(rng.Float64()*20)) + rng.Int63n(1000)
+		}
+		out = append(out, uniformSmall, uniformWide, heavyTail)
+	}
+	return out
+}
+
+func TestQuantileWithinBucketError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for si, stream := range streams(rng) {
+		h := New()
+		for _, v := range stream {
+			h.Record(v)
+		}
+		if h.Count() != int64(len(stream)) {
+			t.Fatalf("stream %d: count %d, want %d", si, h.Count(), len(stream))
+		}
+		sorted := append([]int64(nil), stream...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum int64
+		for _, v := range sorted {
+			sum += v
+		}
+		if h.Sum() != sum {
+			t.Fatalf("stream %d: sum %d, want %d", si, h.Sum(), sum)
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("stream %d: min/max %d/%d, want %d/%d",
+				si, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+		for _, q := range testQs {
+			got := h.Quantile(q)
+			want := exactQuantile(sorted, q)
+			if got < want {
+				t.Errorf("stream %d q=%v: reported %d below exact %d", si, q, got, want)
+			}
+			if tol := float64(want)/float64(half) + 1; float64(got-want) > tol {
+				t.Errorf("stream %d q=%v: reported %d exceeds exact %d by more than one bucket (%g)",
+					si, q, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestMergeEquivalentToConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := rng.Intn(2000), rng.Intn(2000)
+		a := make([]int64, na)
+		b := make([]int64, nb)
+		for i := range a {
+			a[i] = int64(math.Exp(rng.Float64() * 22))
+		}
+		for i := range b {
+			b[i] = rng.Int63n(1 << 40)
+		}
+		ha, hb, hcat := New(), New(), New()
+		for _, v := range a {
+			ha.Record(v)
+			hcat.Record(v)
+		}
+		for _, v := range b {
+			hb.Record(v)
+			hcat.Record(v)
+		}
+		merged := New()
+		merged.Merge(ha)
+		merged.Merge(hb)
+		if merged.counts != hcat.counts {
+			t.Fatalf("trial %d: merged bucket counts differ from concatenated recording", trial)
+		}
+		if merged.Count() != hcat.Count() || merged.Sum() != hcat.Sum() ||
+			merged.Min() != hcat.Min() || merged.Max() != hcat.Max() {
+			t.Fatalf("trial %d: merged summary (%d,%d,%d,%d) != concat (%d,%d,%d,%d)", trial,
+				merged.Count(), merged.Sum(), merged.Min(), merged.Max(),
+				hcat.Count(), hcat.Sum(), hcat.Min(), hcat.Max())
+		}
+		for q := 0.01; q <= 1.0; q += 0.01 {
+			if merged.Quantile(q) != hcat.Quantile(q) {
+				t.Fatalf("trial %d q=%v: merged quantile %d != concat %d",
+					trial, q, merged.Quantile(q), hcat.Quantile(q))
+			}
+		}
+	}
+}
+
+func TestBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(v int64) {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("value %d: above its bucket upper bound %d", v, up)
+		}
+		if idx > 0 && bucketUpper(idx-1) >= v {
+			t.Fatalf("value %d: previous bucket upper %d overlaps", v, bucketUpper(idx-1))
+		}
+	}
+	for v := int64(0); v < 5000; v++ {
+		check(v)
+	}
+	for i := 0; i < 100_000; i++ {
+		check(rng.Int63())
+	}
+	check(math.MaxInt64)
+	// Bucket upper bounds are strictly increasing — the quantile walk's
+	// monotonicity rests on it.
+	for i := 1; i < numBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket %d upper %d not above bucket %d upper %d",
+				i, bucketUpper(i), i-1, bucketUpper(i-1))
+		}
+	}
+}
+
+func TestEmptyAndEdgeCases(t *testing.T) {
+	h := New()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative clamp: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	h2 := New()
+	h2.Record(math.MaxInt64)
+	if h2.Quantile(0.5) != math.MaxInt64 {
+		t.Errorf("single max-value observation: p50 = %d", h2.Quantile(0.5))
+	}
+	h2.Merge(New()) // merging an empty histogram is a no-op
+	if h2.Count() != 1 {
+		t.Error("merging empty histogram changed count")
+	}
+	// Quantiles are monotone in q.
+	rng := rand.New(rand.NewSource(3))
+	h3 := New()
+	for i := 0; i < 1000; i++ {
+		h3.Record(rng.Int63n(1 << 30))
+	}
+	prev := int64(-1)
+	for q := 0.001; q <= 1.0; q += 0.001 {
+		v := h3.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v gives %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+}

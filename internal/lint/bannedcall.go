@@ -19,6 +19,11 @@ var BannedCall = &Analyzer{
 		"internal/sdf", "internal/sched", "internal/looping", "internal/lifetime",
 		"internal/alloc", "internal/codegen", "internal/check", "internal/core",
 		"internal/pass",
+		// The load harness and its histogram must also be clock-free: all
+		// timing flows through the injected load.Clock, so a load report is
+		// a pure function of (config, server behavior, clock) and the hdr
+		// quantile math is testable against exact oracles.
+		"internal/hdr", "internal/load",
 	},
 	Run: runBannedCall,
 }

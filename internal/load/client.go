@@ -1,0 +1,64 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTPSender executes ops against a live sdfd over HTTP. The injected
+// client owns transport concerns (timeouts, connection pooling); the
+// harness deliberately reuses connections like a real multi-tenant client
+// fleet would after warmup.
+type HTTPSender struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// Client must be non-nil; give it a Timeout comfortably above the SLO
+	// p99 so the transport never classifies for us.
+	Client *http.Client
+}
+
+// Do posts one op and classifies the response. The body is always drained
+// so connections return to the pool.
+func (s *HTTPSender) Do(op Op) Class {
+	resp, err := s.Client.Post(s.BaseURL+op.Path, "application/json", bytes.NewReader(op.Body))
+	if err != nil {
+		return ClassError
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return ClassifyStatus(resp.StatusCode)
+}
+
+// ClassifyStatus maps an HTTP status onto the harness taxonomy: 2xx ok;
+// 429 (queue_full) and 503 (shutting_down) are admission-control sheds —
+// the server protecting itself is expected behavior under a saturation
+// probe, not an error; everything else is an error the SLO gate counts.
+func ClassifyStatus(status int) Class {
+	switch {
+	case status >= 200 && status < 300:
+		return ClassOK
+	case status == http.StatusTooManyRequests, status == http.StatusServiceUnavailable:
+		return ClassShed
+	default:
+		return ClassError
+	}
+}
+
+// Metrics scrapes BaseURL/metrics into a snapshot.
+func (s *HTTPSender) Metrics() (MetricsSnapshot, error) {
+	resp, err := s.Client.Get(s.BaseURL + "/metrics")
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return MetricsSnapshot{}, fmt.Errorf("load: scraping /metrics: status %d", resp.StatusCode)
+	}
+	return SnapshotFromFamilies(ParsePrometheus(string(body))), nil
+}

@@ -1,0 +1,251 @@
+// Package load is an open-loop saturation load harness for a live sdfd: it
+// drives a deterministic workload mix (cold compiles, warm cache hits,
+// single-actor edits, /v1/grid bursts) through staged RPS ramps, records
+// coordinated-omission-safe latency histograms (internal/hdr), scrapes the
+// daemon's /metrics between steps, and declares the saturation knee when a
+// step violates its SLOs.
+//
+// Open-loop means fixed-schedule: request i of a step is due at
+// start + i/targetRPS regardless of how previous requests fared. Workers
+// that fall behind drain the backlog late, and each request's latency is
+// measured from its *scheduled* time — a saturated server therefore shows
+// up as exploding tail latency (and falling achieved RPS), not as a
+// politely self-throttling client. Closed-loop harnesses hide exactly this.
+//
+// The package lives inside the repository's deterministic lint set
+// (bannedcall): it never reads the wall clock directly — all timing flows
+// through the injected Clock — and all randomness is explicitly seeded, so
+// a report is a pure function of (config, server behavior, clock).
+// cmd/sdfload injects the real clock and HTTP sender.
+package load
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/hdr"
+)
+
+// Clock abstracts time for the pacing loop. cmd/sdfload injects the real
+// clock; tests inject deterministic fakes. (The bannedcall analyzer keeps
+// this package from calling time.Now itself.)
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// Class is the harness's response taxonomy. Shed responses (429/503 with
+// Retry-After) are the admission layer doing its job and are NOT errors:
+// below the knee the error count must be zero even when load shedding is
+// active.
+type Class int
+
+const (
+	ClassOK    Class = iota // 2xx
+	ClassShed               // 429 queue_full / 503 shutting_down
+	ClassError              // transport failure or any other status
+)
+
+// Sender executes one prepared request and scrapes the target's metrics.
+// Implementations own HTTP specifics; the engine owns timing and counting.
+type Sender interface {
+	Do(op Op) Class
+	Metrics() (MetricsSnapshot, error)
+}
+
+// StepSpec is one ramp step: hold TargetRPS for Hold.
+type StepSpec struct {
+	TargetRPS float64
+	Hold      time.Duration
+}
+
+// Steps builds a linear ramp: count steps starting at start RPS, adding
+// step RPS each time, each held for hold.
+func Steps(start, step float64, count int, hold time.Duration) []StepSpec {
+	out := make([]StepSpec, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, StepSpec{TargetRPS: start + float64(i)*step, Hold: hold})
+	}
+	return out
+}
+
+// Config wires one ramp run.
+type Config struct {
+	Label    string
+	Seed     int64
+	Clock    Clock
+	Sender   Sender
+	Workload *Workload
+	// Workers bounds concurrent in-flight requests (default 64). The bound
+	// exists to protect the *client* from descriptor exhaustion; keep it
+	// far above target RPS x typical latency or the harness itself becomes
+	// the bottleneck and the report measures the wrong system.
+	Workers int
+	SLO     SLO
+	// OnStep, when set, observes each completed step (CLI progress).
+	OnStep func(StepResult)
+}
+
+// Run executes the staged ramp and returns the report. The ramp stops
+// after the first step that violates an SLO; that step is included in the
+// report with its violations and the knee records the last clean target.
+// Run fails only on misconfiguration — server misbehavior is data, not an
+// error.
+func Run(cfg Config, steps []StepSpec) (*Report, error) {
+	if cfg.Clock == nil || cfg.Sender == nil || cfg.Workload == nil {
+		return nil, fmt.Errorf("load: Config needs Clock, Sender, and Workload")
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("load: need at least one ramp step")
+	}
+	for _, st := range steps {
+		if st.TargetRPS <= 0 || st.Hold <= 0 {
+			return nil, fmt.Errorf("load: step %+v needs positive TargetRPS and Hold", st)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	slo := cfg.SLO.withDefaults()
+	rep := &Report{
+		Version: ReportVersion,
+		Label:   cfg.Label,
+		Seed:    cfg.Seed,
+		Workers: workers,
+		Mix:     cfg.Workload.Mix(),
+		SLO:     slo,
+	}
+
+	var opIndex int64
+	before, scrapeErr := cfg.Sender.Metrics()
+	for i, st := range steps {
+		res := runStep(cfg.Clock, cfg.Sender, cfg.Workload, workers, st, &opIndex)
+		if after, err := cfg.Sender.Metrics(); err == nil {
+			if scrapeErr == nil {
+				res.Metrics = deltaSnapshot(before, after)
+			}
+			before, scrapeErr = after, nil
+		}
+		res.Violations = evaluateSLO(slo, res)
+		rep.Steps = append(rep.Steps, res)
+		if cfg.OnStep != nil {
+			cfg.OnStep(res)
+		}
+		if len(res.Violations) > 0 {
+			knee := Knee{Saturated: true}
+			if i > 0 {
+				knee.RPS = steps[i-1].TargetRPS
+			}
+			knee.Reason = fmt.Sprintf("step at %.4g rps violated SLOs: %s",
+				st.TargetRPS, strings.Join(res.Violations, "; "))
+			rep.Knee = knee
+			return rep, nil
+		}
+	}
+	rep.Knee = Knee{
+		RPS:       steps[len(steps)-1].TargetRPS,
+		Saturated: false,
+		Reason:    "completed every ramp step within SLOs",
+	}
+	return rep, nil
+}
+
+// job is one scheduled request of a step.
+type job struct {
+	idx   int64     // global op index into the workload sequence
+	sched time.Time // open-loop scheduled send time
+}
+
+// workerAcc accumulates one worker's outcomes; workers never share state
+// during a step, results merge afterwards (hdr.Histogram.Merge).
+type workerAcc struct {
+	hist             *hdr.Histogram
+	ok, shed, errors int64
+	byKind           map[string]int64
+}
+
+// runStep drives one fixed-schedule step: a pacer goroutine releases jobs
+// at their scheduled times into a buffer deep enough to never block (the
+// open-loop guarantee), workers drain it, and every latency is recorded
+// against the scheduled time.
+func runStep(clock Clock, sender Sender, wl *Workload, workers int, st StepSpec, opIndex *int64) StepResult {
+	n := int64(st.TargetRPS*st.Hold.Seconds() + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / st.TargetRPS)
+	base := *opIndex
+	*opIndex += n
+
+	jobs := make(chan job, n) // full-depth buffer: the pacer never blocks on workers
+	start := clock.Now()
+	go func() {
+		for i := int64(0); i < n; i++ {
+			sched := start.Add(time.Duration(i) * interval)
+			if d := sched.Sub(clock.Now()); d > 0 {
+				<-clock.After(d)
+			}
+			jobs <- job{idx: base + i, sched: sched}
+		}
+		close(jobs)
+	}()
+
+	accs := make([]*workerAcc, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		acc := &workerAcc{hist: hdr.New(), byKind: map[string]int64{}}
+		accs[w] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				op := wl.Op(j.idx)
+				class := sender.Do(op)
+				acc.hist.Record(int64(clock.Now().Sub(j.sched)))
+				acc.byKind[op.Kind.String()]++
+				switch class {
+				case ClassOK:
+					acc.ok++
+				case ClassShed:
+					acc.shed++
+				case ClassError:
+					acc.errors++
+				default:
+					acc.errors++ // unknown classes count against the SLO
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := clock.Now().Sub(start)
+
+	res := StepResult{
+		TargetRPS: st.TargetRPS,
+		HoldNS:    int64(st.Hold),
+		ElapsedNS: int64(elapsed),
+		Sent:      n,
+		ByKind:    map[string]int64{},
+	}
+	merged := hdr.New()
+	for _, acc := range accs {
+		merged.Merge(acc.hist)
+		res.OK += acc.ok
+		res.Shed += acc.shed
+		res.Errors += acc.errors
+		for k, v := range acc.byKind {
+			res.ByKind[k] += v
+		}
+	}
+	res.Latency = merged.Snapshot()
+	if elapsed > 0 {
+		res.AchievedRPS = float64(n) / elapsed.Seconds()
+	} else {
+		// A non-advancing (test) clock: the step took no measurable time,
+		// so offered equals achieved by definition.
+		res.AchievedRPS = st.TargetRPS
+	}
+	return res
+}

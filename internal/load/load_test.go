@@ -1,0 +1,329 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// fakeClock advances only when the pacer waits on After: deterministic
+// pacing with no real sleeping. Safe for concurrent use.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	t := c.now
+	c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- t
+	return ch
+}
+
+// scriptedSender classifies request k by a script function; metrics are a
+// fixed snapshot sequence.
+type scriptedSender struct {
+	classify func(k int64) Class
+	count    atomic.Int64
+	scrapes  atomic.Int64
+}
+
+func (s *scriptedSender) Do(op Op) Class {
+	k := s.count.Add(1)
+	return s.classify(k)
+}
+
+func (s *scriptedSender) Metrics() (MetricsSnapshot, error) {
+	n := float64(s.scrapes.Add(1))
+	return MetricsSnapshot{PipelineRuns: 10 * n, CacheHits: 5 * n, CacheMisses: 5 * n, QueueDepth: 2}, nil
+}
+
+func testWorkload(t *testing.T, seed int64) *Workload {
+	t.Helper()
+	wl, err := NewWorkload(seed, Mix{Cold: 1, Warm: 6, Edit: 2, Grid: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := testWorkload(t, 7)
+	b := testWorkload(t, 7)
+	for i := int64(0); i < 200; i++ {
+		oa, ob := a.Op(i), b.Op(i)
+		if oa.Kind != ob.Kind || oa.Path != ob.Path || !bytes.Equal(oa.Body, ob.Body) {
+			t.Fatalf("op %d differs across identically seeded workloads", i)
+		}
+	}
+	// Exact mix proportions over one full pattern cycle.
+	counts := map[OpKind]int{}
+	total := a.Mix().total()
+	for i := 0; i < total; i++ {
+		counts[a.Op(int64(i)).Kind]++
+	}
+	if counts[OpCold] != 1 || counts[OpWarm] != 6 || counts[OpEdit] != 2 || counts[OpGrid] != 1 {
+		t.Errorf("one cycle's kind counts %v do not match mix 1/6/2/1", counts)
+	}
+}
+
+func TestWorkloadBodies(t *testing.T) {
+	wl := testWorkload(t, 3)
+	seenGrid := false
+	coldBodies := map[string]bool{}
+	for i := int64(0); i < 50; i++ {
+		op := wl.Op(i)
+		switch op.Kind {
+		case OpGrid:
+			seenGrid = true
+			if op.Path != "/v1/grid" {
+				t.Errorf("grid op path %q", op.Path)
+			}
+			var req service.GridRequest
+			if err := json.Unmarshal(op.Body, &req); err != nil || req.Graph == "" || len(req.Entries) != 4 {
+				t.Errorf("grid body invalid (err=%v, %d entries)", err, len(req.Entries))
+			}
+		default:
+			if op.Path != "/v1/compile" {
+				t.Errorf("%v op path %q", op.Kind, op.Path)
+			}
+			var req service.CompileRequest
+			if err := json.Unmarshal(op.Body, &req); err != nil || req.Graph == "" {
+				t.Errorf("%v body invalid: %v", op.Kind, err)
+			}
+			if op.Kind == OpCold {
+				coldBodies[string(op.Body)] = true
+			}
+		}
+	}
+	if !seenGrid {
+		t.Error("no grid op in 50 requests with grid weight 1/10")
+	}
+	if len(coldBodies) < 2 {
+		t.Errorf("cold ops repeat bodies: %d distinct", len(coldBodies))
+	}
+}
+
+func TestClassifyStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		want   Class
+	}{
+		{200, ClassOK}, {201, ClassOK},
+		{429, ClassShed}, {503, ClassShed},
+		{400, ClassError}, {408, ClassError}, {422, ClassError}, {500, ClassError},
+	}
+	for _, c := range cases {
+		if got := ClassifyStatus(c.status); got != c.want {
+			t.Errorf("ClassifyStatus(%d) = %v, want %v", c.status, got, c.want)
+		}
+	}
+}
+
+func TestParsePrometheus(t *testing.T) {
+	text := `# HELP sdfd_cache_hits_total compile cache hits
+# TYPE sdfd_cache_hits_total counter
+sdfd_cache_hits_total 42
+sdfd_nodestore_loads_total{kind="order"} 3
+sdfd_nodestore_loads_total{kind="schedule"} 4
+sdfd_queue_depth 7
+sdfd_request_seconds_bucket{route="compile",le="0.001"} 5
+
+malformed line without value
+sdfd_bad_value notanumber
+`
+	fams := ParsePrometheus(text)
+	if fams["sdfd_cache_hits_total"] != 42 {
+		t.Errorf("cache hits = %v", fams["sdfd_cache_hits_total"])
+	}
+	if fams["sdfd_nodestore_loads_total"] != 7 {
+		t.Errorf("labeled family not summed: %v", fams["sdfd_nodestore_loads_total"])
+	}
+	if fams["sdfd_queue_depth"] != 7 {
+		t.Errorf("gauge = %v", fams["sdfd_queue_depth"])
+	}
+	snap := SnapshotFromFamilies(fams)
+	if snap.CacheHits != 42 || snap.NodestoreLoads != 7 || snap.QueueDepth != 7 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+func TestRampStopsAtKnee(t *testing.T) {
+	// Step 1 sends 10 requests (10 rps x 1s), all fine. Step 2 sends 20,
+	// all failing: the ramp must record the violation, stop before step 3,
+	// and place the knee at step 1's target.
+	sender := &scriptedSender{classify: func(k int64) Class {
+		if k <= 10 {
+			return ClassOK
+		}
+		return ClassError
+	}}
+	wl := testWorkload(t, 1)
+	rep, err := Run(Config{
+		Label: "knee", Seed: 1, Clock: &fakeClock{}, Sender: sender, Workload: wl, Workers: 4,
+	}, Steps(10, 10, 3, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("ramp ran %d steps, want 2 (stop at first violation)", len(rep.Steps))
+	}
+	if rep.Steps[0].Errors != 0 || rep.Steps[0].OK != 10 || len(rep.Steps[0].Violations) != 0 {
+		t.Errorf("clean step miscounted: %+v", rep.Steps[0])
+	}
+	if rep.Steps[1].Errors != 20 || len(rep.Steps[1].Violations) == 0 {
+		t.Errorf("violating step miscounted: %+v", rep.Steps[1])
+	}
+	if !rep.Knee.Saturated || rep.Knee.RPS != 10 {
+		t.Errorf("knee = %+v, want saturated at 10 rps", rep.Knee)
+	}
+	if rep.Steps[0].Metrics == nil || rep.Steps[0].Metrics.PipelineRuns != 10 {
+		t.Errorf("step metrics delta = %+v, want pipeline_runs 10", rep.Steps[0].Metrics)
+	}
+	if errs := rep.SelfCheck(); len(errs) != 0 {
+		t.Errorf("selfcheck on a correct run: %v", errs)
+	}
+}
+
+func TestRampCompletesAllSteps(t *testing.T) {
+	sender := &scriptedSender{classify: func(int64) Class { return ClassOK }}
+	wl := testWorkload(t, 2)
+	rep, err := Run(Config{
+		Label: "clean", Seed: 2, Clock: &fakeClock{}, Sender: sender, Workload: wl, Workers: 8,
+	}, Steps(5, 5, 3, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 3 {
+		t.Fatalf("ran %d steps, want 3", len(rep.Steps))
+	}
+	var sent int64
+	for _, st := range rep.Steps {
+		sent += st.Sent
+	}
+	if got := sender.count.Load(); got != sent {
+		t.Errorf("sender saw %d requests, report says %d", got, sent)
+	}
+	if rep.Knee.Saturated || rep.Knee.RPS != 15 {
+		t.Errorf("knee = %+v, want unsaturated at 15 rps", rep.Knee)
+	}
+	if errs := rep.SelfCheck(); len(errs) != 0 {
+		t.Errorf("selfcheck: %v", errs)
+	}
+	// The report round-trips through its JSON schema.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != ReportVersion || len(back.Steps) != 3 || back.Knee.RPS != 15 {
+		t.Errorf("round-tripped report differs: %+v", back)
+	}
+}
+
+func TestShedIsNotError(t *testing.T) {
+	// A server that sheds half its traffic below the knee stays SLO-clean:
+	// sheds are completed requests, not errors.
+	sender := &scriptedSender{classify: func(k int64) Class {
+		if k%2 == 0 {
+			return ClassShed
+		}
+		return ClassOK
+	}}
+	wl := testWorkload(t, 4)
+	rep, err := Run(Config{
+		Label: "shed", Seed: 4, Clock: &fakeClock{}, Sender: sender, Workload: wl, Workers: 2,
+	}, Steps(10, 0, 2, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("shedding stopped the ramp: %d steps", len(rep.Steps))
+	}
+	for i, st := range rep.Steps {
+		if st.Errors != 0 || st.Shed == 0 || len(st.Violations) != 0 {
+			t.Errorf("step %d: ok=%d shed=%d errors=%d violations=%v",
+				i, st.OK, st.Shed, st.Errors, st.Violations)
+		}
+	}
+	if errs := rep.SelfCheck(); len(errs) != 0 {
+		t.Errorf("selfcheck: %v", errs)
+	}
+}
+
+func TestEvaluateSLO(t *testing.T) {
+	slo := SLO{MaxP99: 100 * time.Millisecond, MinAchievedFrac: 0.9}
+	clean := StepResult{TargetRPS: 100, AchievedRPS: 99, Sent: 100, OK: 100}
+	clean.Latency.P99 = int64(50 * time.Millisecond)
+	if v := evaluateSLO(slo, clean); len(v) != 0 {
+		t.Errorf("clean step flagged: %v", v)
+	}
+	slow := clean
+	slow.Latency.P99 = int64(200 * time.Millisecond)
+	if v := evaluateSLO(slo, slow); len(v) != 1 {
+		t.Errorf("p99 violation not flagged: %v", v)
+	}
+	lagging := clean
+	lagging.AchievedRPS = 50
+	if v := evaluateSLO(slo, lagging); len(v) != 1 {
+		t.Errorf("achieved-RPS violation not flagged: %v", v)
+	}
+	failing := clean
+	failing.Errors, failing.OK = 3, 97
+	if v := evaluateSLO(slo, failing); len(v) != 1 {
+		t.Errorf("error violation not flagged: %v", v)
+	}
+}
+
+func TestSelfCheckCatchesCorruption(t *testing.T) {
+	sender := &scriptedSender{classify: func(int64) Class { return ClassOK }}
+	wl := testWorkload(t, 5)
+	rep, err := Run(Config{
+		Label: "c", Seed: 5, Clock: &fakeClock{}, Sender: sender, Workload: wl, Workers: 2,
+	}, Steps(10, 0, 1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func(r *Report)) {
+		data, _ := json.Marshal(rep)
+		var r Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&r)
+		if errs := r.SelfCheck(); len(errs) == 0 {
+			t.Errorf("%s: corruption not caught", name)
+		}
+	}
+	corrupt("non-monotone percentiles", func(r *Report) {
+		r.Steps[0].Latency.P50, r.Steps[0].Latency.P999 = r.Steps[0].Latency.P999+10, r.Steps[0].Latency.P50
+		r.Steps[0].Latency.Max = 0
+	})
+	corrupt("count mismatch", func(r *Report) { r.Steps[0].OK++ })
+	corrupt("histogram count mismatch", func(r *Report) { r.Steps[0].Latency.Count-- })
+	corrupt("errors below the knee", func(r *Report) {
+		r.Steps[0].Errors, r.Steps[0].OK = 1, r.Steps[0].OK-1
+	})
+	corrupt("violations on a non-final step", func(r *Report) {
+		r.Steps = append(r.Steps, r.Steps[0])
+		r.Steps[0].Violations = []string{"fake"}
+	})
+	corrupt("wrong version", func(r *Report) { r.Version = "load/v0" })
+}

@@ -1,0 +1,98 @@
+package load
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheus parses the Prometheus text exposition format into a map
+// from family name to the sum of that family's sample values (labels
+// collapsed). Summing is the right reduction for every family sdfload
+// reads: unlabeled counters and gauges are singletons, and labeled
+// counters (nodestore loads by kind, shed by reason) are wanted as totals.
+// Malformed lines are skipped — a scrape is telemetry, not a contract.
+func ParsePrometheus(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name[{labels}] value [timestamp] — label values never contain
+		// spaces in this repository's registry (kind/reason/route/code/le).
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, rest := line[:sp], strings.Fields(line[sp+1:])
+		if len(rest) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			continue
+		}
+		name := series
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			name = series[:br]
+		}
+		out[name] += v
+	}
+	return out
+}
+
+// MetricsSnapshot is the subset of the sdfd /metrics families the ramp
+// controller tracks between steps. All fields are cumulative counters
+// except QueueDepth, which is a point-in-time gauge.
+type MetricsSnapshot struct {
+	CacheHits      float64
+	CacheMisses    float64
+	PipelineRuns   float64
+	GridRuns       float64
+	NodestoreLoads float64
+	LoadShed       float64
+	QueueDepth     float64
+}
+
+// SnapshotFromFamilies extracts the tracked families from a parsed scrape.
+func SnapshotFromFamilies(fams map[string]float64) MetricsSnapshot {
+	return MetricsSnapshot{
+		CacheHits:      fams["sdfd_cache_hits_total"],
+		CacheMisses:    fams["sdfd_cache_misses_total"],
+		PipelineRuns:   fams["sdfd_pipeline_runs_total"],
+		GridRuns:       fams["sdfd_grid_runs_total"],
+		NodestoreLoads: fams["sdfd_nodestore_loads_total"],
+		LoadShed:       fams["sdfd_load_shed_total"],
+		QueueDepth:     fams["sdfd_queue_depth"],
+	}
+}
+
+// MetricsDelta is the server-side view of one ramp step: counter deltas
+// across the step plus the queue depth observed at its end.
+type MetricsDelta struct {
+	CacheHits      float64 `json:"cache_hits"`
+	CacheMisses    float64 `json:"cache_misses"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	PipelineRuns   float64 `json:"pipeline_runs"`
+	GridRuns       float64 `json:"grid_runs"`
+	NodestoreLoads float64 `json:"nodestore_loads"`
+	LoadShed       float64 `json:"load_shed"`
+	QueueDepth     float64 `json:"queue_depth"`
+}
+
+// deltaSnapshot subtracts the step-start snapshot from the step-end one.
+func deltaSnapshot(before, after MetricsSnapshot) *MetricsDelta {
+	d := &MetricsDelta{
+		CacheHits:      after.CacheHits - before.CacheHits,
+		CacheMisses:    after.CacheMisses - before.CacheMisses,
+		PipelineRuns:   after.PipelineRuns - before.PipelineRuns,
+		GridRuns:       after.GridRuns - before.GridRuns,
+		NodestoreLoads: after.NodestoreLoads - before.NodestoreLoads,
+		LoadShed:       after.LoadShed - before.LoadShed,
+		QueueDepth:     after.QueueDepth,
+	}
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.CacheHitRatio = d.CacheHits / lookups
+	}
+	return d
+}

@@ -6,7 +6,11 @@
 //
 // Supported shapes are exactly what the service needs: monotone counters
 // (optionally split by one or more label keys), gauges computed at scrape
-// time from a callback, and cumulative histograms with fixed upper bounds.
+// time from a callback, cumulative histograms with fixed upper bounds, and
+// quantile summaries backed by the internal/hdr log-bucketed histogram —
+// the same structure the sdfload saturation harness records with, so the
+// server-side and client-side views of a latency distribution are directly
+// comparable.
 // Rendering is deterministic: families print in registration order and
 // labeled children print sorted by label values, so two scrapes of the same
 // state are byte-identical.
@@ -19,6 +23,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/hdr"
 )
 
 // Registry holds a set of metric families and renders them on demand.
@@ -201,6 +207,86 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labelKeys .
 func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	child := v.f.child(labelValues, func() renderer { return newHistogram(v.bounds) })
 	return child.(*Histogram)
+}
+
+// Summary is a quantile summary over observations in seconds, backed by an
+// internal/hdr log-bucketed histogram of nanoseconds: mergeable, bounded
+// memory, every quantile within 1/32 relative error. It renders in the
+// Prometheus summary format (quantile-labeled samples plus _sum/_count);
+// quantile="1" is the exact observed maximum.
+type Summary struct {
+	mu   sync.Mutex
+	hist *hdr.Histogram
+	sum  float64
+}
+
+func newSummary() *Summary { return &Summary{hist: hdr.New()} }
+
+// Observe records one observation in seconds.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.hist.Record(int64(v * 1e9))
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist.Count()
+}
+
+// Quantile returns the q-quantile in seconds.
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return float64(s.hist.Quantile(q)) / 1e9
+}
+
+// summaryQuantiles are the rendered quantile labels.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999, 1}
+
+func (s *Summary) render(w io.Writer, name, labels string) {
+	s.mu.Lock()
+	snap := *s.hist
+	sum := s.sum
+	s.mu.Unlock()
+	for _, q := range summaryQuantiles {
+		fmt.Fprintf(w, "%s%s %s\n", name,
+			mergeLabels(labels, "quantile", formatFloat(q)),
+			formatFloat(float64(snap.Quantile(q))/1e9))
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count())
+}
+
+// Summary registers an unlabeled summary family.
+func (r *Registry) Summary(name, help string) *Summary {
+	s := newSummary()
+	r.add(&family{name: name, help: help, typ: "summary", solo: s})
+	return s
+}
+
+// SummaryVec is a summary family split by a fixed set of label keys.
+type SummaryVec struct{ f *family }
+
+// SummaryVec registers a labeled summary family.
+func (r *Registry) SummaryVec(name, help string, labelKeys ...string) *SummaryVec {
+	if len(labelKeys) == 0 {
+		panic("metrics: SummaryVec needs at least one label key")
+	}
+	f := &family{name: name, help: help, typ: "summary",
+		labels: labelKeys, children: map[string]renderer{}}
+	r.add(f)
+	return &SummaryVec{f: f}
+}
+
+// With returns the summary for the given label values, creating it on first
+// use.
+func (v *SummaryVec) With(labelValues ...string) *Summary {
+	child := v.f.child(labelValues, func() renderer { return newSummary() })
+	return child.(*Summary)
 }
 
 func (f *family) child(labelValues []string, make func() renderer) renderer {

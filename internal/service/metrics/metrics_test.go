@@ -113,3 +113,79 @@ func TestDuplicateFamilyPanics(t *testing.T) {
 	r.Counter("x_total", "x")
 	r.Counter("x_total", "again")
 }
+
+func TestSummary(t *testing.T) {
+	r := NewRegistry()
+	s := r.SummaryVec("request_latency_seconds", "request latency quantiles", "route")
+	// 100 observations 1ms..100ms: p50 ~ 50ms, p99 ~ 99ms, max exactly 100ms.
+	for i := 1; i <= 100; i++ {
+		s.With("compile").Observe(float64(i) / 1000)
+	}
+	out := scrape(r)
+	for _, want := range []string{
+		"# TYPE request_latency_seconds summary",
+		`request_latency_seconds{route="compile",quantile="0.5"}`,
+		`request_latency_seconds{route="compile",quantile="0.99"}`,
+		`request_latency_seconds{route="compile",quantile="1"} 0.1`,
+		`request_latency_seconds_count{route="compile"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// Quantiles within one hdr bucket (1/32 relative) above the exact value.
+	for _, c := range []struct {
+		q, exact float64
+	}{{0.5, 0.050}, {0.9, 0.090}, {0.99, 0.099}, {1, 0.100}} {
+		got := s.With("compile").Quantile(c.q)
+		if got < c.exact || got > c.exact*(1+1.0/32)+1e-9 {
+			t.Errorf("q%.3g = %v, want within one bucket above %v", c.q, got, c.exact)
+		}
+	}
+	if got := s.With("compile").Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	// _sum is the exact float sum (100*101/2 ms = 5.05 s).
+	if !strings.Contains(out, `request_latency_seconds_sum{route="compile"} 5.05`) {
+		t.Errorf("summary _sum wrong:\n%s", out)
+	}
+}
+
+func TestSummaryEmptyAndUnlabeled(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("idle_seconds", "never observed")
+	out := scrape(r)
+	for _, want := range []string{
+		`idle_seconds{quantile="0.5"} 0`,
+		`idle_seconds_sum 0`,
+		`idle_seconds_count 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty summary scrape missing %q:\n%s", want, out)
+		}
+	}
+	s.Observe(0.25)
+	if got := s.Quantile(1); got != 0.25 {
+		t.Errorf("max after one observation = %v, want 0.25", got)
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("lat_seconds", "latency")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(0.001)
+				_ = scrape(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(); got != 8000 {
+		t.Errorf("Count = %d, want 8000", got)
+	}
+}

@@ -156,6 +156,7 @@ type Server struct {
 	reg          *metrics.Registry
 	reqs         *metrics.CounterVec
 	reqSeconds   *metrics.HistogramVec
+	reqLatency   *metrics.SummaryVec
 	stageSeconds *metrics.HistogramVec
 	cacheHits    *metrics.Counter
 	cacheMisses  *metrics.Counter
@@ -190,6 +191,9 @@ func New(cfg Config) *Server {
 		"HTTP requests by route and status code", "route", "code")
 	s.reqSeconds = s.reg.HistogramVec("sdfd_request_seconds",
 		"end-to-end request latency by route", metrics.DefLatencyBuckets, "route")
+	s.reqLatency = s.reg.SummaryVec("sdfd_request_latency_seconds",
+		"end-to-end request latency quantiles by route (hdr-backed; directly comparable to sdfload's client-side percentiles)",
+		"route")
 	s.stageSeconds = s.reg.HistogramVec("sdfd_stage_seconds",
 		"pipeline stage latency (schedule, loopdp, lifetime, alloc, verify, merge, codegen)",
 		metrics.DefLatencyBuckets, "stage")
@@ -342,7 +346,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.reqSeconds.With(route).Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		s.reqSeconds.With(route).Observe(elapsed)
+		s.reqLatency.With(route).Observe(elapsed)
 		s.reqs.With(route, strconv.Itoa(sw.code)).Inc()
 	}
 }

@@ -316,6 +316,86 @@ func TestLoadShedding(t *testing.T) {
 	}
 }
 
+// TestGridLoadShedding pins the /v1/grid admission contract the sdfload
+// harness depends on: under queue exhaustion a grid request is rejected
+// with a structured 429, reason queue_full, and a Retry-After hint — the
+// exact shape load.ClassifyStatus files as a shed (not an error), so below
+// the knee a saturated queue never counts against the zero-error SLO.
+// (The 429 -> shed mapping itself is pinned in internal/load's tests; this
+// side pins that grid emits the shape.)
+func TestGridLoadShedding(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	ts.srv.testHookCompileStart = func() {
+		started <- struct{}{}
+		<-release
+	}
+	graphs := exampleSystems()
+
+	// LIFO: release the held workers first, then wait for them to drain.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer func() { close(release) }()
+	compileAsync := func(g *sdf.Graph) {
+		text := graphText(t, g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ts.cl.Compile(CompileRequest{Graph: text}, false); err != nil {
+				t.Errorf("%s: %v", g.Name, err)
+			}
+		}()
+	}
+	compileAsync(graphs[0])
+	<-started // worker busy
+	compileAsync(graphs[1])
+	deadline := time.Now().Add(2 * time.Second)
+	for ts.srv.pool.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second compile never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Worker busy + queue full: the grid request must shed, not wait.
+	gridBody, err := json.Marshal(GridRequest{
+		Graph: graphText(t, graphs[3]),
+		Entries: []CompileOptions{
+			{Strategy: "rpmc", Looping: "sdppo"},
+			{Strategy: "apgan", Looping: "dppo"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.http.URL+"/v1/grid", "application/json", bytes.NewReader(gridBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated grid: status %d, body %s", resp.StatusCode, body[:n])
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", resp.Header.Get("Retry-After"))
+	}
+	var envelope struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(body[:n], &envelope); err != nil || envelope.Error == nil {
+		t.Fatalf("unstructured grid shed body: %s", body[:n])
+	}
+	if envelope.Error.Reason != "queue_full" || envelope.Error.RetryAfterSeconds != 2 {
+		t.Errorf("grid shed error = %+v", envelope.Error)
+	}
+	if envelope.Error.Status != http.StatusTooManyRequests {
+		t.Errorf("grid shed body status = %d, want 429", envelope.Error.Status)
+	}
+}
+
 func TestRequestDeadline(t *testing.T) {
 	ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, RequestTimeout: 50 * time.Millisecond})
 	release := make(chan struct{})
