@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint test race race-full race-service grid incremental tier1 bench bench-json fuzz-short serve load load-short bench-compare
+.PHONY: all build vet lint lint-fast test race race-full race-service grid incremental tier1 bench bench-json fuzz-short serve load load-short bench-compare
 
 all: tier1
 
@@ -19,6 +19,11 @@ lint: vet
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# lint-fast is the inner-loop variant: per-package analyzers only, skipping
+# the module-wide interprocedural pass (callgraph + summaries) for speed.
+lint-fast:
+	$(GO) run ./cmd/sdflint -fast ./...
 
 test:
 	$(GO) test ./...

@@ -1,19 +1,29 @@
 // Command sdflint runs the repository's custom static-analysis pass: the
-// determinism and overflow-safety analyzers of internal/lint (maporder,
-// bannedcall, checkedmul, errattrib, exhaustive) over every package of the
-// module. It is part of the tier-1 gate via `make lint`.
+// per-package determinism and overflow-safety analyzers of internal/lint
+// (maporder, bannedcall, checkedmul, errattrib, exhaustive) plus the
+// module-wide interprocedural analyzers (artifactmut, lockcheck, ctxleak,
+// keycomplete) built on the callgraph. It is part of the tier-1 gate via
+// `make lint`.
 //
 //	sdflint ./...              # lint the whole module (the default)
 //	sdflint internal/sched     # restrict reporting to one directory subtree
+//	sdflint -fast ./...        # per-package analyzers only (inner-loop speed)
+//	sdflint -json ./...        # machine-readable diagnostics for CI
+//	sdflint -ignores           # audit every //lint:ignore suppression
 //	sdflint -list              # print the analyzers and exit
 //
 // Diagnostics are printed one per line as file:line:col: message (analyzer),
-// with paths relative to the module root. Exit status: 0 when clean, 1 when
-// any diagnostic was reported, 2 on flag errors or when the module cannot be
-// loaded.
+// with paths relative to the module root; -json emits the same findings as a
+// JSON array of {file,line,col,analyzer,message}. Module-wide analyzers
+// always inspect the whole module (their callgraph is global); directory
+// arguments restrict which findings are *reported*. Exit status: 0 when
+// clean, 1 when any diagnostic was reported (or, with -ignores, when a
+// suppression targets an unknown analyzer), 2 on flag errors or when the
+// module cannot be loaded.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +37,9 @@ import (
 func main() {
 	fs := flag.NewFlagSet("sdflint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	fast := fs.Bool("fast", false, "run only the per-package analyzers (skip the module-wide interprocedural pass)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	ignores := fs.Bool("ignores", false, "list every //lint:ignore suppression; fail on unknown analyzer names")
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
 		os.Exit(code)
 	}
@@ -36,14 +49,27 @@ func main() {
 			if len(a.Packages) > 0 {
 				scope = strings.Join(a.Packages, ", ")
 			}
-			fmt.Printf("%-12s %s [%s]\n", a.Name, a.Doc, scope)
+			mode := "package"
+			if a.RunModule != nil {
+				mode = "module"
+			}
+			fmt.Printf("%-12s %-7s %s [%s]\n", a.Name, mode, a.Doc, scope)
 		}
 		return
 	}
-	os.Exit(run(fs.Args()))
+	os.Exit(run(fs.Args(), *fast, *jsonOut, *ignores))
 }
 
-func run(args []string) int {
+// jsonDiag is the machine-readable diagnostic shape CI consumes.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, fast, jsonOut, ignores bool) int {
 	root, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdflint:", err)
@@ -59,24 +85,96 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "sdflint:", err)
 		return 2
 	}
-	if filtered, err := filterPackages(pkgs, args, root); err != nil {
+	if ignores {
+		return auditIgnores(loader, pkgs, root)
+	}
+	filtered, err := filterPackages(pkgs, args, root)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdflint:", err)
 		return 2
-	} else {
-		pkgs = filtered
 	}
-	diags := lint.RunAll(lint.Analyzers(), loader, pkgs)
+	analyzers := lint.Analyzers()
+	if fast {
+		analyzers = lint.PackageAnalyzers()
+	}
+	// Per-package analyzers see only the filtered set; module analyzers need
+	// the whole module for their callgraph, so they run over everything and
+	// their findings are filtered to the requested subtrees afterwards.
+	diags := lint.RunAll(lint.PackageAnalyzersOf(analyzers), loader, filtered)
+	if !fast {
+		diags = append(diags, filterDiags(lint.RunModuleAnalyzers(analyzers, loader, pkgs), filtered)...)
+	}
+	var out []jsonDiag
 	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			rel = r
 		}
+		if jsonOut {
+			out = append(out, jsonDiag{File: rel, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+			continue
+		}
+		d.Pos.Filename = rel
 		fmt.Println(d)
+	}
+	if jsonOut {
+		if out == nil {
+			out = []jsonDiag{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sdflint:", err)
+			return 2
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sdflint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// auditIgnores prints every suppression in the module with its analyzer and
+// reason, and fails when one targets an analyzer that does not exist — a
+// stale ignore hides nothing but still claims an exemption.
+func auditIgnores(loader *lint.Loader, pkgs []*lint.Package, root string) int {
+	infos := lint.ListIgnores(loader.Fset, pkgs, lint.Analyzers())
+	unknown := 0
+	for _, ig := range infos {
+		rel := ig.Pos.Filename
+		if r, err := filepath.Rel(root, ig.Pos.Filename); err == nil {
+			rel = r
+		}
+		status := ""
+		if !ig.Known {
+			status = "  [UNKNOWN ANALYZER]"
+			unknown++
+		}
+		fmt.Printf("%s:%d: %s: %s%s\n", rel, ig.Pos.Line, ig.Analyzer, ig.Reason, status)
+	}
+	fmt.Fprintf(os.Stderr, "sdflint: %d suppression(s)\n", len(infos))
+	if unknown > 0 {
+		fmt.Fprintf(os.Stderr, "sdflint: %d suppression(s) target unknown analyzers\n", unknown)
+		return 1
+	}
+	return 0
+}
+
+// filterDiags keeps diagnostics located inside one of the kept packages'
+// directories.
+func filterDiags(diags []lint.Diagnostic, pkgs []*lint.Package) []lint.Diagnostic {
+	dirs := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		dirs[p.Dir] = true
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		if dirs[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // filterPackages narrows the loaded set to the requested directory subtrees.

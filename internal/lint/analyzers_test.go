@@ -13,6 +13,11 @@ func TestCheckedMulFixture(t *testing.T) { runFixture(t, CheckedMul, "checkedmul
 func TestErrAttribFixture(t *testing.T)  { runFixture(t, ErrAttrib, "errattrib") }
 func TestExhaustiveFixture(t *testing.T) { runFixture(t, Exhaustive, "exhaustive") }
 
+func TestArtifactMutFixture(t *testing.T) { runModuleFixture(t, ArtifactMut, "artifactmut") }
+func TestLockCheckFixture(t *testing.T)   { runModuleFixture(t, LockCheck, "lockcheck") }
+func TestCtxLeakFixture(t *testing.T)     { runModuleFixture(t, CtxLeak, "ctxleak") }
+func TestKeyCompleteFixture(t *testing.T) { runModuleFixture(t, KeyComplete, "keycomplete") }
+
 func TestAppliesTo(t *testing.T) {
 	a := &Analyzer{Name: "x", Packages: []string{"internal/sdf", "internal/num"}}
 	for path, want := range map[string]bool{
@@ -34,11 +39,13 @@ func TestAppliesTo(t *testing.T) {
 
 // TestBannedCallCoversDeterministicSet pins the package list of the
 // determinism analyzer: every package the pass graph's purity argument rests
-// on must be in the set, internal/pass itself included.
+// on must be in the set, internal/pass itself included, plus the command
+// binaries where ambient state may enter only at marked injection points.
 func TestBannedCallCoversDeterministicSet(t *testing.T) {
 	for _, path := range []string{
 		"repro/internal/core", "repro/internal/pass", "repro/internal/alloc",
 		"repro/internal/lifetime", "repro/internal/check",
+		"repro/cmd/sdfd", "repro/cmd/sdfc", "repro/cmd/sdfload",
 	} {
 		if !BannedCall.AppliesTo(path) {
 			t.Errorf("BannedCall does not apply to %s", path)

@@ -24,6 +24,12 @@ var BannedCall = &Analyzer{
 		// a pure function of (config, server behavior, clock) and the hdr
 		// quantile math is testable against exact oracles.
 		"internal/hdr", "internal/load",
+		// The command binaries are where ambient state is *allowed* to enter —
+		// but only at explicitly marked injection points (the realClock
+		// adapter, report timestamps), each carrying a //lint:ignore with its
+		// reason. Linting them keeps new ambient reads from sneaking into CLI
+		// glue and flowing unlabeled into the deterministic layers below.
+		"cmd/sdfd", "cmd/sdfc", "cmd/sdfload",
 	},
 	Run: runBannedCall,
 }

@@ -93,6 +93,50 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	}
 }
 
+// runModuleFixture loads testdata/src/<name> as a complete mini-module (the
+// fixture directory carries its own go.mod and subpackages, so path-suffix
+// matching of roots and artifact types works exactly as it does against the
+// real repository) and asserts a module-scoped analyzer's diagnostics against
+// the want comments of every fixture file.
+func runModuleFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", name, err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture module %s has no packages", name)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, loader.Fset, f)...)
+		}
+	}
+	mod := NewModule(loader.Fset, pkgs, loader.IsLocal)
+	diags := RunModule(a, mod)
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
 // parseWants extracts want annotations with their positions.
 func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
 	t.Helper()

@@ -36,10 +36,16 @@ type Analyzer struct {
 	Doc string
 	// Packages optionally restricts the analyzer to import paths with one of
 	// these suffixes (e.g. "internal/sdf"). Empty means every package. The
-	// fixture harness bypasses the restriction.
+	// fixture harness bypasses the restriction. For module-scoped analyzers
+	// the list selects which packages' syntax is inspected; the callgraph
+	// always spans the whole module.
 	Packages []string
-	// Run inspects one package and reports findings via pass.Report.
+	// Run inspects one package and reports findings via pass.Reportf.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass)
+	// RunModule inspects the whole module at once, with the callgraph and
+	// interprocedural summaries of ModulePass at its disposal.
+	RunModule func(pass *ModulePass)
 }
 
 // AppliesTo reports whether the analyzer is in scope for the import path.
@@ -100,6 +106,7 @@ func (d Diagnostic) String() string {
 type ignoreDirective struct {
 	line     int    // line the comment ends on
 	analyzer string // analyzer name, or "*"
+	reason   string // everything after the analyzer name
 	valid    bool   // has both an analyzer and a reason
 	pos      token.Pos
 }
@@ -119,6 +126,7 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDir
 				d := ignoreDirective{line: end.Line, pos: c.Pos()}
 				if len(fields) >= 1 {
 					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
 				}
 				d.valid = d.analyzer != "" && len(fields) >= 2
 				byFile[end.Filename] = append(byFile[end.Filename], d)
@@ -151,6 +159,57 @@ func CheckIgnoreDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic 
 		}
 	}
 	return out
+}
+
+// IgnoreInfo is one //lint:ignore directive, resolved for the suppression
+// audit (sdflint -ignores).
+type IgnoreInfo struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// Known reports whether the directive targets a registered analyzer
+	// (or the "*" / "lint" wildcards). A stale suppression — one naming an
+	// analyzer that no longer exists — fails the audit.
+	Known bool
+}
+
+// ListIgnores collects every //lint:ignore directive across the packages, in
+// file-then-line order, marking directives that target unknown analyzers.
+func ListIgnores(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []IgnoreInfo {
+	known := map[string]bool{"*": true, "lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []IgnoreInfo
+	for _, pkg := range pkgs {
+		byFile := parseIgnores(fset, pkg.Files)
+		for _, name := range sortedFileNames(byFile) {
+			for _, d := range byFile[name] {
+				out = append(out, IgnoreInfo{
+					Pos:      fset.Position(d.pos),
+					Analyzer: d.analyzer,
+					Reason:   d.reason,
+					Known:    known[d.analyzer],
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+func sortedFileNames(m map[string][]ignoreDirective) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Run applies the analyzer to one package and returns its surviving
@@ -219,7 +278,9 @@ func applyIgnores(analyzer string, fset *token.FileSet, files []*ast.File, diags
 	return kept
 }
 
-// Analyzers returns every analyzer sdflint runs, in reporting order.
+// Analyzers returns every analyzer sdflint runs, in reporting order. The
+// first five are per-package; the last four are module-scoped (they need the
+// callgraph) and are skipped by sdflint -fast.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -227,5 +288,34 @@ func Analyzers() []*Analyzer {
 		CheckedMul,
 		ErrAttrib,
 		Exhaustive,
+		ArtifactMut,
+		LockCheck,
+		CtxLeak,
+		KeyComplete,
 	}
+}
+
+// PackageAnalyzers returns only the per-package analyzers (the -fast set).
+func PackageAnalyzers() []*Analyzer { return PackageAnalyzersOf(Analyzers()) }
+
+// PackageAnalyzersOf filters a list down to its per-package analyzers.
+func PackageAnalyzersOf(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range analyzers {
+		if a.Run != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ModuleAnalyzersOf filters a list down to its module-scoped analyzers.
+func ModuleAnalyzersOf(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			out = append(out, a)
+		}
+	}
+	return out
 }

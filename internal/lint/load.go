@@ -215,18 +215,40 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 }
 
 // RunAll applies every in-scope analyzer to every package and returns the
-// combined diagnostics in package, then position order. Malformed ignore
-// directives are reported once per package.
+// combined diagnostics: per-package analyzers in package-then-position order,
+// followed by module-scoped analyzers in registration order. Malformed ignore
+// directives are reported once per package. The module (callgraph included)
+// is built at most once, and only when a module-scoped analyzer is present.
 func RunAll(analyzers []*Analyzer, l *Loader, pkgs []*Package) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		out = append(out, CheckIgnoreDirectives(l.Fset, pkg.Files)...)
 		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.Path) {
+			if a.Run == nil || !a.AppliesTo(pkg.Path) {
 				continue
 			}
 			out = append(out, Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path, l.IsLocal)...)
 		}
+	}
+	out = append(out, RunModuleAnalyzers(analyzers, l, pkgs)...)
+	return out
+}
+
+// RunModuleAnalyzers runs only the module-scoped analyzers of the list over
+// the given packages (no per-package directive checks — callers pair it with
+// RunAll when they split per-package and module scopes). The module and its
+// callgraph are built once, lazily.
+func RunModuleAnalyzers(analyzers []*Analyzer, l *Loader, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	var mod *Module
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if mod == nil {
+			mod = NewModule(l.Fset, pkgs, l.IsLocal)
+		}
+		out = append(out, RunModule(a, mod)...)
 	}
 	return out
 }

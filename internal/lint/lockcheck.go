@@ -1,0 +1,439 @@
+package lint
+
+// LockCheck enforces declared mutex discipline in the concurrent layers.
+// A struct field annotated
+//
+//	mu    sync.Mutex
+//	index map[string]int // guarded by mu
+//
+// may only be read or written while the named mutex — which must be a
+// sync.Mutex or sync.RWMutex field of the same struct — is held.
+//
+// The per-function check is a linear lock-set scan: x.mu.Lock() (and RLock)
+// adds the lock for the rendered base path "x", Unlock removes it, and a
+// deferred Unlock holds it to the end of the function. Accesses to a guarded
+// field f through base "x" require "x"'s lock at that point.
+//
+// Discipline is interprocedural through receiver summaries: an unexported
+// method whose guarded accesses are unheld is summarized as "requires mu"
+// (the evictLocked/dropLocked helper convention) instead of reported, and
+// every call site must then hold the receiver's lock; requirements propagate
+// through unexported callers until a lock, an exported boundary, or a root
+// call site is found. An exported method must never require a caller-held
+// lock — its unheld accesses are reported directly.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated 'guarded by <mu>' are only accessed with the named mutex held",
+	Packages: []string{
+		"internal/service", "internal/service/metrics", "internal/load", "internal/nodestore",
+	},
+	RunModule: runLockCheck,
+}
+
+// guardedField identifies one annotated field and the mutex field guarding it.
+type guardedField struct {
+	guard string // name of the mutex field in the same struct
+}
+
+// lcEvent is one lock-relevant point inside a function, in source order.
+type lcEvent struct {
+	pos token.Pos
+	// kind: lock (+key), unlock (-key), deferred unlock (hold to end),
+	// access (needs key), or a call carrying receiver requirements.
+	kind lcEventKind
+	key  string // "base.mu" for lock/unlock; required lock for access
+	// access / call details
+	field  string
+	callee *types.Func
+	recv   string // rendered receiver base of the call, for requirement keys
+}
+
+type lcEventKind int
+
+const (
+	lcLock lcEventKind = iota
+	lcUnlock
+	lcDeferUnlock
+	lcAccess
+	lcCall
+)
+
+type lcFunc struct {
+	fn     *types.Func
+	pkg    *Package
+	events []lcEvent
+	// requires maps guard-field name -> first unheld access/call position,
+	// for the receiver-summary fixpoint.
+	requires map[string]token.Pos
+	recvName string // receiver identifier name, "" for non-methods
+}
+
+type lcAnalysis struct {
+	pass *ModulePass
+	// guards: struct type -> field name -> guard info.
+	guards map[*types.Named]map[string]guardedField
+	funcs  map[*types.Func]*lcFunc
+}
+
+func runLockCheck(pass *ModulePass) {
+	a := &lcAnalysis{
+		pass:   pass,
+		guards: make(map[*types.Named]map[string]guardedField),
+		funcs:  make(map[*types.Func]*lcFunc),
+	}
+	scope := pass.ScopePackages()
+	for _, pkg := range scope {
+		a.collectGuards(pkg)
+	}
+	if len(a.guards) == 0 {
+		return
+	}
+	inScope := make(map[*Package]bool, len(scope))
+	for _, pkg := range scope {
+		inScope[pkg] = true
+	}
+	for _, fn := range pass.Module.Functions() {
+		fd := pass.Module.Decl(fn)
+		if !inScope[fd.Pkg] {
+			continue
+		}
+		a.funcs[fn] = a.analyzeFunc(fn, fd)
+	}
+	a.resolve()
+}
+
+// collectGuards parses "guarded by <mu>" annotations from struct field
+// comments (doc comment or trailing line comment) and validates the guard.
+func (a *lcAnalysis) collectGuards(pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			named, ok := pkg.Info.Defs[ts.Name].Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard, pos, ok := guardAnnotation(field)
+				if !ok {
+					continue
+				}
+				if !a.structHasMutex(named, guard) {
+					a.pass.Reportf(pos,
+						"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex field of %s",
+						guard, ts.Name.Name)
+					continue
+				}
+				m := a.guards[named]
+				if m == nil {
+					m = make(map[string]guardedField)
+					a.guards[named] = m
+				}
+				for _, name := range field.Names {
+					m[name.Name] = guardedField{guard: guard}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardAnnotation extracts "guarded by <name>" from a field's comments.
+func guardAnnotation(field *ast.Field) (guard string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "/*")
+			i := strings.Index(text, "guarded by ")
+			if i < 0 {
+				continue
+			}
+			rest := strings.Fields(text[i+len("guarded by "):])
+			if len(rest) == 0 {
+				continue
+			}
+			return strings.TrimRight(rest[0], ".,;:"), c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// structHasMutex reports whether the named struct has a field with the given
+// name of type sync.Mutex or sync.RWMutex.
+func (a *lcAnalysis) structHasMutex(named *types.Named, name string) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name {
+			continue
+		}
+		return isMutexType(f.Type())
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// analyzeFunc collects the function's lock events in source order.
+func (a *lcAnalysis) analyzeFunc(fn *types.Func, fd *FuncDecl) *lcFunc {
+	lf := &lcFunc{fn: fn, pkg: fd.Pkg, requires: make(map[string]token.Pos)}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if fd.Decl.Recv != nil && len(fd.Decl.Recv.List) > 0 && len(fd.Decl.Recv.List[0].Names) > 0 {
+			lf.recvName = fd.Decl.Recv.List[0].Names[0].Name
+		}
+	}
+	pkg := fd.Pkg
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if kind, key, ok := a.lockOp(pkg, n.Call); ok {
+				if kind == lcUnlock {
+					lf.events = append(lf.events, lcEvent{pos: n.Pos(), kind: lcDeferUnlock, key: key})
+				}
+				// Skip the call's own subtree: visiting it again would record
+				// a plain unlock event that releases the lock immediately.
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if kind, key, ok := a.lockOp(pkg, n); ok {
+				lf.events = append(lf.events, lcEvent{pos: n.Pos(), kind: kind, key: key})
+				return true
+			}
+			if callee, recv, ok := a.methodCall(pkg, n); ok {
+				lf.events = append(lf.events, lcEvent{pos: n.Pos(), kind: lcCall, callee: callee, recv: recv})
+			}
+			return true
+		case *ast.SelectorExpr:
+			if key, field, ok := a.guardedAccess(pkg, n); ok {
+				lf.events = append(lf.events, lcEvent{pos: n.Pos(), kind: lcAccess, key: key, field: field})
+			}
+			return true
+		}
+		return true
+	})
+	sort.SliceStable(lf.events, func(i, j int) bool { return lf.events[i].pos < lf.events[j].pos })
+	return lf
+}
+
+// lockOp recognizes x.mu.Lock / RLock / Unlock / RUnlock and returns the
+// lock-set key "x.mu".
+func (a *lcAnalysis) lockOp(pkg *Package, call *ast.CallExpr) (lcEventKind, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	var kind lcEventKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lcLock
+	case "Unlock", "RUnlock":
+		kind = lcUnlock
+	default:
+		return 0, "", false
+	}
+	if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+		return 0, "", false
+	}
+	return kind, types.ExprString(sel.X), true
+}
+
+// methodCall resolves a same-module method call x.m(...) to its callee and
+// the rendered receiver base "x".
+func (a *lcAnalysis) methodCall(pkg *Package, call *ast.CallExpr) (*types.Func, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || a.pass.Module.Decl(fn) == nil {
+		return nil, "", false
+	}
+	return fn, types.ExprString(sel.X), true
+}
+
+// guardedAccess recognizes x.f where f is a guarded field of x's struct type
+// and returns the required lock key "x.<guard>" and the field name.
+func (a *lcAnalysis) guardedAccess(pkg *Package, sel *ast.SelectorExpr) (string, string, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	g, ok := a.guards[named][sel.Sel.Name]
+	if !ok {
+		return "", "", false
+	}
+	return types.ExprString(sel.X) + "." + g.guard, sel.Sel.Name, true
+}
+
+// resolve runs the receiver-requirement fixpoint and reports violations.
+//
+// First pass: simulate each function's lock set over its events. Unheld
+// guarded accesses on the method's own receiver become requirements for
+// unexported methods; everything else unheld is a violation candidate.
+// Requirements then propagate through call sites until stable, and whatever
+// ends up required by an exported function — or unheld at a root call site —
+// is reported.
+func (a *lcAnalysis) resolve() {
+	fns := make([]*types.Func, 0, len(a.funcs))
+	for fn := range a.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	// Fixpoint over receiver requirements: calling an unexported method that
+	// requires a guard, without holding it, makes the caller require it too —
+	// but only unexported methods may carry requirements outward; exported
+	// ones must be self-locking, so their violations stay their own.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			lf := a.funcs[fn]
+			if fn.Exported() || lf.recvName == "" {
+				continue
+			}
+			for guard, pos := range a.simulate(lf, nil) {
+				if _, ok := lf.requires[guard]; !ok {
+					lf.requires[guard] = pos
+					changed = true
+				}
+			}
+		}
+	}
+	for _, fn := range fns {
+		lf := a.funcs[fn]
+		var diags []lcViolation
+		a.simulate(lf, &diags)
+		canRequire := !fn.Exported() && lf.recvName != ""
+		for _, v := range diags {
+			if canRequire && v.recvGuard != "" {
+				// Summarized as a requirement; call sites enforce it.
+				continue
+			}
+			a.pass.Reportf(v.pos, "%s", v.msg)
+		}
+	}
+}
+
+// lcViolation is one unheld access or call found during simulation.
+type lcViolation struct {
+	pos token.Pos
+	msg string
+	// recvGuard is the guard field name when the violation is on the
+	// method's own receiver (and thus summarizable), else "".
+	recvGuard string
+}
+
+// simulate runs the linear lock-set over lf's events. When diags is nil it
+// returns the receiver requirements discovered (for the fixpoint); when
+// non-nil it appends every violation.
+func (a *lcAnalysis) simulate(lf *lcFunc, diags *[]lcViolation) map[string]token.Pos {
+	held := make(map[string]bool)
+	reqs := make(map[string]token.Pos)
+	recvPrefix := lf.recvName + "."
+	recvGuardOf := func(key string) string {
+		// key is "base.guard"; a requirement is only summarizable when the
+		// base is exactly the receiver identifier.
+		if lf.recvName == "" || !strings.HasPrefix(key, recvPrefix) {
+			return ""
+		}
+		g := key[len(recvPrefix):]
+		if strings.Contains(g, ".") {
+			return ""
+		}
+		return g
+	}
+	record := func(pos token.Pos, key, msg string) {
+		if g := recvGuardOf(key); g != "" {
+			if _, ok := reqs[g]; !ok {
+				reqs[g] = pos
+			}
+			if diags != nil {
+				*diags = append(*diags, lcViolation{pos: pos, msg: msg, recvGuard: g})
+			}
+			return
+		}
+		if diags != nil {
+			*diags = append(*diags, lcViolation{pos: pos, msg: msg})
+		}
+	}
+	for _, ev := range lf.events {
+		switch ev.kind {
+		case lcLock, lcDeferUnlock:
+			held[ev.key] = true
+		case lcUnlock:
+			delete(held, ev.key)
+		case lcAccess:
+			if !held[ev.key] {
+				record(ev.pos, ev.key,
+					"access to guarded field "+ev.field+" without holding "+ev.key)
+			}
+		case lcCall:
+			callee := a.funcs[ev.callee]
+			if callee == nil {
+				continue
+			}
+			for _, guard := range sortedKeys(callee.requires) {
+				key := ev.recv + "." + guard
+				if held[key] {
+					continue
+				}
+				record(ev.pos, key,
+					"call to "+FuncDisplayName(ev.callee)+" requires "+key+" to be held (it accesses guarded fields)")
+			}
+		}
+	}
+	return reqs
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,308 @@
+package lint
+
+// Module-wide analysis: a conservative static callgraph over every package of
+// the loaded module, plus the reachability and call-path machinery the
+// interprocedural analyzers (artifactmut, lockcheck) are built on.
+//
+// The callgraph is deliberately simple — and simple in the conservative
+// direction. An edge F -> G is recorded whenever the body of F *mentions* G:
+// a direct call, a method call resolved through types.Selections, or a bare
+// reference that passes G around as a value (par.ForEach(n, G) assumes G is
+// called). Function literals have no identity of their own; everything inside
+// a literal is attributed to the enclosing declared function, so a goroutine
+// or closure spawned by F contributes F's edges. The graph therefore
+// over-approximates "may call" for everything except dynamic dispatch through
+// interfaces, which no stdlib-only analysis can resolve; analyzers that need
+// soundness there pin the concrete implementations by name.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module is every package of one load, indexed for interprocedural analysis.
+type Module struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	IsLocal  func(p *types.Package) bool
+
+	// decls maps every module-level declared function (and method) to its
+	// body and owning package.
+	decls map[*types.Func]*FuncDecl
+	// calls is the conservative callgraph: every module function mentioned
+	// by the body of the key, with the position of the first mention.
+	calls map[*types.Func][]CallEdge
+}
+
+// FuncDecl ties a declared function to its syntax and package.
+type FuncDecl struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// CallEdge is one callgraph edge: Callee is mentioned at Pos inside the
+// calling function's body.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// NewModule indexes the loaded packages and builds the callgraph.
+func NewModule(fset *token.FileSet, pkgs []*Package, isLocal func(p *types.Package) bool) *Module {
+	m := &Module{
+		Fset:     fset,
+		Packages: pkgs,
+		IsLocal:  isLocal,
+		decls:    make(map[*types.Func]*FuncDecl),
+		calls:    make(map[*types.Func][]CallEdge),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.decls[fn] = &FuncDecl{Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	for fn, fd := range m.decls {
+		m.calls[fn] = m.collectEdges(fd)
+	}
+	return m
+}
+
+// collectEdges walks one function body (nested literals included) and records
+// every mention of a module-local declared function.
+func (m *Module) collectEdges(fd *FuncDecl) []CallEdge {
+	seen := make(map[*types.Func]bool)
+	var edges []CallEdge
+	add := func(fn *types.Func, pos token.Pos) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		if _, ok := m.decls[fn]; !ok {
+			return // stdlib or interface method without a module body
+		}
+		seen[fn] = true
+		edges = append(edges, CallEdge{Callee: fn, Pos: pos})
+	}
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if fn, ok := fd.Pkg.Info.Uses[n].(*types.Func); ok {
+				add(fn, n.Pos())
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := fd.Pkg.Info.Selections[n]; ok {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					add(fn, n.Sel.Pos())
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Pos < edges[j].Pos })
+	return edges
+}
+
+// Decl returns the syntax of a module-declared function, or nil.
+func (m *Module) Decl(fn *types.Func) *FuncDecl { return m.decls[fn] }
+
+// Functions returns every module-declared function in deterministic order
+// (by source position).
+func (m *Module) Functions() []*types.Func {
+	out := make([]*types.Func, 0, len(m.decls))
+	for fn := range m.decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Edges returns the callgraph edges of fn in source order.
+func (m *Module) Edges(fn *types.Func) []CallEdge { return m.calls[fn] }
+
+// LookupFunc finds a declared function by package-path suffix, receiver type
+// name ("" for plain functions), and name. It is how analyzers pin their
+// roots without depending on the module's import-path prefix.
+func (m *Module) LookupFunc(pkgSuffix, recv, name string) *types.Func {
+	for fn := range m.decls {
+		if fn.Name() != name || !pathHasSuffix(fn.Pkg().Path(), pkgSuffix) {
+			continue
+		}
+		if recvTypeName(fn) == recv {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the name of the receiver's base type, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// pathHasSuffix reports whether an import path ends with the given
+// slash-delimited suffix (or equals it).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// Reachability is the result of a BFS over the callgraph from a root set:
+// for each reachable function, the edge through which it was first reached.
+type Reachability struct {
+	module *Module
+	from   map[*types.Func]*types.Func // callee -> caller on first reach path
+	roots  map[*types.Func]bool
+}
+
+// Reachable runs a breadth-first search from roots and returns the set of
+// functions the roots may (transitively) call. Root order determines which
+// path is reported when several reach the same function.
+func (m *Module) Reachable(roots []*types.Func) *Reachability {
+	r := &Reachability{
+		module: m,
+		from:   make(map[*types.Func]*types.Func),
+		roots:  make(map[*types.Func]bool),
+	}
+	var queue []*types.Func
+	for _, root := range roots {
+		if root == nil || r.roots[root] {
+			continue
+		}
+		r.roots[root] = true
+		r.from[root] = nil
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range m.calls[fn] {
+			if _, seen := r.from[e.Callee]; seen {
+				continue
+			}
+			r.from[e.Callee] = fn
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// Contains reports whether fn is reachable from the root set.
+func (r *Reachability) Contains(fn *types.Func) bool {
+	_, ok := r.from[fn]
+	return ok
+}
+
+// Path renders the call chain from the root that first reached fn, e.g.
+// "(*Plan).Run -> runNode -> decodeLife". Returns "" if fn is unreachable.
+func (r *Reachability) Path(fn *types.Func) string {
+	if !r.Contains(fn) {
+		return ""
+	}
+	var names []string
+	for f := fn; f != nil; f = r.from[f] {
+		names = append(names, FuncDisplayName(f))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// FuncDisplayName renders a function the way diagnostics name it:
+// pkg.Func for plain functions, pkg.(*Recv).Method for methods.
+func FuncDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			if n, ok := p.Elem().(*types.Named); ok {
+				return fmt.Sprintf("%s(*%s).%s", pkg, n.Obj().Name(), fn.Name())
+			}
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s%s.%s", pkg, n.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// ModulePass carries the whole module through one module-scoped analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ScopePackages returns the packages the analyzer's Packages list selects
+// (every package when the list is empty), in load order.
+func (p *ModulePass) ScopePackages() []*Package {
+	var out []*Package
+	for _, pkg := range p.Module.Packages {
+		if p.Analyzer.AppliesTo(pkg.Path) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// RunModule applies one module-scoped analyzer and returns its surviving
+// diagnostics, with //lint:ignore directives from every module file honored,
+// sorted and deduplicated exactly like per-package Run.
+func RunModule(a *Analyzer, m *Module) []Diagnostic {
+	var diags []Diagnostic
+	pass := &ModulePass{Analyzer: a, Module: m, diags: &diags}
+	a.RunModule(pass)
+	var files []*ast.File
+	for _, pkg := range m.Packages {
+		files = append(files, pkg.Files...)
+	}
+	diags = applyIgnores(a.Name, m.Fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i].Pos, diags[j].Pos
+		if di.Filename != dj.Filename {
+			return di.Filename < dj.Filename
+		}
+		if di.Line != dj.Line {
+			return di.Line < dj.Line
+		}
+		return di.Column < dj.Column
+	})
+	return dedupe(diags)
+}

@@ -1,0 +1,75 @@
+// Package service exercises the ctxleak analyzer: every go statement must be
+// joined or cancellable, and HTTP handlers must stay on the request context.
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// leaky spawns a goroutine nothing can stop.
+func leaky() {
+	go func() { // want "goroutine is neither joined"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// joined is fine: a WaitGroup Add precedes the spawn.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// cancellable is fine: the body selects on ctx.Done().
+func cancellable(ctx context.Context, work chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-work:
+		}
+	}()
+}
+
+// drains is fine: the body ranges over a channel, terminating when the
+// producer closes it.
+func drains(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// worker blocks on the context's Done channel.
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// spawnsNamed is fine: the declared body of the spawned function is
+// inspected the same way as a literal.
+func spawnsNamed(ctx context.Context) {
+	go worker(ctx)
+}
+
+// badHandler detaches from the request's cancellation.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	compile(context.Background(), r.URL.Path) // want "HTTP handler detaches from the request"
+	w.WriteHeader(http.StatusOK)
+}
+
+// goodHandler threads the request context through.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	compile(r.Context(), r.URL.Path)
+	w.WriteHeader(http.StatusOK)
+}
+
+func compile(ctx context.Context, name string) {
+	_ = ctx
+	_ = name
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the keycomplete analyzer: a keymap mirror must
+// cover every target field with the identical type, carry no stale entries,
+// and document each field's key decision.
+package fixture
+
+// Options is the target struct: every field must be mirrored.
+type Options struct {
+	Strategy  string
+	Depth     int
+	Verify    bool
+	NoComment bool
+}
+
+// goodKeyMap is complete, type-identical, and documented: no diagnostics.
+//
+//lint:keymap Options
+type goodKeyMap struct {
+	Strategy  string // order key
+	Depth     int    // schedule key
+	Verify    bool   // per-point leaf, never shared
+	NoComment bool   // key-exempt: not a compilation input
+}
+
+// badKeyMap drops Verify, mistypes Depth, and leaves NoComment undocumented.
+//
+//lint:keymap Options
+type badKeyMap struct { // want "Options field Verify (bool) is not mirrored by badKeyMap" "Options field Depth has type int but badKeyMap mirrors it as int64" "badKeyMap field NoComment needs a comment naming the content key"
+	Strategy  string // order key
+	Depth     int64  // schedule key
+	NoComment bool
+	Stale     string // want "badKeyMap field Stale has no counterpart in Options; remove the stale mirror entry"
+}

@@ -1,0 +1,62 @@
+// Package service exercises the lockcheck analyzer: guarded-by annotations,
+// the linear lock-set scan, deferred unlocks, and the receiver-requirement
+// summaries of unexported xxxLocked helpers.
+package service
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	n   int // guarded by mu
+	hot int // guarded by lock // want "guarded-by annotation names \"lock\", which is not a sync.Mutex or sync.RWMutex field of counter"
+}
+
+// Inc holds the lock across the access.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Value holds the lock via a deferred unlock.
+func (c *counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Broken is exported, so its unheld access is reported directly rather than
+// summarized as a caller requirement.
+func (c *counter) Broken() int {
+	return c.n // want "access to guarded field n without holding c.mu"
+}
+
+// bumpLocked follows the xxxLocked convention: unexported, accesses the
+// guarded field unheld, and is therefore summarized as requiring c.mu
+// instead of being reported here.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// doubleBumpLocked propagates the requirement one level further.
+func (c *counter) doubleBumpLocked() {
+	c.bumpLocked()
+}
+
+// AddTwo satisfies the summarized requirement at the call sites.
+func (c *counter) AddTwo() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// AddUnsafe calls a lock-requiring helper without the lock.
+func (c *counter) AddUnsafe() {
+	c.bumpLocked() // want "call to service.(*counter).bumpLocked requires c.mu to be held"
+}
+
+// Spin shows the requirement surviving an unexported hop.
+func (c *counter) Spin() {
+	c.doubleBumpLocked() // want "call to service.(*counter).doubleBumpLocked requires c.mu to be held"
+}

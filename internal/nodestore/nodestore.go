@@ -66,11 +66,11 @@ type Store struct {
 	budget int64
 
 	mu    sync.Mutex
-	lru   *list.List               // front = most recently used
-	index map[string]*list.Element // key -> element holding *entry
-	bytes int64
+	lru   *list.List               // guarded by mu; front = most recently used
+	index map[string]*list.Element // guarded by mu; key -> element holding *entry
+	bytes int64                    // guarded by mu
 
-	hits, misses, puts, evictions, corrupt int64
+	hits, misses, puts, evictions, corrupt int64 // guarded by mu
 }
 
 // entry is the in-memory index record for one on-disk frame.
@@ -98,6 +98,9 @@ func Open(dir string, budget int64) (*Store, error) {
 	if budget <= 0 {
 		return s, nil
 	}
+	// Open has not returned yet, so s is unreachable from any other
+	// goroutine and rescan can fill the index without holding s.mu.
+	//lint:ignore lockcheck store is not yet published to any other goroutine
 	if err := s.rescan(); err != nil {
 		return nil, err
 	}

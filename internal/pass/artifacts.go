@@ -72,7 +72,12 @@ func (lf Lifetimes) enumerated(strat alloc.Strategy) (order []*lifetime.Interval
 		return nil, nil, false
 	}
 	p.once.Do(func() {
+		// The packs cache is the one sanctioned artifact-interior write: a
+		// sync.Once-guarded, deterministic, idempotent lazy initialization
+		// whose value is a pure function of the (immutable) intervals.
+		//lint:ignore artifactmut packOnce lazy init is Once-guarded and deterministic
 		p.order = alloc.Enumerate(lf.Intervals, strat)
+		//lint:ignore artifactmut packOnce lazy init is Once-guarded and deterministic
 		p.wig = lifetime.BuildWIG(p.order)
 	})
 	return p.order, p.wig, true

@@ -123,13 +123,16 @@ const (
 	StageDone     = "done"
 )
 
-// optionsKeyMap is the struct-conversion guard that keeps pass content keys
-// complete: it must mirror Options field for field (the conversion below
-// breaks the build otherwise), and each field is annotated with the pass
-// node whose key carries it — or with the reason it needs no key. Adding a
-// pipeline knob to Options therefore forces a decision about which key the
-// knob belongs to; forgetting would otherwise let two different
-// configurations silently alias one deduplicated node.
+// optionsKeyMap keeps pass content keys complete: sdflint's keycomplete
+// analyzer checks it mirrors Options field for field (same names, same
+// types) and that each field is annotated with the pass node whose key
+// carries it — or with the reason it needs no key. Adding a pipeline knob
+// to Options therefore forces a decision about which key the knob belongs
+// to; forgetting would otherwise let two different configurations silently
+// alias one deduplicated node, and the lint diagnostic names the exact
+// field that still needs a decision.
+//
+//lint:keymap Options
 type optionsKeyMap struct {
 	Strategy      OrderStrategy                  // KindOrder key
 	Order         []sdf.ActorID                  // KindOrder key (custom orders)
@@ -141,9 +144,6 @@ type optionsKeyMap struct {
 	MergePolicy   func(sdf.ActorID) merge.Policy // KindAssemble: per-point leaf, never shared
 	OnStage       func(stage string)             // observability hook, not a compilation input
 }
-
-// The guard: compiles only while Options and optionsKeyMap agree exactly.
-var _ = optionsKeyMap(Options{})
 
 // repetitionsKey is the content key of the q pass: the graph alone decides
 // it.

@@ -28,21 +28,22 @@ type Store interface {
 // StoreVersion is the version preamble mixed into every store key. Bump it
 // whenever an artifact encoding or a key projection changes incompatibly:
 // old entries then live under unreachable keys and age out, instead of
-// aliasing the new schema. The storeKeyMap guard below ties this constant to
-// the Options shape the keys cover.
+// aliasing the new schema. The storeKeyMap mirror below ties this constant
+// to the Options shape the keys cover.
 const StoreVersion = "pass-node/v1"
 
-// storeKeyMap is the struct-conversion guard for the persistent store keys,
-// the cross-process sibling of optionsKeyMap (options.go): it must mirror
-// Options field for field — the conversion below breaks the build otherwise
-// — and each field is annotated with the store key that carries it, or with
-// the reason it needs none. Adding an Options knob therefore forces TWO
-// decisions: which in-plan node key carries it (optionsKeyMap) and which
-// persistent key carries it (here). Forgetting the latter would let two
-// configurations silently alias one store entry across daemon restarts —
-// much worse than an in-memory aliasing bug, which at least dies with the
-// process. Changing how an existing field is keyed requires bumping
-// StoreVersion.
+// storeKeyMap is the completeness mirror for the persistent store keys, the
+// cross-process sibling of optionsKeyMap (options.go): sdflint's keycomplete
+// analyzer checks it mirrors Options field for field, and each field is
+// annotated with the store key that carries it, or with the reason it needs
+// none. Adding an Options knob therefore forces TWO decisions: which in-plan
+// node key carries it (optionsKeyMap) and which persistent key carries it
+// (here). Forgetting the latter would let two configurations silently alias
+// one store entry across daemon restarts — much worse than an in-memory
+// aliasing bug, which at least dies with the process. Changing how an
+// existing field is keyed requires bumping StoreVersion.
+//
+//lint:keymap Options
 type storeKeyMap struct {
 	Strategy      OrderStrategy                  // orderStoreKey (and every chained downstream key)
 	Order         []sdf.ActorID                  // orderStoreKey, custom strategies only
@@ -54,9 +55,6 @@ type storeKeyMap struct {
 	MergePolicy   func(sdf.ActorID) merge.Policy // assemble-only: assembled Results are never stored
 	OnStage       func(stage string)             // observability hook, not a compilation input
 }
-
-// The guard: compiles only while Options and storeKeyMap agree exactly.
-var _ = storeKeyMap(Options{})
 
 // kindTag names each pass kind inside store keys. The switch deliberately
 // has no default clause: sdflint's exhaustive analyzer then fails the build

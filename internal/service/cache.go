@@ -13,10 +13,10 @@ import (
 // poisoned entry to invalidate.
 type artifactCache struct {
 	mu     sync.Mutex
-	budget int64
-	bytes  int64
-	lru    *list.List               // front = most recently used
-	index  map[string]*list.Element // digest -> element holding *cacheEntry
+	budget int64                    // immutable after construction
+	bytes  int64                    // guarded by mu
+	lru    *list.List               // guarded by mu; front = most recently used
+	index  map[string]*list.Element // guarded by mu; digest -> element holding *cacheEntry
 }
 
 type cacheEntry struct {

@@ -15,7 +15,7 @@ import "sync"
 // else.
 type flightGroup struct {
 	mu      sync.Mutex
-	flights map[string]*flight
+	flights map[string]*flight // guarded by mu
 }
 
 // flight is one in-progress compilation. done is closed exactly once, after

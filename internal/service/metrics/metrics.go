@@ -30,7 +30,7 @@ import (
 // Registry holds a set of metric families and renders them on demand.
 type Registry struct {
 	mu   sync.Mutex
-	fams []*family
+	fams []*family // guarded by mu
 }
 
 type family struct {
@@ -38,9 +38,9 @@ type family struct {
 	labels          []string // label keys for vec families, nil otherwise
 
 	mu       sync.Mutex
-	children map[string]renderer // canonical label string -> child
-	solo     renderer            // unlabeled families
-	gauge    func() float64      // gauge families
+	children map[string]renderer // guarded by mu; canonical label string -> child
+	solo     renderer            // immutable after registration; unlabeled families
+	gauge    func() float64      // immutable after registration; gauge families
 }
 
 type renderer interface {
@@ -65,7 +65,7 @@ func (r *Registry) add(f *family) *family {
 // Counter is a monotonically increasing value.
 type Counter struct {
 	mu  sync.Mutex
-	val float64
+	val float64 // guarded by mu
 }
 
 // Inc adds one.
@@ -125,10 +125,10 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // Histogram is a cumulative histogram with fixed upper bounds.
 type Histogram struct {
 	mu      sync.Mutex
-	bounds  []float64 // sorted upper bounds, excluding +Inf
-	buckets []uint64  // observation counts per bound (non-cumulative)
-	count   uint64
-	sum     float64
+	bounds  []float64 // immutable after construction; sorted upper bounds, excluding +Inf
+	buckets []uint64  // guarded by mu; observation counts per bound (non-cumulative)
+	count   uint64    // guarded by mu
+	sum     float64   // guarded by mu
 }
 
 // Observe records one observation.
@@ -216,8 +216,8 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram {
 // quantile="1" is the exact observed maximum.
 type Summary struct {
 	mu   sync.Mutex
-	hist *hdr.Histogram
-	sum  float64
+	hist *hdr.Histogram // guarded by mu
+	sum  float64        // guarded by mu
 }
 
 func newSummary() *Summary { return &Summary{hist: hdr.New()} }

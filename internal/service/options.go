@@ -40,27 +40,28 @@ type CompileOptions struct {
 }
 
 // cacheKey is the serialized form of CompileOptions inside the cache
-// digest. Field-list completeness is enforced by construction twice over:
-//
-//   - the conversion in digestOptions fails to compile the moment
-//     CompileOptions gains a field that cacheKey lacks (Go struct
-//     conversion requires identical field names, types, and order), and
-//   - the JSON encoding of cacheKey marshals every exported field, so a
-//     field present in both structs cannot be dropped from the digest.
+// digest. Field-list completeness is enforced twice over: sdflint's
+// keycomplete analyzer checks the mirror covers every CompileOptions field
+// (and names the missing one when it doesn't), and the JSON encoding of
+// cacheKey marshals every exported field, so a field present in both
+// structs cannot be dropped from the digest. The conversion in
+// digestOptions additionally keeps the field order aligned.
 //
 // On top of that, the enum spellings stored here flow through the
 // exhaustive-checked switches below (StrategyName, LoopingName,
 // AllocatorName), so adding a pipeline knob *value* without deciding its
 // cache-key spelling fails sdflint's exhaustive analyzer.
+//
+//lint:keymap CompileOptions
 type cacheKey struct {
-	Strategy      string
-	Looping       string
-	Allocators    []string
-	Verify        bool
-	VerifyPeriods int
-	Merging       bool
-	EmitC         bool
-	EmitVHDL      bool
+	Strategy      string   // digest JSON, normalized via StrategyName
+	Looping       string   // digest JSON, normalized via LoopingName
+	Allocators    []string // digest JSON, deduplicated via AllocatorName
+	Verify        bool     // digest JSON; changes the artifact (verification report)
+	VerifyPeriods int      // digest JSON; 0 unless Verify is set (see normalize)
+	Merging       bool     // digest JSON; changes the artifact (merged allocation)
+	EmitC         bool     // digest JSON; changes the artifact (embedded C source)
+	EmitVHDL      bool     // digest JSON; changes the artifact (embedded VHDL source)
 }
 
 // digestOptions serializes normalized options for the cache digest.
