@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint lint-fast test race race-full race-service grid incremental tier1 bench bench-json fuzz-short serve load load-short bench-compare
+.PHONY: all build vet lint lint-fast test race race-full race-service grid incremental cluster tier1 bench bench-json fuzz-short serve load load-short bench-compare
 
 all: tier1
 
@@ -57,6 +57,19 @@ incremental:
 	$(GO) test -race -run 'TestStore|TestNodeStore|TestCodec|TestKind|TestDecode|TestPlanSecondRun|TestPlanGarbage' ./internal/pass/... ./internal/service/...
 	$(GO) test -race -count=2 ./internal/nodestore/...
 	cd cmd/sdffuzz && $(GO) run . -store -n 25 -seed 1
+
+# cluster is the sharded-daemon gate: the ring/peer-fetch/job/drain suites
+# under the race detector (service + cluster packages), then a real 3-node
+# cluster on local ports driven end to end — differential replay through
+# every peer with cross-peer artifact fetch, a multi-target load smoke with
+# per-peer accounting, and a graceful drain of one node.
+cluster:
+	$(GO) test -race -run 'TestCluster|TestJob|TestDrain' -count=2 ./internal/service/...
+	$(GO) test -race -count=2 ./internal/cluster/...
+	$(GO) build -o bin/sdfd ./cmd/sdfd
+	$(GO) build -o bin/sdffuzz ./cmd/sdffuzz
+	$(GO) build -o bin/sdfload ./cmd/sdfload
+	./scripts/cluster-smoke.sh
 
 # serve runs the compilation daemon on its default port.
 serve:

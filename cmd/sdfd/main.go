@@ -12,6 +12,7 @@
 //	sdfd [-addr :8347] [-workers N] [-queue N] [-cache-mb N]
 //	     [-request-timeout D] [-compile-timeout D] [-max-request-kb N]
 //	     [-store DIR] [-store-mb N]
+//	     [-peers a,b,c] [-advertise host:port] [-drain D]
 //
 // On startup the daemon prints one machine-readable line to stdout:
 //
@@ -25,6 +26,15 @@
 // on-disk store and survive daemon restarts: recompiling a graph after a
 // small edit loads every unaffected pipeline stage from disk instead of
 // executing it (docs/PIPELINE.md, "Incremental recompilation").
+//
+// With -peers, the daemon joins a sharded cluster: the listed members (plus
+// this node) form a consistent-hash ring over artifact digests, compile
+// requests proxy to their digest's owner, cache misses try peer fetch
+// before recompiling, and async grid jobs (POST /v1/jobs/grid) spread their
+// entries across the membership (docs/SERVICE.md, "Cluster mode"). On
+// SIGINT/SIGTERM a clustered or job-serving daemon drains gracefully: new
+// work is refused with 503, /healthz flips to 503 so peers rotate it out,
+// and in-flight async jobs get up to -drain to finish.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,8 +66,14 @@ func main() {
 	maxKB := fs.Int64("max-request-kb", 1024, "request body limit in KiB")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
 	gridMax := fs.Int("grid-max-entries", 64, "maximum option entries per /v1/grid request")
+	maxJobs := fs.Int("max-jobs", 8, "maximum concurrently running async grid jobs")
+	jobMax := fs.Int("job-max-entries", 4096, "maximum option entries per /v1/jobs/grid request")
 	storeDir := fs.String("store", "", "persistent pass-node store directory (empty disables)")
 	storeMB := fs.Int64("store-mb", 256, "pass-node store budget in MiB (<= 0 disables)")
+	peers := fs.String("peers", "", "comma-separated cluster members (host:port); empty runs single-node")
+	advertise := fs.String("advertise", "", "this node's identity as peers spell it (default: resolved listen address)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "peer healthz probe period")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight async jobs")
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {
 		os.Exit(code)
 	}
@@ -76,6 +93,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdfd: pass-node store at %s (%d frames, %d bytes)\n",
 			*storeDir, store.Stats().Entries, store.Stats().Bytes)
 	}
+
+	// Listen before building the service: with -peers, the node's advertised
+	// ring identity defaults to the *resolved* listen address, which only
+	// exists once the socket is bound (matters for "-addr 127.0.0.1:0").
+	// The resolved address also goes to stdout as a machine-readable
+	// readiness line that supervisors — sdfload -spawn, make load-short,
+	// scripts/cluster-smoke.sh — parse to find the daemon.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdfd: %v\n", err)
+		os.Exit(1)
+	}
+
+	var clusterCfg *service.ClusterConfig
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		clusterCfg = &service.ClusterConfig{
+			Self:          self,
+			Peers:         members,
+			ProbeInterval: *probeInterval,
+		}
+		fmt.Fprintf(os.Stderr, "sdfd: cluster member %s of %v\n", self, members)
+	}
+
 	srv := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -85,7 +135,10 @@ func main() {
 		MaxRequestBytes: *maxKB << 10,
 		RetryAfter:      *retryAfter,
 		GridMaxEntries:  *gridMax,
+		MaxJobs:         *maxJobs,
+		JobMaxEntries:   *jobMax,
 		NodeStore:       store,
+		Cluster:         clusterCfg,
 	})
 
 	httpSrv := &http.Server{
@@ -93,17 +146,6 @@ func main() {
 		// Generous versus RequestTimeout: the handler enforces the real
 		// deadline; these only bound pathological slow-loris clients.
 		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	// Listen explicitly (rather than ListenAndServe) so -addr with port 0
-	// works: the resolved address goes to stdout as a machine-readable
-	// readiness line that supervisors — sdfload -spawn, make load-short —
-	// parse to find the daemon on an ephemeral port.
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sdfd: %v\n", err)
-		srv.Close()
-		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -122,6 +164,16 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Graceful drain: refuse new work (and flip /healthz to 503 so peers
+	// rotate this node out of their rings), give in-flight async jobs the
+	// grace period, then shut the listener and the service down.
+	fmt.Fprintln(os.Stderr, "sdfd: draining")
+	srv.BeginDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	if err := srv.AwaitJobs(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "sdfd: drain: jobs still running after %v, shutting down anyway\n", *drain)
+	}
+	cancelDrain()
 	fmt.Fprintln(os.Stderr, "sdfd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

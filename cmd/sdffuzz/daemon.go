@@ -15,44 +15,93 @@ import (
 )
 
 // daemonReplay drives the crasher corpus (plus n fresh random graphs) through
-// a running sdfd daemon and asserts, for every (graph, configuration) pair,
-// that the daemon's artifact bytes are identical to what the in-process
-// pipeline produces. Both sides render through service.CompileArtifact, so
-// any divergence means the daemon cache or singleflight layer corrupted a
-// result — exactly the bug class a differential fuzzer is for.
+// one or more running sdfd daemons and asserts, for every (graph,
+// configuration) pair, that the daemon's artifact bytes are identical to what
+// the in-process pipeline produces. Both sides render through
+// service.CompileArtifact, so any divergence means the daemon cache,
+// singleflight, or cluster routing layer corrupted a result — exactly the bug
+// class a differential fuzzer is for.
+//
+// With a comma-separated address list the replay becomes a cluster
+// differential: comparisons round-robin over the peers (so every node serves
+// requests it does not own and must proxy or peer-fetch), and each identical
+// artifact is additionally re-fetched by digest from a *different* peer,
+// asserting the content-addressed bytes are one sequence cluster-wide.
 //
 // Returns the number of divergences found.
-func daemonReplay(addr string, f *fuzzer, n int) int {
-	client := &service.Client{BaseURL: addr}
-	if err := client.Healthz(); err != nil {
-		fmt.Fprintf(os.Stderr, "sdffuzz: daemon %s unreachable: %v\n", addr, err)
+func daemonReplay(addrList string, f *fuzzer, n int) int {
+	var clients []*service.Client
+	for _, addr := range strings.Split(addrList, ",") {
+		if addr = strings.TrimSpace(addr); addr == "" {
+			continue
+		}
+		c := &service.Client{BaseURL: addr}
+		if err := c.Healthz(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdffuzz: daemon %s unreachable: %v\n", addr, err)
+			return 1
+		}
+		clients = append(clients, c)
+	}
+	if len(clients) == 0 {
+		fmt.Fprintln(os.Stderr, "sdffuzz: -daemon needs at least one address")
 		return 1
 	}
 	graphs := corpusGraphs(f.crashDir)
-	fmt.Printf("sdffuzz: replaying %d corpus graphs + %d random graphs against %s\n",
-		len(graphs), n, addr)
+	fmt.Printf("sdffuzz: replaying %d corpus graphs + %d random graphs against %d daemon(s) at %s\n",
+		len(graphs), n, len(clients), addrList)
 	for i := 0; i < n; i++ {
 		graphs = append(graphs, f.randomGraph())
 	}
 
 	opts := wireConfigs(f.configs)
-	divergences, skipped, compared := 0, 0, 0
+	divergences, skipped, compared, crossFetched := 0, 0, 0, 0
+	turn := 0
 	for _, g := range graphs {
 		for _, o := range opts {
-			switch ok, skip, err := compareOnce(client, g, o); {
+			serving := clients[turn%len(clients)]
+			turn++
+			resp, ok, skip, err := compareOnce(serving, g, o)
+			switch {
 			case err != nil:
 				divergences++
-				fmt.Fprintf(os.Stderr, "sdffuzz: DIVERGENCE [%s+%s] on %s: %v\n",
-					o.Strategy, o.Looping, g.Name, err)
+				fmt.Fprintf(os.Stderr, "sdffuzz: DIVERGENCE [%s+%s] on %s via %s: %v\n",
+					o.Strategy, o.Looping, g.Name, serving.BaseURL, err)
+				continue
 			case skip:
 				skipped++
+				continue
 			case ok:
 				compared++
 			}
+			if len(clients) > 1 {
+				// Cross-fetch: a different peer must serve the same digest as
+				// the same bytes, whether from its own cache, a peer fetch, or
+				// a recompile — content addressing admits exactly one answer.
+				other := clients[turn%len(clients)]
+				got, err := other.Artifact(resp.Digest)
+				if err != nil {
+					divergences++
+					fmt.Fprintf(os.Stderr, "sdffuzz: DIVERGENCE cross-fetching %s from %s: %v\n",
+						resp.Digest, other.BaseURL, err)
+					continue
+				}
+				if string(got) != string(resp.Artifact) {
+					divergences++
+					fmt.Fprintf(os.Stderr, "sdffuzz: DIVERGENCE %s: peer %s returned different bytes than %s\n",
+						resp.Digest, other.BaseURL, serving.BaseURL)
+					continue
+				}
+				crossFetched++
+			}
 		}
 	}
-	fmt.Printf("sdffuzz: %d comparisons identical, %d overflow skips, %d divergences\n",
-		compared, skipped, divergences)
+	if len(clients) > 1 {
+		fmt.Printf("sdffuzz: %d comparisons identical (%d cross-fetched), %d overflow skips, %d divergences\n",
+			compared, crossFetched, skipped, divergences)
+	} else {
+		fmt.Printf("sdffuzz: %d comparisons identical, %d overflow skips, %d divergences\n",
+			compared, skipped, divergences)
+	}
 	return divergences
 }
 
@@ -118,33 +167,34 @@ func wireConfigs(configs []check.PipelineConfig) []service.CompileOptions {
 }
 
 // compareOnce compiles g under o both in-process and via the daemon and
-// compares outcomes. ok reports a byte-identical success pair, skip an
-// agreed-on failure (overflow on extreme random rates shows up on both
-// sides); err is a divergence: exactly one side failed, or bytes differ.
-func compareOnce(client *service.Client, g *sdf.Graph, o service.CompileOptions) (ok, skip bool, err error) {
+// compares outcomes. ok reports a byte-identical success pair (resp carries
+// the daemon's artifact for follow-up cross-fetches), skip an agreed-on
+// failure (overflow on extreme random rates shows up on both sides); err is
+// a divergence: exactly one side failed, or bytes differ.
+func compareOnce(client *service.Client, g *sdf.Graph, o service.CompileOptions) (resp *service.CompileResponse, ok, skip bool, err error) {
 	// Round-trip through the canonical text so both sides compile the
 	// graph the daemon actually parses.
 	text, err := sdfio.CanonicalString(g)
 	if err != nil {
-		return false, true, nil // unservable graph (e.g. zero edges)
+		return nil, false, true, nil // unservable graph (e.g. zero edges)
 	}
 	local, err := sdfio.Parse(strings.NewReader(text))
 	if err != nil {
-		return false, false, fmt.Errorf("canonical text does not re-parse: %w", err)
+		return nil, false, false, fmt.Errorf("canonical text does not re-parse: %w", err)
 	}
 	want, _, localErr := service.CompileArtifact(local, o)
 	resp, remoteErr := client.Compile(service.CompileRequest{Graph: text, Options: o}, false)
 	switch {
 	case localErr != nil && remoteErr != nil:
-		return false, true, nil
+		return nil, false, true, nil
 	case localErr != nil:
-		return false, false, fmt.Errorf("daemon succeeded where local pipeline failed: %v", localErr)
+		return nil, false, false, fmt.Errorf("daemon succeeded where local pipeline failed: %v", localErr)
 	case remoteErr != nil:
-		return false, false, fmt.Errorf("daemon failed where local pipeline succeeded: %v", remoteErr)
+		return nil, false, false, fmt.Errorf("daemon failed where local pipeline succeeded: %v", remoteErr)
 	case string(want) != string(resp.Artifact):
-		return false, false, fmt.Errorf("artifact bytes differ (digest %s)", resp.Digest)
+		return nil, false, false, fmt.Errorf("artifact bytes differ (digest %s)", resp.Digest)
 	}
-	return true, false, nil
+	return resp, true, false, nil
 }
 
 // newReplayFuzzer builds the fuzzer state daemonReplay needs without the

@@ -13,10 +13,15 @@
 //	sdffuzz -corpus                 # replay the crasher corpus, planner grid
 //	sdffuzz -store                  # corpus twice through a shared pass-node store
 //	sdffuzz -daemon localhost:8347  # differential replay against sdfd
+//	sdffuzz -daemon p1,p2,p3        # cluster differential across peers
 //
 // With -daemon ADDR the fuzzer replays the crasher corpus plus -n random
 // graphs against a running sdfd daemon and asserts the daemon's artifact
-// bytes match the in-process pipeline for every configuration.
+// bytes match the in-process pipeline for every configuration. A
+// comma-separated list turns the replay into a cluster differential:
+// comparisons round-robin over the peers and every artifact is re-fetched by
+// digest from a different peer, asserting byte-identity no matter which node
+// serves.
 //
 // Exit status: 0 when every graph passes the oracle under every
 // configuration, 1 when violations were found, 2 on flag errors.
@@ -53,7 +58,7 @@ func main() {
 		repro     = fs.String("repro", "", "re-run the oracle grid on one .sdf reproducer and exit")
 		corpus    = fs.Bool("corpus", false, "replay the whole crasher corpus through the planner grid and exit")
 		storeRun  = fs.Bool("store", false, "replay the crasher corpus twice through a shared temp pass-node store, asserting second-pass byte-identity and store hits")
-		daemon    = fs.String("daemon", "", "replay corpus + random graphs against an sdfd daemon at this address")
+		daemon    = fs.String("daemon", "", "replay corpus + random graphs against sdfd daemon(s) at this comma-separated address list")
 		verbose   = fs.Bool("v", false, "log every generated graph")
 	)
 	if code := core.ParseCLI(fs, os.Args[1:]); code >= 0 {

@@ -11,12 +11,18 @@
 // Usage:
 //
 //	sdfload -addr 127.0.0.1:8347 [flags]
+//	sdfload -addrs a:1,b:2,c:3 [flags]       # spread over cluster peers
 //	sdfload -spawn ./bin/sdfd [flags]        # launch sdfd itself on port 0
 //
 // With -spawn, sdfload execs the given sdfd binary with -addr 127.0.0.1:0
 // (plus any -spawn-args), waits for its SDFD_READY stdout line to learn the
 // ephemeral port, runs the ramp, and shuts the daemon down afterwards —
 // no fixed ports, safe for parallel CI jobs.
+//
+// With -addrs, the same deterministic workload is spread across several sdfd
+// cluster peers: each op's peer is a pure function of (seed, op index), so a
+// multi-target report replays exactly, /metrics deltas sum over the fleet,
+// and the report gains a per-target breakdown of ok/shed/error counts.
 //
 // Key flags:
 //
@@ -70,6 +76,7 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("sdfload", flag.ContinueOnError)
 	addr := fs.String("addr", "", "address of a running sdfd (host:port)")
+	addrs := fs.String("addrs", "", "comma-separated cluster peer addresses to spread the workload over")
 	spawn := fs.String("spawn", "", "path to an sdfd binary to launch on an ephemeral port")
 	spawnArgs := fs.String("spawn-args", "", "extra space-separated flags for the spawned sdfd")
 	label := fs.String("label", "dev", "report label")
@@ -99,8 +106,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "sdfload: %v\n", err)
 		return 2
 	}
-	if (*addr == "") == (*spawn == "") {
-		fmt.Fprintln(stderr, "sdfload: need exactly one of -addr or -spawn")
+	modes := 0
+	for _, set := range []bool{*addr != "", *addrs != "", *spawn != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(stderr, "sdfload: need exactly one of -addr, -addrs, or -spawn")
 		return 2
 	}
 
@@ -120,14 +133,38 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "sdfload: %v\n", err)
 		return 1
 	}
-	sender := &load.HTTPSender{BaseURL: base, Client: &http.Client{Timeout: *timeout}}
+	client := &http.Client{Timeout: *timeout}
+	var (
+		sender load.Sender
+		multi  *load.MultiHTTPSender
+		target = base
+	)
+	if *addrs != "" {
+		var bases []string
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				bases = append(bases, "http://"+a)
+			}
+		}
+		multi, err = load.NewMultiHTTPSender(bases, *seed, func(u string) *load.HTTPSender {
+			return &load.HTTPSender{BaseURL: u, Client: client}
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "sdfload: %v\n", err)
+			return 2
+		}
+		sender = multi
+		target = fmt.Sprintf("%d peers (%s)", len(bases), strings.Join(bases, ", "))
+	} else {
+		sender = &load.HTTPSender{BaseURL: base, Client: client}
+	}
 	if _, err := sender.Metrics(); err != nil {
-		fmt.Fprintf(stderr, "sdfload: target %s not scrapeable: %v\n", base, err)
+		fmt.Fprintf(stderr, "sdfload: target %s not scrapeable: %v\n", target, err)
 		return 1
 	}
 
 	fmt.Fprintf(stderr, "sdfload: ramping %s: %d steps x %v from %.4g rps (+%.4g/step), mix %+v, seed %d\n",
-		base, *steps, *hold, *startRPS, *stepRPS, mix, *seed)
+		target, *steps, *hold, *startRPS, *stepRPS, mix, *seed)
 	rep, err := load.Run(load.Config{
 		Label:    *label,
 		Seed:     *seed,
@@ -149,6 +186,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	//lint:ignore bannedcall report metadata stamp, outside the measured engine
 	rep.Date = time.Now().UTC().Format("2006-01-02T15:04:05Z")
+	if multi != nil {
+		rep.Targets = multi.Targets()
+		for _, t := range rep.Targets {
+			fmt.Fprintf(stderr, "sdfload: target %s: sent %d ok %d shed %d err %d\n",
+				t.Target, t.Sent, t.OK, t.Shed, t.Errors)
+		}
+	}
 
 	if rep.Knee.Saturated {
 		fmt.Fprintf(stderr, "sdfload: saturated — knee at %.4g rps (%s)\n", rep.Knee.RPS, rep.Knee.Reason)

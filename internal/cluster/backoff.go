@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces a capped exponential retry schedule with equal jitter:
+// attempt n waits base/2 + uniform(0, base/2) where base doubles from Min up
+// to Max. Jitter comes from an explicitly seeded generator, so a Backoff is
+// a pure function of (Min, Max, seed) — the bannedcall lint set forbids the
+// ambient source here, and the schedule tests pin exact sequences.
+//
+// A Backoff is not safe for concurrent use; give each retry loop its own.
+type Backoff struct {
+	min, max time.Duration
+	attempt  int
+	rng      *rand.Rand
+}
+
+// NewBackoff returns a backoff stepping from min to max. Non-positive
+// bounds default to 50ms..2s; max is raised to min if inverted.
+func NewBackoff(min, max time.Duration, seed int64) *Backoff {
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < min {
+		max = min
+	}
+	return &Backoff{min: min, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the wait before the next attempt and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	base := b.min << uint(b.attempt)
+	if base > b.max || base < b.min { // < min catches shift overflow
+		base = b.max
+	} else {
+		b.attempt++
+	}
+	half := base / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// Reset rewinds the exponential schedule (the jitter stream continues).
+// Call it after a success so the next failure starts from Min again.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds: attempt n's wait lies in [base/2, base] where base is
+// the capped exponential min<<n, for the whole schedule.
+func TestBackoffBounds(t *testing.T) {
+	min, max := 50*time.Millisecond, 2*time.Second
+	b := NewBackoff(min, max, 7)
+	base := min
+	for i := 0; i < 20; i++ {
+		d := b.Next()
+		if d < base/2 || d > base {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v]", i, d, base/2, base)
+		}
+		if base < max {
+			base *= 2
+			if base > max {
+				base = max
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic: same seed, same schedule; different seed,
+// different jitter.
+func TestBackoffDeterministic(t *testing.T) {
+	a, b := NewBackoff(0, 0, 42), NewBackoff(0, 0, 42)
+	c := NewBackoff(0, 0, 43)
+	same, diff := true, false
+	for i := 0; i < 10; i++ {
+		da, db, dc := a.Next(), b.Next(), c.Next()
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different schedules")
+	}
+	if !diff {
+		t.Error("different seeds produced identical jitter (suspicious)")
+	}
+}
+
+// TestBackoffCaps: the schedule saturates at max and never overflows even
+// after many attempts.
+func TestBackoffCaps(t *testing.T) {
+	max := 200 * time.Millisecond
+	b := NewBackoff(50*time.Millisecond, max, 1)
+	var last time.Duration
+	for i := 0; i < 100; i++ {
+		last = b.Next()
+		if last <= 0 || last > max {
+			t.Fatalf("attempt %d: wait %v escaped (0, %v]", i, last, max)
+		}
+	}
+	if last < max/2 {
+		t.Fatalf("saturated wait %v below cap/2 %v", last, max/2)
+	}
+}
+
+// TestBackoffReset rewinds to the Min-based step.
+func TestBackoffReset(t *testing.T) {
+	min := 50 * time.Millisecond
+	b := NewBackoff(min, 2*time.Second, 9)
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d < min/2 || d > min {
+		t.Fatalf("post-reset wait %v outside [%v, %v]", d, min/2, min)
+	}
+}
+
+// TestBackoffDefaults: non-positive bounds get sane defaults, inverted
+// bounds are repaired.
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.min != 50*time.Millisecond || b.max != 2*time.Second {
+		t.Fatalf("defaults = (%v, %v)", b.min, b.max)
+	}
+	b = NewBackoff(time.Second, time.Millisecond, 1)
+	if b.max != time.Second {
+		t.Fatalf("inverted bounds: max=%v, want raised to min", b.max)
+	}
+}

@@ -1,0 +1,60 @@
+// Package cluster holds the deterministic primitives that turn N sdfd
+// processes into one logical compiler: a versioned rendezvous-hash ring that
+// assigns every content digest exactly one owning member, a capped
+// exponential backoff with explicitly seeded jitter, a health monitor that
+// gates ring membership on /healthz probes, and a peer artifact fetch
+// client that re-verifies what it receives.
+//
+// The package lives inside the repository's deterministic lint set
+// (bannedcall): it never reads the wall clock — all timing flows through the
+// injected Clock — and all randomness (backoff jitter) comes from explicitly
+// seeded generators, so routing decisions and retry schedules are pure
+// functions of their inputs. internal/service injects the real clock and
+// owns the HTTP routing policy built on these primitives; docs/SERVICE.md
+// ("Cluster mode") documents the wire protocol.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"time"
+)
+
+// Clock abstracts time for the health monitor's probe cadence and for retry
+// sleeps. internal/service injects the real clock; tests inject
+// deterministic fakes. (The bannedcall analyzer keeps this package from
+// calling time.Now itself.)
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// Wire headers of the internal peer artifact API
+// (GET /v1/peer/artifact/{digest}).
+const (
+	// DigestHeader carries the content digest the response bytes are cached
+	// under. The fetching side requires it to echo the digest it asked for.
+	DigestHeader = "X-Sdfd-Digest"
+	// SumHeader carries the hex SHA-256 of the exact response body, computed
+	// by the serving peer. The fetching side recomputes it over the received
+	// bytes, so truncation or corruption in transit cannot poison a cache.
+	SumHeader = "X-Sdfd-Sum"
+)
+
+// Sum is the over-the-wire integrity checksum of a peer artifact response:
+// hex SHA-256 over the exact bytes.
+func Sum(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// BaseURL normalizes a member identity (host:port, as spelled in -peers)
+// into an http base URL. A member that already carries a scheme is kept.
+func BaseURL(member string) string {
+	u := strings.TrimRight(member, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ErrNotFound reports that the probed peer does not hold the artifact (its
+// cache/store missed). It is the one fetch failure that must not be
+// retried against the same peer: a miss is an answer, not an outage.
+var ErrNotFound = errors.New("cluster: peer does not have artifact")
+
+// FetchClient retrieves cached artifacts from peers over the internal
+// GET /v1/peer/artifact/{digest} API and re-verifies integrity before
+// handing bytes to the caller.
+type FetchClient struct {
+	// HTTP is the client used for peer calls; it should carry a timeout.
+	HTTP *http.Client
+}
+
+// Artifact fetches digest from peer (a host:port member identity) and
+// verifies the response: the peer must echo the requested digest in
+// X-Sdfd-Digest, and the body must hash to the X-Sdfd-Sum checksum the
+// peer computed when serving. ErrNotFound means the peer missed; other
+// errors are transport or integrity failures the caller may retry
+// elsewhere.
+func (c *FetchClient) Artifact(ctx context.Context, peer, digest string) ([]byte, error) {
+	url := BaseURL(peer) + "/v1/peer/artifact/" + digest
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: peer %s returned %d for %s", peer, resp.StatusCode, digest)
+	}
+	if got := resp.Header.Get(DigestHeader); got != digest {
+		return nil, fmt.Errorf("cluster: peer %s served digest %q, want %q", peer, got, digest)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	want := resp.Header.Get(SumHeader)
+	if want == "" {
+		return nil, fmt.Errorf("cluster: peer %s response missing %s", peer, SumHeader)
+	}
+	if got := Sum(body); got != want {
+		return nil, fmt.Errorf("cluster: peer %s artifact %s corrupt in transit: sum %s, want %s", peer, digest, got, want)
+	}
+	return body, nil
+}
+
+// Healthz probes peer's /healthz endpoint; nil means healthy. It is the
+// default Monitor probe.
+func (c *FetchClient) Healthz(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, BaseURL(peer)+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s healthz returned %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *FetchClient) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// peerStub serves /v1/peer/artifact/{digest} with configurable corruption.
+type peerStub struct {
+	artifact    []byte
+	digest      string
+	wrongDigest bool // echo a different digest header
+	wrongSum    bool // lie about the checksum
+	truncate    bool // send fewer bytes than hashed
+	dropSum     bool // omit the checksum header
+}
+
+func (p *peerStub) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/peer/artifact/") {
+			http.NotFound(w, r)
+			return
+		}
+		got := strings.TrimPrefix(r.URL.Path, "/v1/peer/artifact/")
+		if got != p.digest {
+			http.NotFound(w, r)
+			return
+		}
+		echo := p.digest
+		if p.wrongDigest {
+			echo = "deadbeef"
+		}
+		body := p.artifact
+		sum := Sum(body)
+		if p.wrongSum {
+			sum = Sum([]byte("other"))
+		}
+		if p.truncate {
+			body = body[:len(body)/2]
+		}
+		w.Header().Set(DigestHeader, echo)
+		if !p.dropSum {
+			w.Header().Set(SumHeader, sum)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+}
+
+func stubPeer(t *testing.T, p *peerStub) string {
+	t.Helper()
+	srv := httptest.NewServer(p.handler())
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestFetchArtifactOK(t *testing.T) {
+	art := []byte(`{"digest":"abc","artifact":true}`)
+	peer := stubPeer(t, &peerStub{artifact: art, digest: "abc"})
+	fc := &FetchClient{}
+	got, err := fc.Artifact(context.Background(), peer, "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(art) {
+		t.Fatalf("fetched %q, want %q", got, art)
+	}
+}
+
+func TestFetchArtifactMiss(t *testing.T) {
+	peer := stubPeer(t, &peerStub{artifact: []byte("x"), digest: "abc"})
+	fc := &FetchClient{}
+	_, err := fc.Artifact(context.Background(), peer, "other")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFetchArtifactIntegrity(t *testing.T) {
+	art := []byte(`{"digest":"abc"}`)
+	cases := map[string]*peerStub{
+		"wrong digest echo": {artifact: art, digest: "abc", wrongDigest: true},
+		"wrong sum":         {artifact: art, digest: "abc", wrongSum: true},
+		"truncated body":    {artifact: art, digest: "abc", truncate: true},
+		"missing sum":       {artifact: art, digest: "abc", dropSum: true},
+	}
+	for name, stub := range cases {
+		peer := stubPeer(t, stub)
+		fc := &FetchClient{}
+		if _, err := fc.Artifact(context.Background(), peer, "abc"); err == nil {
+			t.Errorf("%s: fetch accepted corrupt response", name)
+		} else if errors.Is(err, ErrNotFound) {
+			t.Errorf("%s: corruption misreported as miss", name)
+		}
+	}
+}
+
+func TestFetchArtifactPeerDown(t *testing.T) {
+	fc := &FetchClient{}
+	_, err := fc.Artifact(context.Background(), "127.0.0.1:1", "abc")
+	if err == nil {
+		t.Fatal("fetch from dead peer succeeded")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatal("transport failure misreported as miss")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(ok.Close)
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(draining.Close)
+
+	fc := &FetchClient{}
+	if err := fc.Healthz(context.Background(), strings.TrimPrefix(ok.URL, "http://")); err != nil {
+		t.Fatalf("healthy peer probe failed: %v", err)
+	}
+	if err := fc.Healthz(context.Background(), strings.TrimPrefix(draining.URL, "http://")); err == nil {
+		t.Fatal("draining peer probe passed")
+	}
+	if err := fc.Healthz(context.Background(), "127.0.0.1:1"); err == nil {
+		t.Fatal("dead peer probe passed")
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8347": "http://127.0.0.1:8347",
+		"http://h:1":     "http://h:1",
+		"https://h:1/":   "https://h:1",
+		"h:1/":           "http://h:1",
+	}
+	for in, want := range cases {
+		if got := BaseURL(in); got != want {
+			t.Errorf("BaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// MonitorConfig configures a health Monitor.
+type MonitorConfig struct {
+	// Peers are the member identities to probe (typically every cluster
+	// member except self).
+	Peers []string
+	// Clock paces the probe loops; required.
+	Clock Clock
+	// Probe checks one peer (normally a GET /healthz round trip). A nil
+	// error marks the peer alive, any error marks it dead. Required.
+	Probe func(ctx context.Context, peer string) error
+	// Interval is the steady-state probe period while a peer is alive.
+	// Defaults to 2s.
+	Interval time.Duration
+	// BackoffMin/BackoffMax bound the capped exponential re-probe schedule
+	// while a peer is dead. Defaults follow NewBackoff.
+	BackoffMin, BackoffMax time.Duration
+	// Seed feeds the backoff jitter generators (peer index is mixed in so
+	// loops don't probe in lockstep).
+	Seed int64
+	// OnChange, when set, is called on every alive<->dead transition and
+	// once for each peer's initial verdict. Called from the probe
+	// goroutines; must be safe for concurrent use.
+	OnChange func(peer string, alive bool)
+}
+
+// Monitor tracks peer liveness by probing each peer on its own schedule:
+// every Interval while alive, on a capped exponential backoff while dead.
+// A single failed probe marks a peer dead and a single success resurrects
+// it — with digest-addressed idempotent requests, flapping costs only a
+// proxied or locally served request, so the monitor favors fast reaction
+// over damping.
+//
+// Peers start in the dead state until their first successful probe; routing
+// layers treat "no monitor verdict yet" as dead and fall back to local
+// compilation, which is always correct, just colder.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu    sync.Mutex
+	alive map[string]bool
+}
+
+// NewMonitor builds a Monitor; call Run to start probing.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	m := &Monitor{cfg: cfg, alive: make(map[string]bool, len(cfg.Peers))}
+	for _, p := range cfg.Peers {
+		m.alive[p] = false
+	}
+	return m
+}
+
+// Run probes all peers until ctx is cancelled, then returns after every
+// probe loop has exited. Each peer gets an immediate first probe so a
+// freshly started cluster converges without waiting out an interval.
+func (m *Monitor) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i, p := range m.cfg.Peers {
+		wg.Add(1)
+		go m.probeLoop(ctx, &wg, p, int64(i))
+	}
+	wg.Wait()
+}
+
+func (m *Monitor) probeLoop(ctx context.Context, wg *sync.WaitGroup, peer string, idx int64) {
+	defer wg.Done()
+	bo := NewBackoff(m.cfg.BackoffMin, m.cfg.BackoffMax, m.cfg.Seed+idx)
+	first := true
+	for {
+		alive := m.cfg.Probe(ctx, peer) == nil
+		m.record(peer, alive, first)
+		first = false
+
+		var delay time.Duration
+		if alive {
+			bo.Reset()
+			delay = m.cfg.Interval
+		} else {
+			delay = bo.Next()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-m.cfg.Clock.After(delay):
+		}
+	}
+}
+
+func (m *Monitor) record(peer string, alive, first bool) {
+	m.mu.Lock()
+	changed := m.alive[peer] != alive
+	m.alive[peer] = alive
+	m.mu.Unlock()
+	if (changed || first) && m.cfg.OnChange != nil {
+		m.cfg.OnChange(peer, alive)
+	}
+}
+
+// IsAlive reports the last probe verdict for peer. Unknown peers are dead.
+func (m *Monitor) IsAlive(peer string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive[peer]
+}
+
+// AliveCount returns how many peers are currently alive.
+func (m *Monitor) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, a := range m.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// SetAlive overrides a peer's verdict. It exists for routing tests that
+// need a monitor in a known state without running probe loops.
+func (m *Monitor) SetAlive(peer string, alive bool) {
+	m.mu.Lock()
+	m.alive[peer] = alive
+	m.mu.Unlock()
+}

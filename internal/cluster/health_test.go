@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tickClock is a fake clock whose After fires after a tiny real delay, so
+// probe loops run fast without busy-spinning.
+type tickClock struct{}
+
+func (tickClock) Now() time.Time                       { return time.Unix(0, 0) }
+func (tickClock) After(time.Duration) <-chan time.Time { return time.After(time.Millisecond) }
+
+// transitions records OnChange calls.
+type transitions struct {
+	mu  sync.Mutex
+	seq []string
+}
+
+func (tr *transitions) add(peer string, alive bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	state := "dead"
+	if alive {
+		state = "alive"
+	}
+	tr.seq = append(tr.seq, peer+"="+state)
+}
+
+func (tr *transitions) snapshot() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.seq...)
+}
+
+func TestMonitorTransitions(t *testing.T) {
+	var up atomic.Bool
+	up.Store(true)
+	probeErr := errors.New("down")
+	tr := &transitions{}
+	m := NewMonitor(MonitorConfig{
+		Peers: []string{"p:1"},
+		Clock: tickClock{},
+		Probe: func(ctx context.Context, peer string) error {
+			if up.Load() {
+				return nil
+			}
+			return probeErr
+		},
+		OnChange: tr.add,
+	})
+	if m.IsAlive("p:1") {
+		t.Fatal("peer alive before any probe")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { m.Run(ctx); close(done) }()
+
+	waitFor := func(want bool) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for m.IsAlive("p:1") != want {
+			select {
+			case <-deadline:
+				t.Fatalf("peer never became alive=%v", want)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	waitFor(true)
+	if m.AliveCount() != 1 {
+		t.Fatalf("AliveCount = %d, want 1", m.AliveCount())
+	}
+	up.Store(false)
+	waitFor(false)
+	up.Store(true)
+	waitFor(true)
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+
+	// OnChange saw the initial verdict and both transitions, in order.
+	seq := tr.snapshot()
+	if len(seq) < 3 || seq[0] != "p:1=alive" {
+		t.Fatalf("transitions %v: want initial alive then dead then alive", seq)
+	}
+	sawDead, sawRevive := false, false
+	for _, s := range seq[1:] {
+		if s == "p:1=dead" {
+			sawDead = true
+		}
+		if sawDead && s == "p:1=alive" {
+			sawRevive = true
+		}
+	}
+	if !sawDead || !sawRevive {
+		t.Fatalf("transitions %v: missing dead/revive", seq)
+	}
+}
+
+// TestMonitorUnknownPeerAndOverride: unknown peers are dead; SetAlive
+// forces a verdict for routing tests.
+func TestMonitorUnknownPeerAndOverride(t *testing.T) {
+	m := NewMonitor(MonitorConfig{Peers: []string{"a:1"}, Clock: tickClock{}})
+	if m.IsAlive("nope:1") {
+		t.Fatal("unknown peer reported alive")
+	}
+	m.SetAlive("a:1", true)
+	if !m.IsAlive("a:1") {
+		t.Fatal("SetAlive ignored")
+	}
+}
+
+// TestMonitorProbesEachPeerIndependently: one dead peer doesn't block the
+// other's alive verdict.
+func TestMonitorProbesEachPeerIndependently(t *testing.T) {
+	m := NewMonitor(MonitorConfig{
+		Peers: []string{"good:1", "bad:1"},
+		Clock: tickClock{},
+		Probe: func(ctx context.Context, peer string) error {
+			if peer == "good:1" {
+				return nil
+			}
+			return errors.New("down")
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { m.Run(ctx); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for !m.IsAlive("good:1") {
+		select {
+		case <-deadline:
+			t.Fatal("good peer never alive")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if m.IsAlive("bad:1") {
+		t.Fatal("bad peer reported alive")
+	}
+	cancel()
+	<-done
+}

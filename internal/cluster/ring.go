@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// RingVersion frames every rendezvous score. Bump it only with a migration
+// plan: two daemons disagreeing on the version partition the keyspace, so
+// the version is part of the sharding contract, like "sdfd/v1" is part of
+// the artifact digest.
+const RingVersion = "sdfring/v1"
+
+// Ring is a rendezvous (highest-random-weight) hash ring over a static
+// member set. Each key is owned by the member with the highest score
+// SHA-256(RingVersion ‖ 0 ‖ member ‖ 0 ‖ key); because scores are computed
+// per (member, key) pair independently, removing a member only moves the
+// keys that member owned, and adding one only steals the keys it now wins —
+// minimal movement holds by construction, and the property tests in
+// ring_test.go pin it.
+//
+// A Ring is immutable after New; membership changes are expressed by
+// building a new Ring (they are cheap: the ring holds only the sorted
+// member list).
+type Ring struct {
+	members []string
+}
+
+// NewRing builds a ring over the given member identities (host:port
+// strings). Members are deduplicated and sorted, so rings built from the
+// same set in any order are identical. At least one member is required.
+func NewRing(members []string) (*Ring, error) {
+	seen := make(map[string]bool, len(members))
+	var ms []string
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member")
+		}
+		if !seen[m] {
+			seen[m] = true
+			ms = append(ms, m)
+		}
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sort.Strings(ms)
+	return &Ring{members: ms}, nil
+}
+
+// Members returns the sorted member list. The caller must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// score is the rendezvous weight of member for key: the first 8 bytes of
+// SHA-256(RingVersion ‖ 0 ‖ member ‖ 0 ‖ key), big-endian. NUL separators
+// keep ("ab","c") and ("a","bc") from colliding.
+func score(member, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(RingVersion))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Owner returns the member that owns key: the highest rendezvous score,
+// ties broken by member name (deterministic because members are unique).
+func (r *Ring) Owner(key string) string {
+	best := r.members[0]
+	bestScore := score(best, key)
+	for _, m := range r.members[1:] {
+		if s := score(m, key); s > bestScore || (s == bestScore && m > best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// Ranked returns all members ordered by descending preference for key. The
+// first element is Owner(key); subsequent elements are the successive
+// fallbacks a router should try when earlier ones are unhealthy, and every
+// router ranking the same key agrees on the whole order.
+func (r *Ring) Ranked(key string) []string {
+	type ms struct {
+		m string
+		s uint64
+	}
+	scored := make([]ms, len(r.members))
+	for i, m := range r.members {
+		scored[i] = ms{m, score(m, key)}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].s != scored[j].s {
+			return scored[i].s > scored[j].s
+		}
+		return scored[i].m > scored[j].m
+	})
+	out := make([]string, len(scored))
+	for i, e := range scored {
+		out[i] = e.m
+	}
+	return out
+}
+
+// OwnedFraction estimates the fraction of the keyspace owned by member by
+// probing `probes` deterministic synthetic keys ("probe-0", "probe-1", …).
+// It backs the sdfd_ring_owned_fraction gauge; with healthy peers it should
+// hover near 1/len(members).
+func (r *Ring) OwnedFraction(member string, probes int) float64 {
+	if probes <= 0 {
+		probes = 256
+	}
+	owned := 0
+	for i := 0; i < probes; i++ {
+		if r.Owner(fmt.Sprintf("probe-%d", i)) == member {
+			owned++
+		}
+	}
+	return float64(owned) / float64(probes)
+}

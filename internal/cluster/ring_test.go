@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustRing(t *testing.T, members ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Fatal("empty member accepted")
+	}
+	r := mustRing(t, "c:1", "a:1", "b:1", "a:1")
+	want := []string{"a:1", "b:1", "c:1"}
+	if !reflect.DeepEqual(r.Members(), want) {
+		t.Fatalf("members = %v, want sorted deduped %v", r.Members(), want)
+	}
+}
+
+// TestOwnerOrderIndependent: rings over the same set, built in any order,
+// route identically.
+func TestOwnerOrderIndependent(t *testing.T) {
+	r1 := mustRing(t, "a:1", "b:1", "c:1")
+	r2 := mustRing(t, "c:1", "b:1", "a:1")
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %s: owner differs by construction order", k)
+		}
+	}
+}
+
+// TestOwnerGolden pins concrete routing decisions. If this test breaks, the
+// sharding contract changed and RingVersion must be bumped with a migration
+// plan — existing clusters would disagree about ownership otherwise.
+func TestOwnerGolden(t *testing.T) {
+	r := mustRing(t, "127.0.0.1:18431", "127.0.0.1:18432", "127.0.0.1:18433")
+	got := make(map[string]string)
+	for _, k := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"} {
+		got[k] = r.Owner(k)
+	}
+	want := map[string]string{
+		"k0": "127.0.0.1:18431",
+		"k1": "127.0.0.1:18433",
+		"k2": "127.0.0.1:18431",
+		"k3": "127.0.0.1:18432",
+		"k4": "127.0.0.1:18431",
+		"k5": "127.0.0.1:18431",
+		"k6": "127.0.0.1:18432",
+		"k7": "127.0.0.1:18432",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden routing changed:\n got %v\nwant %v\n(bump RingVersion if intentional)", got, want)
+	}
+}
+
+// TestBalance: over many keys, each of 3 members owns roughly a third.
+func TestBalance(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	r := mustRing(t, members...)
+	const n = 10000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac < 0.28 || frac > 0.39 {
+			t.Errorf("member %s owns %.3f of keyspace, want ~0.333 (counts %v)", m, frac, counts)
+		}
+	}
+}
+
+// TestMinimalMovementRemove: dropping a member only moves the keys it
+// owned; every other key keeps its owner.
+func TestMinimalMovementRemove(t *testing.T) {
+	full := mustRing(t, "a:1", "b:1", "c:1")
+	reduced := mustRing(t, "a:1", "b:1")
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "c:1" {
+			moved++
+			continue // these must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %s moved from surviving member %s to %s", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; balance test should have caught this")
+	}
+}
+
+// TestMinimalMovementAdd: adding a member only steals keys; keys that stay
+// with old members keep exactly their old owner.
+func TestMinimalMovementAdd(t *testing.T) {
+	small := mustRing(t, "a:1", "b:1", "c:1")
+	grown := mustRing(t, "a:1", "b:1", "c:1", "d:1")
+	stolen := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before, after := small.Owner(k), grown.Owner(k)
+		if after == "d:1" {
+			stolen++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s -> %s without the new member taking it", k, before, after)
+		}
+	}
+	// d should take roughly a quarter.
+	frac := float64(stolen) / n
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("new member stole %.3f of keyspace, want ~0.25", frac)
+	}
+}
+
+// TestRankedAgreesWithOwner: Ranked's head is Owner, the ranking is a
+// permutation of the members, and dropping the head reproduces the
+// reduced ring's choice — the fallback order IS minimal-movement rehash.
+func TestRankedAgreesWithOwner(t *testing.T) {
+	r := mustRing(t, "a:1", "b:1", "c:1")
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		ranked := r.Ranked(k)
+		if len(ranked) != 3 {
+			t.Fatalf("key %s: ranked %v not a permutation", k, ranked)
+		}
+		if ranked[0] != r.Owner(k) {
+			t.Fatalf("key %s: ranked[0]=%s, Owner=%s", k, ranked[0], r.Owner(k))
+		}
+		rest := []string{}
+		for _, m := range []string{"a:1", "b:1", "c:1"} {
+			if m != ranked[0] {
+				rest = append(rest, m)
+			}
+		}
+		reduced := mustRing(t, rest...)
+		if ranked[1] != reduced.Owner(k) {
+			t.Fatalf("key %s: fallback %s disagrees with reduced-ring owner %s", k, ranked[1], reduced.Owner(k))
+		}
+	}
+}
+
+func TestOwnedFraction(t *testing.T) {
+	r := mustRing(t, "a:1", "b:1", "c:1")
+	total := 0.0
+	for _, m := range r.Members() {
+		f := r.OwnedFraction(m, 3000)
+		if f < 0.25 || f > 0.45 {
+			t.Errorf("member %s owned fraction %.3f, want ~0.333", m, f)
+		}
+		total += f
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("owned fractions sum to %.4f, want 1", total)
+	}
+	single := mustRing(t, "a:1")
+	if f := single.OwnedFraction("a:1", 100); f != 1 {
+		t.Errorf("single-member owned fraction = %v, want 1", f)
+	}
+}

@@ -24,6 +24,12 @@ var BannedCall = &Analyzer{
 		// a pure function of (config, server behavior, clock) and the hdr
 		// quantile math is testable against exact oracles.
 		"internal/hdr", "internal/load",
+		// Cluster routing must be deterministic too: the rendezvous ring is
+		// pure hashing, backoff jitter comes from explicitly seeded
+		// generators, and probe cadence flows through the injected
+		// cluster.Clock — so two nodes with the same member list always
+		// agree on ownership and retry schedules are reproducible in tests.
+		"internal/cluster",
 		// The command binaries are where ambient state is *allowed* to enter —
 		// but only at explicitly marked injection points (the realClock
 		// adapter, report timestamps), each carrying a //lint:ignore with its

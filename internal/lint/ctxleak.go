@@ -33,6 +33,7 @@ var CtxLeak = &Analyzer{
 	Doc:  "goroutines must be WaitGroup-joined or cancellable; handlers must use r.Context()",
 	Packages: []string{
 		"internal/service", "internal/service/metrics", "internal/load", "internal/par",
+		"internal/cluster",
 	},
 	RunModule: runCtxLeak,
 }

@@ -1,0 +1,114 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// TargetReport is one cluster peer's slice of a multi-target run: the op
+// classes it served, keyed by the target's base URL. Reports carry these so a
+// cluster ramp shows *which* node shed or failed, not just that someone did.
+type TargetReport struct {
+	Target string `json:"target"`
+	Sent   int64  `json:"sent"`
+	OK     int64  `json:"ok"`
+	Shed   int64  `json:"shed"`
+	Errors int64  `json:"errors"`
+}
+
+// MultiHTTPSender spreads the deterministic workload over several sdfd
+// cluster peers. Assignment is a pure function of (seed, op index): a
+// seed-shuffled permutation of the targets cycled by op.Index, so the same
+// (workload seed, target list, sender seed) triple replays the identical
+// traffic split on every run — reports stay comparable across machines.
+//
+// Do and Metrics are safe for concurrent use; the per-target tallies are the
+// only mutable state and sit behind a mutex.
+type MultiHTTPSender struct {
+	senders []*HTTPSender
+	order   []int // seed-shuffled target permutation, indexed by op.Index % n
+
+	mu     sync.Mutex
+	counts []TargetReport // parallel to senders
+}
+
+// NewMultiHTTPSender builds a sender over the given base URLs (e.g.
+// "http://127.0.0.1:18431"). The client is shared across targets — one pool,
+// like a real fleet fronting a cluster.
+func NewMultiHTTPSender(baseURLs []string, seed int64, mk func(baseURL string) *HTTPSender) (*MultiHTTPSender, error) {
+	if len(baseURLs) == 0 {
+		return nil, fmt.Errorf("load: multi-target sender needs at least one base URL")
+	}
+	m := &MultiHTTPSender{
+		order:  rand.New(rand.NewSource(seed)).Perm(len(baseURLs)),
+		counts: make([]TargetReport, len(baseURLs)),
+	}
+	for i, u := range baseURLs {
+		m.senders = append(m.senders, mk(u))
+		m.counts[i].Target = u
+	}
+	return m, nil
+}
+
+// target resolves the op's deterministic peer assignment.
+func (m *MultiHTTPSender) target(op Op) int {
+	i := op.Index % int64(len(m.order))
+	if i < 0 {
+		i += int64(len(m.order))
+	}
+	return m.order[i]
+}
+
+// Do routes the op to its assigned peer and tallies the outcome against it.
+func (m *MultiHTTPSender) Do(op Op) Class {
+	t := m.target(op)
+	class := m.senders[t].Do(op)
+	m.mu.Lock()
+	c := &m.counts[t]
+	c.Sent++
+	switch class {
+	case ClassOK:
+		c.OK++
+	case ClassShed:
+		c.Shed++
+	case ClassError:
+		c.Errors++
+	default:
+		panic("load: unknown class")
+	}
+	m.mu.Unlock()
+	return class
+}
+
+// Metrics scrapes every target and sums the snapshots: the ramp controller's
+// per-step deltas then describe the cluster as one logical server. Counters
+// sum exactly; QueueDepth sums too (total queued work across the fleet). A
+// single unscrapeable peer fails the whole scrape — mid-run that is recorded
+// as a nil step delta, not an op error.
+func (m *MultiHTTPSender) Metrics() (MetricsSnapshot, error) {
+	var sum MetricsSnapshot
+	for _, s := range m.senders {
+		snap, err := s.Metrics()
+		if err != nil {
+			return MetricsSnapshot{}, fmt.Errorf("target %s: %w", s.BaseURL, err)
+		}
+		sum.CacheHits += snap.CacheHits
+		sum.CacheMisses += snap.CacheMisses
+		sum.PipelineRuns += snap.PipelineRuns
+		sum.GridRuns += snap.GridRuns
+		sum.NodestoreLoads += snap.NodestoreLoads
+		sum.LoadShed += snap.LoadShed
+		sum.QueueDepth += snap.QueueDepth
+	}
+	return sum, nil
+}
+
+// Targets snapshots the per-target tallies, in base-URL argument order.
+func (m *MultiHTTPSender) Targets() []TargetReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TargetReport, len(m.counts))
+	copy(out, m.counts)
+	return out
+}

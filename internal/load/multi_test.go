@@ -1,0 +1,143 @@
+package load
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hdr"
+)
+
+// stubTarget is one fake sdfd peer: a fixed op status plus a /metrics body.
+func stubTarget(t *testing.T, status int, cacheHits int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprintf(w, "sdfd_cache_hits_total %d\n", cacheHits)
+			return
+		}
+		w.WriteHeader(status)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newMulti(t *testing.T, seed int64, urls ...string) *MultiHTTPSender {
+	t.Helper()
+	m, err := NewMultiHTTPSender(urls, seed, func(u string) *HTTPSender {
+		return &HTTPSender{BaseURL: u, Client: &http.Client{Timeout: 5 * time.Second}}
+	})
+	if err != nil {
+		t.Fatalf("NewMultiHTTPSender: %v", err)
+	}
+	return m
+}
+
+// Target assignment must be a pure function of (seed, op index): two senders
+// with the same seed agree on every op, and a different seed is allowed to
+// (and for this pair does) produce a different permutation.
+func TestMultiSenderDeterministicAssignment(t *testing.T) {
+	urls := []string{"http://a", "http://b", "http://c"}
+	m1 := newMulti(t, 7, urls...)
+	m2 := newMulti(t, 7, urls...)
+	counts := make([]int, len(urls))
+	for i := int64(0); i < 99; i++ {
+		op := Op{Index: i}
+		a, b := m1.target(op), m2.target(op)
+		if a != b {
+			t.Fatalf("op %d: same seed assigned targets %d and %d", i, a, b)
+		}
+		counts[a]++
+	}
+	for i, n := range counts {
+		if n != 33 {
+			t.Errorf("target %d served %d of 99 ops, want exactly 33 (cycled permutation)", i, n)
+		}
+	}
+}
+
+// Do must tally each op against its assigned peer, and Metrics must sum the
+// per-peer scrapes into one cluster-wide snapshot.
+func TestMultiSenderTalliesAndMetrics(t *testing.T) {
+	ok := stubTarget(t, http.StatusOK, 2)
+	shed := stubTarget(t, http.StatusTooManyRequests, 3)
+	m := newMulti(t, 1, ok.URL, shed.URL)
+
+	for i := int64(0); i < 10; i++ {
+		m.Do(Op{Index: i, Path: "/v1/compile", Body: []byte("{}")})
+	}
+	var gotOK, gotShed TargetReport
+	for _, tr := range m.Targets() {
+		switch tr.Target {
+		case ok.URL:
+			gotOK = tr
+		case shed.URL:
+			gotShed = tr
+		default:
+			t.Fatalf("unexpected target %q", tr.Target)
+		}
+	}
+	if gotOK.Sent != 5 || gotOK.OK != 5 || gotOK.Shed != 0 || gotOK.Errors != 0 {
+		t.Errorf("ok peer tallies = %+v, want 5 sent all ok", gotOK)
+	}
+	if gotShed.Sent != 5 || gotShed.Shed != 5 || gotShed.OK != 0 || gotShed.Errors != 0 {
+		t.Errorf("shed peer tallies = %+v, want 5 sent all shed", gotShed)
+	}
+
+	snap, err := m.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if snap.CacheHits != 5 {
+		t.Errorf("summed cache hits = %v, want 2+3=5", snap.CacheHits)
+	}
+}
+
+// A dead peer fails the whole scrape, naming the peer.
+func TestMultiSenderMetricsDeadPeer(t *testing.T) {
+	ok := stubTarget(t, http.StatusOK, 1)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	m := newMulti(t, 1, ok.URL, dead.URL)
+	if _, err := m.Metrics(); err == nil {
+		t.Fatal("Metrics succeeded with a dead peer")
+	} else if !strings.Contains(err.Error(), dead.URL) {
+		t.Errorf("error %q does not name the dead peer %s", err, dead.URL)
+	}
+}
+
+// SelfCheck must cross-check the per-target tallies against the step totals.
+func TestReportTargetsSelfCheck(t *testing.T) {
+	rep := func(targets []TargetReport) *Report {
+		return &Report{
+			Version: ReportVersion,
+			Steps: []StepResult{{
+				TargetRPS: 10, AchievedRPS: 10, Sent: 6, OK: 6,
+				Latency: hdr.Snapshot{Count: 6},
+				ByKind:  map[string]int64{"warm": 6},
+			}},
+			Targets: targets,
+		}
+	}
+	good := rep([]TargetReport{
+		{Target: "http://a", Sent: 4, OK: 3, Shed: 1},
+		{Target: "http://b", Sent: 2, OK: 2},
+	})
+	if errs := good.SelfCheck(); len(errs) != 0 {
+		t.Fatalf("consistent targets flagged: %v", errs)
+	}
+	short := rep([]TargetReport{{Target: "http://a", Sent: 4, OK: 4}})
+	if errs := short.SelfCheck(); len(errs) == 0 {
+		t.Error("targets summing to 4 of 6 sent passed SelfCheck")
+	}
+	unbalanced := rep([]TargetReport{
+		{Target: "http://a", Sent: 4, OK: 2, Shed: 1}, // 2+1 != 4
+		{Target: "http://b", Sent: 2, OK: 2},
+	})
+	if errs := unbalanced.SelfCheck(); len(errs) == 0 {
+		t.Error("target with ok+shed+errors != sent passed SelfCheck")
+	}
+}

@@ -27,6 +27,10 @@ type Report struct {
 	SLO     SLO          `json:"slo"`
 	Steps   []StepResult `json:"steps"`
 	Knee    Knee         `json:"knee"`
+	// Targets carries per-peer tallies when the run was spread over a cluster
+	// (sdfload -addrs); empty for single-target runs. The caller stamps it
+	// from MultiHTTPSender.Targets after the ramp.
+	Targets []TargetReport `json:"targets,omitempty"`
 }
 
 // StepResult is one held RPS step of the ramp.
@@ -110,7 +114,9 @@ func evaluateSLO(slo SLO, res StepResult) []string {
 //     (sent == ok + shed + errors == histogram count == per-kind sum),
 //   - below the knee (no violations) there are zero unclassified errors
 //     and achieved RPS tracks offered RPS within the SLO fraction,
-//   - only the final step may carry violations (the ramp stops at the knee).
+//   - only the final step may carry violations (the ramp stops at the knee),
+//   - when per-target tallies are present, each target's classes sum to its
+//     sent count and the targets together account for every sent request.
 func (r *Report) SelfCheck() []error {
 	var errs []error
 	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
@@ -148,6 +154,22 @@ func (r *Report) SelfCheck() []error {
 			}
 		} else if i != len(r.Steps)-1 {
 			fail("%s: violations recorded on a non-final step (the ramp must stop at the knee)", label)
+		}
+	}
+	if len(r.Targets) > 0 {
+		var totalSent, byTarget int64
+		for _, st := range r.Steps {
+			totalSent += st.Sent
+		}
+		for _, t := range r.Targets {
+			if t.Sent != t.OK+t.Shed+t.Errors {
+				fail("target %s: sent %d != ok %d + shed %d + errors %d",
+					t.Target, t.Sent, t.OK, t.Shed, t.Errors)
+			}
+			byTarget += t.Sent
+		}
+		if byTarget != totalSent {
+			fail("per-target counts sum to %d, steps sent %d", byTarget, totalSent)
 		}
 	}
 	return errs

@@ -56,8 +56,12 @@ func (k OpKind) String() string {
 // generated per index, deterministically).
 type Op struct {
 	Kind OpKind
-	Path string // URL path, e.g. "/v1/compile"
-	Body []byte // JSON request body
+	// Index is the op's position in the deterministic sequence. Multi-target
+	// senders key their peer assignment off it so the same workload hits the
+	// same peers on every run.
+	Index int64
+	Path  string // URL path, e.g. "/v1/compile"
+	Body  []byte // JSON request body
 }
 
 // Mix weights the four operation kinds. Zero-valued kinds never occur; at
@@ -169,13 +173,13 @@ func (w *Workload) Op(i int64) Op {
 	kind := w.pattern[int(i%int64(len(w.pattern)))]
 	switch kind {
 	case OpWarm:
-		return Op{Kind: OpWarm, Path: "/v1/compile", Body: w.warm[int(i%int64(len(w.warm)))]}
+		return Op{Kind: OpWarm, Index: i, Path: "/v1/compile", Body: w.warm[int(i%int64(len(w.warm)))]}
 	case OpEdit:
-		return Op{Kind: OpEdit, Path: "/v1/compile", Body: w.edits[int(i%int64(len(w.edits)))]}
+		return Op{Kind: OpEdit, Index: i, Path: "/v1/compile", Body: w.edits[int(i%int64(len(w.edits)))]}
 	case OpGrid:
-		return Op{Kind: OpGrid, Path: "/v1/grid", Body: w.grid}
+		return Op{Kind: OpGrid, Index: i, Path: "/v1/grid", Body: w.grid}
 	case OpCold:
-		return Op{Kind: OpCold, Path: "/v1/compile", Body: w.coldBody(i)}
+		return Op{Kind: OpCold, Index: i, Path: "/v1/compile", Body: w.coldBody(i)}
 	default:
 		panic(fmt.Sprintf("load: unknown op kind %d in pattern", int(kind)))
 	}

@@ -22,6 +22,14 @@ type PlanConfig struct {
 	// artifact is loaded from Store are not run and emit no events; Stats
 	// reports them as Loaded.
 	OnEvent func(Event)
+	// OnOutcome, when non-nil, is called exactly once per grid point as that
+	// point reaches its terminal state — its assembly finishes or an upstream
+	// failure propagates to it — with the point's input index and the same
+	// Outcome Run will return for it. Points at one level finish in parallel,
+	// so the handler must be safe for concurrent use. The service's async job
+	// runner uses this to stream per-entry results while the grid is still
+	// executing.
+	OnOutcome func(point int, o Outcome)
 	// Store, when non-nil, is the persistent pass-node store: before
 	// executing a node the executor probes it under the node's projected
 	// content key (store.go) and decodes the artifact on a hit; after a
@@ -337,6 +345,7 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 		// store is not consulted: every point compiles directly.
 		_ = par.ForEach(len(p.assemblies), func(i int) error {
 			as := p.assemblies[i]
+			defer p.emitOutcome(i, as)
 			p.emit(KindAssemble, as.key, true)
 			as.ran = true
 			as.out, as.err = CompileGeneralContext(ctx, p.g, as.opts)
@@ -514,6 +523,9 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 	// includes the graph pointer itself.
 	_ = par.ForEach(len(p.assemblies), func(i int) error {
 		as := p.assemblies[i]
+		// Every point reaches this body — upstream failures propagate into
+		// as.err here — so the deferred hook fires exactly once per point.
+		defer p.emitOutcome(i, as)
 		if as.life.err != nil {
 			as.err = as.life.err
 			return nil
@@ -534,6 +546,12 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 		return nil
 	})
 	return p.outcomes()
+}
+
+func (p *Plan) emitOutcome(i int, as *assembleNode) {
+	if p.cfg.OnOutcome != nil {
+		p.cfg.OnOutcome(i, Outcome{Result: as.out, Err: as.err})
+	}
 }
 
 func (p *Plan) outcomes() []Outcome {

@@ -353,3 +353,63 @@ func TestBetterAllocNameTieBreak(t *testing.T) {
 		t.Error("ffstart must not displace ffdur on equal totals")
 	}
 }
+
+// TestPlanOnOutcome: the streaming hook fires exactly once per point — on
+// success, on propagated upstream failure, and on the cyclic fallback — and
+// streams the same outcomes Run returns.
+func TestPlanOnOutcome(t *testing.T) {
+	collect := func(n int) (func(int, Outcome), []*Outcome, *sync.Mutex) {
+		var mu sync.Mutex
+		got := make([]*Outcome, n)
+		return func(i int, o Outcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			if got[i] != nil {
+				t.Errorf("point %d: OnOutcome fired twice", i)
+			}
+			got[i] = &o
+		}, got, &mu
+	}
+	check := func(got []*Outcome, outs []Outcome) {
+		t.Helper()
+		for i, o := range outs {
+			if got[i] == nil {
+				t.Fatalf("point %d: OnOutcome never fired", i)
+			}
+			if got[i].Result != o.Result || !errors.Is(got[i].Err, o.Err) {
+				t.Errorf("point %d: streamed outcome differs from returned", i)
+			}
+		}
+	}
+
+	// Mixed success/failure grid: the bad custom order fails points 0 and 2
+	// through a shared node; point 1 succeeds.
+	g := systems.CDDAT()
+	bad := Options{Strategy: CustomOrder, Order: []sdf.ActorID{0}}
+	pts := []Options{bad, {Strategy: APGAN}, bad}
+	hook, got, _ := collect(len(pts))
+	outs, err := RunGridOutcomes(context.Background(), g, pts, PlanConfig{OnOutcome: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(got, outs)
+	if got[0].Err == nil || got[1].Err != nil {
+		t.Errorf("streamed errors wrong: %v / %v", got[0].Err, got[1].Err)
+	}
+
+	// Cyclic fallback path.
+	cg := sdf.New("mrc")
+	src := cg.AddActor("src")
+	a := cg.AddActor("A")
+	b := cg.AddActor("B")
+	cg.AddEdge(src, a, 2, 1, 0)
+	cg.AddEdge(a, b, 3, 2, 0)
+	cg.AddEdge(b, a, 2, 3, 4)
+	cpts := []Options{{Strategy: APGAN}, {Strategy: RPMC}}
+	hook2, got2, _ := collect(len(cpts))
+	outs2, err := RunGridOutcomes(context.Background(), cg, cpts, PlanConfig{OnOutcome: hook2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(got2, outs2)
+}

@@ -1,0 +1,402 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sdfio"
+	"repro/internal/systems"
+)
+
+// switchHandler lets an httptest frontend exist before its Server does:
+// cluster nodes need every member's resolved address at construction time,
+// so the listeners come up first and the handlers are wired in afterwards.
+// Requests arriving in the gap answer 503, which is also what a booting
+// daemon's peers would see.
+type switchHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (sw *switchHandler) set(h http.Handler) {
+	sw.mu.Lock()
+	sw.h = h
+	sw.mu.Unlock()
+}
+
+func (sw *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw.mu.Lock()
+	h := sw.h
+	sw.mu.Unlock()
+	if h == nil {
+		http.Error(w, "booting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// clusterTestNode is one member of an in-process test cluster.
+type clusterTestNode struct {
+	addr string // ring identity (host:port)
+	srv  *Server
+	http *httptest.Server
+	cl   *Client
+}
+
+// newTestCluster boots n coupled in-process nodes and waits until every
+// node's health monitor sees all its peers alive. The cluster config uses a
+// long steady-state probe interval: once converged, liveness is effectively
+// under test control via Monitor.SetAlive, so fault injection is
+// deterministic instead of racing the prober.
+func newTestCluster(t *testing.T, n int, mut func(i int, cfg *Config)) []*clusterTestNode {
+	t.Helper()
+	handlers := make([]*switchHandler, n)
+	nodes := make([]*clusterTestNode, n)
+	addrs := make([]string, n)
+	for i := range handlers {
+		handlers[i] = &switchHandler{}
+		ts := httptest.NewServer(handlers[i])
+		t.Cleanup(ts.Close)
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+		nodes[i] = &clusterTestNode{addr: addrs[i], http: ts, cl: &Client{BaseURL: ts.URL}}
+	}
+	for i := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		cfg := Config{Cluster: &ClusterConfig{
+			Self:  addrs[i],
+			Peers: peers,
+			// While a peer reads dead, re-probes retry on a tight backoff so
+			// convergence is fast; once alive, the next probe is an hour out
+			// and the test owns the liveness state.
+			ProbeInterval: time.Hour,
+			RetryMin:      2 * time.Millisecond,
+			RetryMax:      10 * time.Millisecond,
+		}}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		srv := New(cfg)
+		t.Cleanup(srv.Close)
+		handlers[i].set(srv.Handler())
+		nodes[i].srv = srv
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		converged := true
+		for _, node := range nodes {
+			if node.srv.cluster.mon.AliveCount() != n-1 {
+				converged = false
+			}
+		}
+		if converged {
+			return nodes
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster never converged: not every node sees its peers alive")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// peerOutcomeTotal sums sdfd_peer_requests_total across peers for one
+// outcome label on one node.
+func peerOutcomeTotal(t *testing.T, node *clusterTestNode, outcome string) float64 {
+	t.Helper()
+	resp, err := http.Get(node.http.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "sdfd_peer_requests_total{") ||
+			!strings.Contains(line, `outcome="`+outcome+`"`) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestClusterDifferentialThreeNodes is the acceptance differential: the same
+// compile served through any of three peers yields byte-identical artifacts,
+// identical to the in-process pipeline, with real proxying and peer fetching
+// happening underneath (every digest is posted to all three nodes, so at
+// least two of the three posts per digest land on non-owners).
+func TestClusterDifferentialThreeNodes(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil)
+	opts := []CompileOptions{{}, {Strategy: "apgan", Looping: "dppo"}}
+
+	type artifactCase struct {
+		digest string
+		want   string
+	}
+	var cases []artifactCase
+	for _, g := range exampleSystems() {
+		text := graphText(t, g)
+		parsed, err := sdfio.Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range opts {
+			want, _, err := CompileArtifact(parsed, o)
+			if err != nil {
+				t.Fatalf("%s: in-process compile: %v", g.Name, err)
+			}
+			digest := ""
+			for ni, node := range nodes {
+				resp, err := node.cl.Compile(CompileRequest{Graph: text, Options: o}, false)
+				if err != nil {
+					t.Fatalf("%s via node %d: %v", g.Name, ni, err)
+				}
+				if string(resp.Artifact) != string(want) {
+					t.Errorf("%s via node %d: artifact bytes differ from in-process pipeline", g.Name, ni)
+				}
+				if digest == "" {
+					digest = resp.Digest
+				} else if resp.Digest != digest {
+					t.Errorf("%s via node %d: digest %s, other nodes said %s", g.Name, ni, resp.Digest, digest)
+				}
+			}
+			cases = append(cases, artifactCase{digest: digest, want: string(want)})
+		}
+	}
+
+	// Routing actually crossed node boundaries: proxied compiles and peer
+	// fetches both count as ok peer requests somewhere in the cluster.
+	okTotal := 0.0
+	for _, node := range nodes {
+		okTotal += peerOutcomeTotal(t, node, "ok")
+	}
+	if okTotal == 0 {
+		t.Error("no successful peer requests recorded across the cluster; routing never left the local node")
+	}
+
+	// Artifact fetch through every node: non-owners must peer-fetch, and the
+	// fetched bytes must be the same sequence (content addressing admits one
+	// answer). The served-by header marks the fetch path.
+	peerFetches := 0
+	for _, c := range cases {
+		for ni, node := range nodes {
+			resp, err := http.Get(node.http.URL + "/v1/artifact/" + c.digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("artifact %s via node %d: status %d", c.digest, ni, resp.StatusCode)
+			}
+			if body != c.want {
+				t.Errorf("artifact %s via node %d: bytes differ", c.digest, ni)
+			}
+			if resp.Header.Get(servedByHeader) != "" {
+				peerFetches++
+			}
+		}
+	}
+	if peerFetches == 0 {
+		t.Error("no artifact request was satisfied by a peer fetch")
+	}
+}
+
+// TestClusterDegradesWhenOwnerUnreachable covers the two failure layers of
+// synchronous routing: an owner that accepts no connections (proxy fails,
+// the serving node compiles locally) and an owner marked dead (the ring
+// rehashes ownership onto the survivor, no proxy attempted).
+func TestClusterDegradesWhenOwnerUnreachable(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+
+	// Find a graph whose digest is remote-owned from one node's view; with
+	// two members, one side of any digest is a non-owner.
+	text := graphText(t, systems.CDDAT())
+	canonical, err := sdfio.Canonicalize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := normalize(CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest(canonical, norm)
+	serving := nodes[0]
+	owner := nodes[1]
+	if serving.srv.cluster.ownerOf(digest) == serving.addr {
+		serving, owner = owner, serving
+	}
+
+	// Owner still "alive" but refusing connections: the proxy attempt fails
+	// and the serving node degrades to compiling locally.
+	owner.http.Close()
+	resp, err := serving.cl.Compile(CompileRequest{Graph: text}, false)
+	if err != nil {
+		t.Fatalf("compile with unreachable owner: %v", err)
+	}
+	if resp.Digest != digest || resp.Cached {
+		t.Errorf("local fallback: digest %s cached=%v, want %s cached=false", resp.Digest, resp.Cached, digest)
+	}
+	if got := peerOutcomeTotal(t, serving, "error"); got == 0 {
+		t.Error("no error peer request recorded for the failed proxy attempt")
+	}
+
+	// Owner marked dead: ownership rehashes to the survivor and a fresh
+	// digest compiles locally with no peer involved.
+	serving.srv.cluster.mon.SetAlive(owner.addr, false)
+	if got := serving.srv.cluster.ownerOf(digest); got != serving.addr {
+		t.Fatalf("with owner dead, ownerOf = %s, want self %s", got, serving.addr)
+	}
+	resp2, err := serving.cl.Compile(CompileRequest{Graph: text, Options: CompileOptions{Strategy: "apgan"}}, false)
+	if err != nil {
+		t.Fatalf("compile with owner dead: %v", err)
+	}
+	if resp2.Cached {
+		t.Error("fresh digest reported cached")
+	}
+}
+
+// TestClusterJobSurvivesPeerDeath is the acceptance fault test: a peer is
+// killed in the middle of an async grid job it is serving entries for. The
+// job must still complete, every entry exactly once, through rehash plus
+// local fallback, with the degradation visible in metrics and in the owned
+// keyspace fraction.
+func TestClusterJobSurvivesPeerDeath(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil)
+	submit := nodes[0]
+
+	text := graphText(t, systems.SatelliteReceiver())
+	canonical, err := sdfio.Canonicalize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []CompileOptions
+	for _, strat := range []string{"rpmc", "apgan"} {
+		for _, la := range []string{"sdppo", "dppo", "chain", "flat"} {
+			entries = append(entries, CompileOptions{Strategy: strat, Looping: la})
+			entries = append(entries, CompileOptions{Strategy: strat, Looping: la, Allocators: []string{"ffdur"}})
+		}
+	}
+
+	// Pick the victim: the peer owning the most of this job's digests, so the
+	// kill is guaranteed to land mid-dispatch.
+	owned := map[string]int{}
+	for _, e := range entries {
+		norm, err := normalize(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned[submit.srv.cluster.ownerOf(Digest(canonical, norm))]++
+	}
+	var victim *clusterTestNode
+	for _, node := range nodes[1:] {
+		if victim == nil || owned[node.addr] > owned[victim.addr] {
+			victim = node
+		}
+	}
+	if owned[victim.addr] == 0 {
+		t.Fatalf("degenerate ring: no digest of %d owned by any peer (%v)", len(entries), owned)
+	}
+
+	healthyFraction := submit.srv.cluster.ownedFraction()
+
+	// The kill: the first entry the victim starts compiling severs every
+	// client connection (failing in-flight dispatches) and marks the victim
+	// dead on the survivors, exactly as their probes would shortly discover.
+	var once sync.Once
+	victim.srv.testHookCompileStart = func() {
+		once.Do(func() {
+			victim.http.CloseClientConnections()
+			for _, node := range nodes {
+				if node != victim {
+					node.srv.cluster.mon.SetAlive(victim.addr, false)
+				}
+			}
+		})
+	}
+
+	job, err := submit.cl.SubmitGridJob(GridRequest{Graph: text, Entries: entries})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.Total != len(entries) {
+		t.Fatalf("job total %d, want %d", job.Total, len(entries))
+	}
+	fin, err := submit.cl.AwaitJob(job.ID, 120*time.Second)
+	if err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if fin.State != JobStateDone || fin.Completed != len(entries) || fin.Failed != 0 {
+		t.Fatalf("job finished state=%s completed=%d failed=%d, want done/%d/0",
+			fin.State, fin.Completed, fin.Failed, len(entries))
+	}
+
+	// Every entry exactly once, and every digest byte-identical to the
+	// in-process pipeline, served from the submitting node.
+	seen := map[int]bool{}
+	parsed, err := sdfio.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range fin.Results {
+		if seen[res.Index] {
+			t.Fatalf("entry %d completed more than once", res.Index)
+		}
+		seen[res.Index] = true
+		if res.Error != nil {
+			t.Errorf("entry %d failed: %v", res.Index, res.Error)
+			continue
+		}
+		want, _, err := CompileArtifact(parsed, entries[res.Index])
+		if err != nil {
+			t.Fatalf("entry %d in-process compile: %v", res.Index, err)
+		}
+		got, err := submit.cl.Artifact(res.Digest)
+		if err != nil {
+			t.Errorf("entry %d: artifact %s not served by submitting node: %v", res.Index, res.Digest, err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("entry %d: artifact bytes differ from in-process pipeline", res.Index)
+		}
+	}
+	if len(seen) != len(entries) {
+		t.Errorf("%d of %d entries reported results", len(seen), len(entries))
+	}
+
+	// Degradation is observable: failed dispatches against the victim, and
+	// the submitting node's effective keyspace grew when the victim died.
+	if got := peerOutcomeTotal(t, submit, "error"); got == 0 {
+		t.Error("no error peer requests recorded despite a peer dying mid-job")
+	}
+	if degraded := submit.srv.cluster.ownedFraction(); degraded <= healthyFraction {
+		t.Errorf("owned fraction %v did not rise above healthy %v after peer death", degraded, healthyFraction)
+	}
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/systems"
+)
+
+// TestDrainRefusesNewWork pins the drain wire contract: every work-accepting
+// route answers the exact shutting_down envelope with a Retry-After hint,
+// /healthz flips to 503 draining (rotating the node out of peers' rings),
+// and read-only routes — artifact fetch, peer artifact, job polling — keep
+// serving so peers and pollers can finish what is already in flight.
+func TestDrainRefusesNewWork(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	text := graphText(t, systems.CDDAT())
+
+	// Populate the cache and a finished job before the drain begins.
+	resp, err := ts.cl.Compile(CompileRequest{Graph: text}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := ts.cl.SubmitGridJob(GridRequest{Graph: text, Entries: []CompileOptions{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.cl.AwaitJob(job.ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ts.srv.BeginDrain()
+
+	for _, route := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/compile", CompileRequest{Graph: text}},
+		{"/v1/grid", GridRequest{Graph: text, Entries: []CompileOptions{{}}}},
+		{"/v1/jobs/grid", GridRequest{Graph: text, Entries: []CompileOptions{{}}}},
+	} {
+		r := postJSON(t, ts.http.URL+route.path, route.body)
+		var envelope struct {
+			Error *APIError `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&envelope); err != nil {
+			t.Fatalf("%s: decoding drain refusal: %v", route.path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s: status %d, want 503", route.path, r.StatusCode)
+		}
+		if r.Header.Get("Retry-After") == "" {
+			t.Errorf("%s: drain refusal carries no Retry-After", route.path)
+		}
+		e := envelope.Error
+		if e == nil || e.Status != http.StatusServiceUnavailable || e.Reason != "shutting_down" ||
+			e.Message != "server is shutting down" || e.RetryAfterSeconds < 1 {
+			t.Errorf("%s: drain envelope %+v, want pinned shutting_down shape", route.path, e)
+		}
+	}
+
+	hz, err := http.Get(ts.http.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Errorf("healthz while draining: status %d %q, want 503 draining", hz.StatusCode, health.Status)
+	}
+
+	// Reads stay up: the cached artifact, the peer artifact API, and the
+	// finished job resource all still serve.
+	if _, err := ts.cl.Artifact(resp.Digest); err != nil {
+		t.Errorf("artifact fetch while draining: %v", err)
+	}
+	pa, err := http.Get(ts.http.URL + "/v1/peer/artifact/" + resp.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.Body.Close()
+	if pa.StatusCode != http.StatusOK {
+		t.Errorf("peer artifact while draining: status %d, want 200", pa.StatusCode)
+	}
+	if _, err := ts.cl.Job(job.ID, 0, 0, 0); err != nil {
+		t.Errorf("job poll while draining: %v", err)
+	}
+}
+
+// TestDrainLetsInFlightJobFinish is the graceful-shutdown half: a job
+// running when the drain begins keeps running, pollers watch it finish, and
+// AwaitJobs blocks until the runner is done (or its context expires).
+func TestDrainLetsInFlightJobFinish(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	ts.srv.testHookCompileStart = func() { <-release }
+	text := graphText(t, systems.CDDAT())
+
+	job, err := ts.cl.SubmitGridJob(GridRequest{Graph: text, Entries: []CompileOptions{{}, {Strategy: "apgan"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.srv.BeginDrain()
+
+	// With the runner gated, the drain cannot complete within its grace
+	// period — AwaitJobs surfaces the deadline instead of returning early.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err = ts.srv.AwaitJobs(shortCtx)
+	cancel()
+	if err == nil {
+		t.Fatal("AwaitJobs returned nil while the job runner was still blocked")
+	}
+
+	// Polling survives the drain; the job is still running.
+	snap, err := ts.cl.Job(job.ID, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != JobStateRunning {
+		t.Fatalf("job state %q while gated, want running", snap.State)
+	}
+
+	close(release)
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ts.srv.AwaitJobs(waitCtx); err != nil {
+		t.Fatalf("AwaitJobs after release: %v", err)
+	}
+	fin, err := ts.cl.Job(job.ID, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobStateDone || fin.Completed != 2 || fin.Failed != 0 {
+		t.Fatalf("drained job %+v, want done with both entries ok", fin)
+	}
+}

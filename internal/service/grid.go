@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/pass"
+	"repro/internal/sdf"
 	"repro/internal/sdfio"
 )
 
@@ -49,13 +50,11 @@ type GridResponse struct {
 	NaiveNodes   int               `json:"naive_nodes"`
 }
 
-// handleGrid compiles one graph across every entry's option set. Request-
-// level failures (unparseable graph, too many entries, admission shedding,
-// request deadline) produce a non-2xx envelope; per-entry compile failures
-// land inside the 200 response. Artifacts are cached under the same digests
-// POST /v1/compile uses, so a grid request warms the single-compile cache
-// and vice versa.
-func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+// parseGridRequest decodes and validates a grid-shaped body — shared by
+// POST /v1/grid and POST /v1/jobs/grid, which differ only in their entry
+// cap — returning the request, the canonical graph text, and the parsed
+// graph.
+func (s *Server) parseGridRequest(w http.ResponseWriter, r *http.Request, maxEntries int) (*GridRequest, string, *sdf.Graph, *APIError) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	var req GridRequest
 	dec := json.NewDecoder(r.Body)
@@ -63,48 +62,67 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.writeError(w, &APIError{
+			return nil, "", nil, &APIError{
 				Status: http.StatusRequestEntityTooLarge, Reason: "too_large",
 				Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes),
-			})
-			return
+			}
 		}
-		s.writeError(w, &APIError{
+		return nil, "", nil, &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
 			Message: fmt.Sprintf("decoding request: %v", err),
-		})
-		return
+		}
 	}
 	if len(req.Entries) == 0 {
-		s.writeError(w, &APIError{
+		return nil, "", nil, &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
 			Message: "grid request needs at least one entry",
-		})
-		return
+		}
 	}
-	if len(req.Entries) > s.cfg.GridMaxEntries {
-		s.writeError(w, &APIError{
+	if len(req.Entries) > maxEntries {
+		return nil, "", nil, &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
-			Message: fmt.Sprintf("grid request has %d entries, limit is %d", len(req.Entries), s.cfg.GridMaxEntries),
-		})
-		return
+			Message: fmt.Sprintf("grid request has %d entries, limit is %d", len(req.Entries), maxEntries),
+		}
 	}
 	canonical, err := sdfio.Canonicalize(req.Graph)
 	if err != nil {
-		s.writeError(w, &APIError{
+		return nil, "", nil, &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
 			Message: fmt.Sprintf("parsing graph: %v", err),
-		})
-		return
+		}
 	}
 	g, err := sdfio.Parse(strings.NewReader(canonical))
 	if err != nil {
-		s.writeError(w, &APIError{
+		return nil, "", nil, &APIError{
 			Status: http.StatusInternalServerError, Reason: "bad_request",
 			Message: fmt.Sprintf("re-parsing canonical graph: %v", err),
+		}
+	}
+	return &req, canonical, g, nil
+}
+
+// handleGrid compiles one graph across every entry's option set. Request-
+// level failures (unparseable graph, too many entries, admission shedding,
+// request deadline) produce a non-2xx envelope; per-entry compile failures
+// land inside the 200 response. Artifacts are cached under the same digests
+// POST /v1/compile uses, so a grid request warms the single-compile cache
+// and vice versa.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.shed.With("shutting_down").Inc()
+		s.writeError(w, &APIError{
+			Status: http.StatusServiceUnavailable, Reason: "shutting_down",
+			Message:           "server is shutting down",
+			RetryAfterSeconds: s.retryAfterSeconds(),
 		})
 		return
 	}
+	reqp, canonical, g, apiErr := s.parseGridRequest(w, r, s.cfg.GridMaxEntries)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	req := *reqp
 
 	// Per-entry normalization and cache probing. Misses dedup by digest:
 	// identical entries compile once and share bytes.

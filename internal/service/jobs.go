@@ -1,0 +1,566 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pass"
+	"repro/internal/sdf"
+)
+
+// Job states. A job is created running and moves to done exactly once, when
+// every entry has reached a terminal state. There is no failed job state:
+// failures are per-entry, mirroring /v1/grid.
+const (
+	JobStateRunning = "running"
+	JobStateDone    = "done"
+)
+
+// JobEntryResult is one grid entry's terminal state inside a job. Artifact
+// bytes are not inlined — the runner caches every produced artifact
+// locally, so GET /v1/artifact/{digest} on the submitting node serves them.
+type JobEntryResult struct {
+	// Index is the entry's position in the submitted Entries array.
+	Index int `json:"index"`
+	// Digest is the artifact's content address (set on success).
+	Digest string `json:"digest,omitempty"`
+	// Cached is true when the entry was satisfied straight from the cache.
+	Cached bool `json:"cached,omitempty"`
+	// ServedBy names the peer that compiled the entry; empty means this
+	// node did.
+	ServedBy string `json:"served_by,omitempty"`
+	// Error is the entry's structured failure, nil on success.
+	Error *APIError `json:"error,omitempty"`
+}
+
+// JobResource is the wire representation of an async grid job
+// (POST /v1/jobs/grid, GET /v1/jobs/{id}).
+type JobResource struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Total/Completed/Failed count entries: Completed is entries in a
+	// terminal state (successes and failures both), Failed the errored
+	// subset. State is done exactly when Completed == Total.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Offset echoes the requested page start. Results holds the terminal
+	// entries with Index >= Offset, ascending, at most the requested limit;
+	// entries still in flight are simply absent, so pollers page with
+	// offset = last result's Index + 1.
+	Offset  int              `json:"offset"`
+	Results []JobEntryResult `json:"results,omitempty"`
+}
+
+// job is the in-memory job record. results is indexed by entry; a nil slot
+// is an entry still in flight. changed is closed and replaced on every
+// completion, broadcasting to long-pollers.
+type job struct {
+	id    string
+	total int
+
+	mu        sync.Mutex
+	results   []*JobEntryResult
+	completed int
+	failed    int
+	changed   chan struct{}
+}
+
+func (j *job) complete(res JobEntryResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if res.Index < 0 || res.Index >= j.total || j.results[res.Index] != nil {
+		return // exactly-once: late duplicates (e.g. a raced fallback) are dropped
+	}
+	j.results[res.Index] = &res
+	j.completed++
+	if res.Error != nil {
+		j.failed++
+	}
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+func (j *job) isDone() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed == j.total
+}
+
+// resource snapshots the job as its wire representation, paging results by
+// entry index.
+func (j *job) resource(offset, limit int) *JobResource {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := &JobResource{
+		ID: j.id, State: JobStateRunning,
+		Total: j.total, Completed: j.completed, Failed: j.failed,
+		Offset: offset,
+	}
+	if j.completed == j.total {
+		r.State = JobStateDone
+	}
+	if limit <= 0 || limit > j.total {
+		limit = j.total
+	}
+	for i := offset; i >= 0 && i < j.total && len(r.Results) < limit; i++ {
+		if j.results[i] != nil {
+			r.Results = append(r.Results, *j.results[i])
+		}
+	}
+	return r
+}
+
+// awaitChange blocks until the job completes, its completed count advances
+// past since, the wait elapses, or the client disconnects — the long-poll
+// core of GET /v1/jobs/{id}?wait=.
+func (j *job) awaitChange(ctx context.Context, wait time.Duration, since int) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		j.mu.Lock()
+		completed, ch := j.completed, j.changed
+		j.mu.Unlock()
+		if completed == j.total || completed > since {
+			return
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// jobStore holds the server's jobs: monotonic ids, bounded retention of
+// finished jobs (oldest finished are evicted past the cap so a long-lived
+// daemon's job map cannot grow without bound).
+type jobStore struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*job
+	order []string
+}
+
+const jobRetention = 256
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+func (st *jobStore) create(total int) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &job{
+		id:      "j" + strconv.Itoa(st.seq),
+		total:   total,
+		results: make([]*JobEntryResult, total),
+		changed: make(chan struct{}),
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	for len(st.order) > jobRetention {
+		old := st.jobs[st.order[0]]
+		if old != nil && !old.isDone() {
+			break // never evict a running job
+		}
+		delete(st.jobs, st.order[0])
+		st.order = st.order[1:]
+	}
+	return j
+}
+
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+func (st *jobStore) inflight() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.jobs {
+		if !j.isDone() {
+			n++
+		}
+	}
+	return n
+}
+
+// handleJobSubmit accepts POST /v1/jobs/grid: validate the grid-shaped body,
+// create the job, start the runner, and answer 202 immediately with the job
+// resource. Per-entry work — normalization, cache probes, planning, peer
+// dispatch — all happens in the runner; a submission only pays for parsing.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.shed.With("shutting_down").Inc()
+		s.writeError(w, &APIError{
+			Status: http.StatusServiceUnavailable, Reason: "shutting_down",
+			Message:           "server is shutting down",
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		})
+		return
+	}
+	req, canonical, g, apiErr := s.parseGridRequest(w, r, s.cfg.JobMaxEntries)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	if s.jobs.inflight() >= s.cfg.MaxJobs {
+		s.shed.With("jobs_full").Inc()
+		s.writeError(w, &APIError{
+			Status: http.StatusTooManyRequests, Reason: "queue_full",
+			Message:           fmt.Sprintf("too many jobs in flight (limit %d); retry shortly", s.cfg.MaxJobs),
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		})
+		return
+	}
+	j := s.jobs.create(len(req.Entries))
+	s.jobsWG.Add(1)
+	go s.runJob(j, g, canonical, req.Entries)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	s.writeJSON(w, http.StatusAccepted, j.resource(0, 0))
+}
+
+// handleJobGet serves GET /v1/jobs/{id}[?wait=5s&offset=0&limit=100]: a
+// snapshot of the job, optionally long-polling until progress. Not gated on
+// draining — watching an in-flight job finish is exactly what a drain is
+// for.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, &APIError{
+			Status: http.StatusNotFound, Reason: "not_found",
+			Message: fmt.Sprintf("no job %q (it may have been evicted after finishing)", r.PathValue("id")),
+		})
+		return
+	}
+	q := r.URL.Query()
+	offset, limit := 0, 0
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, &APIError{Status: http.StatusBadRequest, Reason: "bad_request",
+				Message: fmt.Sprintf("offset %q must be a non-negative integer", v)})
+			return
+		}
+		offset = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, &APIError{Status: http.StatusBadRequest, Reason: "bad_request",
+				Message: fmt.Sprintf("limit %q must be a non-negative integer", v)})
+			return
+		}
+		limit = n
+	}
+	if v := q.Get("wait"); v != "" {
+		wait, err := time.ParseDuration(v)
+		if err != nil || wait < 0 {
+			s.writeError(w, &APIError{Status: http.StatusBadRequest, Reason: "bad_request",
+				Message: fmt.Sprintf("wait %q must be a non-negative Go duration (e.g. 5s)", v)})
+			return
+		}
+		if s.cfg.RequestTimeout > 0 && wait > s.cfg.RequestTimeout {
+			wait = s.cfg.RequestTimeout
+		}
+		j.awaitChange(r.Context(), wait, j.resource(0, 0).Completed)
+	}
+	s.writeJSON(w, http.StatusOK, j.resource(offset, limit))
+}
+
+// jobMiss is one deduplicated digest a job must produce, and the entry
+// indices waiting on it.
+type jobMiss struct {
+	norm    CompileOptions
+	digest  string
+	entries []int
+}
+
+// recordMiss marks every entry behind one miss terminal, with shared
+// outcome metrics.
+func (s *Server) recordMiss(j *job, m *jobMiss, servedBy string, apiErr *APIError) {
+	for _, idx := range m.entries {
+		res := JobEntryResult{Index: idx, ServedBy: servedBy, Error: apiErr}
+		if apiErr == nil {
+			res.Digest = m.digest
+		}
+		j.complete(res)
+		if apiErr == nil {
+			s.jobEntries.With("ok").Inc()
+		} else {
+			s.jobEntries.With("error").Inc()
+		}
+	}
+}
+
+// runJob is the job runner goroutine: resolve entries against the cache,
+// partition the misses by effective ring owner, execute the local batch as
+// one prefix-shared plan (streaming per-entry completions as pass leaves
+// finish), dispatch remote entries to their owners, and fall back to local
+// compilation for any remote dispatch that fails. Runs on the server's base
+// context so a graceful drain lets it finish; a hard Close cancels it and
+// the remaining entries complete with shutdown errors — every entry reaches
+// a terminal state exactly once either way.
+func (s *Server) runJob(j *job, g *sdf.Graph, canonical string, entries []CompileOptions) {
+	defer s.jobsWG.Done()
+	ctx := s.baseCtx
+
+	var (
+		misses  []*jobMiss
+		missFor = map[string]*jobMiss{}
+	)
+	for i, entry := range entries {
+		norm, err := normalize(entry)
+		if err != nil {
+			j.complete(JobEntryResult{Index: i, Error: &APIError{
+				Status: http.StatusBadRequest, Reason: "bad_request",
+				Message: fmt.Sprintf("options: %v", err),
+			}})
+			s.jobEntries.With("error").Inc()
+			continue
+		}
+		digest := Digest(canonical, norm)
+		if _, ok := s.cache.get(digest); ok {
+			s.cacheHits.Inc()
+			j.complete(JobEntryResult{Index: i, Digest: digest, Cached: true})
+			s.jobEntries.With("ok").Inc()
+			continue
+		}
+		s.cacheMisses.Inc()
+		m := missFor[digest]
+		if m == nil {
+			m = &jobMiss{norm: norm, digest: digest}
+			missFor[digest] = m
+			misses = append(misses, m)
+		}
+		m.entries = append(m.entries, i)
+	}
+	if len(misses) == 0 {
+		return
+	}
+
+	local := misses
+	var remote []*jobMiss
+	if cn := s.cluster; cn != nil {
+		local = local[:0:0]
+		for _, m := range misses {
+			if cn.ownerOf(m.digest) != cn.cfg.Self {
+				remote = append(remote, m)
+			} else {
+				local = append(local, m)
+			}
+		}
+	}
+
+	// Remote dispatch overlaps the local batch: peers compile their shards
+	// while this node runs its own plan.
+	var wg sync.WaitGroup
+	if len(remote) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runJobRemote(ctx, j, g, canonical, remote)
+		}()
+	}
+	s.runJobLocal(ctx, j, g, canonical, local)
+	wg.Wait()
+}
+
+// runJobLocal executes this node's share of a job as one prefix-shared
+// plan, inline on the runner goroutine (not through the admission pool: an
+// accepted job must finish even under synchronous load, and the plan's own
+// executor already bounds parallelism). OnOutcome streams each entry into
+// the job the moment its pass leaf finishes.
+func (s *Server) runJobLocal(ctx context.Context, j *job, g *sdf.Graph, canonical string, misses []*jobMiss) {
+	if len(misses) == 0 {
+		return
+	}
+	if s.testHookCompileStart != nil {
+		s.testHookCompileStart()
+	}
+	points := make([]core.Options, len(misses))
+	for i, m := range misses {
+		copts, err := coreOptions(m.norm)
+		if err != nil {
+			// normalize vetted every enum spelling; fail the whole local
+			// batch loudly rather than compile the wrong configuration.
+			apiErr := &APIError{Status: http.StatusInternalServerError, Reason: "bad_request",
+				Message: fmt.Sprintf("normalized options failed to convert: %v", err)}
+			for _, mm := range misses {
+				s.recordMiss(j, mm, "", apiErr)
+			}
+			return
+		}
+		points[i] = copts
+	}
+	cctx, cancel := context.WithTimeout(ctx, s.cfg.CompileTimeout)
+	defer cancel()
+	s.gridRuns.Inc()
+	plan, err := pass.NewPlan(g, points, pass.PlanConfig{
+		GraphKey: Digest(canonical, CompileOptions{}),
+		Store:    s.planStore(),
+		OnEvent: func(e pass.Event) {
+			if e.Enter {
+				s.gridNodes.With(e.Kind.String()).Inc()
+			}
+		},
+		OnOutcome: func(pt int, o pass.Outcome) {
+			m := misses[pt]
+			if o.Err != nil {
+				s.recordMiss(j, m, "", s.classifyCompileError(o.Err))
+				return
+			}
+			data, err := ArtifactBytes(o.Result, m.norm)
+			if err != nil {
+				s.recordMiss(j, m, "", s.classifyCompileError(err))
+				return
+			}
+			s.cache.put(m.digest, data)
+			s.recordMiss(j, m, "", nil)
+		},
+	})
+	if err != nil {
+		apiErr := s.classifyCompileError(err)
+		for _, m := range misses {
+			s.recordMiss(j, m, "", apiErr)
+		}
+		return
+	}
+	_ = plan.Run(cctx)
+	s.countLoads(plan.Stats())
+}
+
+// jobRemoteConcurrency bounds concurrent peer dispatches per job.
+const jobRemoteConcurrency = 4
+
+// runJobRemote dispatches each remote-owned miss to its effective owner and
+// locally compiles any entry whose dispatch failed — the rehash+fallback
+// half of fault tolerance. Fetched artifacts are cached locally so the
+// submitting node can serve every digest the job reports.
+func (s *Server) runJobRemote(ctx context.Context, j *job, g *sdf.Graph, canonical string, misses []*jobMiss) {
+	cn := s.cluster
+	sem := make(chan struct{}, jobRemoteConcurrency)
+	var (
+		wg       sync.WaitGroup
+		fellBack []*jobMiss
+		mu       sync.Mutex
+	)
+	for _, m := range misses {
+		wg.Add(1)
+		go func(m *jobMiss) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				mu.Lock()
+				fellBack = append(fellBack, m)
+				mu.Unlock()
+				return
+			}
+			defer func() { <-sem }()
+			dctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			data, peer, ok := cn.compileRemote(dctx, canonical, m.norm, m.digest)
+			cancel()
+			if ok {
+				s.cache.put(m.digest, data)
+				s.recordMiss(j, m, peer, nil)
+				return
+			}
+			mu.Lock()
+			fellBack = append(fellBack, m)
+			mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+	if len(fellBack) > 0 {
+		// Deterministic order for the fallback batch (dispatch goroutines
+		// finish in any order).
+		ordered := make([]*jobMiss, 0, len(fellBack))
+		for _, m := range misses {
+			for _, fb := range fellBack {
+				if fb == m {
+					ordered = append(ordered, m)
+					break
+				}
+			}
+		}
+		s.runJobLocal(ctx, j, g, canonical, ordered)
+	}
+}
+
+// SubmitGridJob POSTs one async grid job, returning the freshly created job
+// resource (state running).
+func (c *Client) SubmitGridJob(req GridRequest) (*JobResource, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.base()+"/v1/jobs/grid", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	body, err := c.do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	var out JobResource
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("sdfd: decoding job resource: %w", err)
+	}
+	return &out, nil
+}
+
+// Job fetches a job resource. wait > 0 long-polls until progress or the
+// wait elapses; offset/limit page the results by entry index (limit 0 means
+// no limit).
+func (c *Client) Job(id string, wait time.Duration, offset, limit int) (*JobResource, error) {
+	url := fmt.Sprintf("%s/v1/jobs/%s?offset=%d&limit=%d", c.base(), id, offset, limit)
+	if wait > 0 {
+		url += "&wait=" + wait.String()
+	}
+	httpReq, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	var out JobResource
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("sdfd: decoding job resource: %w", err)
+	}
+	return &out, nil
+}
+
+// AwaitJob long-polls a job until it is done or the deadline passes,
+// returning the final resource with all results loaded.
+func (c *Client) AwaitJob(id string, deadline time.Duration) (*JobResource, error) {
+	start := time.Now()
+	for {
+		j, err := c.Job(id, 2*time.Second, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		if j.State == JobStateDone {
+			return j, nil
+		}
+		if time.Since(start) > deadline {
+			return j, fmt.Errorf("sdfd: job %s still %s after %v (%d/%d entries)", id, j.State, deadline, j.Completed, j.Total)
+		}
+	}
+}

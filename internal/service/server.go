@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/check"
@@ -59,6 +60,19 @@ type Config struct {
 	// GridMaxEntries bounds how many option sets one POST /v1/grid request
 	// may carry. Default 64.
 	GridMaxEntries int
+	// MaxJobs bounds concurrently running async grid jobs; submissions
+	// beyond it are shed with 429. Default 8.
+	MaxJobs int
+	// JobMaxEntries bounds how many option sets one POST /v1/jobs/grid
+	// request may carry. Async jobs exist precisely for sweeps too large to
+	// hold a /v1/grid connection open, so the default is much higher: 4096.
+	JobMaxEntries int
+	// Cluster, when non-nil, makes this server one member of a sharded sdfd
+	// cluster: compile requests route to their digest's ring owner, cache
+	// misses attempt peer fetch before recompiling, and async jobs dispatch
+	// their entries across the membership (docs/SERVICE.md, "Cluster
+	// mode"). Nil runs the classic single-node daemon.
+	Cluster *ClusterConfig
 	// NodeStore is an already-opened persistent pass-node store
 	// (internal/nodestore). When non-nil, /v1/compile and /v1/grid consult
 	// it before executing each pass node and publish freshly computed
@@ -93,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GridMaxEntries <= 0 {
 		c.GridMaxEntries = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 8
+	}
+	if c.JobMaxEntries <= 0 {
+		c.JobMaxEntries = 4096
 	}
 	return c
 }
@@ -153,6 +173,18 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
+	// cluster is nil on a single-node server. clusterWG tracks the health
+	// monitor goroutine.
+	cluster   *clusterNode
+	clusterWG sync.WaitGroup
+
+	// jobs holds async grid jobs; jobsWG tracks their runner goroutines so
+	// a graceful drain can wait for in-flight jobs (AwaitJobs). draining
+	// gates new work while those jobs finish.
+	jobs     *jobStore
+	jobsWG   sync.WaitGroup
+	draining atomic.Bool
+
 	reg          *metrics.Registry
 	reqs         *metrics.CounterVec
 	reqSeconds   *metrics.HistogramVec
@@ -166,6 +198,7 @@ type Server struct {
 	gridNodes    *metrics.CounterVec
 	gridSaved    *metrics.Counter
 	storeLoads   *metrics.CounterVec
+	jobEntries   *metrics.CounterVec
 
 	// testHookCompileStart, when set, runs at the start of every pipeline
 	// job (inside the worker). Tests use it to hold workers busy so the
@@ -185,6 +218,7 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		baseCtx: ctx,
 		stop:    cancel,
+		jobs:    newJobStore(),
 		reg:     metrics.NewRegistry(),
 	}
 	s.reqs = s.reg.CounterVec("sdfd_http_requests_total",
@@ -209,6 +243,10 @@ func New(cfg Config) *Server {
 		"pass nodes executed by grid plans, by pass kind", "kind")
 	s.gridSaved = s.reg.Counter("sdfd_grid_shared_nodes_total",
 		"pass executions avoided by grid prefix sharing (naive minus planned)")
+	s.jobEntries = s.reg.CounterVec("sdfd_job_entries_total",
+		"async grid job entries reaching a terminal state, by state (ok, error)", "state")
+	s.reg.GaugeFunc("sdfd_jobs_inflight", "async grid jobs currently running",
+		func() float64 { return float64(s.jobs.inflight()) })
 	s.reg.GaugeFunc("sdfd_queue_depth", "admitted compilations waiting for a worker",
 		func() float64 { return float64(s.pool.Queued()) })
 	s.reg.GaugeFunc("sdfd_cache_entries", "artifacts currently cached",
@@ -230,6 +268,20 @@ func New(cfg Config) *Server {
 			func() float64 { return float64(ns.Stats().Entries) })
 		s.reg.GaugeFunc("sdfd_nodestore_bytes", "persistent pass-node store footprint in bytes",
 			func() float64 { return float64(ns.Stats().Bytes) })
+	}
+	if cfg.Cluster != nil {
+		cn := newClusterNode(*cfg.Cluster, s.reg)
+		s.cluster = cn
+		s.reg.GaugeFunc("sdfd_ring_owned_fraction",
+			"fraction of the digest keyspace this node effectively owns (alive-gated; rises when peers die)",
+			cn.ownedFraction)
+		s.reg.GaugeFunc("sdfd_cluster_peers_alive", "peers whose last healthz probe succeeded",
+			func() float64 { return float64(cn.mon.AliveCount()) })
+		s.clusterWG.Add(1)
+		go func() {
+			defer s.clusterWG.Done()
+			cn.mon.Run(s.baseCtx)
+		}()
 	}
 	return s
 }
@@ -303,11 +355,41 @@ func stageOfKind(k pass.Kind) string {
 	}
 }
 
-// Close stops accepting work, cancels in-flight compilations' contexts, and
-// waits for the worker pool to drain.
+// BeginDrain puts the server into draining mode: new compile, grid, and
+// job submissions are refused with the 503 shutting_down envelope, and
+// /healthz reports 503 so peers' health probes rotate this node out of the
+// ring. Already-running async jobs keep executing — pair with AwaitJobs to
+// give them a grace period, then Close. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// AwaitJobs blocks until every in-flight async job runner has finished or
+// ctx expires (returning ctx's error in that case). The drain sequence in
+// cmd/sdfd is BeginDrain -> AwaitJobs(deadline) -> Close.
+func (s *Server) AwaitJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting work, cancels in-flight compilations' contexts (job
+// runners see the cancellation and complete their remaining entries with
+// shutdown errors), and waits for the worker pool, job runners, and the
+// cluster health monitor to stop.
 func (s *Server) Close() {
 	s.stop()
 	s.pool.Close()
+	s.jobsWG.Wait()
+	s.clusterWG.Wait()
 }
 
 // Registry exposes the server's metrics registry (also served on /metrics).
@@ -315,16 +397,22 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/compile              compile (or fetch from cache) a graph
-//	POST /v1/grid                 compile one graph across many option sets
-//	GET  /v1/artifact/{digest}    re-fetch a cached artifact by digest
-//	GET  /healthz                 liveness probe
-//	GET  /metrics                 Prometheus text metrics
+//	POST /v1/compile                   compile (or fetch from cache) a graph
+//	POST /v1/grid                      compile one graph across many option sets
+//	POST /v1/jobs/grid                 submit an async grid job (202 + job resource)
+//	GET  /v1/jobs/{id}                 poll / long-poll a job (?wait=, ?offset=, ?limit=)
+//	GET  /v1/artifact/{digest}         re-fetch a cached artifact by digest
+//	GET  /v1/peer/artifact/{digest}    internal peer cache API (integrity headers)
+//	GET  /healthz                      liveness probe (503 while draining)
+//	GET  /metrics                      Prometheus text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/grid", s.instrument("grid", s.handleGrid))
+	mux.HandleFunc("POST /v1/jobs/grid", s.instrument("jobs_submit", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
 	mux.HandleFunc("GET /v1/artifact/{digest}", s.instrument("artifact", s.handleArtifact))
+	mux.HandleFunc("GET /v1/peer/artifact/{digest}", s.instrument("peer_artifact", s.handlePeerArtifact))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -376,6 +464,15 @@ func (s *Server) retryAfterSeconds() int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// 503 rotates this node out of peers' rings (healthz-gated
+		// membership) while the drain grace period runs down.
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":         "draining",
+			"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
@@ -390,6 +487,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
 	data, ok := s.cache.get(digest)
+	if !ok && s.cluster != nil {
+		// Cluster cache miss: the digest's shard very likely lives on a
+		// peer. Peer fetch re-verifies integrity against the wire checksum
+		// before the bytes enter this node's cache.
+		if fetched, peer, hit := s.cluster.fetchArtifact(r.Context(), digest); hit {
+			s.cache.put(digest, fetched)
+			w.Header().Set(servedByHeader, peer)
+			data, ok = fetched, true
+		}
+	}
 	if !ok {
 		s.writeError(w, &APIError{
 			Status: http.StatusNotFound, Reason: "not_found",
@@ -403,8 +510,9 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseCompileRequest decodes and validates the request, returning the
-// parsed graph, normalized options, and the content digest.
-func (s *Server) parseCompileRequest(w http.ResponseWriter, r *http.Request) (*sdf.Graph, CompileOptions, string, *APIError) {
+// parsed graph, its canonical text, normalized options, and the content
+// digest.
+func (s *Server) parseCompileRequest(w http.ResponseWriter, r *http.Request) (*sdf.Graph, string, CompileOptions, string, *APIError) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	var req CompileRequest
 	dec := json.NewDecoder(r.Body)
@@ -412,19 +520,19 @@ func (s *Server) parseCompileRequest(w http.ResponseWriter, r *http.Request) (*s
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return nil, CompileOptions{}, "", &APIError{
+			return nil, "", CompileOptions{}, "", &APIError{
 				Status: http.StatusRequestEntityTooLarge, Reason: "too_large",
 				Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes),
 			}
 		}
-		return nil, CompileOptions{}, "", &APIError{
+		return nil, "", CompileOptions{}, "", &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
 			Message: fmt.Sprintf("decoding request: %v", err),
 		}
 	}
 	canonical, err := sdfio.Canonicalize(req.Graph)
 	if err != nil {
-		return nil, CompileOptions{}, "", &APIError{
+		return nil, "", CompileOptions{}, "", &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
 			Message: fmt.Sprintf("parsing graph: %v", err),
 		}
@@ -433,31 +541,43 @@ func (s *Server) parseCompileRequest(w http.ResponseWriter, r *http.Request) (*s
 	if err != nil {
 		// Canonical text always re-parses; this is unreachable short of a
 		// serializer bug, but fail loudly rather than compile garbage.
-		return nil, CompileOptions{}, "", &APIError{
+		return nil, "", CompileOptions{}, "", &APIError{
 			Status: http.StatusInternalServerError, Reason: "bad_request",
 			Message: fmt.Sprintf("re-parsing canonical graph: %v", err),
 		}
 	}
 	norm, err := normalize(req.Options)
 	if err != nil {
-		return nil, CompileOptions{}, "", &APIError{
+		return nil, "", CompileOptions{}, "", &APIError{
 			Status: http.StatusBadRequest, Reason: "bad_request",
 			Message: fmt.Sprintf("options: %v", err),
 		}
 	}
-	return g, norm, Digest(canonical, norm), nil
+	return g, canonical, norm, Digest(canonical, norm), nil
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	g, norm, digest, apiErr := s.parseCompileRequest(w, r)
+	if s.draining.Load() {
+		s.shed.With("shutting_down").Inc()
+		s.writeError(w, &APIError{
+			Status: http.StatusServiceUnavailable, Reason: "shutting_down",
+			Message:           "server is shutting down",
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		})
+		return
+	}
+	g, canonical, norm, digest, apiErr := s.parseCompileRequest(w, r)
 	if apiErr != nil {
 		s.writeError(w, apiErr)
 		return
 	}
 	verify := r.URL.Query().Get("verify") == "1"
 
-	// Warm path: cache hit, no pipeline, no queueing. Verification always
-	// recompiles (the oracle needs the in-memory result), so it skips this.
+	// Warm path: cache hit, no pipeline, no queueing. Content addressing
+	// makes serving from the local cache correct on any cluster member —
+	// one digest is one byte sequence no matter who compiled it.
+	// Verification always recompiles (the oracle needs the in-memory
+	// result), so it skips this.
 	if !verify {
 		if data, ok := s.cache.get(digest); ok {
 			s.cacheHits.Inc()
@@ -467,6 +587,30 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.cacheMisses.Inc()
+	}
+
+	// Cluster routing, for cold plain compiles only (verify stays local —
+	// the oracle wants this node's own pipeline). Requests a peer already
+	// routed carry the forwarded marker and must be served here.
+	if cn := s.cluster; cn != nil && !verify && r.Header.Get(forwardedHeader) == "" {
+		if owner := cn.ownerOf(digest); owner != cn.cfg.Self {
+			// Wrong peer: proxy to the owner so its shard of the cache does
+			// the work. A non-definitive answer (owner died, is shedding,
+			// or is draining) degrades to compiling locally below.
+			if cn.proxyCompile(w, r, owner, canonical, norm, s.cfg.RequestTimeout) {
+				return
+			}
+		} else if data, peer, ok := cn.fetchArtifact(r.Context(), digest); ok {
+			// This node owns the digest but is cold (restart, membership
+			// change): a ranked fallback may still hold the artifact.
+			// Integrity was re-verified against the wire checksum.
+			s.cache.put(digest, data)
+			w.Header().Set(servedByHeader, peer)
+			s.writeJSON(w, http.StatusOK, &CompileResponse{
+				Digest: digest, Cached: true, Artifact: data,
+			})
+			return
+		}
 	}
 
 	// Cold path: join (or open) the flight for this digest. Verifying

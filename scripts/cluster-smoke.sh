@@ -1,0 +1,100 @@
+#!/bin/sh
+# cluster-smoke.sh boots a 3-node sdfd cluster on fixed local ports and runs
+# the cluster acceptance smoke (make cluster / the CI cluster job):
+#
+#   1. wait for every node's SDFD_READY line and for the membership to
+#      converge (each node's /metrics reports both peers alive),
+#   2. sdffuzz -daemon p1,p2,p3: differential replay round-robined over the
+#      peers, asserting every artifact is byte-identical to the in-process
+#      pipeline and cross-fetchable from a different peer,
+#   3. sdfload -addrs p1,p2,p3 -short -selfcheck: a multi-target saturation
+#      smoke with per-peer accounting cross-checked by the report selfcheck,
+#   4. SIGINT one node and assert it drains and exits cleanly.
+#
+# Requires bin/sdfd, bin/sdffuzz, bin/sdfload (make cluster builds them).
+set -eu
+
+BIN=${BIN:-bin}
+A1=127.0.0.1:18431
+A2=127.0.0.1:18432
+A3=127.0.0.1:18433
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill -INT "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+start_node() {
+    # $1 self address, $2 peer list, $3 log file
+    "$BIN/sdfd" -addr "$1" -peers "$2" -probe-interval 250ms -drain 20s \
+        >"$3.out" 2>"$3.err" &
+    pids="$pids $!"
+    eval "pid_$(echo "$1" | tr .: __)=$!"
+}
+
+wait_ready() {
+    i=0
+    while ! grep -q '^SDFD_READY' "$1.out" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: node $1 never printed SDFD_READY" >&2
+            cat "$1.err" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_alive() {
+    # Converged when the node's monitor sees both peers alive.
+    i=0
+    while :; do
+        n=$(curl -sf "http://$1/metrics" | awk '/^sdfd_cluster_peers_alive /{print $2}') || n=""
+        [ "$n" = "2" ] && return 0
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: node $1 never saw both peers alive (got '$n')" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "cluster-smoke: starting 3 nodes ($A1 $A2 $A3)"
+start_node "$A1" "$A2,$A3" "$workdir/n1"
+start_node "$A2" "$A1,$A3" "$workdir/n2"
+start_node "$A3" "$A1,$A2" "$workdir/n3"
+wait_ready "$workdir/n1"
+wait_ready "$workdir/n2"
+wait_ready "$workdir/n3"
+wait_alive "$A1"
+wait_alive "$A2"
+wait_alive "$A3"
+echo "cluster-smoke: membership converged"
+
+echo "cluster-smoke: differential replay across the cluster"
+"$BIN/sdffuzz" -daemon "$A1,$A2,$A3" -n 12 -seed 1
+
+echo "cluster-smoke: multi-target load smoke"
+"$BIN/sdfload" -addrs "$A1,$A2,$A3" -short -selfcheck -label cluster \
+    -out "$workdir/LOAD_cluster.json"
+
+echo "cluster-smoke: draining one node"
+kill -INT "$pid_127_0_0_1_18431"
+if ! wait "$pid_127_0_0_1_18431"; then
+    echo "cluster-smoke: drained node exited non-zero" >&2
+    cat "$workdir/n1.err" >&2 || true
+    exit 1
+fi
+pids="$pid_127_0_0_1_18432 $pid_127_0_0_1_18433"
+
+# The survivors keep serving after the drain (rehash onto the remaining ring).
+curl -sf "http://$A2/healthz" >/dev/null
+curl -sf "http://$A3/healthz" >/dev/null
+echo "cluster-smoke: ok"
