@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet lint lint-fast test race race-full race-service grid incremental cluster tier1 bench bench-json fuzz-short serve load load-short bench-compare
+.PHONY: all build vet lint lint-fast test race race-full race-service grid incremental cluster parallel tier1 bench bench-json fuzz-short serve load load-short bench-compare
 
 all: tier1
 
@@ -57,6 +57,16 @@ incremental:
 	$(GO) test -race -run 'TestStore|TestNodeStore|TestCodec|TestKind|TestDecode|TestPlanSecondRun|TestPlanGarbage' ./internal/pass/... ./internal/service/...
 	$(GO) test -race -count=2 ./internal/nodestore/...
 	cd cmd/sdffuzz && $(GO) run . -store -n 25 -seed 1
+
+# parallel validates the partitioned runtime under the race detector: the
+# partition/segment suites (including the 200-graph phased-vs-sequential
+# differential), the barrier and phased-engine packages (real worker
+# goroutines every period), the partition invariant oracles, and the
+# fuzzer's partitioned grid sweep with its P=1 byte-identity check.
+parallel:
+	$(GO) test -race ./internal/partition/... ./internal/par/... ./internal/runtime/... ./internal/sim/...
+	$(GO) test -race -run 'TestPartition|TestPhased|TestCorrupted|TestThreaded|TestPipelineCleanPartitioned' ./internal/check/...
+	$(GO) run ./cmd/sdffuzz -n 50 -seed 2
 
 # cluster is the sharded-daemon gate: the ring/peer-fetch/job/drain suites
 # under the race detector (service + cluster packages), then a real 3-node

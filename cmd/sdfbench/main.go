@@ -12,6 +12,7 @@
 //	sdfbench -experiment merging       # Sec. 12 buffer-merging extension
 //	sdfbench -experiment tradeoff      # code-size vs buffer-memory frontier
 //	sdfbench -experiment exact         # heuristics vs exhaustive optimum
+//	sdfbench -experiment parallel      # partitioned memory vs worker count P
 //	sdfbench -experiment all
 //
 // -quick reduces population sizes for a fast smoke run.
@@ -51,8 +52,14 @@ import (
 	"math/rand"
 )
 
+// benchSchema versions the BENCH_<date>.json trajectory file. Bump it when a
+// section's meaning changes (not when sections are added — -compare already
+// ignores sections the other file lacks).
+const benchSchema = "sdfbench/v2"
+
 // benchReport is the schema of the BENCH_<date>.json trajectory file.
 type benchReport struct {
+	Schema     string       `json:"schema"`
 	Date       string       `json:"date"`
 	GoVersion  string       `json:"go_version"`
 	GoMaxProcs int          `json:"gomaxprocs"`
@@ -81,6 +88,11 @@ type benchReport struct {
 	// single-actor-edit scenario: cold compile of a 150-actor random graph
 	// into an empty store versus warm recompile after renaming one actor.
 	Incremental *benchIncremental `json:"incremental,omitempty"`
+	// Parallel tracks the partitioned runtime per (system, P): the segmented
+	// image's memory ratio over the sequential shared total, and wall time
+	// per period of the barrier-phased engine against the sequential engine
+	// with synthetic per-firing work.
+	Parallel []benchParallel `json:"parallel,omitempty"`
 }
 
 type benchPhase struct {
@@ -135,6 +147,17 @@ type benchIncremental struct {
 	Speedup      float64 `json:"speedup"`    // cold ns / warm ns
 }
 
+type benchParallel struct {
+	System         string  `json:"system"`
+	Workers        int     `json:"workers"`
+	Phases         int     `json:"phases"`
+	SegmentedTotal int64   `json:"segmented_total"`
+	MemoryRatio    float64 `json:"memory_ratio"`
+	SeqNS          int64   `json:"seq_ns"`
+	PhasedNS       int64   `json:"phased_ns"`
+	Speedup        float64 `json:"speedup"`
+}
+
 func main() {
 	fs := flag.NewFlagSet("sdfbench", flag.ContinueOnError)
 	var (
@@ -162,6 +185,7 @@ func main() {
 	}
 
 	report := &benchReport{
+		Schema:     benchSchema,
 		Date:       time.Now().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -341,6 +365,15 @@ func main() {
 		return nil
 	})
 
+	run("parallel", func() error {
+		rows, err := experiments.ParallelMemory(systems.Table1Systems(), []int{2, 4})
+		if err != nil {
+			return err
+		}
+		emit("parallel", rows, func() string { return experiments.FormatParallel(rows) })
+		return nil
+	})
+
 	run("merging", func() error {
 		rows, err := experiments.Merging(systems.Table1Systems())
 		if err != nil {
@@ -425,6 +458,10 @@ func writeBenchFile(report *benchReport, path string, quick bool) error {
 	}
 
 	if err := benchIncrementalSection(report); err != nil {
+		return err
+	}
+
+	if err := benchParallelSection(report, microBudget, quick); err != nil {
 		return err
 	}
 
@@ -577,6 +614,47 @@ func benchIncrementalSection(report *benchReport) error {
 		inc.Speedup = float64(inc.ColdNS) / float64(inc.WarmNS)
 	}
 	report.Incremental = inc
+	return nil
+}
+
+// benchParallelSection tracks the partitioned runtime on two multirate
+// systems: per worker count, the segmented image's memory price and the
+// barrier-phased engine's wall time per period against the sequential engine.
+// Each firing burns a fixed arithmetic loop so the barrier cost is weighed
+// against actor work the way a deployment would see it; the speedup
+// trajectory catches both barrier regressions and segment-routing bloat.
+func benchParallelSection(report *benchReport, budget time.Duration, quick bool) error {
+	workers := []int{2, 4}
+	const workIters = 256
+	graphs := []*sdf.Graph{systems.SatelliteReceiver(), systems.CDDAT()}
+	if quick {
+		graphs = graphs[:1]
+	}
+	for _, g := range graphs {
+		mem, err := experiments.ParallelMemory([]*sdf.Graph{g}, workers)
+		if err != nil {
+			return err
+		}
+		sp, err := experiments.ParallelSpeedup(g, workers, workIters, budget)
+		if err != nil {
+			return err
+		}
+		for i, pt := range mem[0].Points {
+			row := benchParallel{
+				System:         g.Name,
+				Workers:        pt.Workers,
+				Phases:         pt.Phases,
+				SegmentedTotal: pt.SegmentedTotal,
+				MemoryRatio:    pt.MemoryRatio,
+				SeqNS:          sp.SeqNS,
+			}
+			if i < len(sp.Points) {
+				row.PhasedNS = sp.Points[i].WallNS
+				row.Speedup = sp.Points[i].Speedup
+			}
+			report.Parallel = append(report.Parallel, row)
+		}
+	}
 	return nil
 }
 

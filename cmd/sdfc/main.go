@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lifetime"
 	"repro/internal/nodestore"
+	"repro/internal/partition"
 	"repro/internal/pass"
 	"repro/internal/regularity"
 	"repro/internal/sdf"
@@ -48,7 +49,9 @@ func main() {
 		loopingF  = fs.String("looping", "sdppo", "loop hierarchy: sdppo | dppo | chain | flat")
 		allocF    = fs.String("alloc", "ffdur,ffstart", "comma-separated allocators: ffdur | ffstart | bfdur")
 		emitC     = fs.String("emit-c", "", "write generated C implementation to this file")
+		emitTC    = fs.String("emit-threaded-c", "", "write generated pthread C implementation to this file (needs -partitions >= 2)")
 		emitVHDL  = fs.String("emit-vhdl", "", "write generated behavioral VHDL to this file")
+		partsF    = fs.Int("partitions", 0, "compile a P-way barrier-phased parallel schedule (0/1 = sequential)")
 		verify    = fs.Bool("verify", true, "run the token-level shared-memory simulator")
 		doMerge   = fs.Bool("merge", false, "apply the Sec. 12 buffer-merging extension")
 		chart     = fs.Bool("chart", false, "print the buffer lifetime chart and memory map")
@@ -84,12 +87,13 @@ func main() {
 			Allocators: splitAllocators(*allocF),
 			Verify:     *verify,
 			Merging:    *doMerge,
-			EmitC:      *emitC != "",
+			Partitions: *partsF,
+			EmitC:      *emitC != "" || *emitTC != "",
 			EmitVHDL:   *emitVHDL != "",
-		}, *emitC, *emitVHDL, *quiet)
+		}, *emitC, *emitTC, *emitVHDL, *quiet)
 		return
 	}
-	opts := core.Options{Verify: *verify, Merging: *doMerge}
+	opts := core.Options{Verify: *verify, Merging: *doMerge, Partitions: *partsF}
 	switch *strategy {
 	case "rpmc":
 		opts.Strategy = core.RPMC
@@ -163,6 +167,18 @@ func main() {
 		fmt.Printf("with merging : %d cells (%d buffer pairs folded)\n",
 			res.Metrics.MergedTotal, res.Metrics.Merges)
 	}
+	if res.Partition != nil {
+		fmt.Printf("partitioned  : %d workers, %d phases/period, %d cells segmented (%.2fx sequential)\n",
+			res.Partition.P, res.Partition.NumPhases, res.Segmented.Total,
+			float64(res.Segmented.Total)/float64(max64(res.Metrics.SharedTotal, 1)))
+		for _, s := range res.Segmented.Segments {
+			owner := fmt.Sprintf("worker %d", s.Worker)
+			if s.Worker == partition.SharedWorker {
+				owner = "shared"
+			}
+			fmt.Printf("  segment [%6d,%6d)  %s\n", s.Base, s.Base+s.Cells, owner)
+		}
+	}
 
 	if *emitC != "" {
 		src := codegen.GenerateC(res)
@@ -170,6 +186,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *emitC, len(src))
+	}
+	if *emitTC != "" {
+		src := codegen.GenerateThreadedC(res)
+		if src == "" {
+			fatal(fmt.Errorf("-emit-threaded-c needs -partitions >= 2"))
+		}
+		if err := os.WriteFile(*emitTC, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *emitTC, len(src))
 	}
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
@@ -223,7 +249,7 @@ func splitAllocators(s string) []string {
 
 // runRemote delegates the compilation to an sdfd daemon and prints the same
 // summary the local path does, reconstructed from the JSON artifact.
-func runRemote(addr string, g *sdf.Graph, opts service.CompileOptions, emitC, emitVHDL string, quiet bool) {
+func runRemote(addr string, g *sdf.Graph, opts service.CompileOptions, emitC, emitTC, emitVHDL string, quiet bool) {
 	text, err := sdfio.CanonicalString(g)
 	if err != nil {
 		fatal(err)
@@ -267,11 +293,32 @@ func runRemote(addr string, g *sdf.Graph, opts service.CompileOptions, emitC, em
 		fmt.Printf("with merging : %d cells (%d buffer pairs folded)\n",
 			art.Metrics.MergedTotal, art.Metrics.Merges)
 	}
+	if art.Partition != nil {
+		fmt.Printf("partitioned  : %d workers, %d phases/period, %d cells segmented (%.2fx sequential)\n",
+			art.Partition.Workers, art.Partition.Phases, art.Partition.ParallelTotal,
+			float64(art.Partition.ParallelTotal)/float64(max64(art.Partition.SASTotal, 1)))
+		for _, s := range art.Partition.Segments {
+			owner := fmt.Sprintf("worker %d", s.Worker)
+			if s.Worker == partition.SharedWorker {
+				owner = "shared"
+			}
+			fmt.Printf("  segment [%6d,%6d)  %s\n", s.Base, s.Base+s.Cells, owner)
+		}
+	}
 	if emitC != "" {
 		if err := os.WriteFile(emitC, []byte(art.C), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", emitC, len(art.C))
+	}
+	if emitTC != "" {
+		if art.ThreadedC == "" {
+			fatal(fmt.Errorf("-emit-threaded-c needs -partitions >= 2"))
+		}
+		if err := os.WriteFile(emitTC, []byte(art.ThreadedC), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", emitTC, len(art.ThreadedC))
 	}
 	if emitVHDL != "" {
 		if err := os.WriteFile(emitVHDL, []byte(art.VHDL), 0o644); err != nil {
@@ -340,6 +387,13 @@ func builtinNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func fatal(err error) {

@@ -161,6 +161,7 @@ func wireConfigs(configs []check.PipelineConfig) []service.CompileOptions {
 		}
 		out = append(out, service.CompileOptions{
 			Strategy: strat, Looping: looping, Allocators: allocators,
+			Partitions: cfg.Partitions,
 		})
 	}
 	return out

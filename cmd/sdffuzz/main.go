@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/randsdf"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
+	"repro/internal/service"
 )
 
 func main() {
@@ -141,7 +143,56 @@ func (f *fuzzer) run(n int) {
 				f.report(g, f.configs[ci], err)
 			}
 		}
+		switch err := partitionIdentity(g); classify(err) {
+		case verdictOK:
+		case verdictSkip:
+			f.skipped++
+		case verdictFail:
+			f.violations++
+			f.reportIdentity(g, err)
+		}
 	}
+}
+
+// partitionIdentity asserts that worker counts below 2 are invisible:
+// compiling with partitions=1 must produce service artifact bytes identical
+// to the plain sequential pipeline's.
+func partitionIdentity(g *sdf.Graph) error {
+	a, _, err := service.CompileArtifact(g, service.CompileOptions{})
+	if err != nil {
+		return err
+	}
+	b, _, err := service.CompileArtifact(g, service.CompileOptions{Partitions: 1})
+	if err != nil {
+		return fmt.Errorf("compiling with partitions=1: %w", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("p1-identity: artifact with partitions=1 differs from the sequential artifact (%d vs %d bytes)",
+			len(b), len(a))
+	}
+	return nil
+}
+
+// reportIdentity shrinks and records a P=1 identity failure; the bucket is
+// config-independent because the property quantifies over default options.
+func (f *fuzzer) reportIdentity(g *sdf.Graph, err error) {
+	const bucket = "p1-identity"
+	fmt.Fprintf(os.Stderr, "sdffuzz: VIOLATION [%s] on %d-actor graph: %v\n", bucket, g.NumActors(), err)
+	if f.seen[bucket] {
+		return
+	}
+	f.seen[bucket] = true
+	min, minErr := shrinkWith(g, err, func(cand *sdf.Graph) (error, bool) {
+		cerr := partitionIdentity(cand)
+		return cerr, cerr != nil && !isOverflow(cerr)
+	})
+	path, werr := writeCrasher(f.crashDir, bucket, min, check.PipelineConfig{}, minErr)
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "sdffuzz: writing crasher: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sdffuzz: minimized to %d actors / %d edges -> %s\n",
+		min.NumActors(), min.NumEdges(), path)
 }
 
 // planGrid compiles g's full configuration grid through the prefix-sharing

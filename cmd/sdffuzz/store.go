@@ -51,7 +51,7 @@ func storePoints(configs []check.PipelineConfig) []storePoint {
 		}
 		out = append(out, storePoint{
 			popt: cfg.Options(),
-			wopt: service.CompileOptions{Strategy: strat, Looping: looping, Allocators: allocators},
+			wopt: service.CompileOptions{Strategy: strat, Looping: looping, Allocators: allocators, Partitions: cfg.Partitions},
 		})
 	}
 	return out

@@ -14,12 +14,14 @@ import (
 // test flag) and normalizes that path before the golden comparison.
 func TestGolden(t *testing.T) {
 	cfile := filepath.Join(t.TempDir(), "satrec.c")
+	mtfile := filepath.Join(t.TempDir(), "satrec_mt.c")
 	oldArgs := os.Args
-	os.Args = []string{"satellite", cfile}
+	os.Args = []string{"satellite", cfile, mtfile}
 	defer func() { os.Args = oldArgs }()
 
 	out := goldentest.CaptureStdout(t, main)
 	out = strings.ReplaceAll(out, cfile, "satrec_generated.c")
+	out = strings.ReplaceAll(out, mtfile, "satrec_threaded.c")
 	goldentest.Compare(t, "testdata/golden.txt", out)
 
 	src, err := os.ReadFile(cfile)
@@ -29,6 +31,16 @@ func TestGolden(t *testing.T) {
 	for _, want := range []string{"#define MEM_SIZE", "int main(void)"} {
 		if !strings.Contains(string(src), want) {
 			t.Errorf("generated C lacks %q", want)
+		}
+	}
+
+	mt, err := os.ReadFile(mtfile)
+	if err != nil {
+		t.Fatalf("generated threaded C file missing: %v", err)
+	}
+	for _, want := range []string{"#define WORKERS 2", "pthread_create", "barrier"} {
+		if !strings.Contains(string(mt), want) {
+			t.Errorf("generated threaded C lacks %q", want)
 		}
 	}
 }

@@ -37,6 +37,8 @@ const (
 	StageMemory      Stage = "memory"
 	StageCodegen     Stage = "codegen"
 	StageRuntime     Stage = "runtime"
+	StagePartition   Stage = "partition"
+	StageSegments    Stage = "segments"
 )
 
 // Violation is a stage-attributed oracle failure. Rule names the invariant

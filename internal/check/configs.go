@@ -16,17 +16,28 @@ type PipelineConfig struct {
 	Strategy   core.OrderStrategy
 	Looping    core.LoopAlg
 	Allocators []alloc.Strategy
+	// Partitions >= 2 compiles a P-way phased parallel schedule alongside the
+	// sequential one; Pipeline then also runs the partition-stage oracles.
+	Partitions int
 }
 
 // String names the configuration the way crash reports reference it.
 func (c PipelineConfig) String() string {
+	if c.Partitions >= 2 {
+		return fmt.Sprintf("%v+%v+p%d", c.Strategy, c.Looping, c.Partitions)
+	}
 	return fmt.Sprintf("%v+%v", c.Strategy, c.Looping)
 }
 
 // Options converts the configuration into compiler options. Verification is
-// left off: the oracle re-runs the token-level simulator itself.
+// left off: the oracle re-runs the token-level simulators itself.
 func (c PipelineConfig) Options() core.Options {
-	return core.Options{Strategy: c.Strategy, Looping: c.Looping, Allocators: c.Allocators}
+	return core.Options{
+		Strategy:   c.Strategy,
+		Looping:    c.Looping,
+		Allocators: c.Allocators,
+		Partitions: c.Partitions,
+	}
 }
 
 // Run compiles the graph under this configuration and runs the full Pipeline
@@ -42,7 +53,9 @@ func (c PipelineConfig) Run(g *sdf.Graph, opt Options) error {
 }
 
 // PipelineConfigs enumerates the full grid: both ordering heuristics times
-// all four loop-hierarchy algorithms, each carrying all three allocators.
+// all four loop-hierarchy algorithms, each carrying all three allocators,
+// plus the partitioned points — both heuristics at P in {2, 4} for two loop
+// algorithms, and one three-way point to keep an odd worker count in play.
 func PipelineConfigs() []PipelineConfig {
 	allocators := []alloc.Strategy{alloc.FirstFitDuration, alloc.FirstFitStart, alloc.BestFitDuration}
 	var out []PipelineConfig
@@ -51,5 +64,13 @@ func PipelineConfigs() []PipelineConfig {
 			out = append(out, PipelineConfig{Strategy: strat, Looping: la, Allocators: allocators})
 		}
 	}
+	for _, strat := range []core.OrderStrategy{core.APGAN, core.RPMC} {
+		for _, la := range []core.LoopAlg{core.SDPPOLoops, core.FlatLoops} {
+			for _, p := range []int{2, 4} {
+				out = append(out, PipelineConfig{Strategy: strat, Looping: la, Allocators: allocators, Partitions: p})
+			}
+		}
+	}
+	out = append(out, PipelineConfig{Strategy: core.APGAN, Looping: core.SDPPOLoops, Allocators: allocators, Partitions: 3})
 	return out
 }

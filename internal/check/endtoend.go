@@ -299,5 +299,11 @@ func Pipeline(res *core.Result, opt Options) error {
 	if err := Codegen(res); err != nil {
 		return err
 	}
-	return Runtime(res)
+	if err := Runtime(res); err != nil {
+		return err
+	}
+	if res.Partition != nil {
+		return partitionPipeline(res, opt)
+	}
+	return nil
 }

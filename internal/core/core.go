@@ -71,13 +71,15 @@ type Metrics = pass.Metrics
 // loop-hierarchy DP, then lifetime extraction and storage allocation;
 // verify and merge fire only when the corresponding option is set.
 const (
-	StageSchedule = pass.StageSchedule
-	StageLoopDP   = pass.StageLoopDP
-	StageLifetime = pass.StageLifetime
-	StageAlloc    = pass.StageAlloc
-	StageVerify   = pass.StageVerify
-	StageMerge    = pass.StageMerge
-	StageDone     = pass.StageDone
+	StageSchedule  = pass.StageSchedule
+	StageLoopDP    = pass.StageLoopDP
+	StageLifetime  = pass.StageLifetime
+	StageAlloc     = pass.StageAlloc
+	StagePartition = pass.StagePartition
+	StageSegments  = pass.StageSegments
+	StageVerify    = pass.StageVerify
+	StageMerge     = pass.StageMerge
+	StageDone      = pass.StageDone
 )
 
 // Compile runs the full flow on a consistent SDF graph.

@@ -28,6 +28,11 @@ func TestPipelineOutputDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		b.WriteString(FormatDynamic(dyn))
+		par, err := ParallelMemory(smallSet(), []int{2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(FormatParallel(par))
 		res, err := core.Compile(systems.SatelliteReceiver(), core.Options{
 			Strategy:   core.APGAN,
 			Looping:    core.SDPPOLoops,

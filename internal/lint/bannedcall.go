@@ -19,6 +19,11 @@ var BannedCall = &Analyzer{
 		"internal/sdf", "internal/sched", "internal/looping", "internal/lifetime",
 		"internal/alloc", "internal/codegen", "internal/check", "internal/core",
 		"internal/pass",
+		// Partitioning must be deterministic like the rest of the pipeline:
+		// the P-way assignment and the segmented layout are part of the
+		// artifact bytes, so the same graph + worker count must partition
+		// identically on every run.
+		"internal/partition",
 		// The load harness and its histogram must also be clock-free: all
 		// timing flows through the injected load.Clock, so a load report is
 		// a pure function of (config, server behavior, clock) and the hdr

@@ -34,6 +34,10 @@ var CtxLeak = &Analyzer{
 	Packages: []string{
 		"internal/service", "internal/service/metrics", "internal/load", "internal/par",
 		"internal/cluster",
+		// The phased engine and simulator spawn one goroutine per worker
+		// every period; each must be joined at the phase barrier or the
+		// period's WaitGroup.
+		"internal/partition", "internal/runtime", "internal/sim",
 	},
 	RunModule: runCtxLeak,
 }

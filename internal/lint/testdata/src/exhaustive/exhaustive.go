@@ -102,6 +102,8 @@ const (
 	KindSchedule
 	KindLifetimes
 	KindAlloc
+	KindPartition
+	KindSegalloc
 	KindAssemble
 )
 
@@ -117,6 +119,10 @@ func kindMissing(k Kind) string {
 		return "lifetimes"
 	case KindAlloc:
 		return "alloc"
+	case KindPartition:
+		return "partition"
+	case KindSegalloc:
+		return "segalloc"
 	}
 	return ""
 }
@@ -133,6 +139,10 @@ func kindCovered(k Kind) string {
 		return "lifetimes"
 	case KindAlloc:
 		return "alloc"
+	case KindPartition:
+		return "partition"
+	case KindSegalloc:
+		return "segalloc"
 	case KindAssemble:
 		return "assemble"
 	default:
@@ -158,6 +168,10 @@ func kindTagStyle(k Kind) string {
 		return "life"
 	case KindAlloc:
 		return "allocpt"
+	case KindPartition:
+		return "part"
+	case KindSegalloc:
+		return "seg"
 	case KindAssemble:
 		panic("assembled results are never stored")
 	}
@@ -176,6 +190,10 @@ func kindTagMissing(k Kind) string {
 		return "sched"
 	case KindAlloc:
 		return "allocpt"
+	case KindPartition:
+		return "part"
+	case KindSegalloc:
+		return "seg"
 	}
 	panic("unreachable")
 }

@@ -1,0 +1,60 @@
+package par
+
+import "sync"
+
+// Barrier is a reusable (cyclic) synchronization barrier for a fixed party
+// count: every party calls Await, nobody proceeds until all parties have
+// arrived, and the barrier then resets for the next cycle. It is the
+// synchronization primitive of the barrier-phased parallel executors
+// (internal/sim phased memory simulation, internal/runtime phased engine):
+// one Await per worker per phase gives the write-then-barrier-then-read
+// ordering the per-segment allocation relies on.
+//
+// The implementation is clock-free (bannedcall-clean) and allocation-free
+// per cycle: a mutex + condition variable with a generation counter, the
+// textbook cyclic-barrier shape. A Barrier must not be copied after first
+// use.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for the given number of parties. It panics
+// when parties < 1: a zero-party barrier has no well-defined trip point.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("par: NewBarrier requires at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties reports the fixed party count the barrier was built for.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Await blocks until all parties have called Await in the current cycle,
+// then releases every waiter and resets the barrier for the next cycle.
+// Everything a party did before its Await happens-before everything any
+// party does after the corresponding release (the mutex carries the
+// ordering), which is exactly the cross-worker visibility guarantee the
+// phased executors need between a producing and a consuming phase.
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

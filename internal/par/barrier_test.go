@@ -1,0 +1,83 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierSinglePartyNeverBlocks(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 1000; i++ {
+		b.Await() // would deadlock the test if a 1-party barrier waited
+	}
+	if b.Parties() != 1 {
+		t.Fatalf("Parties() = %d, want 1", b.Parties())
+	}
+}
+
+func TestBarrierPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+// TestBarrierPhaseOrdering drives P workers through many phases and checks
+// the defining invariant: no worker enters phase k+1 before every worker has
+// finished phase k. Each worker increments a per-phase arrival counter
+// before Await and asserts the counter is full after.
+func TestBarrierPhaseOrdering(t *testing.T) {
+	const parties, phases = 8, 200
+	b := NewBarrier(parties)
+	arrived := make([]atomic.Int64, phases)
+	var wg sync.WaitGroup
+	errs := make([]string, parties)
+	for w := 0; w < parties; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				arrived[ph].Add(1)
+				b.Await()
+				if got := arrived[ph].Load(); got != parties {
+					errs[w] = "worker saw incomplete phase"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, e := range errs {
+		if e != "" {
+			t.Fatalf("worker %d: %s", w, e)
+		}
+	}
+}
+
+// TestBarrierCyclicReuse checks the generation logic across cycles with
+// parties arriving in shifting orders: a stale waiter from cycle k must not
+// be released by cycle k+1's trip, and the barrier must reset cleanly.
+func TestBarrierCyclicReuse(t *testing.T) {
+	const parties, cycles = 3, 500
+	b := NewBarrier(parties)
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parties; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < cycles; c++ {
+				sum.Add(int64(w + 1))
+				b.Await()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 1+2+3 per cycle.
+	if got, want := sum.Load(), int64(6*cycles); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,335 @@
+// Package partition turns a compiled uniprocessor schedule into a
+// deterministic P-way phased schedule for the barrier-synchronized parallel
+// runtime: actors are leveled over the precedence graph (longest path), each
+// level becomes one barrier-delimited phase, and a list heuristic with a
+// load-balance cost model assigns actors to workers. Within one phase a
+// worker fires each of its actors for its full repetitions count; between
+// phases every worker passes a barrier, so a cross-worker edge is always
+// written in one phase and read in a strictly later one — the
+// write-then-barrier-then-read discipline the per-segment allocation
+// (segment.go) and the phased executors (internal/sim, internal/runtime)
+// rely on.
+//
+// Two structural invariants hold by construction and are re-checked by
+// internal/check:
+//
+//   - Every precedence edge strictly crosses phases (level(dst) > level(src)),
+//     so a consumer's phase starts only after its producers' phase's barrier.
+//   - Actors joined by a same-level edge are clustered onto one worker
+//     (union-find), so every same-phase edge is intra-worker and its FIFO
+//     bookkeeping is touched by exactly one goroutine per phase.
+//
+// Delay-broken edges (delay >= total consumed per period) never impose
+// precedence: their consumer can fire a whole period on initial tokens, so
+// they may stay inside a level or even point "backward" across levels; either
+// way their endpoint firings are barrier- or worker-ordered.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/num"
+	"repro/internal/sdf"
+)
+
+// Block is one contiguous run of firings inside a phase: Count consecutive
+// firings of Actor. The phased schedule fires each actor's entire period
+// (Count = q(Actor)) inside its single phase.
+type Block struct {
+	Actor sdf.ActorID
+	Count int64
+}
+
+// Phase is one barrier-delimited step: Workers[w] holds worker w's firing
+// blocks, executed in order. All workers run their lists concurrently; the
+// phase ends when every worker reaches the barrier.
+type Phase struct {
+	Workers [][]Block
+}
+
+// Partitioned is the P-way phased schedule. Assign and PhaseOf are the
+// canonical encoding (Phases and Load are derived deterministically from
+// them plus the graph, see Rebuild).
+type Partitioned struct {
+	// P is the worker count (>= 1).
+	P int
+	// NumPhases is the number of barrier-delimited phases.
+	NumPhases int
+	// Assign maps each actor to its worker in [0, P).
+	Assign []int
+	// PhaseOf maps each actor to its phase (its precedence level).
+	PhaseOf []int
+	// Phases holds the per-phase, per-worker firing blocks.
+	Phases []Phase
+	// Load is the summed firing cost per worker (the list heuristic's
+	// balance objective).
+	Load []int64
+}
+
+// String summarizes the partitioning for diagnostics: worker count, phase
+// count, and the load spread.
+func (p *Partitioned) String() string {
+	var lo, hi int64
+	for i, l := range p.Load {
+		if i == 0 || l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return fmt.Sprintf("P=%d phases=%d load=[%d..%d]", p.P, p.NumPhases, lo, hi)
+}
+
+// Run partitions a compiled schedule across p workers. order must be a
+// topological order of the precedence graph (the Order pass artifact); q the
+// repetitions vector. p >= 1; p = 1 yields a single worker that fires the
+// whole period phase by phase.
+//
+// The heuristic: longest-path levels over precedence edges give the phases;
+// same-level actors connected by an edge are merged into clusters
+// (union-find); clusters are assigned in (level asc, cost desc, min-actor-ID
+// asc) order to the currently least-loaded worker, cost(a) = q(a) * (1 +
+// sum of input consume rates + sum of output produce rates). All arithmetic
+// is overflow-checked (errors wrap num.ErrOverflow).
+func Run(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID, p int) (*Partitioned, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("partition: worker count must be >= 1, got %d", p)
+	}
+	n := g.NumActors()
+	if len(order) != n || len(q) != n {
+		return nil, fmt.Errorf("partition: order/repetitions length mismatch (%d actors, %d order, %d q)",
+			n, len(order), len(q))
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, a := range order {
+		if a < 0 || int(a) >= n || pos[a] != -1 {
+			return nil, fmt.Errorf("partition: order is not a permutation of the actors")
+		}
+		pos[a] = i
+	}
+
+	// Longest-path levels over precedence edges. order topologically sorts
+	// the precedence graph, so one pass in order sequence sees every
+	// precedence predecessor before its successor.
+	level := make([]int, n)
+	for _, a := range order {
+		lv := 0
+		for _, eid := range g.In(a) {
+			if !sdf.PrecedenceEdge(g, q, eid) {
+				continue
+			}
+			src := g.Edge(eid).Src
+			if pos[src] >= pos[a] {
+				return nil, fmt.Errorf("partition: order violates precedence edge %d (%d before %d)",
+					eid, a, src)
+			}
+			if l := level[src] + 1; l > lv {
+				lv = l
+			}
+		}
+		level[a] = lv
+	}
+
+	// Cluster same-level neighbours so every same-phase edge stays on one
+	// worker. Precedence edges always cross levels, so only delay-broken
+	// edges ever union; a cluster lies entirely within one level.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges() {
+		if level[e.Src] == level[e.Dst] {
+			ra, rb := find(int(e.Src)), find(int(e.Dst))
+			if ra != rb {
+				if ra > rb { // deterministic: smaller actor ID becomes the root
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+
+	cost, err := actorCosts(g, q)
+	if err != nil {
+		return nil, err
+	}
+
+	byRoot := make(map[int]*cluster)
+	var clusters []*cluster
+	for _, a := range g.Actors() {
+		r := find(int(a.ID))
+		cl := byRoot[r]
+		if cl == nil {
+			cl = &cluster{level: level[a.ID], minID: int(a.ID)}
+			byRoot[r] = cl
+			clusters = append(clusters, cl)
+		}
+		if int(a.ID) < cl.minID {
+			cl.minID = int(a.ID)
+		}
+		if cl.cost, err = num.CheckedAdd(cl.cost, cost[a.ID]); err != nil {
+			return nil, fmt.Errorf("partition: cluster cost: %w", err)
+		}
+	}
+	// Deterministic list order: level ascending, cost descending, min actor
+	// ID ascending. clusters was built by iterating actors in ID order, so
+	// the pre-sort order is already deterministic.
+	sortClusters(clusters)
+
+	// Greedy list assignment to the least-loaded worker (ties: lowest
+	// worker index).
+	assign := make([]int, n)
+	load := make([]int64, p)
+	for _, cl := range clusters {
+		w := 0
+		for i := 1; i < p; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		if load[w], err = num.CheckedAdd(load[w], cl.cost); err != nil {
+			return nil, fmt.Errorf("partition: worker load: %w", err)
+		}
+		root := find(cl.minID)
+		for a := 0; a < n; a++ {
+			if find(a) == root {
+				assign[a] = w
+			}
+		}
+	}
+
+	return build(g, q, order, p, assign, level, cost)
+}
+
+// Rebuild reconstructs a Partitioned from its canonical encoding (the
+// store codec's decode path). It validates the structural invariants —
+// assignment bounds, precedence edges crossing phases forward, same-phase
+// edges intra-worker — and derives Phases and Load exactly as Run does.
+func Rebuild(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID, p int, assign, phaseOf []int) (*Partitioned, error) {
+	n := g.NumActors()
+	if p < 1 {
+		return nil, fmt.Errorf("partition: worker count must be >= 1, got %d", p)
+	}
+	if len(assign) != n || len(phaseOf) != n || len(order) != n || len(q) != n {
+		return nil, fmt.Errorf("partition: rebuild length mismatch (%d actors)", n)
+	}
+	for a := 0; a < n; a++ {
+		if assign[a] < 0 || assign[a] >= p {
+			return nil, fmt.Errorf("partition: actor %d assigned to worker %d of %d", a, assign[a], p)
+		}
+		if phaseOf[a] < 0 {
+			return nil, fmt.Errorf("partition: actor %d has negative phase %d", a, phaseOf[a])
+		}
+	}
+	for _, e := range g.Edges() {
+		if sdf.PrecedenceEdge(g, q, e.ID) && phaseOf[e.Dst] <= phaseOf[e.Src] {
+			return nil, fmt.Errorf("partition: precedence edge %d does not cross phases (%d -> %d)",
+				e.ID, phaseOf[e.Src], phaseOf[e.Dst])
+		}
+		if phaseOf[e.Src] == phaseOf[e.Dst] && assign[e.Src] != assign[e.Dst] {
+			return nil, fmt.Errorf("partition: same-phase edge %d spans workers %d and %d",
+				e.ID, assign[e.Src], assign[e.Dst])
+		}
+	}
+	cost, err := actorCosts(g, q)
+	if err != nil {
+		return nil, err
+	}
+	return build(g, q, order, p, assign, phaseOf, cost)
+}
+
+// build derives the executable phase lists and worker loads from the
+// canonical (assign, phaseOf) encoding. Actors appear in their `order`
+// position sequence inside each worker's per-phase list, which fixes the
+// firing order completely.
+func build(g *sdf.Graph, q sdf.Repetitions, order []sdf.ActorID, p int, assign, phaseOf []int, cost []int64) (*Partitioned, error) {
+	numPhases := 0
+	for _, ph := range phaseOf {
+		if ph+1 > numPhases {
+			numPhases = ph + 1
+		}
+	}
+	phases := make([]Phase, numPhases)
+	for i := range phases {
+		phases[i].Workers = make([][]Block, p)
+	}
+	load := make([]int64, p)
+	var err error
+	for _, a := range order {
+		ph, w := phaseOf[a], assign[a]
+		phases[ph].Workers[w] = append(phases[ph].Workers[w], Block{Actor: a, Count: q.Q(a)})
+		if load[w], err = num.CheckedAdd(load[w], cost[a]); err != nil {
+			return nil, fmt.Errorf("partition: worker load: %w", err)
+		}
+	}
+	return &Partitioned{
+		P:         p,
+		NumPhases: numPhases,
+		Assign:    assign,
+		PhaseOf:   phaseOf,
+		Phases:    phases,
+		Load:      load,
+	}, nil
+}
+
+// actorCosts computes the load model: cost(a) = q(a) * (1 + sum of input
+// consume rates + sum of output produce rates) — a proxy for tokens moved
+// per period plus a constant per firing.
+func actorCosts(g *sdf.Graph, q sdf.Repetitions) ([]int64, error) {
+	cost := make([]int64, g.NumActors())
+	for _, a := range g.Actors() {
+		c := int64(1)
+		var err error
+		for _, eid := range g.In(a.ID) {
+			if c, err = num.CheckedAdd(c, g.Edge(eid).Cons); err != nil {
+				return nil, fmt.Errorf("partition: actor %s cost: %w", a.Name, err)
+			}
+		}
+		for _, eid := range g.Out(a.ID) {
+			if c, err = num.CheckedAdd(c, g.Edge(eid).Prod); err != nil {
+				return nil, fmt.Errorf("partition: actor %s cost: %w", a.Name, err)
+			}
+		}
+		if cost[a.ID], err = num.CheckedMul(q.Q(a.ID), c); err != nil {
+			return nil, fmt.Errorf("partition: actor %s cost: %w", a.Name, err)
+		}
+	}
+	return cost, nil
+}
+
+// cluster is a union-find component of same-level actors, the unit of the
+// greedy list assignment.
+type cluster struct {
+	level int
+	cost  int64
+	minID int
+}
+
+// sortClusters orders the greedy list: level ascending, cost descending,
+// min actor ID ascending. The input order is deterministic (built in actor
+// ID order) and the key is a total order, so the result is too.
+func sortClusters(cs []*cluster) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.level != b.level {
+			return a.level < b.level
+		}
+		if a.cost != b.cost {
+			return a.cost > b.cost
+		}
+		return a.minID < b.minID
+	})
+}

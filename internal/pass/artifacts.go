@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/lifetime"
+	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/schedtree"
 	"repro/internal/sdf"
@@ -90,6 +91,20 @@ type Allocation struct {
 	Alloc    *alloc.Allocation
 }
 
+// Partition is the artifact of the partition pass: the deterministic P-way
+// phased schedule (levels over the precedence graph, load-balanced list
+// assignment, barrier-delimited phases).
+type Partition struct {
+	Part *partition.Partitioned
+}
+
+// SegmentedAllocation is the artifact of the segmented-allocation pass: the
+// parallel memory image with one first-fit-packed private segment per
+// worker and a shared segment for cross-worker edges.
+type SegmentedAllocation struct {
+	Seg *partition.SegAlloc
+}
+
 // Result is the outcome of a compilation (one grid point, fully assembled).
 type Result struct {
 	Graph       *sdf.Graph
@@ -105,7 +120,12 @@ type Result struct {
 	Allocations map[alloc.Strategy]*alloc.Allocation
 	Best        *alloc.Allocation
 	BestBy      alloc.Strategy
-	Metrics     Metrics
+	// Partition and Segmented carry the P-way phased schedule and its
+	// per-segment storage allocation; both are nil unless the compilation
+	// requested Options.Partitions >= 2 (the sequential path is unchanged).
+	Partition *partition.Partitioned
+	Segmented *partition.SegAlloc
+	Metrics   Metrics
 }
 
 // Metrics gathers every number the paper's tables report for one run.
@@ -130,4 +150,9 @@ type Metrics struct {
 	Merges int
 	// BMLB is the non-shared buffer memory lower bound over all SASs.
 	BMLB int64
+	// ParallelTotal is the segmented parallel image's total extent (sum of
+	// all worker segments plus the shared segment); 0 when the compilation
+	// did not request partitioning. Compare against SharedTotal — the P=1
+	// single-address-space baseline — for the memory-vs-P tradeoff.
+	ParallelTotal int64
 }

@@ -54,5 +54,21 @@ func CompileContext(ctx context.Context, g *sdf.Graph, opts Options) (*Result, e
 		}
 		allocs = append(allocs, a)
 	}
-	return finishResult(ctx, g, opts, rep, ord.Actors, ls, lf, allocs)
+	var part Partition
+	var seg SegmentedAllocation
+	if opts.Partitions >= 2 {
+		if err := stageStart(ctx, opts, StagePartition); err != nil {
+			return nil, err
+		}
+		if part, err = RunPartition(g, rep, ord, opts.Partitions); err != nil {
+			return nil, err
+		}
+		if err := stageStart(ctx, opts, StageSegments); err != nil {
+			return nil, err
+		}
+		if seg, err = RunSegAlloc(g, rep, part); err != nil {
+			return nil, err
+		}
+	}
+	return finishResult(ctx, g, opts, rep, ord.Actors, ls, lf, allocs, part, seg)
 }

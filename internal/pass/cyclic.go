@@ -111,6 +111,10 @@ func CompileGeneralContext(ctx context.Context, g *sdf.Graph, opts Options) (*Re
 	sub := opts
 	sub.Verify = false
 	sub.OnStage = nil
+	// Partitioned schedules are defined over the acyclic precedence levels of
+	// the original actors, not over the SCC condensation; cyclic graphs always
+	// compile sequentially.
+	sub.Partitions = 0
 	condRes, err := CompileContext(ctx, cond, sub)
 	if err != nil {
 		return nil, fmt.Errorf("core: condensation: %w", err)

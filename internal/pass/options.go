@@ -95,6 +95,14 @@ type Options struct {
 	// inputs (merge.Overlap); nil treats every actor as consume-before-
 	// produce.
 	MergePolicy func(sdf.ActorID) merge.Policy
+	// Partitions, when >= 2, additionally compiles a P-way phased parallel
+	// schedule (internal/partition) with a per-segment storage allocation:
+	// one private segment per worker plus a shared segment for cross-worker
+	// edges, barriers between phases. Values <= 1 select the sequential
+	// single-address-space path unchanged — a P=1 "partitioning" is the
+	// sequential schedule, so it is never materialized and the artifact
+	// bytes stay byte-identical to a compilation without the field.
+	Partitions int
 	// OnStage, when non-nil, is invoked at the start of every pipeline
 	// stage (the Stage* constants, in order) and once with StageDone when
 	// compilation succeeds. The hook lets callers attribute wall time to
@@ -114,13 +122,15 @@ type Options struct {
 // loop-hierarchy DP, then lifetime extraction and storage allocation;
 // verify and merge fire only when the corresponding option is set.
 const (
-	StageSchedule = "schedule"
-	StageLoopDP   = "loopdp"
-	StageLifetime = "lifetime"
-	StageAlloc    = "alloc"
-	StageVerify   = "verify"
-	StageMerge    = "merge"
-	StageDone     = "done"
+	StageSchedule  = "schedule"
+	StageLoopDP    = "loopdp"
+	StageLifetime  = "lifetime"
+	StageAlloc     = "alloc"
+	StagePartition = "partition"
+	StageSegments  = "segments"
+	StageVerify    = "verify"
+	StageMerge     = "merge"
+	StageDone      = "done"
 )
 
 // optionsKeyMap keeps pass content keys complete: sdflint's keycomplete
@@ -143,6 +153,7 @@ type optionsKeyMap struct {
 	Merging       bool                           // KindAssemble: per-point leaf, never shared
 	MergePolicy   func(sdf.ActorID) merge.Policy // KindAssemble: per-point leaf, never shared
 	OnStage       func(stage string)             // observability hook, not a compilation input
+	Partitions    int                            // KindPartition key (KindSegalloc inherits it via its parent)
 }
 
 // repetitionsKey is the content key of the q pass: the graph alone decides
@@ -185,6 +196,18 @@ func lifetimesKey(parent Key) Key {
 // allocKey extends the lifetimes key with one allocator strategy.
 func allocKey(parent Key, strat alloc.Strategy) Key {
 	return Key("alloc|" + string(parent) + "|" + strat.String())
+}
+
+// partitionKey extends the order key with the worker count: the phased
+// schedule reads only the precedence structure (graph + q + order) and P.
+func partitionKey(parent Key, partitions int) Key {
+	return Key("partition|" + string(parent) + "|p:" + strconv.Itoa(partitions))
+}
+
+// segallocKey is the partition key verbatim: the segmented allocation reads
+// no option fields beyond those already in its parent's key.
+func segallocKey(parent Key) Key {
+	return Key("segalloc|" + string(parent))
 }
 
 // defaultAllocators resolves the allocator list, applying the paper's

@@ -48,6 +48,12 @@ const (
 	KindLifetimes
 	// KindAlloc packs one allocator's shared-memory image.
 	KindAlloc
+	// KindPartition builds the P-way phased schedule (Options.Partitions
+	// workers, barrier-delimited phases) over the precedence levels.
+	KindPartition
+	// KindSegalloc packs the per-segment parallel memory image: one private
+	// segment per worker plus the shared cross-worker segment.
+	KindSegalloc
 	// KindAssemble is the per-grid-point leaf: best-allocator selection,
 	// metrics, optional verification and buffer merging.
 	KindAssemble
@@ -66,6 +72,10 @@ func (k Kind) String() string {
 		return "lifetimes"
 	case KindAlloc:
 		return "alloc"
+	case KindPartition:
+		return "partition"
+	case KindSegalloc:
+		return "segalloc"
 	case KindAssemble:
 		return "assemble"
 	default:
@@ -75,7 +85,7 @@ func (k Kind) String() string {
 
 // Kinds enumerates every pass kind in pipeline order.
 func Kinds() []Kind {
-	return []Kind{KindRepetitions, KindOrder, KindSchedule, KindLifetimes, KindAlloc, KindAssemble}
+	return []Kind{KindRepetitions, KindOrder, KindSchedule, KindLifetimes, KindAlloc, KindPartition, KindSegalloc, KindAssemble}
 }
 
 // Key is the deterministic content key of one pass node: the graph key plus

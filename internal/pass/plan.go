@@ -88,6 +88,8 @@ type Plan struct {
 	scheds     []*schedNode
 	lifes      []*lifeNode
 	allocs     []*allocNode
+	parts      []*partNode
+	segs       []*segNode
 	assemblies []*assembleNode
 }
 
@@ -154,6 +156,28 @@ type allocNode struct {
 	nodeState
 }
 
+// partNode is the P-way phased schedule node: it depends only on the lexical
+// order (and the repetitions vector), so points sharing an order and a worker
+// count share the partition regardless of looping/allocator choices.
+type partNode struct {
+	key        Key
+	order      *orderNode
+	partitions int
+	out        Partition
+	err        error
+	hash       []byte // payload hash chaining into the segalloc store key
+	nodeState
+}
+
+// segNode packs the segmented parallel memory image; 1:1 with its partition.
+type segNode struct {
+	key  Key
+	part *partNode
+	out  SegmentedAllocation
+	err  error
+	nodeState
+}
+
 // assembleNode is one grid point's leaf: verify/merge/metrics assembly over
 // the shared artifacts. Never shared — Verify, VerifyPeriods, Merging and
 // MergePolicy are per-point.
@@ -162,6 +186,8 @@ type assembleNode struct {
 	opts   Options
 	life   *lifeNode // nil on the cyclic fallback
 	allocs []*allocNode
+	part   *partNode // nil unless the point requested Partitions >= 2
+	seg    *segNode  // 1:1 with part
 	out    *Result
 	err    error
 	nodeState
@@ -207,6 +233,8 @@ func NewPlan(g *sdf.Graph, points []Options, cfg PlanConfig) (*Plan, error) {
 	schedIdx := map[Key]*schedNode{}
 	lifeOf := map[*schedNode]*lifeNode{}
 	allocIdx := map[Key]*allocNode{}
+	partIdx := map[Key]*partNode{}
+	segOf := map[*partNode]*segNode{}
 	for i, pt := range p.points {
 		ok := orderKey(cfg.GraphKey, pt.Strategy, pt.Order)
 		on := orderIdx[ok]
@@ -241,6 +269,20 @@ func NewPlan(g *sdf.Graph, points []Options, cfg PlanConfig) (*Plan, error) {
 			}
 			as.allocs = append(as.allocs, an)
 		}
+		if pt.Partitions >= 2 {
+			pk := partitionKey(ok, pt.Partitions)
+			pn := partIdx[pk]
+			if pn == nil {
+				pn = &partNode{key: pk, order: on, partitions: pt.Partitions}
+				partIdx[pk] = pn
+				p.parts = append(p.parts, pn)
+				gn := &segNode{key: segallocKey(pk), part: pn}
+				segOf[pn] = gn
+				p.segs = append(p.segs, gn)
+			}
+			as.part = pn
+			as.seg = segOf[pn]
+		}
 		p.assemblies = append(p.assemblies, as)
 	}
 	return p, nil
@@ -264,9 +306,12 @@ func (p *Plan) Stats() []KindCount {
 		e, l := asmState()
 		return []KindCount{{Kind: KindAssemble, Nodes: n, Naive: n, Executed: e, Loaded: l}}
 	}
-	naiveAllocs := 0
+	naiveAllocs, naiveParts := 0, 0
 	for _, pt := range p.points {
 		naiveAllocs += len(defaultAllocators(pt.Allocators))
+		if pt.Partitions >= 2 {
+			naiveParts++
+		}
 	}
 	out := []KindCount{
 		{Kind: KindRepetitions, Nodes: 1, Naive: n},
@@ -274,6 +319,8 @@ func (p *Plan) Stats() []KindCount {
 		{Kind: KindSchedule, Nodes: len(p.scheds), Naive: n},
 		{Kind: KindLifetimes, Nodes: len(p.lifes), Naive: n},
 		{Kind: KindAlloc, Nodes: len(p.allocs), Naive: naiveAllocs},
+		{Kind: KindPartition, Nodes: len(p.parts), Naive: naiveParts},
+		{Kind: KindSegalloc, Nodes: len(p.segs), Naive: naiveParts},
 		{Kind: KindAssemble, Nodes: n, Naive: n},
 	}
 	tally := func(kc *KindCount, ns nodeState) {
@@ -294,7 +341,13 @@ func (p *Plan) Stats() []KindCount {
 	for _, nd := range p.allocs {
 		tally(&out[4], nd.nodeState)
 	}
-	out[5].Executed, out[5].Loaded = asmState()
+	for _, nd := range p.parts {
+		tally(&out[5], nd.nodeState)
+	}
+	for _, nd := range p.segs {
+		tally(&out[6], nd.nodeState)
+	}
+	out[7].Executed, out[7].Loaded = asmState()
 	return out
 }
 
@@ -327,6 +380,10 @@ func abortErr(ctx context.Context, k Kind) error {
 		stage = StageLifetime
 	case KindAlloc, KindAssemble:
 		stage = StageAlloc
+	case KindPartition:
+		stage = StagePartition
+	case KindSegalloc:
+		stage = StageSegments
 	default:
 		panic(fmt.Sprintf("pass: abortErr: unknown kind %d", int(k)))
 	}
@@ -516,6 +573,71 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 		return nil
 	})
 
+	// Level 4a: P-way partitions. Like schedules they depend only on the
+	// lexical order; they run after the allocator leaves to keep the
+	// sequential pipeline's first-error order (alloc failures win).
+	_ = par.ForEach(len(p.parts), func(i int) error {
+		n := p.parts[i]
+		if n.order.err != nil {
+			n.err = n.order.err
+			return nil
+		}
+		if ctx.Err() != nil {
+			n.err = abortErr(ctx, KindPartition)
+			return nil
+		}
+		if sk != nil {
+			key := partitionStoreKey(sk, n.order.hash, n.partitions)
+			if data, ok := p.cfg.Store.Get(key); ok {
+				if out, err := decodePartition(p.g, p.rep.out, n.order.out, data); err == nil {
+					n.out, n.loaded = out, true
+					n.hash = payloadHash(data)
+					return nil
+				}
+			}
+		}
+		p.emit(KindPartition, n.key, true)
+		n.ran = true
+		n.out, n.err = RunPartition(p.g, p.rep.out, n.order.out, n.partitions)
+		p.emit(KindPartition, n.key, false)
+		if sk != nil && n.err == nil {
+			data := encodePartition(n.out)
+			n.hash = payloadHash(data)
+			p.cfg.Store.Put(partitionStoreKey(sk, n.order.hash, n.partitions), data)
+		}
+		return nil
+	})
+
+	// Level 4b: segmented allocations (1:1 with partitions).
+	_ = par.ForEach(len(p.segs), func(i int) error {
+		n := p.segs[i]
+		if n.part.err != nil {
+			n.err = n.part.err
+			return nil
+		}
+		if ctx.Err() != nil {
+			n.err = abortErr(ctx, KindSegalloc)
+			return nil
+		}
+		if sk != nil {
+			key := segallocStoreKey(sk, n.part.hash)
+			if data, ok := p.cfg.Store.Get(key); ok {
+				if out, err := decodeSegalloc(p.g, p.rep.out, n.part.out, data); err == nil {
+					n.out, n.loaded = out, true
+					return nil
+				}
+			}
+		}
+		p.emit(KindSegalloc, n.key, true)
+		n.ran = true
+		n.out, n.err = RunSegAlloc(p.g, p.rep.out, n.part.out)
+		p.emit(KindSegalloc, n.key, false)
+		if sk != nil && n.err == nil {
+			p.cfg.Store.Put(segallocStoreKey(sk, n.part.hash), encodeSegalloc(n.out))
+		}
+		return nil
+	})
+
 	// Level 5: per-point assembly (verify, merge, metrics). Allocator errors
 	// are reported in the point's allocator order, matching the first-error
 	// behavior of the sequential pipeline. Assembly is never stored: its
@@ -538,10 +660,23 @@ func (p *Plan) Run(ctx context.Context) []Outcome {
 			}
 			allocs = append(allocs, an.out)
 		}
+		var part Partition
+		var seg SegmentedAllocation
+		if as.part != nil {
+			if as.part.err != nil {
+				as.err = as.part.err
+				return nil
+			}
+			if as.seg.err != nil {
+				as.err = as.seg.err
+				return nil
+			}
+			part, seg = as.part.out, as.seg.out
+		}
 		p.emit(KindAssemble, as.key, true)
 		as.ran = true
 		as.out, as.err = finishResult(ctx, p.g, as.opts, p.rep.out,
-			as.life.sched.order.out.Actors, as.life.sched.out, as.life.out, allocs)
+			as.life.sched.order.out.Actors, as.life.sched.out, as.life.out, allocs, part, seg)
 		p.emit(KindAssemble, as.key, false)
 		return nil
 	})

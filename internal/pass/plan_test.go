@@ -76,6 +76,8 @@ func TestPlanStatsDedup(t *testing.T) {
 		KindSchedule:    {8, 24},
 		KindLifetimes:   {8, 24},
 		KindAlloc:       {24, 24},
+		KindPartition:   {0, 0}, // fullGrid requests no partitioning
+		KindSegalloc:    {0, 0},
 		KindAssemble:    {24, 24},
 	}
 	for _, kc := range p.Stats() {
@@ -114,6 +116,10 @@ func TestPlanSharedAllocatorLeaves(t *testing.T) {
 		case KindAlloc:
 			if kc.Nodes != 2 || kc.Naive != 4 {
 				t.Errorf("alloc nodes/naive = %d/%d, want 2/4", kc.Nodes, kc.Naive)
+			}
+		case KindPartition, KindSegalloc:
+			if kc.Nodes != 0 {
+				t.Errorf("%v: %d nodes, want 0 (no partitioned points)", kc.Kind, kc.Nodes)
 			}
 		case KindAssemble:
 			if kc.Nodes != 2 {
@@ -324,6 +330,8 @@ func TestKindStringsAndKinds(t *testing.T) {
 		KindSchedule:    "schedule",
 		KindLifetimes:   "lifetimes",
 		KindAlloc:       "alloc",
+		KindPartition:   "partition",
+		KindSegalloc:    "segalloc",
 		KindAssemble:    "assemble",
 	}
 	ks := Kinds()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lifetime"
 	"repro/internal/looping"
 	"repro/internal/merge"
+	"repro/internal/partition"
 	"repro/internal/rpmc"
 	"repro/internal/sched"
 	"repro/internal/schedtree"
@@ -139,6 +140,33 @@ func RunAlloc(lf Lifetimes, strat alloc.Strategy) (Allocation, error) {
 	return Allocation{Strategy: strat, Alloc: a}, nil
 }
 
+// RunPartition builds the P-way phased schedule artifact over the
+// precedence levels of the ordered graph. partitions must be >= 2: the
+// sequential path never materializes a partition artifact (P=1 is the
+// sequential schedule by definition), which is what keeps Partitions <= 1
+// compilations byte-identical to the pre-partitioning pipeline.
+func RunPartition(g *sdf.Graph, rep Repetitions, ord Order, partitions int) (Partition, error) {
+	if partitions < 2 {
+		return Partition{}, fmt.Errorf("core: partition pass needs Partitions >= 2, got %d", partitions)
+	}
+	p, err := partition.Run(g, rep.Q, ord.Actors, partitions)
+	if err != nil {
+		return Partition{}, err
+	}
+	return Partition{Part: p}, nil
+}
+
+// RunSegAlloc packs the per-segment parallel memory image for a phased
+// schedule: phase-axis lifetimes, one first-fit segment per worker plus the
+// shared cross-worker segment.
+func RunSegAlloc(g *sdf.Graph, rep Repetitions, part Partition) (SegmentedAllocation, error) {
+	seg, err := partition.Allocate(g, rep.Q, part.Part)
+	if err != nil {
+		return SegmentedAllocation{}, err
+	}
+	return SegmentedAllocation{Seg: seg}, nil
+}
+
 // betterAlloc reports whether candidate beats the current best allocation:
 // strictly smaller total, or — the deterministic tie-break — equal total
 // with a lexicographically smaller allocator name. Tie-breaking by name
@@ -172,7 +200,8 @@ func stageStart(ctx context.Context, opts Options, stage string) error {
 // the sequential CompileContext and the Plan executor, which is what keeps
 // the two paths byte-identical.
 func finishResult(ctx context.Context, g *sdf.Graph, opts Options, rep Repetitions,
-	order []sdf.ActorID, ls LoopedSchedule, lf Lifetimes, allocs []Allocation) (*Result, error) {
+	order []sdf.ActorID, ls LoopedSchedule, lf Lifetimes, allocs []Allocation,
+	part Partition, seg SegmentedAllocation) (*Result, error) {
 	res := &Result{
 		Graph:       g,
 		Repetitions: rep.Q,
@@ -181,6 +210,8 @@ func finishResult(ctx context.Context, g *sdf.Graph, opts Options, rep Repetitio
 		Tree:        lf.Tree,
 		Intervals:   lf.Intervals,
 		Allocations: make(map[alloc.Strategy]*alloc.Allocation, len(allocs)),
+		Partition:   part.Part,
+		Segmented:   seg.Seg,
 	}
 	res.Metrics.DPCost = ls.DPCost
 	res.Metrics.AllocTotals = make(map[string]int64, len(allocs))
@@ -205,6 +236,9 @@ func finishResult(ctx context.Context, g *sdf.Graph, opts Options, rep Repetitio
 		return nil, err
 	}
 	res.Metrics.NonSharedBufMem = bm
+	if res.Segmented != nil {
+		res.Metrics.ParallelTotal = res.Segmented.Total
+	}
 
 	if opts.Verify {
 		if err := stageStart(ctx, opts, StageVerify); err != nil {
@@ -216,6 +250,11 @@ func finishResult(ctx context.Context, g *sdf.Graph, opts Options, rep Repetitio
 		}
 		if err := sim.Run(ls.Schedule, rep.Q, lf.Intervals, res.Best, periods); err != nil {
 			return nil, fmt.Errorf("core: verification failed: %w", err)
+		}
+		if res.Partition != nil {
+			if err := sim.RunPhased(g, rep.Q, res.Partition, res.Segmented, periods); err != nil {
+				return nil, fmt.Errorf("core: phased verification failed: %w", err)
+			}
 		}
 	}
 

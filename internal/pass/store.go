@@ -9,6 +9,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/lifetime"
 	"repro/internal/merge"
+	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/schedtree"
 	"repro/internal/sdf"
@@ -54,6 +55,7 @@ type storeKeyMap struct {
 	Merging       bool                           // assemble-only: assembled Results are never stored
 	MergePolicy   func(sdf.ActorID) merge.Policy // assemble-only: assembled Results are never stored
 	OnStage       func(stage string)             // observability hook, not a compilation input
+	Partitions    int                            // partitionStoreKey (segallocStoreKey inherits it through the chained partition hash)
 }
 
 // kindTag names each pass kind inside store keys. The switch deliberately
@@ -72,6 +74,10 @@ func kindTag(k Kind) string {
 		return "life"
 	case KindAlloc:
 		return "alloc"
+	case KindPartition:
+		return "part"
+	case KindSegalloc:
+		return "seg"
 	case KindAssemble:
 		panic("pass: assemble artifacts are per-point (verify/merge options differ) and are never stored")
 	}
@@ -178,6 +184,23 @@ func allocStoreKey(lifeHash []byte, strat alloc.Strategy) string {
 	var extra []byte
 	extra = binary.AppendVarint(extra, int64(strat))
 	return storeDigest(KindAlloc, lifeHash, extra)
+}
+
+// partitionStoreKey covers the phased schedule's inputs: the lexical order
+// (chained hash), the precedence structure (rates + delays — precedence and
+// levels read delay against consumed-per-period, the cost model reads
+// rates), and the worker count.
+func partitionStoreKey(sk *storeKeys, orderHash []byte, partitions int) string {
+	var extra []byte
+	extra = binary.AppendVarint(extra, int64(partitions))
+	return storeDigest(KindPartition, orderHash, sk.rates, sk.delays, extra)
+}
+
+// segallocStoreKey covers the segmented allocation's inputs: the partition
+// artifact (chained hash) plus rates, delays and words — buffer sizes are
+// (delay + TNSE) * words.
+func segallocStoreKey(sk *storeKeys, partHash []byte) string {
+	return storeDigest(KindSegalloc, partHash, sk.rates, sk.delays, sk.words)
 }
 
 // payloadHash is the chaining hash of one stored artifact's bytes.
@@ -460,6 +483,109 @@ func encodeAlloc(lf Lifetimes, al Allocation) ([]byte, error) {
 		out = binary.AppendVarint(out, p.Offset)
 	}
 	return out, nil
+}
+
+// encodePartition stores the canonical (P, assign, phaseOf) encoding; the
+// executable phase lists and worker loads are derived deterministically at
+// decode (partition.Rebuild), which also re-validates the structural
+// invariants against the live graph.
+func encodePartition(part Partition) []byte {
+	p := part.Part
+	out := binary.AppendVarint(nil, int64(p.P))
+	out = binary.AppendVarint(out, int64(len(p.Assign)))
+	for _, w := range p.Assign {
+		out = binary.AppendVarint(out, int64(w))
+	}
+	for _, ph := range p.PhaseOf {
+		out = binary.AppendVarint(out, int64(ph))
+	}
+	return out
+}
+
+// maxPartitions bounds the decoded worker count; the service caps requests
+// far below this.
+const maxPartitions = 1 << 16
+
+func decodePartition(g *sdf.Graph, rep Repetitions, ord Order, data []byte) (Partition, error) {
+	d := &decoder{data: data}
+	pw := d.count(maxPartitions)
+	n := d.count(g.NumActors())
+	if d.err == nil && n != g.NumActors() {
+		return Partition{}, fmt.Errorf("pass: stored partition covers %d actors, graph has %d", n, g.NumActors())
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = int(d.int64())
+	}
+	phaseOf := make([]int, n)
+	for i := range phaseOf {
+		phaseOf[i] = int(d.int64())
+	}
+	if err := d.finish(); err != nil {
+		return Partition{}, err
+	}
+	p, err := partition.Rebuild(g, rep.Q, ord.Actors, pw, assign, phaseOf)
+	if err != nil {
+		return Partition{}, err
+	}
+	return Partition{Part: p}, nil
+}
+
+// encodeSegalloc stores the segment layout and the per-edge routing +
+// absolute offsets; the phase-axis intervals and buffer sizes are pure
+// arithmetic over (graph, q, partition) and are re-derived at decode
+// (partition.RebuildSeg) rather than persisted — no first-fit re-run either
+// way, the stored offsets are authoritative.
+func encodeSegalloc(seg SegmentedAllocation) []byte {
+	s := seg.Seg
+	out := binary.AppendVarint(nil, s.Total)
+	out = binary.AppendVarint(out, int64(len(s.Segments)))
+	for _, sg := range s.Segments {
+		out = binary.AppendVarint(out, int64(sg.Worker))
+		out = binary.AppendVarint(out, sg.Base)
+		out = binary.AppendVarint(out, sg.Cells)
+	}
+	out = binary.AppendVarint(out, int64(len(s.EdgeSeg)))
+	for i, si := range s.EdgeSeg {
+		out = binary.AppendVarint(out, int64(si))
+		out = binary.AppendVarint(out, s.Offsets[i])
+	}
+	return out
+}
+
+func decodeSegalloc(g *sdf.Graph, rep Repetitions, part Partition, data []byte) (SegmentedAllocation, error) {
+	d := &decoder{data: data}
+	total := d.int64()
+	ns := d.count(maxPartitions + 1)
+	if d.err == nil && ns != part.Part.P+1 {
+		return SegmentedAllocation{}, fmt.Errorf("pass: stored segalloc has %d segments for %d workers", ns, part.Part.P)
+	}
+	segments := make([]partition.Segment, ns)
+	for i := range segments {
+		segments[i] = partition.Segment{
+			Worker: int(d.int64()),
+			Base:   d.int64(),
+			Cells:  d.int64(),
+		}
+	}
+	ne := d.count(g.NumEdges())
+	if d.err == nil && ne != g.NumEdges() {
+		return SegmentedAllocation{}, fmt.Errorf("pass: stored segalloc covers %d edges, graph has %d", ne, g.NumEdges())
+	}
+	edgeSeg := make([]int, ne)
+	offsets := make([]int64, ne)
+	for i := range edgeSeg {
+		edgeSeg[i] = int(d.int64())
+		offsets[i] = d.int64()
+	}
+	if err := d.finish(); err != nil {
+		return SegmentedAllocation{}, err
+	}
+	s, err := partition.RebuildSeg(g, rep.Q, part.Part, edgeSeg, offsets, segments, total)
+	if err != nil {
+		return SegmentedAllocation{}, err
+	}
+	return SegmentedAllocation{Seg: s}, nil
 }
 
 // decodeAlloc reconstructs one allocator leaf against the in-memory

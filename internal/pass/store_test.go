@@ -335,7 +335,8 @@ func TestPlanSecondRunLoadsEverything(t *testing.T) {
 			if kc.Executed != kc.Nodes || kc.Loaded != 0 {
 				t.Errorf("assemble: executed/loaded = %d/%d, want %d/0", kc.Executed, kc.Loaded, kc.Nodes)
 			}
-		case KindRepetitions, KindOrder, KindSchedule, KindLifetimes, KindAlloc:
+		case KindRepetitions, KindOrder, KindSchedule, KindLifetimes, KindAlloc,
+			KindPartition, KindSegalloc:
 			if kc.Loaded != kc.Nodes || kc.Executed != 0 {
 				t.Errorf("%v: executed/loaded = %d/%d, want 0/%d", kc.Kind, kc.Executed, kc.Loaded, kc.Nodes)
 			}

@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sdf"
+)
+
+// PhasedEngine executes a partitioned compilation result on P goroutines:
+// each period runs the phased schedule with every worker firing its blocks
+// concurrently and a cyclic barrier between phases. Buffers live in the
+// segmented memory image (per-worker private segments plus one shared
+// segment), so all cross-worker traffic is write-then-barrier-then-read and
+// the run is race-free without any per-buffer locking.
+//
+// Because SDF semantics are deterministic, a PhasedEngine's observable
+// behaviour — every firing's consumed and produced token values, and the
+// queue contents reported by TokensOn — is bit-identical to the sequential
+// Engine on the same graph, provided each supplied Fire is a pure function
+// of its inputs. Fires are invoked from worker goroutines (one worker per
+// actor, fixed for the whole run), so a Fire closure may keep per-actor
+// state but must not share mutable state across actors.
+type PhasedEngine struct {
+	res   *core.Result
+	fires map[sdf.ActorID]Fire
+	mem   []float64
+	edges []edgeState
+	bar   *par.Barrier
+}
+
+// NewPhased builds a phased engine for a compilation result that carries a
+// partitioned schedule and segmented allocation (compiled with
+// Options.Partitions >= 2). Like New it supports scalar tokens only.
+func NewPhased(res *core.Result, fires map[sdf.ActorID]Fire) (*PhasedEngine, error) {
+	if res.Partition == nil || res.Segmented == nil {
+		return nil, fmt.Errorf("runtime: result has no partitioned schedule (compile with Partitions >= 2)")
+	}
+	g := res.Graph
+	e := &PhasedEngine{
+		res:   res,
+		fires: fires,
+		mem:   make([]float64, res.Segmented.Total),
+		edges: make([]edgeState, g.NumEdges()),
+		bar:   par.NewBarrier(res.Partition.P),
+	}
+	for _, ed := range g.Edges() {
+		if ed.Words > 1 {
+			return nil, fmt.Errorf("runtime: edge %d uses %d-word tokens; the float64 engine supports scalar tokens only",
+				ed.ID, ed.Words)
+		}
+		st := &e.edges[ed.ID]
+		st.offset = res.Segmented.Offset(ed.ID)
+		st.size = res.Segmented.Size(ed.ID)
+		st.count = ed.Delay
+		// Initial tokens are zeros, occupying the first del cells.
+		st.wr = ed.Delay
+	}
+	return e, nil
+}
+
+// Mem exposes the segmented memory image (for inspection; do not resize).
+func (e *PhasedEngine) Mem() []float64 { return e.mem }
+
+// TokensOn returns the tokens currently queued on an edge, oldest first.
+// Call it only between periods (RunPeriod joins its workers before
+// returning, so the image is quiescent then).
+func (e *PhasedEngine) TokensOn(edge sdf.EdgeID) []float64 {
+	st := &e.edges[edge]
+	out := make([]float64, st.count)
+	for i := int64(0); i < st.count; i++ {
+		out[i] = e.mem[st.offset+(st.rd+i)%st.size]
+	}
+	return out
+}
+
+// Push appends tokens to an edge's queue (useful to seed non-zero initial
+// token values before the first period).
+func (e *PhasedEngine) Push(edge sdf.EdgeID, values ...float64) error {
+	st := &e.edges[edge]
+	if st.count+int64(len(values)) > st.size {
+		return fmt.Errorf("runtime: pushing %d tokens overflows edge %d (count %d, size %d)",
+			len(values), edge, st.count, st.size)
+	}
+	for _, v := range values {
+		e.mem[st.offset+st.wr%st.size] = v
+		st.wr++
+		st.count++
+	}
+	return nil
+}
+
+// RunPeriod executes one complete schedule period on P worker goroutines.
+// Workers are spawned and joined per period; a worker that fails stops
+// firing but keeps arriving at every barrier so the others complete
+// deterministically, and the lowest-indexed worker's error is returned.
+func (e *PhasedEngine) RunPeriod() error {
+	part := e.res.Partition
+	g := e.res.Graph
+	errs := make([]error, part.P)
+	var wg sync.WaitGroup
+	for w := 0; w < part.P; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ph := 0; ph < part.NumPhases; ph++ {
+				if errs[w] == nil {
+					errs[w] = e.runPhase(g, ph, w)
+				}
+				e.bar.Await()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *PhasedEngine) runPhase(g *sdf.Graph, ph, w int) error {
+	for _, blk := range e.res.Partition.Phases[ph].Workers[w] {
+		for k := int64(0); k < blk.Count; k++ {
+			if err := fireActor(g, e.mem, e.edges, e.fires, blk.Actor); err != nil {
+				return fmt.Errorf("runtime: phase %d worker %d firing %s: %w",
+					ph, w, g.Actor(blk.Actor).Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -112,26 +112,33 @@ func (e *Engine) RunPeriod() error {
 }
 
 func (e *Engine) fire(a sdf.ActorID) error {
-	g := e.res.Graph
+	return fireActor(e.res.Graph, e.mem, e.edges, e.fires, a)
+}
+
+// fireActor executes one firing against any memory image + edge cursor set:
+// the sequential engine and the phased engine share it, so both commit to
+// exactly the same consume/compute/produce arithmetic (and therefore
+// bit-identical float64 results for identical firing sequences).
+func fireActor(g *sdf.Graph, mem []float64, edges []edgeState, fires map[sdf.ActorID]Fire, a sdf.ActorID) error {
 	ins := g.In(a)
 	outs := g.Out(a)
 	inputs := make([][]float64, len(ins))
 	for i, eid := range ins {
 		ed := g.Edge(eid)
-		st := &e.edges[eid]
+		st := &edges[eid]
 		if st.count < ed.Cons {
 			return fmt.Errorf("edge %d underflow: have %d, need %d", eid, st.count, ed.Cons)
 		}
 		vals := make([]float64, ed.Cons)
 		for k := int64(0); k < ed.Cons; k++ {
-			vals[k] = e.mem[st.offset+st.rd%st.size]
+			vals[k] = mem[st.offset+st.rd%st.size]
 			st.rd++
 		}
 		st.count -= ed.Cons
 		inputs[i] = vals
 	}
 	var outputs [][]float64
-	if f := e.fires[a]; f != nil {
+	if f := fires[a]; f != nil {
 		outputs = f(inputs)
 		if len(outputs) != len(outs) {
 			return fmt.Errorf("actor returned %d output vectors, want %d", len(outputs), len(outs))
@@ -154,7 +161,7 @@ func (e *Engine) fire(a sdf.ActorID) error {
 	}
 	for i, eid := range outs {
 		ed := g.Edge(eid)
-		st := &e.edges[eid]
+		st := &edges[eid]
 		if int64(len(outputs[i])) != ed.Prod {
 			return fmt.Errorf("actor produced %d tokens on edge %d, want %d",
 				len(outputs[i]), eid, ed.Prod)
@@ -164,7 +171,7 @@ func (e *Engine) fire(a sdf.ActorID) error {
 				eid, st.count, ed.Prod, st.size)
 		}
 		for _, v := range outputs[i] {
-			e.mem[st.offset+st.wr%st.size] = v
+			mem[st.offset+st.wr%st.size] = v
 			st.wr++
 		}
 		st.count += ed.Prod

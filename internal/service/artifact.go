@@ -17,6 +17,11 @@ import (
 // every observer of one digest sees byte-identical bytes (the pipeline
 // itself is determinism-linted, so one compile per digest is enough).
 type Artifact struct {
+	// Schema is the artifact schema version (the digest frame prefix).
+	// Consumers comparing artifacts across builds (sdfbench -compare) check
+	// it first so a schema skew reads as an explicit mismatch, not as a
+	// spurious metric regression.
+	Schema  string         `json:"schema"`
 	Graph   string         `json:"graph"`
 	Actors  int            `json:"actors"`
 	Edges   int            `json:"edges"`
@@ -34,8 +39,36 @@ type Artifact struct {
 	Allocations []AllocatorTotal `json:"allocations"`
 	Best        string           `json:"best"`
 	Placements  []Placement      `json:"placements"`
-	C           string           `json:"c,omitempty"`
-	VHDL        string           `json:"vhdl,omitempty"`
+	// Partition describes the P-way phased parallel schedule when the
+	// compilation requested partitions >= 2.
+	Partition *ArtifactPartition `json:"partition,omitempty"`
+	C         string             `json:"c,omitempty"`
+	// ThreadedC is the barrier-phased parallel C program (emit_c with
+	// partitions >= 2).
+	ThreadedC string `json:"threaded_c,omitempty"`
+	VHDL      string `json:"vhdl,omitempty"`
+}
+
+// ArtifactPartition is the wire form of the phased parallel schedule: the
+// worker and phase counts, the segmented memory layout, and the memory
+// tradeoff against the sequential single-address-space image.
+type ArtifactPartition struct {
+	Workers int `json:"workers"`
+	Phases  int `json:"phases"`
+	// SASTotal is the sequential best allocation total (the P=1 baseline);
+	// ParallelTotal is the segmented image extent. Their ratio is the
+	// memory price paid for parallelism.
+	SASTotal      int64             `json:"sas_total"`
+	ParallelTotal int64             `json:"parallel_total"`
+	Segments      []ArtifactSegment `json:"segments"`
+}
+
+// ArtifactSegment is one region of the segmented parallel image.
+type ArtifactSegment struct {
+	// Worker owns the segment; -1 marks the shared cross-worker segment.
+	Worker int   `json:"worker"`
+	Base   int64 `json:"base"`
+	Cells  int64 `json:"cells"`
 }
 
 // ActorRepetition is one entry of the repetitions vector.
@@ -55,6 +88,7 @@ type ArtifactMetrics struct {
 	SharedTotal     int64 `json:"shared_total"`
 	MergedTotal     int64 `json:"merged_total"`
 	Merges          int   `json:"merges"`
+	ParallelTotal   int64 `json:"parallel_total,omitempty"`
 }
 
 // AllocatorTotal is one allocator's achieved total.
@@ -74,6 +108,7 @@ type Placement struct {
 func buildArtifact(res *core.Result, o CompileOptions) *Artifact {
 	g := res.Graph
 	art := &Artifact{
+		Schema:   SchemaVersion,
 		Graph:    g.Name,
 		Actors:   g.NumActors(),
 		Edges:    g.NumEdges(),
@@ -89,6 +124,7 @@ func buildArtifact(res *core.Result, o CompileOptions) *Artifact {
 			SharedTotal:     res.Metrics.SharedTotal,
 			MergedTotal:     res.Metrics.MergedTotal,
 			Merges:          res.Metrics.Merges,
+			ParallelTotal:   res.Metrics.ParallelTotal,
 		},
 	}
 	for _, a := range res.Order {
@@ -110,8 +146,25 @@ func buildArtifact(res *core.Result, o CompileOptions) *Artifact {
 			Buffer: p.Interval.Name, Offset: p.Offset, Size: p.Interval.Size,
 		})
 	}
+	if res.Partition != nil {
+		ap := &ArtifactPartition{
+			Workers:       res.Partition.P,
+			Phases:        res.Partition.NumPhases,
+			SASTotal:      res.Metrics.SharedTotal,
+			ParallelTotal: res.Segmented.Total,
+		}
+		for _, s := range res.Segmented.Segments {
+			ap.Segments = append(ap.Segments, ArtifactSegment{
+				Worker: s.Worker, Base: s.Base, Cells: s.Cells,
+			})
+		}
+		art.Partition = ap
+	}
 	if o.EmitC {
 		art.C = codegen.GenerateC(res)
+		if res.Partition != nil {
+			art.ThreadedC = codegen.GenerateThreadedC(res)
+		}
 	}
 	if o.EmitVHDL {
 		art.VHDL = codegen.GenerateVHDL(res)

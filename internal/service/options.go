@@ -37,6 +37,12 @@ type CompileOptions struct {
 	// EmitC / EmitVHDL include generated code in the artifact.
 	EmitC    bool `json:"emit_c,omitempty"`
 	EmitVHDL bool `json:"emit_vhdl,omitempty"`
+	// Partitions, when >= 2, additionally compiles a P-way phased parallel
+	// schedule with a per-segment storage allocation; the artifact gains a
+	// partition section (and threaded C when emit_c is set). 0 and 1 both
+	// normalize to 0 — the sequential pipeline (a 1-way partitioning is the
+	// sequential schedule). Capped at 64 workers.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // cacheKey is the serialized form of CompileOptions inside the cache
@@ -62,6 +68,7 @@ type cacheKey struct {
 	Merging       bool     // digest JSON; changes the artifact (merged allocation)
 	EmitC         bool     // digest JSON; changes the artifact (embedded C source)
 	EmitVHDL      bool     // digest JSON; changes the artifact (embedded VHDL source)
+	Partitions    int      // digest JSON; changes the artifact (partition section, threaded C)
 }
 
 // digestOptions serializes normalized options for the cache digest.
@@ -75,13 +82,18 @@ func digestOptions(o CompileOptions) []byte {
 	return data
 }
 
+// SchemaVersion is the artifact schema version: the digest frame prefix and
+// the artifact's schema field. v2 added the partition section, the schema
+// field itself, and the parallel_total metric.
+const SchemaVersion = "sdfd/v2"
+
 // Digest computes the content address of one (canonical graph text,
-// normalized options) pair: hex SHA-256 over a versioned frame. Change the
-// version prefix whenever the artifact schema changes incompatibly so stale
+// normalized options) pair: hex SHA-256 over a versioned frame. Change
+// SchemaVersion whenever the artifact schema changes incompatibly so stale
 // cache entries (and external stores keyed on the digest) cannot alias.
 func Digest(canonicalGraph string, normalized CompileOptions) string {
 	h := sha256.New()
-	h.Write([]byte("sdfd/v1\n"))
+	h.Write([]byte(SchemaVersion + "\n"))
 	h.Write([]byte(canonicalGraph))
 	h.Write([]byte{0})
 	h.Write(digestOptions(normalized))
@@ -228,6 +240,14 @@ func normalize(o CompileOptions) (CompileOptions, error) {
 	if !o.Verify {
 		o.VerifyPeriods = 0
 	}
+	if o.Partitions < 0 || o.Partitions > 64 {
+		return CompileOptions{}, fmt.Errorf("partitions must be in [0, 64], got %d", o.Partitions)
+	}
+	if o.Partitions == 1 {
+		// A 1-way partitioning is the sequential schedule; collapse onto the
+		// sequential spelling so both digest identically.
+		o.Partitions = 0
+	}
 	return o, nil
 }
 
@@ -247,6 +267,7 @@ func coreOptions(o CompileOptions) (core.Options, error) {
 		Verify:        o.Verify,
 		VerifyPeriods: o.VerifyPeriods,
 		Merging:       o.Merging,
+		Partitions:    o.Partitions,
 	}
 	for _, a := range o.Allocators {
 		s, err := parseAllocator(a)

@@ -348,6 +348,10 @@ func stageOfKind(k pass.Kind) string {
 		return core.StageLifetime
 	case pass.KindAlloc:
 		return core.StageAlloc
+	case pass.KindPartition:
+		return core.StagePartition
+	case pass.KindSegalloc:
+		return core.StageSegments
 	case pass.KindAssemble:
 		return "assemble"
 	default:
